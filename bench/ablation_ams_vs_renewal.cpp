@@ -1,0 +1,120 @@
+// Ablation: the paper's discretized renewal-model solver against the
+// classical Anick-Mitra-Sondhi Markov-fluid solution.
+//
+// Two layers of evidence for "the choice of model family is free once the
+// correlation structure is captured" (Section IV):
+//   1. EXACT equivalence — a renewal source with exponential epochs and a
+//      two-point {0, r} marginal is path-identical to a single on/off
+//      CTMC source, so the discretized bracket must contain the AMS loss
+//      at machine-level fidelity across buffers and utilizations.
+//   2. Aggregates — N multiplexed CTMC on/off sources vs the renewal
+//      model with the SAME binomial marginal and a matched mean epoch:
+//      different processes, same marginal and comparable (exponentially
+//      decaying) correlation => closely matching loss predictions.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dist/marginal.hpp"
+#include "dist/simple_epochs.hpp"
+#include "queueing/markov_fluid.hpp"
+#include "queueing/solver.hpp"
+
+int main() {
+  using namespace lrd;
+  bench::print_header("Ablation", "paper's discretized solver vs Anick-Mitra-Sondhi");
+  bench::Stopwatch watch;
+  bool ok = true;
+
+  // --- 1. Exact single-source equivalence across a parameter sweep. ----
+  std::printf("\n1. single on/off source (exact path equivalence):\n");
+  std::printf("%8s %8s %8s %14s %14s %14s %8s\n", "util", "B", "mu", "AMS exact", "bracket lo",
+              "bracket hi", "inside");
+  bool all_inside = true;
+  for (double util : {0.5, 0.8}) {
+    for (double buffer : {0.5, 2.0, 8.0}) {
+      const double mu = 8.0, p = 0.35, r = 9.0;
+      const double c = p * r / util;
+      queueing::OnOffFluidSpec spec;
+      spec.sources = 1;
+      spec.rate_on = r;
+      spec.lambda_on = mu * p;
+      spec.lambda_off = mu * (1.0 - p);
+      spec.service = c;
+      const double exact = queueing::MarkovFluidQueue(spec).finite_buffer(buffer).loss_rate;
+
+      dist::Marginal marginal({0.0, r}, {1.0 - p, p});
+      auto epochs = std::make_shared<const dist::ExponentialEpoch>(mu);
+      queueing::SolverConfig cfg;
+      cfg.target_relative_gap = 0.02;
+      cfg.max_bins = 1 << 13;
+      const auto bracket =
+          queueing::FluidQueueSolver(marginal, epochs, c, buffer).solve(cfg);
+      const bool inside = bracket.loss.lower <= exact * (1 + 1e-6) &&
+                          bracket.loss.upper >= exact * (1 - 1e-6);
+      all_inside &= inside;
+      std::printf("%8.2f %8.1f %8.1f %14.5e %14.5e %14.5e %8s\n", util, buffer, mu, exact,
+                  bracket.loss.lower, bracket.loss.upper, inside ? "yes" : "NO");
+    }
+  }
+  ok &= bench::check("discretized bracket contains the AMS-exact loss at every point",
+                     all_inside);
+
+  // --- 2. Aggregate: same marginal, matched mean epoch. ----------------
+  std::printf("\n2. N = 6 multiplexed on/off sources vs renewal model with the same "
+              "binomial marginal:\n");
+  queueing::OnOffFluidSpec agg;
+  agg.sources = 6;
+  agg.rate_on = 2.0;
+  agg.lambda_on = 5.0;
+  agg.lambda_off = 7.5;  // p_on = 0.4, mean rate 4.8, state sojourn O(0.1 s)
+  agg.service = 6.1;
+  queueing::MarkovFluidQueue ams(agg);
+
+  // Renewal counterpart with the SAME second-order structure: the
+  // aggregate rate of N iid on/off sources has autocovariance
+  // sigma^2 e^{-(lambda_on + lambda_off) t}; the renewal model with
+  // exponential epochs of rate mu has sigma^2 e^{-mu t}. Matching the
+  // binomial marginal and mu = lambda_on + lambda_off makes marginal AND
+  // autocovariance identical — exactly the conditions the paper says
+  // suffice — while the higher-order structure still differs (the CTMC
+  // moves one source at a time, the renewal model redraws all of them).
+  std::vector<double> rates, probs;
+  const auto& sp = ams.state_probabilities();
+  for (std::size_t i = 0; i <= agg.sources; ++i) {
+    rates.push_back(static_cast<double>(i) * agg.rate_on);
+    probs.push_back(sp[i]);
+  }
+  dist::Marginal marginal(rates, probs);
+  auto epochs =
+      std::make_shared<const dist::ExponentialEpoch>(agg.lambda_on + agg.lambda_off);
+
+  std::printf("%8s %14s %14s %10s\n", "B", "AMS exact", "renewal mid", "ratio");
+  std::vector<double> ratios;
+  for (double buffer : {0.25, 1.0, 4.0}) {
+    const double exact = ams.finite_buffer(buffer).loss_rate;
+    queueing::SolverConfig cfg;
+    cfg.target_relative_gap = 0.05;
+    cfg.max_bins = 1 << 12;
+    const double mid = queueing::FluidQueueSolver(marginal, epochs, agg.service, buffer)
+                           .solve(cfg)
+                           .loss_estimate();
+    const double ratio = mid / std::max(exact, 1e-300);
+    ratios.push_back(ratio);
+    std::printf("%8.2f %14.5e %14.5e %10.3f\n", buffer, exact, mid, ratio);
+  }
+  // Marginal + autocovariance matching predicts the loss closely in the
+  // moderate-loss regime. The deep tail (loss ~ 1e-6 at B = 4) diverges —
+  // there the asymptotic decay constants, which depend on higher-order
+  // structure, take over; second-order matching alone cannot pin those.
+  ok &= bench::check(
+      "renewal model matched in (marginal, ACF) within 2x of AMS for loss >= 1e-4",
+      ratios[0] > 0.5 && ratios[0] < 2.0 && ratios[1] > 0.5 && ratios[1] < 2.0);
+  std::printf("       (deep-tail point diverges to %.1fx: higher-order structure matters "
+              "once past the horizon regime)\n",
+              ratios[2]);
+  std::printf("elapsed: %.2f s\n", watch.seconds());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+// Ablation: the Skelly-Schwartz-Dixit histogram model (paper ref. [34]).
+//
+// Skelly et al. model a video source in an ATM multiplexer by its rate
+// HISTOGRAM with deterministic frame-time epochs — exactly our solver
+// with a DeterministicEpoch of one frame interval. The paper cites this
+// as one of the Markov-ish approaches that "report good performance
+// prediction for finite buffer systems". We compare, for the synthetic
+// MTV trace:
+//   * histogram model (deterministic frame epochs, trace marginal),
+//   * the paper's truncated-Pareto model at several cutoffs,
+//   * the trace-driven simulation (ground truth for this trace).
+// Expected shape: the histogram model tracks the truth at SMALL buffers
+// (where only the marginal and frame-scale dynamics matter — exactly
+// where Skelly et al. operated) and underestimates at large buffers,
+// where correlation beyond one frame drives the loss; the Pareto model
+// with a long cutoff stays accurate there too.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/traces.hpp"
+#include "dist/simple_epochs.hpp"
+#include "dist/truncated_pareto.hpp"
+#include "queueing/solver.hpp"
+#include "queueing/trace_queue_sim.hpp"
+
+int main() {
+  using namespace lrd;
+  bench::print_header("Ablation",
+                      "Skelly histogram model (deterministic frame epochs) vs the "
+                      "cutoff-correlated model vs the trace");
+
+  auto mtv = core::mtv_model();
+  const double util = mtv.utilization;
+  const double c = mtv.marginal.service_rate_for_utilization(util);
+  const double frame = mtv.trace.bin_seconds();
+
+  auto histogram_epochs = std::make_shared<const dist::DeterministicEpoch>(frame);
+  const double alpha = dist::TruncatedPareto::alpha_from_hurst(mtv.hurst);
+  const double theta = dist::TruncatedPareto::theta_from_mean_epoch(mtv.mean_epoch, alpha);
+  auto pareto_epochs = std::make_shared<const dist::TruncatedPareto>(theta, alpha, 100.0);
+
+  queueing::SolverConfig cfg;
+  cfg.target_relative_gap = 0.1;
+  cfg.max_bins = 1 << 12;
+
+  std::printf("\n%12s %14s %14s %14s\n", "buffer (s)", "trace sim", "histogram", "Pareto");
+  bench::Stopwatch watch;
+  std::vector<double> hist_ratio, pareto_ratio;
+  const std::vector<double> buffers{0.01, 0.03, 0.1, 0.3};
+  for (double b : buffers) {
+    const double truth =
+        queueing::simulate_trace_queue_normalized(mtv.trace, util, b).loss_rate;
+    const double hist = queueing::FluidQueueSolver(mtv.marginal, histogram_epochs, c, b * c)
+                            .solve(cfg)
+                            .loss_estimate();
+    const double pareto = queueing::FluidQueueSolver(mtv.marginal, pareto_epochs, c, b * c)
+                              .solve(cfg)
+                              .loss_estimate();
+    std::printf("%12g %14.4e %14.4e %14.4e\n", b, truth, hist, pareto);
+    if (truth > 0.0) {
+      hist_ratio.push_back(hist / truth);
+      pareto_ratio.push_back(pareto / truth);
+    }
+  }
+  std::printf("elapsed: %.2f s\n\n", watch.seconds());
+
+  bool ok = true;
+  ok &= bench::check("histogram model tracks the trace at the smallest buffer (within 3x)",
+                     hist_ratio.front() > 1.0 / 3.0 && hist_ratio.front() < 3.0);
+  ok &= bench::check(
+      "histogram model increasingly underestimates as the buffer grows (frame-scale "
+      "memory only)",
+      hist_ratio.back() < hist_ratio.front() && hist_ratio.back() < 0.5);
+  // The Pareto model is not a perfect trace match either (the trace's
+  // epoch-length law is not Pareto — the paper reports the same for
+  // Bellcore), but its error is conservative (overprediction) and stays
+  // within an order of magnitude over the small-to-moderate buffers; the
+  // histogram model's error is optimistic and unbounded.
+  ok &= bench::check("cutoff-correlated model within 10x at small-to-moderate buffers",
+                     [&] {
+                       for (std::size_t i = 0; i + 1 < pareto_ratio.size(); ++i)
+                         if (pareto_ratio[i] < 0.1 || pareto_ratio[i] > 10.0) return false;
+                       return true;
+                     }());
+  ok &= bench::check("cutoff-correlated model errs on the conservative side at large buffers",
+                     pareto_ratio.back() > 1.0);
+  ok &= bench::check("cutoff-correlated model beats the histogram model at the largest buffer",
+                     std::abs(std::log(pareto_ratio.back())) <
+                         std::abs(std::log(hist_ratio.back())));
+  return ok ? 0 : 1;
+}

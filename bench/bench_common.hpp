@@ -1,0 +1,50 @@
+// Shared scaffolding for the figure-reproduction binaries.
+//
+// Each fig*.cpp binary regenerates one figure of the paper: it prints the
+// experiment header, the sweep as an aligned table, a machine-readable CSV
+// block, and the qualitative checks the figure supports. Binaries exit
+// non-zero if a qualitative check fails, so the bench run doubles as an
+// acceptance test of the reproduction.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace lrd::bench {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_header(const std::string& figure, const std::string& description) {
+  std::printf("================================================================\n");
+  std::printf("%s: %s\n", figure.c_str(), description.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_table(const core::SweepTable& table) {
+  table.print(std::cout);
+  std::printf("\n--- CSV ---\n");
+  table.print_csv(std::cout);
+  std::printf("-----------\n");
+}
+
+/// Records a named qualitative check; returns its outcome so callers can
+/// accumulate an exit code.
+inline bool check(const std::string& name, bool ok) {
+  std::printf("[%s] %s\n", ok ? " OK " : "FAIL", name.c_str());
+  return ok;
+}
+
+}  // namespace lrd::bench

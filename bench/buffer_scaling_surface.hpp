@@ -1,0 +1,55 @@
+// Shared driver for Figs. 12 and 13: loss vs (normalized buffer size,
+// marginal scaling factor) at T_c = infinity.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "core/traces.hpp"
+
+namespace lrd::bench {
+
+inline int run_buffer_scaling_surface(const core::TraceModel& model, const char* figure) {
+  print_header(figure, std::string("loss vs (buffer size, marginal scaling), ") + model.name);
+
+  core::ModelSweepConfig cfg;
+  cfg.hurst = model.hurst;
+  cfg.mean_epoch = model.mean_epoch;
+  cfg.utilization = model.utilization;
+  cfg.solver.target_relative_gap = 0.2;
+  cfg.solver.max_bins = 1 << 12;
+
+  const std::vector<double> buffers{0.05, 0.2, 1.0, 2.0, 5.0};
+  const std::vector<double> scalings{0.5, 0.75, 1.0, 1.25, 1.5};
+
+  Stopwatch watch;
+  auto table = core::loss_vs_buffer_and_scaling(model.marginal, cfg, buffers, scalings);
+  table.title = std::string(figure) + ": loss rate, " + model.name +
+                ", rows = normalized buffer (s), cols = marginal scaling factor";
+  print_table(table);
+  std::printf("elapsed: %.2f s\n\n", watch.seconds());
+
+  bool ok = true;
+  {
+    bool mono = true;
+    for (std::size_t r = 0; r < buffers.size(); ++r)
+      for (std::size_t c = 1; c < scalings.size(); ++c)
+        mono &= table.at(r, c) >= table.at(r, c - 1) * 0.9 - 1e-15;
+    ok &= check("loss increases with the scaling factor at every buffer", mono);
+  }
+  {
+    // The paper's comparison: narrowing the marginal by 2x (a = 1 -> 0.5)
+    // beats even a buffer increase to 5 s.
+    const double loss_narrow_small_buffer = table.at(0, 0);   // a = 0.5, b = 0.05 s
+    const double loss_nominal_huge_buffer = table.at(4, 2);   // a = 1.0, b = 5 s
+    std::printf("       (a=0.5 with b=0.05s: %.3e vs a=1.0 with b=5s: %.3e)\n",
+                loss_narrow_small_buffer, loss_nominal_huge_buffer);
+    ok &= check("halving the marginal width beats a 100x larger buffer",
+                loss_narrow_small_buffer < loss_nominal_huge_buffer);
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace lrd::bench

@@ -1,0 +1,92 @@
+// Fig. 2: the discrete upper and lower occupancy bounds Q_{L,H}^M(n) after
+// n = 5, 10, 30 iterations with M = 100 bins.
+//
+// The paper plots the two occupancy distributions closing in on each other
+// as n grows; we print their CDFs on a common grid and check the
+// convergence structure of Proposition II.1.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/model.hpp"
+#include "core/traces.hpp"
+
+int main() {
+  using namespace lrd;
+  bench::print_header("Fig. 2", "convergence of the discrete occupancy bounds (M = 100)");
+
+  auto mtv = core::mtv_model();
+  core::ModelConfig mc;
+  mc.hurst = mtv.hurst;
+  mc.mean_epoch = mtv.mean_epoch;
+  mc.cutoff = 10.0;
+  mc.utilization = mtv.utilization;
+  // Small enough that ~30 epochs span several buffer-drain times, as in
+  // the paper's illustration where the n = 30 curves nearly coincide.
+  mc.normalized_buffer = 0.2;
+  core::FluidModel model(mtv.marginal, mc);
+  auto solver = model.solver();
+
+  const std::size_t kBins = 100;
+  const std::vector<std::size_t> iteration_counts{5, 10, 30};
+  std::vector<queueing::FluidQueueSolver::LevelSnapshot> snaps;
+  bench::Stopwatch watch;
+  for (std::size_t n : iteration_counts) snaps.push_back(solver.iterate_fixed(kBins, n));
+
+  // CDFs of the lower and upper occupancy processes, every 5th grid point.
+  std::printf("\noccupancy CDFs on [0, B], B = %.3f Mb (x = buffer fill fraction)\n",
+              model.buffer());
+  std::printf("%8s", "x");
+  for (std::size_t n : iteration_counts) std::printf("   L(n=%-3zu)   H(n=%-3zu)", n, n);
+  std::printf("\n");
+  std::vector<std::vector<double>> cdf_l(snaps.size(), std::vector<double>(kBins + 1));
+  std::vector<std::vector<double>> cdf_h(snaps.size(), std::vector<double>(kBins + 1));
+  for (std::size_t s = 0; s < snaps.size(); ++s) {
+    double cl = 0.0, ch = 0.0;
+    for (std::size_t j = 0; j <= kBins; ++j) {
+      cl += snaps[s].q_lower[j];
+      ch += snaps[s].q_upper[j];
+      cdf_l[s][j] = cl;
+      cdf_h[s][j] = ch;
+    }
+  }
+  for (std::size_t j = 0; j <= kBins; j += 5) {
+    std::printf("%8.2f", static_cast<double>(j) / static_cast<double>(kBins));
+    for (std::size_t s = 0; s < snaps.size(); ++s)
+      std::printf("   %8.5f   %8.5f", cdf_l[s][j], cdf_h[s][j]);
+    std::printf("\n");
+  }
+
+  std::printf("\nloss-rate bounds per iteration count:\n");
+  for (std::size_t s = 0; s < snaps.size(); ++s)
+    std::printf("  n = %2zu: l in [%.4e, %.4e]  (rel. gap %.3f)\n", iteration_counts[s],
+                snaps[s].loss.lower, snaps[s].loss.upper, snaps[s].loss.relative_gap());
+  std::printf("elapsed: %.2f s\n\n", watch.seconds());
+
+  bool ok = true;
+  // Proposition II.1 on this concrete instance: bounds tighten with n.
+  ok &= bench::check("lower bound increases with n",
+                     snaps[0].loss.lower <= snaps[1].loss.lower + 1e-15 &&
+                         snaps[1].loss.lower <= snaps[2].loss.lower + 1e-15);
+  ok &= bench::check("upper bound decreases with n",
+                     snaps[0].loss.upper >= snaps[1].loss.upper - 1e-15 &&
+                         snaps[1].loss.upper >= snaps[2].loss.upper - 1e-15);
+  ok &= bench::check("bracket valid at every n",
+                     snaps[0].loss.lower <= snaps[0].loss.upper &&
+                         snaps[2].loss.lower <= snaps[2].loss.upper);
+  // The paper's figure shows the two curves closing in on each other: the
+  // sup-CDF distance at n = 30 is a fraction of the n = 5 distance, and
+  // the loss bracket tightens accordingly.
+  auto sup_gap = [&](std::size_t s) {
+    double g = 0.0;
+    for (std::size_t j = 0; j <= kBins; ++j) g = std::max(g, cdf_l[s][j] - cdf_h[s][j]);
+    return g;
+  };
+  std::printf("sup CDF distance: n=5: %.3f, n=10: %.3f, n=30: %.3f\n", sup_gap(0), sup_gap(1),
+              sup_gap(2));
+  ok &= bench::check("distributions close in on each other (gap(30) < gap(5)/2)",
+                     sup_gap(2) < 0.5 * sup_gap(0));
+  ok &= bench::check("loss bracket tightens to < 0.2 relative by n = 30",
+                     snaps[2].loss.relative_gap() < 0.2);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Fig. 3: the 50-bin marginal rate distributions of the MTV and Bellcore
+// traces, exactly as the paper derives them for the model's Pi / Lambda.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/histogram.hpp"
+#include "bench_common.hpp"
+#include "core/traces.hpp"
+
+namespace {
+
+void print_marginal(const lrd::core::TraceModel& model) {
+  const auto h = lrd::analysis::make_histogram(model.trace.rates(), 50);
+  std::printf("\n%s trace: mean %.4f Mb/s, std %.4f Mb/s, %zu samples, Delta %.4f s\n",
+              model.name, model.trace.mean(), std::sqrt(model.trace.variance()),
+              model.trace.size(), model.trace.bin_seconds());
+  std::printf("%12s %12s\n", "rate (Mb/s)", "probability");
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    if (h.probs[b] <= 0.0) continue;
+    std::printf("%12.4f %12.6f\n", h.centers[b], h.probs[b]);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace lrd;
+  bench::print_header("Fig. 3", "marginal distributions of the MTV and Bellcore traces");
+
+  auto mtv = core::mtv_model();
+  auto bc = core::bellcore_model();
+  print_marginal(mtv);
+  print_marginal(bc);
+
+  const double mtv_cov = mtv.marginal.stddev() / mtv.marginal.mean();
+  const double bc_cov = bc.marginal.stddev() / bc.marginal.mean();
+  std::printf("\nCoV(MTV) = %.3f, CoV(Bellcore) = %.3f\n\n", mtv_cov, bc_cov);
+
+  bool ok = true;
+  ok &= bench::check("histogram probabilities are proper", mtv.marginal.size() >= 10 &&
+                                                              bc.marginal.size() >= 10);
+  ok &= bench::check("MTV marginal concentrated around its mean (video-like, CoV < 0.5)",
+                     mtv_cov < 0.5);
+  ok &= bench::check("Bellcore marginal much wider (bursty LAN, CoV > 2x MTV)",
+                     bc_cov > 2.0 * mtv_cov);
+  ok &= bench::check("MTV mean rate ~ 9.52 Mb/s as reported",
+                     std::abs(mtv.trace.mean() - 9.5222) < 0.8);
+  return ok ? 0 : 1;
+}

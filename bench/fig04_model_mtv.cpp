@@ -1,0 +1,6 @@
+// Fig. 4: model-predicted loss rate for the MTV trace as a function of
+// normalized buffer size and cutoff lag, at utilization 0.8.
+#include "core/traces.hpp"
+#include "model_surface.hpp"
+
+int main() { return lrd::bench::run_model_surface(lrd::core::mtv_model(), "Fig. 4"); }

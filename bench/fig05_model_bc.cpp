@@ -1,0 +1,6 @@
+// Fig. 5: model-predicted loss rate for the Bellcore trace as a function
+// of normalized buffer size and cutoff lag, at utilization 0.4.
+#include "core/traces.hpp"
+#include "model_surface.hpp"
+
+int main() { return lrd::bench::run_model_surface(lrd::core::bellcore_model(), "Fig. 5"); }

@@ -1,0 +1,6 @@
+// Fig. 7: loss rate obtained by external shuffling of the MTV trace as a
+// function of normalized buffer size and cutoff lag, at utilization 0.8.
+#include "core/traces.hpp"
+#include "shuffle_surface.hpp"
+
+int main() { return lrd::bench::run_shuffle_surface(lrd::core::mtv_model(), "Fig. 7"); }

@@ -1,0 +1,6 @@
+// Fig. 8: loss rate obtained by external shuffling of the Bellcore trace
+// as a function of normalized buffer size and cutoff lag, at utilization 0.4.
+#include "core/traces.hpp"
+#include "shuffle_surface.hpp"
+
+int main() { return lrd::bench::run_shuffle_surface(lrd::core::bellcore_model(), "Fig. 8"); }

@@ -1,0 +1,65 @@
+// Fig. 9: loss rate for the MTV and Bellcore marginal distributions as a
+// function of the cutoff lag, all other parameters equal
+// (normalized buffer = 1 s, utilization = 2/3, theta = 20 ms, H = 0.9).
+//
+// The figure motivates the paper's second headline result: the marginal
+// distribution alone moves the loss by orders of magnitude.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "core/traces.hpp"
+#include "dist/truncated_pareto.hpp"
+
+int main() {
+  using namespace lrd;
+  bench::print_header(
+      "Fig. 9", "loss vs cutoff for the MTV and Bellcore marginals, all else equal");
+
+  auto mtv = core::mtv_model();
+  auto bc = core::bellcore_model();
+
+  core::ModelSweepConfig cfg;
+  cfg.hurst = 0.9;
+  // The paper fixes theta = 20 ms; mean epoch = theta / (alpha - 1).
+  const double alpha = dist::TruncatedPareto::alpha_from_hurst(0.9);
+  cfg.mean_epoch = 0.020 / (alpha - 1.0);
+  cfg.utilization = 2.0 / 3.0;
+  cfg.solver.target_relative_gap = 0.2;
+  cfg.solver.max_bins = 1 << 12;
+  const double buffer_s = 1.0;
+
+  const std::vector<double> cutoffs{0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0};
+  bench::Stopwatch watch;
+  auto mtv_loss = core::loss_vs_cutoff(mtv.marginal, cfg, buffer_s, cutoffs);
+  auto bc_loss = core::loss_vs_cutoff(bc.marginal, cfg, buffer_s, cutoffs);
+
+  std::printf("\n%12s %14s %14s %12s\n", "cutoff (s)", "MTV marginal", "BC marginal", "BC/MTV");
+  double worst_ratio = 1e300;
+  double best_ratio = 0.0;
+  for (std::size_t i = 0; i < cutoffs.size(); ++i) {
+    const double ratio = bc_loss[i] / std::max(mtv_loss[i], 1e-300);
+    std::printf("%12g %14.4e %14.4e %12.3g\n", cutoffs[i], mtv_loss[i], bc_loss[i],
+                mtv_loss[i] > 0.0 ? ratio : 0.0);
+    if (mtv_loss[i] > 0.0 && bc_loss[i] > 0.0) {
+      worst_ratio = std::min(worst_ratio, ratio);
+      best_ratio = std::max(best_ratio, ratio);
+    }
+  }
+  std::printf("elapsed: %.2f s\n\n", watch.seconds());
+
+  bool ok = true;
+  ok &= bench::check("both curves are non-decreasing in the cutoff", [&] {
+    for (std::size_t i = 1; i < cutoffs.size(); ++i) {
+      if (mtv_loss[i] < mtv_loss[i - 1] * 0.9 - 1e-15) return false;
+      if (bc_loss[i] < bc_loss[i - 1] * 0.9 - 1e-15) return false;
+    }
+    return true;
+  }());
+  ok &= bench::check(
+      "the Bellcore marginal loses orders of magnitude more at every cutoff (>= 10x)",
+      worst_ratio >= 10.0);
+  std::printf("       (loss ratio BC/MTV ranges %.3g .. %.3g)\n", worst_ratio, best_ratio);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Fig. 10: loss rate for the MTV trace as a function of the Hurst
+// parameter and the marginal scaling factor, at utilization 0.8
+// (normalized buffer 1 s, T_c = infinity, theta matched at the nominal H).
+//
+// Headline result: the marginal scaling factor dominates the Hurst
+// parameter over the practically relevant ranges.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "core/traces.hpp"
+
+int main() {
+  using namespace lrd;
+  bench::print_header("Fig. 10", "loss vs (Hurst parameter, marginal scaling factor), MTV");
+
+  auto mtv = core::mtv_model();
+  core::ModelSweepConfig cfg;
+  cfg.hurst = mtv.hurst;  // nominal H used for the theta match
+  cfg.mean_epoch = mtv.mean_epoch;
+  cfg.utilization = mtv.utilization;
+  cfg.solver.target_relative_gap = 0.2;
+  cfg.solver.max_bins = 1 << 12;
+
+  const std::vector<double> hursts{0.55, 0.65, 0.75, 0.85, 0.95};
+  const std::vector<double> scalings{0.5, 0.75, 1.0, 1.25, 1.5};
+
+  bench::Stopwatch watch;
+  auto table = core::loss_vs_hurst_and_scaling(mtv.marginal, cfg, /*normalized_buffer=*/1.0,
+                                               hursts, scalings);
+  table.title = "Fig. 10: loss rate, rows = Hurst parameter, cols = marginal scaling factor";
+  bench::print_table(table);
+  std::printf("elapsed: %.2f s\n\n", watch.seconds());
+
+  bool ok = true;
+  {
+    bool mono = true;
+    for (std::size_t r = 0; r < hursts.size(); ++r)
+      for (std::size_t c = 1; c < scalings.size(); ++c)
+        mono &= table.at(r, c) >= table.at(r, c - 1) * 0.9 - 1e-15;
+    ok &= bench::check("loss increases with the scaling factor at every H", mono);
+  }
+  {
+    // The paper's observation: scaling from 1.0 to 0.5 moves the loss by
+    // more than an order of magnitude ...
+    const std::size_t mid_h = 2;
+    const double scale_span = table.at(mid_h, 2) / std::max(table.at(mid_h, 0), 1e-300);
+    ok &= bench::check("halving the marginal width reduces loss by > 10x", scale_span > 10.0);
+    // ... while a comparable modeling adjustment on the H axis — a 0.1
+    // mis-estimate of the Hurst parameter — moves it far less. (Across
+    // the ENTIRE H range the loss does move substantially, in large part
+    // because the paper's fixed-theta convention stretches the mean epoch
+    // as H grows; see EXPERIMENTS.md. The operational claim is about
+    // practically comparable knobs, which is what we check.)
+    double hurst_step = 0.0;
+    for (std::size_t r = 1; r < hursts.size(); ++r) {
+      const double lo = table.at(r - 1, 2);
+      const double hi = table.at(r, 2);
+      if (lo > 0.0) hurst_step = std::max(hurst_step, hi / lo);
+    }
+    std::printf("       (scaling 1.0 -> 0.5 ratio: %.3g; worst 0.1-step-in-H ratio: %.3g)\n",
+                scale_span, hurst_step);
+    ok &= bench::check("halving the marginal width outweighs a 0.1 shift in H",
+                       scale_span > hurst_step);
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,8 @@
+// Fig. 12: loss rate for the MTV trace as a function of normalized buffer
+// size and marginal scaling factor, at utilization 0.8.
+#include "buffer_scaling_surface.hpp"
+#include "core/traces.hpp"
+
+int main() {
+  return lrd::bench::run_buffer_scaling_surface(lrd::core::mtv_model(), "Fig. 12");
+}

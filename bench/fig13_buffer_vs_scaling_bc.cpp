@@ -1,0 +1,8 @@
+// Fig. 13: loss rate for the Bellcore trace as a function of normalized
+// buffer size and marginal scaling factor, at utilization 0.4.
+#include "buffer_scaling_surface.hpp"
+#include "core/traces.hpp"
+
+int main() {
+  return lrd::bench::run_buffer_scaling_surface(lrd::core::bellcore_model(), "Fig. 13");
+}

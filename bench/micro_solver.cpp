@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark) for the performance claims in the
+// paper's Section II:
+//   * the FFT-based discrete convolution reduces the per-iteration cost
+//     from O(M^2) to O(M log M) — we time both paths across M;
+//   * "the typical runtime was less than a second on a workstation" — we
+//     time full solves at figure-grade accuracy;
+//   * supporting paths: increment-pmf construction, trace-driven queue
+//     simulation throughput, fGn generation.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/traces.hpp"
+#include "dist/truncated_pareto.hpp"
+#include "numerics/convolution.hpp"
+#include "numerics/random.hpp"
+#include "queueing/solver.hpp"
+#include "queueing/trace_queue_sim.hpp"
+#include "traffic/fgn.hpp"
+
+namespace {
+
+using namespace lrd;
+
+std::vector<double> random_pmf(std::size_t n, std::uint64_t seed) {
+  numerics::Rng rng(seed);
+  std::vector<double> v(n);
+  double total = 0.0;
+  for (auto& x : v) {
+    x = rng.uniform();
+    total += x;
+  }
+  for (auto& x : v) x /= total;
+  return v;
+}
+
+void BM_ConvolveDirect(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  auto q = random_pmf(m + 1, 1);
+  auto w = random_pmf(2 * m + 1, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(numerics::convolve_direct(q, w));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConvolveDirect)->RangeMultiplier(4)->Range(64, 4096)->Complexity(benchmark::oNSquared);
+
+void BM_ConvolveFft(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  auto q = random_pmf(m + 1, 1);
+  auto w = random_pmf(2 * m + 1, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(numerics::convolve_fft(q, w));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConvolveFft)->RangeMultiplier(4)->Range(64, 16384)->Complexity(benchmark::oNLogN);
+
+void BM_ConvolveCachedKernel(benchmark::State& state) {
+  // The solver's actual inner loop: kernel spectrum cached across calls.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  auto q = random_pmf(m + 1, 1);
+  numerics::CachedKernelConvolver conv(random_pmf(2 * m + 1, 2), m + 1);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.convolve(q));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConvolveCachedKernel)
+    ->RangeMultiplier(4)
+    ->Range(64, 16384)
+    ->Complexity(benchmark::oNLogN);
+
+queueing::FluidQueueSolver figure_solver() {
+  auto mtv = core::mtv_model();
+  const double c = mtv.marginal.service_rate_for_utilization(mtv.utilization);
+  const double alpha = dist::TruncatedPareto::alpha_from_hurst(mtv.hurst);
+  auto epochs = std::make_shared<const dist::TruncatedPareto>(
+      dist::TruncatedPareto::theta_from_mean_epoch(mtv.mean_epoch, alpha), alpha, 10.0);
+  return queueing::FluidQueueSolver(mtv.marginal, epochs, c, 0.5 * c);
+}
+
+void BM_SolverFigurePoint(benchmark::State& state) {
+  // One figure-grade surface point (20% bracket) — the paper's
+  // "less than a second on a workstation" claim.
+  auto solver = figure_solver();
+  queueing::SolverConfig cfg;
+  cfg.target_relative_gap = 0.2;
+  cfg.max_bins = 1 << 12;
+  for (auto _ : state) benchmark::DoNotOptimize(solver.solve(cfg));
+}
+BENCHMARK(BM_SolverFigurePoint)->Unit(benchmark::kMillisecond);
+
+void BM_SolverTightPoint(benchmark::State& state) {
+  auto solver = figure_solver();
+  queueing::SolverConfig cfg;
+  cfg.target_relative_gap = 0.02;
+  cfg.max_bins = 1 << 14;
+  for (auto _ : state) benchmark::DoNotOptimize(solver.solve(cfg));
+}
+BENCHMARK(BM_SolverTightPoint)->Unit(benchmark::kMillisecond);
+
+void BM_SolverIterationAtM(benchmark::State& state) {
+  // Cost of a fixed number of bound iterations as a function of M.
+  auto solver = figure_solver();
+  const auto m = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(solver.iterate_fixed(m, 32));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SolverIterationAtM)
+    ->RangeMultiplier(4)
+    ->Range(128, 8192)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_TraceQueueSim(benchmark::State& state) {
+  auto mtv = core::mtv_model();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(queueing::simulate_trace_queue_normalized(mtv.trace, 0.8, 0.5));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(mtv.trace.size()));
+}
+BENCHMARK(BM_TraceQueueSim)->Unit(benchmark::kMillisecond);
+
+void BM_FgnGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  numerics::Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(traffic::generate_fgn(n, 0.85, rng));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FgnGeneration)->RangeMultiplier(8)->Range(1 << 12, 1 << 18)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

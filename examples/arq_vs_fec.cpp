@@ -1,0 +1,77 @@
+// ARQ vs FEC under correlated losses — the conclusion's thought experiment.
+//
+//   $ ./arq_vs_fec
+//
+// The paper closes by arguing that the relevant correlation time scale
+// depends on the metric: open-loop FEC suffers when losses cluster
+// (a block code corrects at most k_max losses per n-packet block), while
+// closed-loop ARQ benefits (one feedback message repairs a whole burst).
+// We generate a long LRD rate trace, run the finite-buffer queue to get
+// the loss process, then compare FEC residual loss and ARQ feedback cost
+// on the original loss process and on progressively shuffled versions.
+// Shuffling also lowers the loss *rate* (that is the paper's main story),
+// so the error-control comparison uses rate-normalized metrics: the
+// fraction of losses FEC fails to recover, and NACK rounds per loss.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/loss_process.hpp"
+#include "numerics/random.hpp"
+#include "traffic/fgn.hpp"
+#include "traffic/shuffle.hpp"
+#include "traffic/trace.hpp"
+
+int main() {
+  using namespace lrd;
+
+  // A strongly LRD rate trace (H = 0.9), 10 ms bins, ~87 minutes.
+  numerics::Rng rng(42);
+  auto z = traffic::generate_fgn(1 << 19, 0.9, rng);
+  for (double& v : z) v = std::exp(0.35 * v) * 5.0;  // lognormal marginal, mean ~5.3
+  const traffic::RateTrace trace(z, 0.01);
+
+  const double utilization = 0.92;
+  const double buffer_s = 0.02;
+  const std::size_t fec_block = 20;   // n = 20 slots per FEC block
+  const std::size_t fec_kmax = 2;     // corrects up to 2 losses per block
+
+  std::printf("LRD trace: %zu slots, H ~ 0.9; queue at utilization %.2f, buffer %.0f ms\n",
+              trace.size(), utilization, buffer_s * 1000.0);
+  std::printf("FEC: (n = %zu, k_max = %zu) block code; ARQ: one NACK per loss burst\n\n",
+              fec_block, fec_kmax);
+
+  std::printf("%18s %10s %12s %12s %16s %14s\n", "loss process", "loss", "mean burst",
+              "max burst", "FEC unrecovered", "NACKs/loss");
+
+  // Returns (fraction of losses FEC fails to recover, NACKs per loss).
+  auto report = [&](const char* name, const traffic::RateTrace& t) {
+    const auto lost = analysis::loss_indicators(t, utilization, buffer_s);
+    const auto runs = analysis::loss_run_stats(lost);
+    const double fec = analysis::fec_residual_loss(lost, fec_block, fec_kmax);
+    const double fec_frac = runs.loss_fraction > 0.0 ? fec / runs.loss_fraction : 0.0;
+    const double arq = analysis::arq_feedback_per_loss(lost);
+    std::printf("%18s %10.5f %12.2f %12zu %16.3f %14.3f\n", name, runs.loss_fraction,
+                runs.mean_burst, runs.max_burst, fec_frac, arq);
+    return std::pair<double, double>{fec_frac, arq};
+  };
+
+  const auto [fec_lrd, arq_lrd] = report("original (LRD)", trace);
+
+  numerics::Rng srng(43);
+  auto block_shuffled = traffic::external_shuffle(trace, 50, srng);  // kill beyond 0.5 s
+  report("shuffled @ 0.5 s", block_shuffled);
+
+  numerics::Rng frng(44);
+  auto iid = traffic::full_shuffle(trace, frng);
+  const auto [fec_iid, arq_iid] = report("fully shuffled", iid);
+
+  std::printf("\nReading: with LRD losses, FEC fails to recover %.0f%% of losses (vs %.0f%%\n"
+              "for i.i.d. losses at the same utilization), while ARQ needs %.1fx fewer NACK\n"
+              "rounds per loss — correlation over many time scales helps closed-loop and\n"
+              "hurts open-loop error control. Unlike finite-buffer loss prediction, this\n"
+              "problem has no correlation horizon to hide behind: it needs a model faithful\n"
+              "across ALL time scales, i.e. a genuinely self-similar one.\n",
+              100.0 * fec_lrd, 100.0 * fec_iid, arq_iid / std::max(arq_lrd, 1e-12));
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Correlation-horizon study: how much correlation matters for a given
+// buffer?
+//
+//   $ ./correlation_horizon_study [utilization] [hurst]
+//
+// For a video-like marginal, sweeps the cutoff lag at several buffer
+// sizes, extracts the empirical correlation horizon from each loss curve,
+// and compares it with the Eq. 26 closed form. Demonstrates the paper's
+// central modeling message: beyond the horizon, extra correlation is
+// irrelevant — pick whatever traffic model is convenient, as long as it
+// is faithful up to the horizon.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/correlation_horizon.hpp"
+#include "core/experiment.hpp"
+#include "core/model.hpp"
+#include "dist/truncated_pareto.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lrd;
+
+  const double utilization = argc > 1 ? std::atof(argv[1]) : 0.8;
+  const double hurst = argc > 2 ? std::atof(argv[2]) : 0.85;
+  if (!(utilization > 0.0 && utilization < 1.0) || !(hurst > 0.5 && hurst < 1.0)) {
+    std::fprintf(stderr, "usage: %s [utilization in (0,1)] [hurst in (0.5,1)]\n", argv[0]);
+    return 2;
+  }
+
+  // A moderately bursty 10-state marginal (Mb/s).
+  std::vector<double> rates, probs;
+  for (int i = 0; i < 10; ++i) {
+    rates.push_back(2.0 + 2.0 * i);
+    probs.push_back(i < 5 ? 0.14 : 0.06);
+  }
+  const dist::Marginal marginal(rates, probs);
+
+  core::ModelSweepConfig cfg;
+  cfg.hurst = hurst;
+  cfg.mean_epoch = 0.05;
+  cfg.utilization = utilization;
+  cfg.solver.target_relative_gap = 0.1;
+  cfg.solver.max_bins = 1 << 12;
+
+  const std::vector<double> cutoffs{0.05, 0.15, 0.5, 1.5, 5.0, 15.0, 50.0, 150.0};
+  const std::vector<double> buffers{0.05, 0.2, 0.8};
+
+  std::printf("marginal: mean %.2f Mb/s, std %.2f Mb/s; H = %.2f; utilization %.2f\n\n",
+              marginal.mean(), marginal.stddev(), hurst, utilization);
+  std::printf("%12s", "cutoff (s)");
+  for (double b : buffers) std::printf("   b=%-6.2fs", b);
+  std::printf("\n");
+
+  std::vector<std::vector<double>> losses;
+  for (double b : buffers) losses.push_back(core::loss_vs_cutoff(marginal, cfg, b, cutoffs));
+  for (std::size_t i = 0; i < cutoffs.size(); ++i) {
+    std::printf("%12g", cutoffs[i]);
+    for (std::size_t r = 0; r < buffers.size(); ++r) std::printf("  %10.3e", losses[r][i]);
+    std::printf("\n");
+  }
+
+  // Empirical horizon vs the Eq. 26 estimate.
+  const double alpha = dist::TruncatedPareto::alpha_from_hurst(hurst);
+  const dist::TruncatedPareto epochs(
+      dist::TruncatedPareto::theta_from_mean_epoch(cfg.mean_epoch, alpha), alpha,
+      cutoffs.back());
+  const double c = marginal.service_rate_for_utilization(utilization);
+
+  std::printf("\n%12s %16s %16s\n", "buffer (s)", "CH empirical (s)", "CH Eq. 26 (s)");
+  for (std::size_t r = 0; r < buffers.size(); ++r) {
+    const double emp = core::empirical_correlation_horizon(cutoffs, losses[r], 0.15);
+    const double eq26 = core::correlation_horizon(marginal, epochs, buffers[r] * c, 0.05);
+    std::printf("%12g %16g %16.3f\n", buffers[r], emp, eq26);
+  }
+  std::printf("\nReading: each loss curve plateaus at its horizon; larger buffers push the\n"
+              "horizon out (linearly, per Eq. 26). A model only needs to capture source\n"
+              "correlation up to that horizon to predict the loss rate accurately.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Multiplexing vs buffering: which is the better way to reduce loss?
+//
+//   $ ./multiplexing_gain
+//
+// The paper's third headline result: for traffic with correlation over
+// many time scales, adding buffer barely helps, while narrowing the
+// marginal — by statistically multiplexing streams or by source rate
+// control — cuts loss by orders of magnitude at the same utilization.
+// This example quantifies both options side by side for a video-like
+// source with T_c = infinity (fully self-similar input).
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "core/model.hpp"
+#include "dist/marginal.hpp"
+
+int main() {
+  using namespace lrd;
+
+  const dist::Marginal marginal({2.0, 5.0, 8.0, 11.0, 14.0, 17.0, 20.0},
+                                {0.08, 0.17, 0.25, 0.2, 0.15, 0.1, 0.05});
+  const double utilization = 0.8;
+  const double hurst = 0.85;
+
+  auto solve = [&](const dist::Marginal& m, double buffer_s) {
+    core::ModelConfig cfg;
+    cfg.hurst = hurst;
+    cfg.mean_epoch = 0.05;
+    cfg.cutoff = std::numeric_limits<double>::infinity();
+    cfg.utilization = utilization;
+    cfg.normalized_buffer = buffer_s;
+    queueing::SolverConfig scfg;
+    scfg.target_relative_gap = 0.1;
+    scfg.max_bins = 1 << 12;
+    return core::FluidModel(m, cfg).solve(scfg).loss_estimate();
+  };
+
+  std::printf("self-similar source (H = %.2f, T_c = inf), utilization %.2f\n", hurst,
+              utilization);
+  std::printf("mean rate %.2f Mb/s, marginal std %.2f Mb/s\n\n", marginal.mean(),
+              marginal.stddev());
+
+  // Option A: keep one stream, grow the buffer.
+  std::printf("option A - buy buffer (single stream):\n");
+  std::printf("%16s %14s\n", "buffer (s)", "loss rate");
+  const double base_loss = solve(marginal, 0.1);
+  double best_buffer_loss = base_loss;
+  for (double b : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    const double l = solve(marginal, b);
+    best_buffer_loss = std::min(best_buffer_loss, l);
+    std::printf("%16g %14.4e\n", b, l);
+  }
+
+  // Option B: keep the 0.1 s buffer, multiplex streams (per-stream buffer
+  // and service rate held constant, so utilization is unchanged).
+  std::printf("\noption B - multiplex streams (0.1 s buffer per stream):\n");
+  std::printf("%16s %14s %14s\n", "streams", "loss rate", "gain vs 1");
+  double best_mux_loss = base_loss;
+  for (std::size_t n : {1u, 2u, 4u, 8u, 16u}) {
+    const double l = solve(marginal.superposed(n), 0.1);
+    best_mux_loss = std::min(best_mux_loss, l);
+    std::printf("%16zu %14.4e %14.3g\n", n, l, base_loss / std::max(l, 1e-300));
+  }
+
+  // Option C: source traffic control — narrow the marginal directly.
+  std::printf("\noption C - source rate control (scale the marginal, 0.1 s buffer):\n");
+  std::printf("%16s %14s\n", "scaling", "loss rate");
+  for (double a : {1.0, 0.8, 0.6, 0.4}) {
+    std::printf("%16g %14.4e\n", a, solve(marginal.scaled(a), 0.1));
+  }
+
+  std::printf("\nReading: with LRD input, a 50x buffer increase buys a factor of %.1f,\n"
+              "while multiplexing 16 streams buys a factor of %.0f at the same utilization.\n",
+              base_loss / std::max(best_buffer_loss, 1e-300),
+              base_loss / std::max(best_mux_loss, 1e-300));
+  return 0;
+}

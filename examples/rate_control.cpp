@@ -1,0 +1,81 @@
+// Source rate control vs network buffering — the paper's advocated
+// traffic-control mechanism in action.
+//
+//   $ ./rate_control
+//
+// Section IV: adjusting the marginal (by multiplexing or "source traffic
+// control mechanisms") reduces loss far more effectively than buffering.
+// Here a work-conserving shaper at the source caps the emitted rate,
+// narrowing the marginal the network sees, at the cost of a bounded
+// source-side delay. We sweep the cap and report the full tradeoff:
+// network loss (trace-driven) vs shaper delay — against the alternative
+// of growing the network buffer.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/histogram.hpp"
+#include "numerics/random.hpp"
+#include "queueing/trace_queue_sim.hpp"
+#include "traffic/fgn.hpp"
+#include "traffic/smoother.hpp"
+#include "traffic/trace.hpp"
+
+int main() {
+  using namespace lrd;
+
+  // A strongly LRD source trace (H ~ 0.88), mean ~8 Mb/s.
+  numerics::Rng rng(77);
+  auto z = traffic::generate_fgn(1 << 18, 0.88, rng);
+  for (double& v : z) v = std::exp(0.35 * v) * 8.0;
+  const traffic::RateTrace trace(z, 0.01);
+
+  const double utilization = 0.85;
+  const double c = trace.mean() / utilization;
+  const double network_buffer = 0.05 * c;  // 50 ms of network buffer
+
+  std::printf("LRD trace: mean %.2f Mb/s, peak %.2f Mb/s, H ~ 0.88\n", trace.mean(),
+              trace.max());
+  std::printf("network: c = %.2f Mb/s (utilization %.2f), buffer %.0f ms\n\n", c, utilization,
+              1000.0 * network_buffer / c);
+
+  const double base_loss = queueing::simulate_trace_queue(trace, c, network_buffer).loss_rate;
+  std::printf("no control: network loss %.4e\n\n", base_loss);
+
+  std::printf("option A - source shaping (cap the emitted rate):\n");
+  std::printf("%12s %12s %14s %14s %12s\n", "cap/mean", "cap (Mb/s)", "network loss",
+              "shaper delay", "marg. std");
+  for (double factor : {2.0, 1.6, 1.3, 1.15, 1.05}) {
+    const double cap = factor * trace.mean();
+    const auto shaped = traffic::shape_trace(trace, cap);
+    const double loss = queueing::simulate_trace_queue(shaped.output, c, network_buffer).loss_rate;
+    std::printf("%12.2f %12.2f %14.4e %12.0f ms %12.3f\n", factor, cap, loss,
+                1000.0 * shaped.max_delay, std::sqrt(shaped.output.variance()));
+  }
+
+  std::printf("\noption B - grow the network buffer instead (no shaping):\n");
+  std::printf("%12s %14s\n", "buffer (ms)", "network loss");
+  for (double b : {0.05, 0.2, 0.5, 1.0, 2.0}) {
+    const double loss = queueing::simulate_trace_queue(trace, c, b * c).loss_rate;
+    std::printf("%12.0f %14.4e\n", 1000.0 * b, loss);
+  }
+
+  std::printf("\noption C - pick the cap for a delay budget:\n");
+  for (double budget : {0.1, 0.5}) {
+    const double cap = traffic::cap_for_max_delay(trace, budget);
+    const auto shaped = traffic::shape_trace(trace, cap);
+    const double loss = queueing::simulate_trace_queue(shaped.output, c, network_buffer).loss_rate;
+    std::printf("  delay budget %4.0f ms -> cap %.2f Mb/s, network loss %.4e\n",
+                1000.0 * budget, cap, loss);
+  }
+
+  std::printf("\nReading: for a single LRD source, mild caps barely move the loss (the\n"
+              "damage comes from long excursions, not short peaks), and the loss only\n"
+              "collapses once the cap approaches the service rate — i.e. the source\n"
+              "must absorb the burst on its own correlation time scale, converting\n"
+              "network LOSS into source DELAY (seconds here, but no data dies).\n"
+              "Network buffering at the same memory scale still loses work. This is\n"
+              "why the paper pairs source control with statistical multiplexing: many\n"
+              "sources narrow the aggregate marginal for free (see multiplexing_gain),\n"
+              "while a lone source pays for it in delay.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Trace analysis pipeline: from a raw rate trace to a calibrated model
+// and a validated loss prediction.
+//
+//   $ ./trace_analysis [trace-file]
+//
+// Without arguments the built-in synthetic MTV trace is analyzed; with an
+// argument, a plain-text trace saved by RateTrace::save is loaded. The
+// pipeline mirrors Section III of the paper:
+//   1. estimate the Hurst parameter (four estimators),
+//   2. build the 50-bin marginal and the mean epoch duration,
+//   3. calibrate the cutoff-correlated fluid model,
+//   4. predict the loss rate and cross-check against the trace-driven
+//      queue simulation.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/acf.hpp"
+#include "analysis/fitting.hpp"
+#include "analysis/histogram.hpp"
+#include "analysis/hurst.hpp"
+#include "core/model.hpp"
+#include "queueing/trace_queue_sim.hpp"
+#include "traffic/synthetic_traces.hpp"
+#include "traffic/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lrd;
+
+  traffic::RateTrace trace =
+      argc > 1 ? traffic::RateTrace::load_file(argv[1]) : traffic::mtv_trace();
+  std::printf("trace: %zu samples, Delta = %.4f s, duration %.1f s\n", trace.size(),
+              trace.bin_seconds(), trace.duration());
+  std::printf("rates: mean %.4f Mb/s, std %.4f, min %.4f, max %.4f\n\n", trace.mean(),
+              std::sqrt(trace.variance()), trace.min(), trace.max());
+
+  // 1. Hurst estimation.
+  const auto vt = analysis::hurst_variance_time(trace);
+  const auto rs = analysis::hurst_rs(trace);
+  const auto wav = analysis::hurst_wavelet(trace);
+  const auto per = analysis::hurst_periodogram(trace);
+  std::printf("Hurst estimates:\n");
+  std::printf("  variance-time : %.3f (R^2 %.3f)\n", vt.hurst, vt.fit.r_squared);
+  std::printf("  R/S           : %.3f (R^2 %.3f)\n", rs.hurst, rs.fit.r_squared);
+  std::printf("  wavelet (AV)  : %.3f (R^2 %.3f)\n", wav.hurst, wav.fit.r_squared);
+  std::printf("  periodogram   : %.3f (R^2 %.3f)\n", per.hurst, per.fit.r_squared);
+  const double hurst = std::min(0.95, std::max(0.55, wav.hurst));
+
+  // 2. Marginal and epoch calibration (50-bin histogram, as in the paper).
+  const auto marginal = analysis::marginal_from_trace(trace, 50);
+  const double mean_epoch = analysis::mean_epoch_seconds(trace, 50);
+  std::printf("\ncalibration: %zu-state marginal, mean epoch %.4f s\n", marginal.size(),
+              mean_epoch);
+  const auto shape = analysis::characterize_marginal(trace);
+  std::printf("marginal shape: %s fits better (KS %.4f vs %.4f); lognormal CoV %.3f\n",
+              shape.better, shape.lognormal.ks_statistic, shape.exponential.ks_statistic,
+              shape.lognormal.cov());
+
+  // 3 + 4. Model prediction vs trace-driven simulation.
+  const double utilization = 0.8;
+  std::printf("\nloss prediction at utilization %.2f:\n", utilization);
+  std::printf("%12s %16s %16s\n", "buffer (s)", "model", "trace sim");
+  for (double b : {0.02, 0.05, 0.1, 0.2}) {
+    core::ModelConfig cfg;
+    cfg.hurst = hurst;
+    cfg.mean_epoch = mean_epoch;
+    cfg.cutoff = trace.duration();  // a finite trace carries no longer correlation
+    cfg.utilization = utilization;
+    cfg.normalized_buffer = b;
+    queueing::SolverConfig scfg;
+    scfg.target_relative_gap = 0.1;
+    scfg.max_bins = 1 << 12;
+    const double model_loss = core::FluidModel(marginal, cfg).solve(scfg).loss_estimate();
+    const double sim_loss =
+        queueing::simulate_trace_queue_normalized(trace, utilization, b).loss_rate;
+    std::printf("%12g %16.4e %16.4e\n", b, model_loss, sim_loss);
+  }
+  std::printf("\nReading: the calibrated model tracks the trace-driven loss to within the\n"
+              "model-vs-trace fidelity the paper reports (close for video-like traces,\n"
+              "order-of-magnitude for burstier LAN traces).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "analysis/acf.hpp"
+
+#include <complex>
+#include <stdexcept>
+
+#include "numerics/fft.hpp"
+#include "numerics/special_functions.hpp"
+
+namespace lrd::analysis {
+
+std::vector<double> autocovariance(const std::vector<double>& x, std::size_t max_lag) {
+  const std::size_t n = x.size();
+  if (n == 0) throw std::invalid_argument("autocovariance: empty series");
+  if (max_lag >= n) throw std::invalid_argument("autocovariance: max_lag must be < series length");
+
+  const double mean = numerics::neumaier_sum(x) / static_cast<double>(n);
+  std::vector<double> centered(n);
+  for (std::size_t i = 0; i < n; ++i) centered[i] = x[i] - mean;
+
+  // Wiener-Khinchin: ACF = IFFT(|FFT(x_padded)|^2); pad to avoid circular wrap.
+  const std::size_t m = numerics::next_pow2(2 * n);
+  auto spec = numerics::fft_real(centered, m);
+  for (auto& z : spec) z = std::complex<double>{std::norm(z), 0.0};
+  auto corr = numerics::ifft(std::move(spec));
+
+  std::vector<double> out(max_lag + 1);
+  for (std::size_t k = 0; k <= max_lag; ++k)
+    out[k] = corr[k].real() / static_cast<double>(n);
+  return out;
+}
+
+std::vector<double> autocorrelation(const std::vector<double>& x, std::size_t max_lag) {
+  auto gamma = autocovariance(x, max_lag);
+  const double g0 = gamma[0];
+  if (g0 <= 0.0) throw std::domain_error("autocorrelation: zero-variance series");
+  for (double& g : gamma) g /= g0;
+  return gamma;
+}
+
+std::vector<double> autocovariance(const traffic::RateTrace& trace, std::size_t max_lag) {
+  return autocovariance(trace.rates(), max_lag);
+}
+
+std::vector<double> autocorrelation(const traffic::RateTrace& trace, std::size_t max_lag) {
+  return autocorrelation(trace.rates(), max_lag);
+}
+
+}  // namespace lrd::analysis

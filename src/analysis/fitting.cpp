@@ -1,0 +1,81 @@
+#include "analysis/fitting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "numerics/special_functions.hpp"
+
+namespace lrd::analysis {
+
+double LognormalFit::mean() const { return std::exp(mu_log + sigma_log * sigma_log / 2.0); }
+
+double LognormalFit::cov() const { return std::sqrt(std::expm1(sigma_log * sigma_log)); }
+
+double ks_statistic(const std::vector<double>& samples,
+                    const std::function<double(double)>& cdf) {
+  if (samples.empty()) throw std::invalid_argument("ks_statistic: no samples");
+  std::vector<double> sorted(samples);
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    worst = std::max({worst, std::abs(f - lo), std::abs(f - hi)});
+  }
+  return worst;
+}
+
+LognormalFit fit_lognormal(const std::vector<double>& samples) {
+  if (samples.empty()) throw std::invalid_argument("fit_lognormal: no samples");
+  numerics::CompensatedSum s, s2;
+  for (double x : samples) {
+    if (!(x > 0.0)) throw std::invalid_argument("fit_lognormal: samples must be > 0");
+    const double l = std::log(x);
+    s.add(l);
+    s2.add(l * l);
+  }
+  const double n = static_cast<double>(samples.size());
+  LognormalFit fit;
+  fit.mu_log = s.value() / n;
+  const double var = std::max(0.0, s2.value() / n - fit.mu_log * fit.mu_log);
+  fit.sigma_log = std::sqrt(var);
+  if (fit.sigma_log <= 0.0) {
+    fit.ks_statistic = 1.0;  // degenerate data: no spread to fit
+    return fit;
+  }
+  fit.ks_statistic = ks_statistic(samples, [&](double x) {
+    return numerics::normal_cdf((std::log(x) - fit.mu_log) / fit.sigma_log);
+  });
+  return fit;
+}
+
+ExponentialFit fit_exponential(const std::vector<double>& samples) {
+  if (samples.empty()) throw std::invalid_argument("fit_exponential: no samples");
+  numerics::CompensatedSum s;
+  for (double x : samples) {
+    if (!(x >= 0.0)) throw std::invalid_argument("fit_exponential: samples must be >= 0");
+    s.add(x);
+  }
+  const double mean = s.value() / static_cast<double>(samples.size());
+  if (!(mean > 0.0)) throw std::domain_error("fit_exponential: zero mean");
+  ExponentialFit fit;
+  fit.rate = 1.0 / mean;
+  fit.ks_statistic =
+      ks_statistic(samples, [&](double x) { return x <= 0.0 ? 0.0 : -std::expm1(-fit.rate * x); });
+  return fit;
+}
+
+MarginalCharacterization characterize_marginal(const traffic::RateTrace& trace) {
+  MarginalCharacterization out;
+  out.lognormal = fit_lognormal(trace.rates());
+  out.exponential = fit_exponential(trace.rates());
+  out.better =
+      out.lognormal.ks_statistic <= out.exponential.ks_statistic ? "lognormal" : "exponential";
+  return out;
+}
+
+}  // namespace lrd::analysis

@@ -1,0 +1,55 @@
+// Parametric fitting of trace marginals.
+//
+// The trace-analysis pipeline characterizes a measured marginal before
+// feeding it to the model; these helpers fit the two shapes the
+// synthetic-trace substitution uses (lognormal for video/LAN rates,
+// exponential as the null model) by moment matching and score the fit
+// with the Kolmogorov-Smirnov statistic, so a user can check whether the
+// DESIGN.md substitution argument applies to their own trace.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "traffic/trace.hpp"
+
+namespace lrd::analysis {
+
+struct LognormalFit {
+  double mu_log = 0.0;     // mean of log X
+  double sigma_log = 0.0;  // stddev of log X
+  double ks_statistic = 0.0;
+
+  double mean() const;
+  double cov() const;  // coefficient of variation
+};
+
+struct ExponentialFit {
+  double rate = 0.0;
+  double ks_statistic = 0.0;
+};
+
+/// Moment fit of a lognormal to positive samples (zeros rejected), with
+/// the KS distance between the empirical and fitted cdf.
+LognormalFit fit_lognormal(const std::vector<double>& samples);
+
+/// Moment fit of an exponential (rate = 1/mean), with its KS distance.
+ExponentialFit fit_exponential(const std::vector<double>& samples);
+
+/// Kolmogorov-Smirnov statistic between the empirical cdf of `samples`
+/// and an arbitrary cdf callable.
+double ks_statistic(const std::vector<double>& samples,
+                    const std::function<double(double)>& cdf);
+
+/// Convenience: characterize a rate trace — lognormal and exponential
+/// fits side by side (the better fit has the smaller KS distance).
+struct MarginalCharacterization {
+  LognormalFit lognormal;
+  ExponentialFit exponential;
+  const char* better = "";  // "lognormal" or "exponential"
+};
+MarginalCharacterization characterize_marginal(const traffic::RateTrace& trace);
+
+}  // namespace lrd::analysis

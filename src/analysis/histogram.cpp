@@ -1,0 +1,94 @@
+#include "analysis/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lrd::analysis {
+
+Histogram make_histogram(const std::vector<double>& x, std::size_t bins) {
+  if (x.empty()) throw std::invalid_argument("make_histogram: empty data");
+  if (bins == 0) throw std::invalid_argument("make_histogram: need >= 1 bin");
+
+  const auto [lo_it, hi_it] = std::minmax_element(x.begin(), x.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+
+  Histogram h;
+  h.lo = lo;
+  if (hi == lo) {
+    // Degenerate data: single occupied bin.
+    h.width = 1.0;
+    h.probs.assign(bins, 0.0);
+    h.centers.assign(bins, lo);
+    h.means.assign(bins, lo);
+    h.probs[0] = 1.0;
+    for (std::size_t b = 0; b < bins; ++b) h.centers[b] = lo + (static_cast<double>(b) + 0.5);
+    h.centers[0] = lo;
+    return h;
+  }
+  h.width = (hi - lo) / static_cast<double>(bins);
+
+  std::vector<double> counts(bins, 0.0);
+  std::vector<double> sums(bins, 0.0);
+  for (double v : x) {
+    auto b = static_cast<std::size_t>((v - lo) / h.width);
+    if (b >= bins) b = bins - 1;  // the maximum lands in the last bin
+    counts[b] += 1.0;
+    sums[b] += v;
+  }
+
+  const double n = static_cast<double>(x.size());
+  h.probs.resize(bins);
+  h.centers.resize(bins);
+  h.means.resize(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    h.probs[b] = counts[b] / n;
+    h.centers[b] = lo + (static_cast<double>(b) + 0.5) * h.width;
+    h.means[b] = counts[b] > 0.0 ? sums[b] / counts[b] : h.centers[b];
+  }
+  return h;
+}
+
+std::vector<std::size_t> bin_indices(const std::vector<double>& x, const Histogram& h) {
+  std::vector<std::size_t> out(x.size());
+  const std::size_t bins = h.bins();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto b = static_cast<std::size_t>((x[i] - h.lo) / h.width);
+    if (b >= bins) b = bins - 1;
+    out[i] = b;
+  }
+  return out;
+}
+
+dist::Marginal marginal_from_histogram(const Histogram& h, bool conditional_means) {
+  std::vector<double> rates;
+  std::vector<double> probs;
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    if (h.probs[b] <= 0.0) continue;
+    rates.push_back(std::max(0.0, conditional_means ? h.means[b] : h.centers[b]));
+    probs.push_back(h.probs[b]);
+  }
+  return dist::Marginal(std::move(rates), std::move(probs));
+}
+
+dist::Marginal marginal_from_trace(const traffic::RateTrace& trace, std::size_t bins,
+                                   bool conditional_means) {
+  return marginal_from_histogram(make_histogram(trace.rates(), bins), conditional_means);
+}
+
+double mean_same_bin_run_length(const std::vector<double>& x, const Histogram& h) {
+  if (x.empty()) throw std::invalid_argument("mean_same_bin_run_length: empty data");
+  const auto idx = bin_indices(x, h);
+  std::size_t runs = 1;
+  for (std::size_t i = 1; i < idx.size(); ++i)
+    if (idx[i] != idx[i - 1]) ++runs;
+  return static_cast<double>(x.size()) / static_cast<double>(runs);
+}
+
+double mean_epoch_seconds(const traffic::RateTrace& trace, std::size_t bins) {
+  const auto h = make_histogram(trace.rates(), bins);
+  return mean_same_bin_run_length(trace.rates(), h) * trace.bin_seconds();
+}
+
+}  // namespace lrd::analysis

@@ -1,0 +1,51 @@
+// Fixed-bin histograms of rate traces and derived statistics.
+//
+// Section III of the paper builds the model's marginal from "a constant
+// bin-size histogram of the traces" with 50 bins, and calibrates theta
+// from "the average number of consecutive samples in the trace that fall
+// within the same histogram bin" (the mean epoch duration).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/marginal.hpp"
+#include "traffic/trace.hpp"
+
+namespace lrd::analysis {
+
+struct Histogram {
+  double lo = 0.0;      // lower edge of bin 0
+  double width = 0.0;   // constant bin width
+  std::vector<double> probs;    // relative frequency per bin
+  std::vector<double> centers;  // bin centers
+  std::vector<double> means;    // conditional mean of samples in each bin
+
+  std::size_t bins() const noexcept { return probs.size(); }
+};
+
+/// Constant-bin-size histogram over [min(x), max(x)].
+Histogram make_histogram(const std::vector<double>& x, std::size_t bins);
+
+/// Assigns each sample to its histogram bin index.
+std::vector<std::size_t> bin_indices(const std::vector<double>& x, const Histogram& h);
+
+/// Marginal rate distribution from a histogram. `conditional_means`
+/// selects the within-bin conditional mean as the representative rate
+/// (preserves the trace mean almost exactly); otherwise bin centers are
+/// used, as in the paper's description.
+dist::Marginal marginal_from_histogram(const Histogram& h, bool conditional_means = true);
+
+/// One-call version: 50-bin default, as in all the paper's experiments.
+dist::Marginal marginal_from_trace(const traffic::RateTrace& trace, std::size_t bins = 50,
+                                   bool conditional_means = true);
+
+/// Mean length (in samples) of runs of consecutive samples falling in the
+/// same histogram bin — the paper's estimate of the mean epoch duration
+/// (multiply by the trace bin length to get seconds).
+double mean_same_bin_run_length(const std::vector<double>& x, const Histogram& h);
+
+/// Mean epoch duration in seconds for a trace with `bins`-bin histogram.
+double mean_epoch_seconds(const traffic::RateTrace& trace, std::size_t bins = 50);
+
+}  // namespace lrd::analysis

@@ -1,0 +1,191 @@
+#include "analysis/hurst.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+
+#include "numerics/fft.hpp"
+#include "numerics/special_functions.hpp"
+
+namespace lrd::analysis {
+
+namespace {
+
+double clamp_hurst(double h) { return std::clamp(h, 0.01, 0.99); }
+
+std::vector<std::size_t> log_spaced_blocks(std::size_t lo, std::size_t hi, std::size_t count) {
+  std::vector<std::size_t> out;
+  if (lo >= hi) return out;
+  const double ratio = std::log(static_cast<double>(hi) / static_cast<double>(lo)) /
+                       static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto m = static_cast<std::size_t>(
+        std::llround(static_cast<double>(lo) * std::exp(ratio * static_cast<double>(i))));
+    if (out.empty() || m > out.back()) out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace
+
+HurstEstimate hurst_variance_time(const std::vector<double>& x, std::size_t min_block) {
+  const std::size_t n = x.size();
+  if (n < 64) throw std::invalid_argument("hurst_variance_time: series too short");
+  const auto blocks = log_spaced_blocks(std::max<std::size_t>(1, min_block), n / 8, 16);
+  if (blocks.size() < 3) throw std::invalid_argument("hurst_variance_time: too few scales");
+
+  std::vector<double> lx, ly;
+  for (std::size_t m : blocks) {
+    const std::size_t nb = n / m;
+    if (nb < 4) break;
+    // Variance of m-aggregated means.
+    std::vector<double> agg(nb);
+    for (std::size_t b = 0; b < nb; ++b) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < m; ++k) s += x[b * m + k];
+      agg[b] = s / static_cast<double>(m);
+    }
+    const double mu = numerics::neumaier_sum(agg) / static_cast<double>(nb);
+    double var = 0.0;
+    for (double v : agg) var += (v - mu) * (v - mu);
+    var /= static_cast<double>(nb);
+    if (var <= 0.0) continue;
+    lx.push_back(std::log(static_cast<double>(m)));
+    ly.push_back(std::log(var));
+  }
+  if (lx.size() < 3) throw std::domain_error("hurst_variance_time: degenerate series");
+  HurstEstimate est;
+  est.fit = fit_line(lx, ly);
+  est.hurst = clamp_hurst(1.0 + est.fit.slope / 2.0);
+  return est;
+}
+
+HurstEstimate hurst_rs(const std::vector<double>& x, std::size_t min_block) {
+  const std::size_t n = x.size();
+  if (n < 128) throw std::invalid_argument("hurst_rs: series too short");
+  const auto blocks = log_spaced_blocks(std::max<std::size_t>(8, min_block), n / 4, 14);
+  if (blocks.size() < 3) throw std::invalid_argument("hurst_rs: too few scales");
+
+  std::vector<double> lx, ly;
+  for (std::size_t m : blocks) {
+    const std::size_t nb = n / m;
+    if (nb < 2) break;
+    double total = 0.0;
+    std::size_t used = 0;
+    for (std::size_t b = 0; b < nb; ++b) {
+      const double* seg = x.data() + b * m;
+      double mean = 0.0;
+      for (std::size_t k = 0; k < m; ++k) mean += seg[k];
+      mean /= static_cast<double>(m);
+      double cum = 0.0, lo = 0.0, hi = 0.0, ss = 0.0;
+      for (std::size_t k = 0; k < m; ++k) {
+        const double d = seg[k] - mean;
+        cum += d;
+        lo = std::min(lo, cum);
+        hi = std::max(hi, cum);
+        ss += d * d;
+      }
+      const double s = std::sqrt(ss / static_cast<double>(m));
+      if (s > 0.0) {
+        total += (hi - lo) / s;
+        ++used;
+      }
+    }
+    if (used == 0) continue;
+    lx.push_back(std::log(static_cast<double>(m)));
+    ly.push_back(std::log(total / static_cast<double>(used)));
+  }
+  if (lx.size() < 3) throw std::domain_error("hurst_rs: degenerate series");
+  HurstEstimate est;
+  est.fit = fit_line(lx, ly);
+  est.hurst = clamp_hurst(est.fit.slope);
+  return est;
+}
+
+HurstEstimate hurst_wavelet(const std::vector<double>& x, std::size_t octave_lo,
+                            std::size_t octave_hi) {
+  if (x.size() < 256) throw std::invalid_argument("hurst_wavelet: series too short");
+  if (octave_lo == 0) throw std::invalid_argument("hurst_wavelet: octaves start at 1");
+
+  // Haar multiresolution analysis; level j has n / 2^j detail coefficients.
+  std::vector<double> approx(x);
+  std::vector<double> log2_energy;  // index j-1 -> log2 mean detail energy
+  std::vector<double> coeff_count;
+  const double inv_sqrt2 = 1.0 / std::numbers::sqrt2;
+  while (approx.size() >= 16) {
+    const std::size_t half = approx.size() / 2;
+    std::vector<double> next(half);
+    double energy = 0.0;
+    for (std::size_t k = 0; k < half; ++k) {
+      const double a = approx[2 * k];
+      const double b = approx[2 * k + 1];
+      next[k] = (a + b) * inv_sqrt2;
+      const double d = (a - b) * inv_sqrt2;
+      energy += d * d;
+    }
+    log2_energy.push_back(std::log2(energy / static_cast<double>(half)));
+    coeff_count.push_back(static_cast<double>(half));
+    approx = std::move(next);
+  }
+
+  const std::size_t levels = log2_energy.size();
+  std::size_t hi = octave_hi == 0 ? levels : std::min(octave_hi, levels);
+  if (octave_lo > hi || hi - octave_lo + 1 < 3)
+    throw std::invalid_argument("hurst_wavelet: fewer than 3 octaves in range");
+
+  std::vector<double> js, mus, ws;
+  for (std::size_t j = octave_lo; j <= hi; ++j) {
+    js.push_back(static_cast<double>(j));
+    mus.push_back(log2_energy[j - 1]);
+    ws.push_back(coeff_count[j - 1]);  // Abry-Veitch: Var[log2 mu_j] ~ 1/n_j
+  }
+  HurstEstimate est;
+  est.fit = fit_line_weighted(js, mus, ws);
+  est.hurst = clamp_hurst((est.fit.slope + 1.0) / 2.0);
+  return est;
+}
+
+HurstEstimate hurst_periodogram(const std::vector<double>& x, std::size_t frequencies) {
+  const std::size_t n = x.size();
+  if (n < 256) throw std::invalid_argument("hurst_periodogram: series too short");
+  if (frequencies == 0)
+    frequencies = static_cast<std::size_t>(std::floor(std::sqrt(static_cast<double>(n))));
+  frequencies = std::min(frequencies, n / 2 - 1);
+  if (frequencies < 4) throw std::invalid_argument("hurst_periodogram: too few frequencies");
+
+  const double mean = numerics::neumaier_sum(x) / static_cast<double>(n);
+  std::vector<double> centered(n);
+  for (std::size_t i = 0; i < n; ++i) centered[i] = x[i] - mean;
+  const std::size_t m = numerics::next_pow2(n);
+  auto spec = numerics::fft_real(centered, m);
+
+  std::vector<double> lx, ly;
+  for (std::size_t k = 1; k <= frequencies; ++k) {
+    // Fourier frequency of the padded transform.
+    const double w = 2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(m);
+    const double periodogram = std::norm(spec[k]) / (2.0 * std::numbers::pi * static_cast<double>(n));
+    if (periodogram <= 0.0) continue;
+    // GPH regressor: log(4 sin^2(w/2)) ~ log w^2 near 0.
+    lx.push_back(std::log(4.0 * std::sin(w / 2.0) * std::sin(w / 2.0)));
+    ly.push_back(std::log(periodogram));
+  }
+  if (lx.size() < 4) throw std::domain_error("hurst_periodogram: degenerate spectrum");
+  HurstEstimate est;
+  est.fit = fit_line(lx, ly);
+  // Spectral density ~ w^{1-2H}; regressor is log w^2, so slope = (1-2H)/2.
+  est.hurst = clamp_hurst(0.5 - est.fit.slope);
+  return est;
+}
+
+HurstEstimate hurst_variance_time(const traffic::RateTrace& t) {
+  return hurst_variance_time(t.rates());
+}
+HurstEstimate hurst_rs(const traffic::RateTrace& t) { return hurst_rs(t.rates()); }
+HurstEstimate hurst_wavelet(const traffic::RateTrace& t) { return hurst_wavelet(t.rates()); }
+HurstEstimate hurst_periodogram(const traffic::RateTrace& t) {
+  return hurst_periodogram(t.rates());
+}
+
+}  // namespace lrd::analysis

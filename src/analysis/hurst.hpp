@@ -1,0 +1,51 @@
+// Hurst-parameter estimators.
+//
+// The paper reports H_MTV ~ 0.83 and H_BC ~ 0.9 "using a Whittle or
+// wavelet based estimator". We implement four standard estimators so the
+// synthetic traces can be validated the same way the paper validated its
+// measurement traces:
+//   * aggregated-variance (variance-time plot),
+//   * rescaled-range (R/S) analysis,
+//   * Abry-Veitch wavelet estimator (Haar DWT, weighted log-scale fit),
+//   * GPH log-periodogram regression.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/regression.hpp"
+#include "traffic/trace.hpp"
+
+namespace lrd::analysis {
+
+struct HurstEstimate {
+  double hurst = 0.5;
+  LineFit fit;  // the underlying log-log regression
+};
+
+/// Aggregated-variance estimator: Var[X^(m)] ~ m^{2H-2}. Aggregation
+/// levels are log-spaced in [min_block, n / 8]; slope beta gives
+/// H = 1 + beta / 2.
+HurstEstimate hurst_variance_time(const std::vector<double>& x, std::size_t min_block = 4);
+
+/// R/S estimator: E[R/S](n) ~ n^H over log-spaced block sizes.
+HurstEstimate hurst_rs(const std::vector<double>& x, std::size_t min_block = 8);
+
+/// Abry-Veitch wavelet estimator on Haar detail energies:
+/// log2 E[d_j^2] ~ j (2H - 1). Scales [octave_lo, octave_hi] are fitted
+/// with the Abry-Veitch asymptotic weights n_j (coefficient counts).
+/// octave_hi == 0 selects the largest octave with >= 8 coefficients.
+HurstEstimate hurst_wavelet(const std::vector<double>& x, std::size_t octave_lo = 3,
+                            std::size_t octave_hi = 0);
+
+/// GPH log-periodogram estimator: log I(w_k) ~ (1 - 2H) log w_k over the
+/// lowest `frequencies` Fourier frequencies (default floor(sqrt(n))).
+HurstEstimate hurst_periodogram(const std::vector<double>& x, std::size_t frequencies = 0);
+
+/// Convenience overloads on traces.
+HurstEstimate hurst_variance_time(const traffic::RateTrace& t);
+HurstEstimate hurst_rs(const traffic::RateTrace& t);
+HurstEstimate hurst_wavelet(const traffic::RateTrace& t);
+HurstEstimate hurst_periodogram(const traffic::RateTrace& t);
+
+}  // namespace lrd::analysis

@@ -1,0 +1,55 @@
+#include "analysis/idc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lrd::analysis {
+
+std::vector<IdcPoint> idc_curve(const traffic::RateTrace& trace, std::size_t max_window) {
+  const std::size_t n = trace.size();
+  if (n < 64) throw std::invalid_argument("idc_curve: trace too short");
+  if (max_window == 0) max_window = n / 8;
+  max_window = std::min(max_window, n / 4);
+  if (max_window < 1) throw std::invalid_argument("idc_curve: degenerate window range");
+
+  std::vector<IdcPoint> out;
+  std::size_t m = 1;
+  while (m <= max_window) {
+    const std::size_t blocks = n / m;
+    if (blocks < 8) break;
+    double mean = 0.0;
+    std::vector<double> sums(blocks, 0.0);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < m; ++k) s += trace.work(b * m + k);
+      sums[b] = s;
+      mean += s;
+    }
+    mean /= static_cast<double>(blocks);
+    double var = 0.0;
+    for (double s : sums) var += (s - mean) * (s - mean);
+    var /= static_cast<double>(blocks);
+    if (mean > 0.0) out.push_back(IdcPoint{m, var / mean});
+    m = std::max(m + 1, m * 3 / 2);  // ~log-spaced windows
+  }
+  if (out.size() < 3) throw std::domain_error("idc_curve: too few valid windows");
+  return out;
+}
+
+HurstEstimate hurst_from_idc(const traffic::RateTrace& trace, std::size_t min_window) {
+  const auto curve = idc_curve(trace);
+  std::vector<double> lx, ly;
+  for (const auto& p : curve) {
+    if (p.window < min_window || p.idc <= 0.0) continue;
+    lx.push_back(std::log(static_cast<double>(p.window)));
+    ly.push_back(std::log(p.idc));
+  }
+  if (lx.size() < 3) throw std::domain_error("hurst_from_idc: too few usable windows");
+  HurstEstimate est;
+  est.fit = fit_line(lx, ly);
+  est.hurst = std::clamp((est.fit.slope + 1.0) / 2.0, 0.01, 0.99);
+  return est;
+}
+
+}  // namespace lrd::analysis

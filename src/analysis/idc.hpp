@@ -1,0 +1,30 @@
+// Index of dispersion for counts (IDC).
+//
+// IDC(m) = Var[A_m] / E[A_m], where A_m is the work arriving in m
+// consecutive trace slots. For a Poisson-like (SRD) stream the IDC is
+// flat; for an LRD stream it grows as m^{2H-1} — the classic "peakedness
+// keeps growing with the time scale" signature that motivated the
+// self-similar traffic literature the paper responds to.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/hurst.hpp"
+#include "traffic/trace.hpp"
+
+namespace lrd::analysis {
+
+struct IdcPoint {
+  std::size_t window = 0;  // aggregation window m, in slots
+  double idc = 0.0;
+};
+
+/// IDC at log-spaced windows from 1 to max_window (default: size / 8).
+std::vector<IdcPoint> idc_curve(const traffic::RateTrace& trace, std::size_t max_window = 0);
+
+/// Hurst estimate from the IDC slope: log IDC(m) ~ (2H - 1) log m, fitted
+/// over the tail of the curve (windows >= min_window).
+HurstEstimate hurst_from_idc(const traffic::RateTrace& trace, std::size_t min_window = 8);
+
+}  // namespace lrd::analysis

@@ -1,0 +1,72 @@
+#include "analysis/loss_process.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lrd::analysis {
+
+RunStats loss_run_stats(const std::vector<bool>& lost) {
+  RunStats stats;
+  std::size_t run = 0;
+  for (bool l : lost) {
+    if (l) {
+      ++stats.losses;
+      ++run;
+      stats.max_burst = std::max(stats.max_burst, run);
+    } else {
+      if (run > 0) ++stats.bursts;
+      run = 0;
+    }
+  }
+  if (run > 0) ++stats.bursts;
+  stats.mean_burst =
+      stats.bursts > 0 ? static_cast<double>(stats.losses) / static_cast<double>(stats.bursts)
+                       : 0.0;
+  stats.loss_fraction =
+      lost.empty() ? 0.0 : static_cast<double>(stats.losses) / static_cast<double>(lost.size());
+  return stats;
+}
+
+double fec_residual_loss(const std::vector<bool>& lost, std::size_t block, std::size_t k_max) {
+  if (block == 0) throw std::invalid_argument("fec_residual_loss: block must be >= 1");
+  if (lost.empty()) return 0.0;
+  std::size_t unrecovered = 0;
+  for (std::size_t start = 0; start < lost.size(); start += block) {
+    const std::size_t end = std::min(start + block, lost.size());
+    std::size_t in_block = 0;
+    for (std::size_t i = start; i < end; ++i)
+      if (lost[i]) ++in_block;
+    if (in_block > k_max) unrecovered += in_block;
+  }
+  return static_cast<double>(unrecovered) / static_cast<double>(lost.size());
+}
+
+double arq_feedback_per_loss(const std::vector<bool>& lost) {
+  const auto stats = loss_run_stats(lost);
+  if (stats.losses == 0) return 0.0;
+  return static_cast<double>(stats.bursts) / static_cast<double>(stats.losses);
+}
+
+std::vector<bool> loss_indicators(const traffic::RateTrace& trace, double utilization,
+                                  double normalized_buffer_seconds) {
+  if (!(utilization > 0.0 && utilization < 1.0))
+    throw std::invalid_argument("loss_indicators: utilization must be in (0, 1)");
+  if (!(normalized_buffer_seconds > 0.0))
+    throw std::invalid_argument("loss_indicators: buffer must be > 0");
+
+  const double c = trace.mean() / utilization;
+  const double buffer = normalized_buffer_seconds * c;
+  const double delta = trace.bin_seconds();
+  const double service_per_slot = c * delta;
+
+  std::vector<bool> lost(trace.size());
+  double q = 0.0;
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    const double u = q + trace[k] * delta - service_per_slot;
+    lost[k] = u > buffer;
+    q = std::clamp(u, 0.0, buffer);
+  }
+  return lost;
+}
+
+}  // namespace lrd::analysis

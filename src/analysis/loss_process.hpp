@@ -1,0 +1,49 @@
+// Loss-process analysis: burst statistics and error-control performance.
+//
+// The paper's conclusion argues that the relevant correlation time scale
+// depends on the metric: closed-loop (ARQ) error control likes bursty
+// losses (one feedback message repairs a whole burst) while open-loop FEC
+// likes dispersed losses (a block code corrects up to k_max losses per
+// n-packet block, and correlation concentrates losses in few blocks).
+// These routines turn a queue simulation's per-slot loss sequence into
+// the quantities that comparison needs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "traffic/trace.hpp"
+
+namespace lrd::analysis {
+
+/// Run-length statistics of a binary loss indicator sequence.
+struct RunStats {
+  std::size_t losses = 0;       // number of loss slots
+  std::size_t bursts = 0;       // number of maximal runs of loss slots
+  double mean_burst = 0.0;      // mean run length (slots)
+  std::size_t max_burst = 0;    // longest run
+  double loss_fraction = 0.0;   // losses / slots
+};
+
+RunStats loss_run_stats(const std::vector<bool>& lost);
+
+/// Residual loss fraction after (n, k_max) block FEC: consecutive slots
+/// are grouped into blocks of n; a block with at most k_max loss slots is
+/// fully recovered, otherwise all its losses remain. Returns
+/// (unrecovered losses) / (total slots). The final partial block is
+/// protected with the same threshold.
+double fec_residual_loss(const std::vector<bool>& lost, std::size_t block, std::size_t k_max);
+
+/// ARQ feedback economy: number of NACK rounds per lost slot, assuming a
+/// receiver NACKs once per loss burst (cumulative feedback) and every
+/// retransmission succeeds. Bursty losses => fewer rounds per loss.
+/// Returns bursts / losses (0 when nothing is lost).
+double arq_feedback_per_loss(const std::vector<bool>& lost);
+
+/// Per-slot loss indicators from running a finite-buffer fluid queue over
+/// a rate trace (true where the slot overflowed). Buffer is normalized in
+/// seconds, service from the utilization, as in the paper's figures.
+std::vector<bool> loss_indicators(const traffic::RateTrace& trace, double utilization,
+                                  double normalized_buffer_seconds);
+
+}  // namespace lrd::analysis

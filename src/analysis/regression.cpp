@@ -1,0 +1,44 @@
+#include "analysis/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lrd::analysis {
+
+LineFit fit_line_weighted(const std::vector<double>& x, const std::vector<double>& y,
+                          const std::vector<double>& w) {
+  if (x.size() != y.size() || x.size() != w.size() || x.size() < 2)
+    throw std::invalid_argument("fit_line: need >= 2 points with matching sizes");
+
+  double sw = 0.0, sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!(w[i] > 0.0)) throw std::invalid_argument("fit_line: weights must be > 0");
+    sw += w[i];
+    sx += w[i] * x[i];
+    sy += w[i] * y[i];
+  }
+  const double mx = sx / sw;
+  const double my = sy / sw;
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += w[i] * dx * dx;
+    sxy += w[i] * dx * dy;
+    syy += w[i] * dy * dy;
+  }
+  if (sxx == 0.0) throw std::domain_error("fit_line: degenerate abscissae");
+
+  LineFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+LineFit fit_line(const std::vector<double>& x, const std::vector<double>& y) {
+  return fit_line_weighted(x, y, std::vector<double>(x.size(), 1.0));
+}
+
+}  // namespace lrd::analysis

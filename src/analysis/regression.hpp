@@ -1,0 +1,23 @@
+// Least-squares line fitting, the workhorse behind every log-log Hurst
+// estimator (variance-time, R/S, wavelet, periodogram).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lrd::analysis {
+
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  // coefficient of determination
+};
+
+/// Ordinary least squares y = slope * x + intercept. Requires >= 2 points.
+LineFit fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Weighted least squares with per-point weights w_i > 0.
+LineFit fit_line_weighted(const std::vector<double>& x, const std::vector<double>& y,
+                          const std::vector<double>& w);
+
+}  // namespace lrd::analysis

@@ -1,0 +1,49 @@
+#include "core/correlation_horizon.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/special_functions.hpp"
+
+namespace lrd::core {
+
+double correlation_horizon(double buffer, double mean_epoch, double stddev_epoch,
+                           double stddev_rate, double no_reset_probability) {
+  if (!(buffer > 0.0)) throw std::invalid_argument("correlation_horizon: buffer must be > 0");
+  if (!(mean_epoch > 0.0)) throw std::invalid_argument("correlation_horizon: mean epoch must be > 0");
+  if (!(stddev_epoch > 0.0) || !std::isfinite(stddev_epoch))
+    throw std::invalid_argument("correlation_horizon: epoch stddev must be finite and > 0");
+  if (!(stddev_rate > 0.0)) throw std::invalid_argument("correlation_horizon: rate stddev must be > 0");
+  if (!(no_reset_probability > 0.0 && no_reset_probability < 1.0))
+    throw std::invalid_argument("correlation_horizon: p must be in (0, 1)");
+
+  const double denom = 2.0 * std::sqrt(2.0) * stddev_epoch * stddev_rate *
+                       numerics::erf_inv(no_reset_probability);
+  return buffer * mean_epoch / denom;
+}
+
+double correlation_horizon(const dist::Marginal& marginal, const dist::EpochDistribution& epochs,
+                           double buffer, double no_reset_probability) {
+  return correlation_horizon(buffer, epochs.mean(), std::sqrt(epochs.variance()),
+                             marginal.stddev(), no_reset_probability);
+}
+
+double empirical_correlation_horizon(const std::vector<double>& cutoffs,
+                                     const std::vector<double>& losses, double tolerance) {
+  if (cutoffs.size() != losses.size() || cutoffs.size() < 2)
+    throw std::invalid_argument("empirical_correlation_horizon: need >= 2 matching points");
+  if (!(tolerance > 0.0 && tolerance < 1.0))
+    throw std::invalid_argument("empirical_correlation_horizon: tolerance must be in (0, 1)");
+  for (std::size_t i = 1; i < cutoffs.size(); ++i)
+    if (!(cutoffs[i] > cutoffs[i - 1]))
+      throw std::invalid_argument("empirical_correlation_horizon: cutoffs must be increasing");
+
+  const double plateau = losses.back();
+  if (plateau <= 0.0) return cutoffs.front();  // no loss anywhere: horizon is trivially small
+  const double threshold = (1.0 - tolerance) * plateau;
+  for (std::size_t i = 0; i < cutoffs.size(); ++i)
+    if (losses[i] >= threshold) return cutoffs[i];
+  return cutoffs.back();
+}
+
+}  // namespace lrd::core

@@ -1,0 +1,46 @@
+// The correlation horizon (Section IV of the paper).
+//
+// For a finite-buffer queue, correlation in the arrival process beyond a
+// certain time scale has no effect on the loss rate, because the buffer
+// "forgets" the past whenever it empties or fills (the resetting effect).
+// Eq. 26 estimates that horizon as
+//     T_CH = B mu / (2 sqrt(2) sigma_T sigma_lambda erf^-1(p)),
+// where mu, sigma_T are the epoch-length mean and standard deviation,
+// sigma_lambda the marginal's standard deviation and p the probability
+// that no reset occurs within T_CH. T_CH scales linearly with B — the
+// structure Fig. 14 exhibits as flattening along B / T_c = const.
+//
+// (Derivation note, also recorded in DESIGN.md: the CLT sketch in the
+// paper would put sqrt(n) inside the erf, giving a quadratic-in-B horizon;
+// Eq. 26 as published uses n, giving the linear scaling that the paper's
+// own trace experiments confirm. We implement the published Eq. 26.)
+#pragma once
+
+#include <vector>
+
+#include "dist/epoch.hpp"
+#include "dist/marginal.hpp"
+
+namespace lrd::core {
+
+/// Eq. 26 with explicit moments. `no_reset_probability` is the p in the
+/// formula (small p => conservative, longer horizon). All arguments > 0.
+double correlation_horizon(double buffer, double mean_epoch, double stddev_epoch,
+                           double stddev_rate, double no_reset_probability = 0.05);
+
+/// Eq. 26 from a marginal and an epoch distribution. The epoch variance
+/// must be finite — pass the *truncated* distribution (with T_c = inf and
+/// alpha < 2 the variance diverges and so does the horizon).
+double correlation_horizon(const dist::Marginal& marginal, const dist::EpochDistribution& epochs,
+                           double buffer, double no_reset_probability = 0.05);
+
+/// Empirical horizon from a measured loss-vs-cutoff curve: the smallest
+/// cutoff whose loss reaches a (1 - tolerance) fraction of the plateau
+/// (the loss at the largest cutoff). `cutoffs` must be increasing and
+/// `losses` (same length, >= 2) non-decreasing up to noise. Returns the
+/// last cutoff if the curve never plateaus.
+double empirical_correlation_horizon(const std::vector<double>& cutoffs,
+                                     const std::vector<double>& losses,
+                                     double tolerance = 0.1);
+
+}  // namespace lrd::core

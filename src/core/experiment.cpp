@@ -1,0 +1,222 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+#include "core/model.hpp"
+#include "numerics/parallel.hpp"
+#include "numerics/random.hpp"
+#include "queueing/trace_queue_sim.hpp"
+#include "traffic/shuffle.hpp"
+
+namespace lrd::core {
+
+namespace {
+
+std::string format_param(double v) {
+  if (std::isinf(v)) return "inf";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+void SweepTable::print(std::ostream& os) const {
+  os << title << '\n';
+  os << std::left << std::setw(14) << (row_label + " \\ " + col_label);
+  for (double c : cols) os << std::right << std::setw(12) << format_param(c);
+  os << '\n';
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    os << std::left << std::setw(14) << format_param(rows[r]);
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.3e", values[r][c]);
+      os << std::right << std::setw(12) << buf;
+    }
+    os << '\n';
+  }
+}
+
+void SweepTable::print_csv(std::ostream& os) const {
+  os << row_label << "\\" << col_label;
+  for (double c : cols) os << ',' << format_param(c);
+  os << '\n';
+  os.precision(10);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    os << format_param(rows[r]);
+    for (std::size_t c = 0; c < cols.size(); ++c) os << ',' << values[r][c];
+    os << '\n';
+  }
+}
+
+SweepTable loss_vs_buffer_and_cutoff(const dist::Marginal& marginal,
+                                     const ModelSweepConfig& cfg,
+                                     const std::vector<double>& normalized_buffers,
+                                     const std::vector<double>& cutoffs) {
+  SweepTable t;
+  t.title = "loss rate vs normalized buffer size and cutoff lag";
+  t.row_label = "buffer_s";
+  t.col_label = "cutoff_s";
+  t.rows = normalized_buffers;
+  t.cols = cutoffs;
+  const std::size_t nc = cutoffs.size();
+  t.values.assign(normalized_buffers.size(), std::vector<double>(nc, 0.0));
+  numerics::parallel_for(normalized_buffers.size() * nc, [&](std::size_t cell) {
+    const std::size_t r = cell / nc, c = cell % nc;
+    ModelConfig mc;
+    mc.hurst = cfg.hurst;
+    mc.mean_epoch = cfg.mean_epoch;
+    mc.cutoff = cutoffs[c];
+    mc.utilization = cfg.utilization;
+    mc.normalized_buffer = normalized_buffers[r];
+    t.values[r][c] = FluidModel(marginal, mc).solve(cfg.solver).loss_estimate();
+  });
+  return t;
+}
+
+SweepTable loss_vs_hurst_and_scaling(const dist::Marginal& marginal,
+                                     const ModelSweepConfig& cfg, double normalized_buffer,
+                                     const std::vector<double>& hursts,
+                                     const std::vector<double>& scalings) {
+  SweepTable t;
+  t.title = "loss rate vs Hurst parameter and marginal scaling factor";
+  t.row_label = "hurst";
+  t.col_label = "scaling";
+  t.rows = hursts;
+  t.cols = scalings;
+  // Theta is matched once, at the nominal Hurst parameter (paper, Fig. 10).
+  const double nominal_alpha = dist::TruncatedPareto::alpha_from_hurst(cfg.hurst);
+  const double theta = dist::TruncatedPareto::theta_from_mean_epoch(cfg.mean_epoch, nominal_alpha);
+  const std::size_t nc = scalings.size();
+  t.values.assign(hursts.size(), std::vector<double>(nc, 0.0));
+  numerics::parallel_for(hursts.size() * nc, [&](std::size_t cell) {
+    const std::size_t r = cell / nc, c = cell % nc;
+    const double alpha = dist::TruncatedPareto::alpha_from_hurst(hursts[r]);
+    ModelConfig mc;
+    mc.hurst = hursts[r];
+    // Same theta for the whole experiment: mean_epoch follows alpha.
+    mc.mean_epoch = theta / (alpha - 1.0);
+    mc.cutoff = std::numeric_limits<double>::infinity();
+    mc.utilization = cfg.utilization;
+    mc.normalized_buffer = normalized_buffer;
+    t.values[r][c] =
+        FluidModel(marginal.scaled(scalings[c]), mc).solve(cfg.solver).loss_estimate();
+  });
+  return t;
+}
+
+SweepTable loss_vs_hurst_and_superposition(const dist::Marginal& marginal,
+                                           const ModelSweepConfig& cfg,
+                                           double normalized_buffer,
+                                           const std::vector<double>& hursts,
+                                           const std::vector<std::size_t>& streams) {
+  SweepTable t;
+  t.title = "loss rate vs Hurst parameter and number of superposed streams";
+  t.row_label = "hurst";
+  t.col_label = "streams";
+  t.rows = hursts;
+  for (std::size_t n : streams) t.cols.push_back(static_cast<double>(n));
+  const double nominal_alpha = dist::TruncatedPareto::alpha_from_hurst(cfg.hurst);
+  const double theta = dist::TruncatedPareto::theta_from_mean_epoch(cfg.mean_epoch, nominal_alpha);
+  const std::size_t nc = streams.size();
+  t.values.assign(hursts.size(), std::vector<double>(nc, 0.0));
+  // Superposed marginals are shared across rows; build them once.
+  std::vector<dist::Marginal> mux;
+  mux.reserve(nc);
+  for (std::size_t n : streams) mux.push_back(marginal.superposed(n));
+  numerics::parallel_for(hursts.size() * nc, [&](std::size_t cell) {
+    const std::size_t r = cell / nc, c = cell % nc;
+    const double alpha = dist::TruncatedPareto::alpha_from_hurst(hursts[r]);
+    ModelConfig mc;
+    mc.hurst = hursts[r];
+    mc.mean_epoch = theta / (alpha - 1.0);
+    mc.cutoff = std::numeric_limits<double>::infinity();
+    mc.utilization = cfg.utilization;
+    mc.normalized_buffer = normalized_buffer;
+    t.values[r][c] = FluidModel(mux[c], mc).solve(cfg.solver).loss_estimate();
+  });
+  return t;
+}
+
+SweepTable loss_vs_buffer_and_scaling(const dist::Marginal& marginal,
+                                      const ModelSweepConfig& cfg,
+                                      const std::vector<double>& normalized_buffers,
+                                      const std::vector<double>& scalings) {
+  SweepTable t;
+  t.title = "loss rate vs normalized buffer size and marginal scaling factor";
+  t.row_label = "buffer_s";
+  t.col_label = "scaling";
+  t.rows = normalized_buffers;
+  t.cols = scalings;
+  const std::size_t nc = scalings.size();
+  t.values.assign(normalized_buffers.size(), std::vector<double>(nc, 0.0));
+  numerics::parallel_for(normalized_buffers.size() * nc, [&](std::size_t cell) {
+    const std::size_t r = cell / nc, c = cell % nc;
+    ModelConfig mc;
+    mc.hurst = cfg.hurst;
+    mc.mean_epoch = cfg.mean_epoch;
+    mc.cutoff = std::numeric_limits<double>::infinity();
+    mc.utilization = cfg.utilization;
+    mc.normalized_buffer = normalized_buffers[r];
+    t.values[r][c] =
+        FluidModel(marginal.scaled(scalings[c]), mc).solve(cfg.solver).loss_estimate();
+  });
+  return t;
+}
+
+std::vector<double> loss_vs_cutoff(const dist::Marginal& marginal, const ModelSweepConfig& cfg,
+                                   double normalized_buffer,
+                                   const std::vector<double>& cutoffs) {
+  std::vector<double> out(cutoffs.size(), 0.0);
+  numerics::parallel_for(cutoffs.size(), [&](std::size_t i) {
+    ModelConfig mc;
+    mc.hurst = cfg.hurst;
+    mc.mean_epoch = cfg.mean_epoch;
+    mc.cutoff = cutoffs[i];
+    mc.utilization = cfg.utilization;
+    mc.normalized_buffer = normalized_buffer;
+    out[i] = FluidModel(marginal, mc).solve(cfg.solver).loss_estimate();
+  });
+  return out;
+}
+
+SweepTable shuffle_loss_vs_buffer_and_cutoff(const traffic::RateTrace& trace,
+                                             double utilization,
+                                             const std::vector<double>& normalized_buffers,
+                                             const std::vector<double>& cutoffs,
+                                             std::uint64_t seed) {
+  SweepTable t;
+  t.title = "shuffled-trace loss rate vs normalized buffer size and cutoff lag";
+  t.row_label = "buffer_s";
+  t.col_label = "cutoff_s";
+  t.rows = normalized_buffers;
+  t.cols = cutoffs;
+  t.values.assign(normalized_buffers.size(), std::vector<double>(cutoffs.size(), 0.0));
+
+  // One shuffle per cutoff (deterministic per-column seed), reused across
+  // buffer sizes, as in a single trace-driven experiment; the queue runs
+  // for all cells proceed in parallel.
+  std::vector<traffic::RateTrace> shuffled;
+  shuffled.reserve(cutoffs.size());
+  for (std::size_t c = 0; c < cutoffs.size(); ++c) {
+    numerics::Rng rng(seed + 7919 * c);
+    shuffled.push_back(
+        std::isinf(cutoffs[c])
+            ? trace
+            : traffic::external_shuffle(
+                  trace, traffic::block_length_for_cutoff(trace, cutoffs[c]), rng));
+  }
+  const std::size_t nc = cutoffs.size();
+  numerics::parallel_for(normalized_buffers.size() * nc, [&](std::size_t cell) {
+    const std::size_t r = cell / nc, c = cell % nc;
+    t.values[r][c] = queueing::simulate_trace_queue_normalized(shuffled[c], utilization,
+                                                               normalized_buffers[r])
+                         .loss_rate;
+  });
+  return t;
+}
+
+}  // namespace lrd::core

@@ -1,0 +1,86 @@
+// Parameter-sweep drivers for the paper's three experiment families
+// (Section III) and a small table type for printing their results.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dist/marginal.hpp"
+#include "queueing/solver.hpp"
+#include "traffic/trace.hpp"
+
+namespace lrd::core {
+
+/// A 2-D sweep result: values[r][c] = loss for (rows[r], cols[c]).
+struct SweepTable {
+  std::string title;
+  std::string row_label;
+  std::string col_label;
+  std::vector<double> rows;
+  std::vector<double> cols;
+  std::vector<std::vector<double>> values;
+
+  /// Aligned human-readable table (losses in scientific notation).
+  void print(std::ostream& os) const;
+  /// Machine-readable CSV: header row of cols, one line per row.
+  void print_csv(std::ostream& os) const;
+
+  double at(std::size_t r, std::size_t c) const { return values.at(r).at(c); }
+};
+
+/// Common sweep parameters shared by the model-driven experiments.
+struct ModelSweepConfig {
+  double hurst = 0.9;
+  double mean_epoch = 0.08;     // seconds (theta calibration at T_c = inf)
+  double utilization = 0.8;
+  queueing::SolverConfig solver;
+};
+
+/// First experiment set (Figs. 4, 5): loss vs (normalized buffer b,
+/// cutoff lag T_c) for a fixed marginal.
+SweepTable loss_vs_buffer_and_cutoff(const dist::Marginal& marginal,
+                                     const ModelSweepConfig& cfg,
+                                     const std::vector<double>& normalized_buffers,
+                                     const std::vector<double>& cutoffs);
+
+/// Second experiment set (Fig. 10): loss vs (Hurst H, marginal scaling a)
+/// at fixed b and T_c = inf. Theta is matched once at `cfg.hurst` (the
+/// nominal H), as in the paper, so varying H does not perturb the
+/// short-range structure via theta.
+SweepTable loss_vs_hurst_and_scaling(const dist::Marginal& marginal,
+                                     const ModelSweepConfig& cfg, double normalized_buffer,
+                                     const std::vector<double>& hursts,
+                                     const std::vector<double>& scalings);
+
+/// Second experiment set (Fig. 11): loss vs (Hurst H, number of
+/// superposed streams n); buffer and service rate are per-stream.
+SweepTable loss_vs_hurst_and_superposition(const dist::Marginal& marginal,
+                                           const ModelSweepConfig& cfg,
+                                           double normalized_buffer,
+                                           const std::vector<double>& hursts,
+                                           const std::vector<std::size_t>& streams);
+
+/// Third experiment set (Figs. 12, 13): loss vs (normalized buffer b,
+/// marginal scaling a) at T_c = inf.
+SweepTable loss_vs_buffer_and_scaling(const dist::Marginal& marginal,
+                                      const ModelSweepConfig& cfg,
+                                      const std::vector<double>& normalized_buffers,
+                                      const std::vector<double>& scalings);
+
+/// Loss vs cutoff at fixed buffer — the Fig. 9 single-row sweep.
+std::vector<double> loss_vs_cutoff(const dist::Marginal& marginal, const ModelSweepConfig& cfg,
+                                   double normalized_buffer,
+                                   const std::vector<double>& cutoffs);
+
+/// Shuffled-trace experiment (Figs. 7, 8, 14): loss of the trace-driven
+/// queue when the trace is externally shuffled with block length = cutoff.
+/// An infinite cutoff means "no shuffling" (the original trace).
+SweepTable shuffle_loss_vs_buffer_and_cutoff(const traffic::RateTrace& trace,
+                                             double utilization,
+                                             const std::vector<double>& normalized_buffers,
+                                             const std::vector<double>& cutoffs,
+                                             std::uint64_t seed = 7);
+
+}  // namespace lrd::core

@@ -1,0 +1,30 @@
+#include "core/model.hpp"
+
+#include <stdexcept>
+
+namespace lrd::core {
+
+FluidModel::FluidModel(dist::Marginal marginal, const ModelConfig& cfg)
+    : marginal_(std::move(marginal)), cfg_(cfg) {
+  if (!(cfg.normalized_buffer > 0.0))
+    throw std::invalid_argument("FluidModel: normalized buffer must be > 0");
+  const double alpha = dist::TruncatedPareto::alpha_from_hurst(cfg.hurst);
+  const double theta = dist::TruncatedPareto::theta_from_mean_epoch(cfg.mean_epoch, alpha);
+  epochs_ = std::make_shared<const dist::TruncatedPareto>(theta, alpha, cfg.cutoff);
+  service_rate_ = marginal_.service_rate_for_utilization(cfg.utilization);
+  buffer_ = cfg.normalized_buffer * service_rate_;
+}
+
+traffic::FluidSource FluidModel::source() const {
+  return traffic::FluidSource(marginal_, epochs_);
+}
+
+queueing::FluidQueueSolver FluidModel::solver() const {
+  return queueing::FluidQueueSolver(marginal_, epochs_, service_rate_, buffer_);
+}
+
+queueing::SolverResult FluidModel::solve(const queueing::SolverConfig& scfg) const {
+  return solver().solve(scfg);
+}
+
+}  // namespace lrd::core

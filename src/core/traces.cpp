@@ -1,0 +1,21 @@
+#include "core/traces.hpp"
+
+#include "analysis/histogram.hpp"
+#include "traffic/synthetic_traces.hpp"
+
+namespace lrd::core {
+
+TraceModel mtv_model() {
+  auto trace = traffic::mtv_trace();
+  auto marginal = analysis::marginal_from_trace(trace, 50);
+  // Hurst, mean epoch and utilization as reported/used in the paper.
+  return TraceModel{std::move(trace), std::move(marginal), 0.83, 0.080, 0.8, "MTV"};
+}
+
+TraceModel bellcore_model() {
+  auto trace = traffic::bellcore_trace();
+  auto marginal = analysis::marginal_from_trace(trace, 50);
+  return TraceModel{std::move(trace), std::move(marginal), 0.90, 0.015, 0.4, "Bellcore"};
+}
+
+}  // namespace lrd::core

@@ -1,0 +1,27 @@
+// Canonical calibrated trace models: the synthetic MTV and Bellcore
+// traces together with the quantities the paper derives from them —
+// the 50-bin marginal, the Hurst parameter, and the mean epoch duration
+// used to calibrate theta.
+#pragma once
+
+#include "dist/marginal.hpp"
+#include "traffic/trace.hpp"
+
+namespace lrd::core {
+
+struct TraceModel {
+  traffic::RateTrace trace;
+  dist::Marginal marginal;  // 50-bin histogram marginal of the trace
+  double hurst;             // Hurst parameter used in the experiments
+  double mean_epoch;        // seconds; theta calibration input
+  double utilization;       // the utilization the paper uses for this trace
+  const char* name;
+};
+
+/// MTV video model: H = 0.83, mean epoch 80 ms, utilization 0.8.
+TraceModel mtv_model();
+
+/// Bellcore Ethernet model: H = 0.90, mean epoch 15 ms, utilization 0.4.
+TraceModel bellcore_model();
+
+}  // namespace lrd::core

@@ -1,0 +1,61 @@
+#include "dist/gamma_epoch.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "numerics/special_functions.hpp"
+
+namespace lrd::dist {
+
+GammaEpoch::GammaEpoch(double shape, double scale) : shape_(shape), scale_(scale) {
+  if (!(shape > 0.0)) throw std::invalid_argument("GammaEpoch: shape must be > 0");
+  if (!(scale > 0.0)) throw std::invalid_argument("GammaEpoch: scale must be > 0");
+}
+
+GammaEpoch GammaEpoch::from_mean(double mean, double shape) {
+  if (!(mean > 0.0)) throw std::invalid_argument("GammaEpoch: mean must be > 0");
+  return GammaEpoch(shape, mean / shape);
+}
+
+double GammaEpoch::ccdf_open(double t) const {
+  if (t <= 0.0) return 1.0;
+  return numerics::regularized_gamma_q(shape_, t / scale_);
+}
+
+double GammaEpoch::excess_mean(double u) const {
+  if (u < 0.0) u = 0.0;
+  if (u == 0.0) return mean();
+  const double x = u / scale_;
+  // int_u^inf Q(shape, t/scale) dt by parts:
+  //   = shape*scale*Q(shape+1, x) - u*Q(shape, x).
+  return shape_ * scale_ * numerics::regularized_gamma_q(shape_ + 1.0, x) -
+         u * numerics::regularized_gamma_q(shape_, x);
+}
+
+double GammaEpoch::max_support() const { return std::numeric_limits<double>::infinity(); }
+
+double GammaEpoch::sample(numerics::Rng& rng) const {
+  // Marsaglia-Tsang for shape >= 1; boosting for shape < 1.
+  double k = shape_;
+  double boost = 1.0;
+  if (k < 1.0) {
+    boost = std::pow(rng.uniform_open(), 1.0 / k);
+    k += 1.0;
+  }
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = rng.normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.uniform_open();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return boost * d * v * scale_;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return boost * d * v * scale_;
+  }
+}
+
+}  // namespace lrd::dist

@@ -1,0 +1,92 @@
+#include "dist/hyperexp_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "dist/simple_epochs.hpp"
+
+namespace lrd::dist {
+
+std::shared_ptr<const MixtureEpoch> fit_hyperexponential(
+    const std::function<double(double)>& ccdf, const HyperExpFitConfig& cfg) {
+  if (cfg.components < 2) throw std::invalid_argument("fit_hyperexponential: need >= 2 components");
+  if (!(cfg.t_min > 0.0 && cfg.t_max > cfg.t_min))
+    throw std::invalid_argument("fit_hyperexponential: need 0 < t_min < t_max");
+
+  const std::size_t k = cfg.components;
+  // Log-spaced anchor points, largest scale first. Each component i is
+  // matched at the pair (c_i / b, c_i), both strictly inside the fit
+  // range, so a ccdf that vanishes at its cutoff never poisons the fit.
+  const double ratio = std::pow(cfg.t_max / cfg.t_min, 1.0 / static_cast<double>(k - 1));
+  const double b = std::sqrt(ratio);
+
+  std::vector<double> weights, rates;
+  auto residual = [&](double t) {
+    double r = ccdf(t);
+    for (std::size_t j = 0; j < weights.size(); ++j) r -= weights[j] * std::exp(-rates[j] * t);
+    return r;
+  };
+
+  // A rate slower than ~1/(10 t_max) is indistinguishable from a constant
+  // over the fit range — such "components" are artifacts of a nearly
+  // exhausted residual and would wreck the mean (w / lambda blows up).
+  const double lambda_min = 0.1 / cfg.t_max;
+
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i + 1 < k && weight_sum < 1.0 - 1e-6; ++i) {
+    const double c_out = cfg.t_max / std::pow(ratio, static_cast<double>(i));
+    const double c_in = c_out / b;
+    const double f_out = residual(c_out);
+    const double f_in = residual(c_in);
+    if (!(f_in > 0.0 && f_out > 0.0 && f_in > f_out)) continue;  // scale exhausted
+    const double lambda = std::log(f_in / f_out) / (c_out - c_in);
+    if (!(lambda >= lambda_min) || !std::isfinite(lambda)) continue;
+    double p = f_out * std::exp(std::min(lambda * c_out, 700.0));
+    if (!(p > 1e-12) || !std::isfinite(p)) continue;
+    // Clamp to the remaining probability budget (a light-tailed target can
+    // want nearly all the mass in one component).
+    p = std::min(p, (1.0 - weight_sum) * 0.9999);
+    weights.push_back(p);
+    rates.push_back(lambda);
+    weight_sum += p;
+  }
+  if (weights.empty())
+    throw std::domain_error("fit_hyperexponential: target ccdf is not decreasing on the range");
+
+  // Final component absorbs the remaining probability and matches the
+  // ccdf at the smallest anchor. Negligible leftovers (pure clamping
+  // artifacts) are dropped instead — the mixture renormalizes — because
+  // anchoring them would imply an absurdly slow decay rate.
+  const double p_last = 1.0 - weight_sum;
+  if (p_last > 1e-6) {
+    const double f_min = std::max(residual(cfg.t_min), 1e-300);
+    double lambda_last = -std::log(std::min(f_min / p_last, 1.0 - 1e-12)) / cfg.t_min;
+    if (!(lambda_last >= lambda_min) || !std::isfinite(lambda_last))
+      lambda_last = 1.0 / cfg.t_min;
+    weights.push_back(p_last);
+    rates.push_back(lambda_last);
+  }
+
+  std::vector<MixtureEpoch::Component> comps;
+  comps.reserve(weights.size());
+  for (std::size_t j = 0; j < weights.size(); ++j)
+    comps.push_back({weights[j], std::make_shared<const ExponentialEpoch>(rates[j])});
+  return std::make_shared<const MixtureEpoch>(std::move(comps));
+}
+
+std::shared_ptr<const MixtureEpoch> fit_hyperexponential(const EpochDistribution& target,
+                                                         double horizon,
+                                                         std::size_t components) {
+  HyperExpFitConfig cfg;
+  cfg.components = components;
+  cfg.t_min = target.mean() / 50.0;
+  // Stay strictly inside the support: at a finite cutoff the ccdf is 0 and
+  // cannot anchor a component.
+  cfg.t_max = std::min(horizon, 0.9 * target.max_support());
+  if (!(cfg.t_max > cfg.t_min)) cfg.t_max = cfg.t_min * 100.0;
+  return fit_hyperexponential([&target](double t) { return target.ccdf_open(t); }, cfg);
+}
+
+}  // namespace lrd::dist

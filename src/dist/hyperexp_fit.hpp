@@ -1,0 +1,45 @@
+// Hyperexponential approximation of a heavy-tailed ccdf
+// (Feldmann & Whitt's recursive fitting procedure).
+//
+// Section IV of the paper argues that Markov models remain valid for
+// finite-buffer loss prediction as long as they capture the correlation
+// structure up to the correlation horizon, "since a power law decay can
+// be approximated arbitrarily closely by enough exponential decay
+// functions". A source with hyperexponential epoch lengths is a finite
+// Markov-modulated fluid; fitting its ccdf to the truncated Pareto over
+// [t_min, t_max] therefore produces exactly the Markovian comparator that
+// claim needs (see bench/ablation_markov_equivalence).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "dist/mixture_epoch.hpp"
+
+namespace lrd::dist {
+
+struct HyperExpFitConfig {
+  std::size_t components = 8;
+  /// Fit range: the ccdf is matched at log-spaced points in [t_min, t_max].
+  double t_min = 1e-3;
+  double t_max = 1e3;
+};
+
+/// Fits sum_i p_i exp(-lambda_i t) to `ccdf` over the configured range
+/// using the recursive two-point matching of Feldmann & Whitt (largest
+/// time scale first). The input ccdf must be strictly decreasing on the
+/// range with values in (0, 1]. Returns the mixture as an epoch
+/// distribution. Throws std::domain_error if the recursion produces an
+/// invalid component (range too wide for the component count).
+std::shared_ptr<const MixtureEpoch> fit_hyperexponential(
+    const std::function<double(double)>& ccdf, const HyperExpFitConfig& cfg = {});
+
+/// Convenience: fit to an existing epoch distribution's ccdf, with the
+/// fit range derived from its scale (t_min ~ mean/50, t_max ~ the cutoff
+/// or `horizon`, whichever is smaller).
+std::shared_ptr<const MixtureEpoch> fit_hyperexponential(const EpochDistribution& target,
+                                                         double horizon,
+                                                         std::size_t components = 8);
+
+}  // namespace lrd::dist

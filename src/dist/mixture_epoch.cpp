@@ -1,0 +1,70 @@
+#include "dist/mixture_epoch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lrd::dist {
+
+MixtureEpoch::MixtureEpoch(std::vector<Component> components)
+    : components_(std::move(components)) {
+  if (components_.empty()) throw std::invalid_argument("MixtureEpoch: no components");
+  double total = 0.0;
+  for (const auto& c : components_) {
+    if (!c.dist) throw std::invalid_argument("MixtureEpoch: null component");
+    if (!(c.weight > 0.0)) throw std::invalid_argument("MixtureEpoch: weights must be > 0");
+    total += c.weight;
+  }
+  for (auto& c : components_) c.weight /= total;
+}
+
+double MixtureEpoch::mean() const {
+  double m = 0.0;
+  for (const auto& c : components_) m += c.weight * c.dist->mean();
+  return m;
+}
+
+double MixtureEpoch::variance() const {
+  // Var = E[Var|comp] + Var[E|comp] = sum w (var_i + mean_i^2) - mean^2.
+  double second = 0.0;
+  for (const auto& c : components_) {
+    const double mi = c.dist->mean();
+    second += c.weight * (c.dist->variance() + mi * mi);
+  }
+  const double m = mean();
+  return second - m * m;
+}
+
+double MixtureEpoch::ccdf_open(double t) const {
+  double s = 0.0;
+  for (const auto& c : components_) s += c.weight * c.dist->ccdf_open(t);
+  return s;
+}
+
+double MixtureEpoch::ccdf_closed(double t) const {
+  double s = 0.0;
+  for (const auto& c : components_) s += c.weight * c.dist->ccdf_closed(t);
+  return s;
+}
+
+double MixtureEpoch::excess_mean(double u) const {
+  double s = 0.0;
+  for (const auto& c : components_) s += c.weight * c.dist->excess_mean(u);
+  return s;
+}
+
+double MixtureEpoch::max_support() const {
+  double m = 0.0;
+  for (const auto& c : components_) m = std::max(m, c.dist->max_support());
+  return m;
+}
+
+double MixtureEpoch::sample(numerics::Rng& rng) const {
+  double u = rng.uniform();
+  for (const auto& c : components_) {
+    if (u < c.weight) return c.dist->sample(rng);
+    u -= c.weight;
+  }
+  return components_.back().dist->sample(rng);
+}
+
+}  // namespace lrd::dist

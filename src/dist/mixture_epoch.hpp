@@ -1,0 +1,41 @@
+// Finite mixture of epoch distributions.
+//
+// The paper remarks (Section II) that the truncated-Pareto model cannot
+// separately control short-term and long-term correlation, which makes it
+// a poor fit for VBR video whose ACF decays exponentially at short lags
+// and hyperbolically at long lags. A two-component mixture — exponential
+// with weight beta, truncated Pareto with weight 1-beta — provides exactly
+// that separation, and because every functional the solver needs is linear
+// in the mixture, the same numerical machinery applies unchanged.
+#pragma once
+
+#include <vector>
+
+#include "dist/epoch.hpp"
+
+namespace lrd::dist {
+
+class MixtureEpoch final : public EpochDistribution {
+ public:
+  struct Component {
+    double weight;  // > 0; weights are normalized on construction
+    EpochPtr dist;
+  };
+
+  explicit MixtureEpoch(std::vector<Component> components);
+
+  const std::vector<Component>& components() const noexcept { return components_; }
+
+  double mean() const override;
+  double variance() const override;
+  double ccdf_open(double t) const override;
+  double ccdf_closed(double t) const override;
+  double excess_mean(double u) const override;
+  double max_support() const override;
+  double sample(numerics::Rng& rng) const override;
+
+ private:
+  std::vector<Component> components_;
+};
+
+}  // namespace lrd::dist

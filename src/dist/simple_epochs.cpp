@@ -1,0 +1,66 @@
+#include "dist/simple_epochs.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lrd::dist {
+
+ExponentialEpoch::ExponentialEpoch(double rate) : rate_(rate) {
+  if (!(rate > 0.0)) throw std::invalid_argument("ExponentialEpoch: rate must be > 0");
+}
+
+double ExponentialEpoch::ccdf_open(double t) const {
+  if (t <= 0.0) return 1.0;
+  return std::exp(-rate_ * t);
+}
+
+double ExponentialEpoch::excess_mean(double u) const {
+  if (u < 0.0) u = 0.0;
+  return std::exp(-rate_ * u) / rate_;
+}
+
+double ExponentialEpoch::max_support() const { return std::numeric_limits<double>::infinity(); }
+
+double ExponentialEpoch::sample(numerics::Rng& rng) const { return rng.exponential(rate_); }
+
+DeterministicEpoch::DeterministicEpoch(double length) : length_(length) {
+  if (!(length > 0.0)) throw std::invalid_argument("DeterministicEpoch: length must be > 0");
+}
+
+double DeterministicEpoch::ccdf_open(double t) const { return t < length_ ? 1.0 : 0.0; }
+
+double DeterministicEpoch::ccdf_closed(double t) const { return t <= length_ ? 1.0 : 0.0; }
+
+double DeterministicEpoch::excess_mean(double u) const {
+  if (u < 0.0) u = 0.0;
+  return u < length_ ? length_ - u : 0.0;
+}
+
+UniformEpoch::UniformEpoch(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (!(lo >= 0.0 && hi > lo)) throw std::invalid_argument("UniformEpoch: need 0 <= lo < hi");
+}
+
+double UniformEpoch::variance() const {
+  const double w = hi_ - lo_;
+  return w * w / 12.0;
+}
+
+double UniformEpoch::ccdf_open(double t) const {
+  if (t <= lo_) return 1.0;
+  if (t >= hi_) return 0.0;
+  return (hi_ - t) / (hi_ - lo_);
+}
+
+double UniformEpoch::excess_mean(double u) const {
+  if (u < 0.0) u = 0.0;
+  if (u >= hi_) return 0.0;
+  if (u <= lo_) return mean() - u;
+  // int_u^hi (hi - t)/(hi - lo) dt = (hi - u)^2 / (2 (hi - lo)).
+  const double r = hi_ - u;
+  return r * r / (2.0 * (hi_ - lo_));
+}
+
+double UniformEpoch::sample(numerics::Rng& rng) const { return rng.uniform(lo_, hi_); }
+
+}  // namespace lrd::dist

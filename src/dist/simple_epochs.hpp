@@ -1,0 +1,72 @@
+// Short-range-dependent epoch-length distributions.
+//
+// These plug into the same solver as the truncated Pareto (the paper notes
+// its numerical procedure is model-independent). An exponential epoch
+// yields a classically Markovian-like source; deterministic and uniform
+// epochs are useful for exact sanity checks in tests.
+#pragma once
+
+#include "dist/epoch.hpp"
+
+namespace lrd::dist {
+
+/// Exponential epoch lengths, Pr{T > t} = exp(-rate t).
+class ExponentialEpoch final : public EpochDistribution {
+ public:
+  explicit ExponentialEpoch(double rate);
+
+  double rate() const noexcept { return rate_; }
+
+  double mean() const override { return 1.0 / rate_; }
+  double variance() const override { return 1.0 / (rate_ * rate_); }
+  double ccdf_open(double t) const override;
+  double ccdf_closed(double t) const override { return ccdf_open(t); }
+  double excess_mean(double u) const override;
+  double max_support() const override;
+  double sample(numerics::Rng& rng) const override;
+
+ private:
+  double rate_;
+};
+
+/// Deterministic epochs of a fixed positive length.
+class DeterministicEpoch final : public EpochDistribution {
+ public:
+  explicit DeterministicEpoch(double length);
+
+  double length() const noexcept { return length_; }
+
+  double mean() const override { return length_; }
+  double variance() const override { return 0.0; }
+  double ccdf_open(double t) const override;
+  double ccdf_closed(double t) const override;
+  double excess_mean(double u) const override;
+  double max_support() const override { return length_; }
+  double sample(numerics::Rng&) const override { return length_; }
+
+ private:
+  double length_;
+};
+
+/// Uniform epoch lengths on [lo, hi], 0 <= lo < hi.
+class UniformEpoch final : public EpochDistribution {
+ public:
+  UniformEpoch(double lo, double hi);
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+
+  double mean() const override { return (lo_ + hi_) / 2.0; }
+  double variance() const override;
+  double ccdf_open(double t) const override;
+  double ccdf_closed(double t) const override { return ccdf_open(t); }
+  double excess_mean(double u) const override;
+  double max_support() const override { return hi_; }
+  double sample(numerics::Rng& rng) const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+}  // namespace lrd::dist

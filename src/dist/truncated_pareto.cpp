@@ -1,0 +1,100 @@
+#include "dist/truncated_pareto.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lrd::dist {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+TruncatedPareto::TruncatedPareto(double theta, double alpha, double cutoff)
+    : theta_(theta), alpha_(alpha), cutoff_(cutoff) {
+  if (!(theta > 0.0)) throw std::invalid_argument("TruncatedPareto: theta must be > 0");
+  if (!(alpha > 1.0)) throw std::invalid_argument("TruncatedPareto: alpha must be > 1");
+  if (!(cutoff > 0.0)) throw std::invalid_argument("TruncatedPareto: cutoff must be > 0");
+}
+
+double TruncatedPareto::atom_mass() const noexcept {
+  if (std::isinf(cutoff_)) return 0.0;
+  return std::pow((cutoff_ + theta_) / theta_, -alpha_);
+}
+
+double TruncatedPareto::ccdf_open(double t) const {
+  if (t <= 0.0) return 1.0;
+  if (t >= cutoff_) return 0.0;
+  return std::pow((t + theta_) / theta_, -alpha_);
+}
+
+double TruncatedPareto::ccdf_closed(double t) const {
+  if (t <= 0.0) return 1.0;
+  if (t > cutoff_) return 0.0;
+  return std::pow((t + theta_) / theta_, -alpha_);
+}
+
+double TruncatedPareto::excess_mean(double u) const {
+  if (u < 0.0) u = 0.0;
+  if (u >= cutoff_) return 0.0;
+  const double head = std::pow((u + theta_) / theta_, 1.0 - alpha_);
+  const double tail = std::isinf(cutoff_) ? 0.0 : std::pow((cutoff_ + theta_) / theta_, 1.0 - alpha_);
+  return theta_ / (alpha_ - 1.0) * (head - tail);
+}
+
+double TruncatedPareto::mean() const { return excess_mean(0.0); }
+
+double TruncatedPareto::variance() const {
+  if (std::isinf(cutoff_)) {
+    if (alpha_ <= 2.0) return kInf;
+    const double m = mean();
+    const double second = 2.0 * theta_ * theta_ / ((alpha_ - 1.0) * (alpha_ - 2.0));
+    return second - m * m;
+  }
+  // E[T^2] = 2 * theta^alpha * int_theta^{T_c+theta} (u - theta) u^{-alpha} du.
+  const double lo = theta_;
+  const double hi = cutoff_ + theta_;
+  double integral;
+  if (std::abs(alpha_ - 2.0) < 1e-9) {
+    integral = std::log(hi / lo) + theta_ * (1.0 / hi - 1.0 / lo);
+  } else {
+    integral = (std::pow(hi, 2.0 - alpha_) - std::pow(lo, 2.0 - alpha_)) / (2.0 - alpha_) +
+               theta_ * (std::pow(hi, 1.0 - alpha_) - std::pow(lo, 1.0 - alpha_)) / (alpha_ - 1.0);
+  }
+  const double second = 2.0 * std::pow(theta_, alpha_) * integral;
+  const double m = mean();
+  return second - m * m;
+}
+
+double TruncatedPareto::sample(numerics::Rng& rng) const {
+  // Inverse transform of the untruncated Pareto, clipped to the cutoff;
+  // the clipped mass is exactly the atom at T_c.
+  const double u = rng.uniform_open();
+  const double t = theta_ * (std::pow(u, -1.0 / alpha_) - 1.0);
+  return std::min(t, cutoff_);
+}
+
+double TruncatedPareto::alpha_from_hurst(double hurst) {
+  if (!(hurst > 0.5 && hurst < 1.0))
+    throw std::invalid_argument("TruncatedPareto: Hurst parameter must be in (1/2, 1)");
+  return 3.0 - 2.0 * hurst;
+}
+
+double TruncatedPareto::hurst_from_alpha(double alpha) {
+  if (!(alpha > 1.0 && alpha < 2.0))
+    throw std::invalid_argument("TruncatedPareto: alpha must be in (1, 2) for the Hurst mapping");
+  return (3.0 - alpha) / 2.0;
+}
+
+double TruncatedPareto::theta_from_mean_epoch(double mean_epoch, double alpha) {
+  if (!(mean_epoch > 0.0)) throw std::invalid_argument("TruncatedPareto: mean epoch must be > 0");
+  if (!(alpha > 1.0)) throw std::invalid_argument("TruncatedPareto: alpha must be > 1");
+  return mean_epoch * (alpha - 1.0);
+}
+
+TruncatedPareto TruncatedPareto::from_hurst(double hurst, double mean_epoch, double cutoff) {
+  const double alpha = alpha_from_hurst(hurst);
+  return TruncatedPareto(theta_from_mean_epoch(mean_epoch, alpha), alpha, cutoff);
+}
+
+}  // namespace lrd::dist

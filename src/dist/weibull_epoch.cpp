@@ -1,0 +1,48 @@
+#include "dist/weibull_epoch.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "numerics/special_functions.hpp"
+
+namespace lrd::dist {
+
+WeibullEpoch::WeibullEpoch(double scale, double shape) : scale_(scale), shape_(shape) {
+  if (!(scale > 0.0)) throw std::invalid_argument("WeibullEpoch: scale must be > 0");
+  if (!(shape > 0.0)) throw std::invalid_argument("WeibullEpoch: shape must be > 0");
+}
+
+WeibullEpoch WeibullEpoch::from_mean(double mean, double shape) {
+  if (!(mean > 0.0)) throw std::invalid_argument("WeibullEpoch: mean must be > 0");
+  if (!(shape > 0.0)) throw std::invalid_argument("WeibullEpoch: shape must be > 0");
+  return WeibullEpoch(mean / std::tgamma(1.0 + 1.0 / shape), shape);
+}
+
+double WeibullEpoch::mean() const { return scale_ * std::tgamma(1.0 + 1.0 / shape_); }
+
+double WeibullEpoch::variance() const {
+  const double g1 = std::tgamma(1.0 + 1.0 / shape_);
+  const double g2 = std::tgamma(1.0 + 2.0 / shape_);
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+double WeibullEpoch::ccdf_open(double t) const {
+  if (t <= 0.0) return 1.0;
+  return std::exp(-std::pow(t / scale_, shape_));
+}
+
+double WeibullEpoch::excess_mean(double u) const {
+  if (u < 0.0) u = 0.0;
+  // int_u^inf exp(-(t/s)^k) dt = (s/k) Gamma(1/k, (u/s)^k).
+  const double x = std::pow(u / scale_, shape_);
+  return scale_ / shape_ * numerics::upper_incomplete_gamma(1.0 / shape_, x);
+}
+
+double WeibullEpoch::max_support() const { return std::numeric_limits<double>::infinity(); }
+
+double WeibullEpoch::sample(numerics::Rng& rng) const {
+  return scale_ * std::pow(-std::log(rng.uniform_open()), 1.0 / shape_);
+}
+
+}  // namespace lrd::dist

@@ -1,0 +1,39 @@
+// Weibull epoch-length distribution: Pr{T > t} = exp(-(t/scale)^shape).
+//
+// shape < 1 gives a subexponential (stretched-exponential) epoch law —
+// burstier than exponential but with all moments finite, sitting between
+// the memoryless and the truncated-Pareto regimes the paper studies.
+// shape = 1 degenerates to the exponential; shape > 1 is lighter than
+// exponential. The closed forms route through the upper incomplete gamma
+// function: E[(T - u)^+] = (scale/shape) * Gamma(1/shape, (u/scale)^shape).
+#pragma once
+
+#include "dist/epoch.hpp"
+
+namespace lrd::dist {
+
+class WeibullEpoch final : public EpochDistribution {
+ public:
+  /// scale > 0, shape > 0.
+  WeibullEpoch(double scale, double shape);
+
+  double scale() const noexcept { return scale_; }
+  double shape() const noexcept { return shape_; }
+
+  /// Factory with a prescribed mean: scale = mean / Gamma(1 + 1/shape).
+  static WeibullEpoch from_mean(double mean, double shape);
+
+  double mean() const override;
+  double variance() const override;
+  double ccdf_open(double t) const override;
+  double ccdf_closed(double t) const override { return ccdf_open(t); }
+  double excess_mean(double u) const override;
+  double max_support() const override;
+  double sample(numerics::Rng& rng) const override;
+
+ private:
+  double scale_;
+  double shape_;
+};
+
+}  // namespace lrd::dist

@@ -1,0 +1,67 @@
+#include "numerics/convolution.hpp"
+
+#include <stdexcept>
+
+#include "numerics/fft.hpp"
+
+namespace lrd::numerics {
+
+std::vector<double> convolve_direct(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.empty() || b.empty()) throw std::invalid_argument("convolve_direct: empty input");
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double ai = a[i];
+    if (ai == 0.0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) out[i + j] += ai * b[j];
+  }
+  return out;
+}
+
+std::vector<double> convolve_fft(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.empty() || b.empty()) throw std::invalid_argument("convolve_fft: empty input");
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t n = next_pow2(out_len);
+  auto fa = fft_real(a, n);
+  auto fb = fft_real(b, n);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  auto res = ifft(std::move(fa));
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = res[i].real();
+  return out;
+}
+
+std::vector<double> convolve(const std::vector<double>& a, const std::vector<double>& b) {
+  // Crossover chosen empirically; the direct path wins for tiny kernels.
+  if (a.size() * b.size() <= 64 * 64) return convolve_direct(a, b);
+  return convolve_fft(a, b);
+}
+
+std::vector<double> self_convolve(const std::vector<double>& a, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("self_convolve: n must be >= 1");
+  std::vector<double> out = a;
+  for (std::size_t k = 1; k < n; ++k) out = convolve(out, a);
+  return out;
+}
+
+CachedKernelConvolver::CachedKernelConvolver(std::vector<double> kernel,
+                                             std::size_t max_signal_len)
+    : kernel_len_(kernel.size()), max_signal_len_(max_signal_len) {
+  if (kernel.empty()) throw std::invalid_argument("CachedKernelConvolver: empty kernel");
+  if (max_signal_len == 0) throw std::invalid_argument("CachedKernelConvolver: max_signal_len == 0");
+  n_ = next_pow2(kernel_len_ + max_signal_len_ - 1);
+  kernel_spectrum_ = fft_real(kernel, n_);
+}
+
+std::vector<double> CachedKernelConvolver::convolve(const std::vector<double>& signal) const {
+  if (signal.empty() || signal.size() > max_signal_len_)
+    throw std::invalid_argument("CachedKernelConvolver::convolve: bad signal length");
+  auto fs = fft_real(signal, n_);
+  for (std::size_t i = 0; i < n_; ++i) fs[i] *= kernel_spectrum_[i];
+  auto res = ifft(std::move(fs));
+  const std::size_t out_len = signal.size() + kernel_len_ - 1;
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = res[i].real();
+  return out;
+}
+
+}  // namespace lrd::numerics

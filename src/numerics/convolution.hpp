@@ -1,0 +1,48 @@
+// Linear convolution of real sequences, direct and FFT-based, plus a
+// cached-kernel convolver for repeated convolutions against a fixed kernel
+// (the inner loop of the queue-occupancy recursion, Eq. 19 of the paper).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace lrd::numerics {
+
+/// Direct O(|a|*|b|) linear convolution. Result size |a| + |b| - 1.
+std::vector<double> convolve_direct(const std::vector<double>& a, const std::vector<double>& b);
+
+/// FFT-based linear convolution with zero padding, O(n log n).
+std::vector<double> convolve_fft(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Size-based dispatch between the direct and FFT paths.
+std::vector<double> convolve(const std::vector<double>& a, const std::vector<double>& b);
+
+/// n-fold self-convolution of a sequence (n >= 1).
+std::vector<double> self_convolve(const std::vector<double>& a, std::size_t n);
+
+/// Convolver that transforms a fixed kernel once and reuses its spectrum.
+///
+/// The queue recursion convolves the occupancy pmf (length M+1) with the
+/// fixed increment pmf (length 2M+1) every iteration; caching the kernel
+/// spectrum roughly halves the per-iteration FFT work.
+class CachedKernelConvolver {
+ public:
+  /// `kernel` is the fixed sequence; `max_signal_len` bounds the length of
+  /// the signals that will later be convolved against it.
+  CachedKernelConvolver(std::vector<double> kernel, std::size_t max_signal_len);
+
+  /// Linear convolution `signal * kernel`; `signal.size() <= max_signal_len`.
+  std::vector<double> convolve(const std::vector<double>& signal) const;
+
+  std::size_t kernel_size() const noexcept { return kernel_len_; }
+  std::size_t fft_size() const noexcept { return n_; }
+
+ private:
+  std::size_t kernel_len_;
+  std::size_t max_signal_len_;
+  std::size_t n_;  // FFT size (power of two)
+  std::vector<std::complex<double>> kernel_spectrum_;
+};
+
+}  // namespace lrd::numerics

@@ -1,0 +1,71 @@
+#include "numerics/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace lrd::numerics {
+
+std::size_t next_pow2(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("next_pow2: n must be >= 1");
+  std::size_t p = 1;
+  while (p < n) {
+    if (p > (std::size_t{1} << 62)) throw std::overflow_error("next_pow2: overflow");
+    p <<= 1;
+  }
+  return p;
+}
+
+bool is_pow2(std::size_t n) noexcept { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (!is_pow2(n)) throw std::invalid_argument("fft_inplace: size must be a power of two");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen{std::cos(ang), std::sin(ang)};
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> fft(std::vector<std::complex<double>> data) {
+  fft_inplace(data, /*inverse=*/false);
+  return data;
+}
+
+std::vector<std::complex<double>> ifft(std::vector<std::complex<double>> data) {
+  fft_inplace(data, /*inverse=*/true);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (auto& z : data) z *= inv_n;
+  return data;
+}
+
+std::vector<std::complex<double>> fft_real(const std::vector<double>& x, std::size_t n) {
+  if (!is_pow2(n) || n < x.size())
+    throw std::invalid_argument("fft_real: n must be a power of two >= x.size()");
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < x.size(); ++i) data[i] = {x[i], 0.0};
+  fft_inplace(data, /*inverse=*/false);
+  return data;
+}
+
+}  // namespace lrd::numerics

@@ -1,0 +1,37 @@
+// Radix-2 complex FFT and helpers.
+//
+// Self-contained replacement for an external FFT dependency. The solver in
+// queueing/solver.cpp and the fGn generator in traffic/fgn.cpp are the two
+// hot consumers; both operate on power-of-two sizes obtained by
+// zero-padding, so an iterative radix-2 transform is all we need.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace lrd::numerics {
+
+/// Returns the smallest power of two >= n (n >= 1). Throws on n == 0.
+std::size_t next_pow2(std::size_t n);
+
+/// Returns true iff n is a power of two (n >= 1).
+bool is_pow2(std::size_t n) noexcept;
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+///
+/// `data.size()` must be a power of two. `inverse == true` computes the
+/// unnormalized inverse transform; callers divide by N themselves (or use
+/// ifft() which does it for them).
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse);
+
+/// Forward FFT of a complex vector (size must be a power of two).
+std::vector<std::complex<double>> fft(std::vector<std::complex<double>> data);
+
+/// Normalized inverse FFT (divides by N).
+std::vector<std::complex<double>> ifft(std::vector<std::complex<double>> data);
+
+/// Forward FFT of a real vector zero-padded to `n` (a power of two >= x.size()).
+std::vector<std::complex<double>> fft_real(const std::vector<double>& x, std::size_t n);
+
+}  // namespace lrd::numerics

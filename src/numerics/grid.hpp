@@ -1,0 +1,60 @@
+// Uniform grid over [0, B] and the floor/ceiling quantization operators
+// phi_L^M / phi_H^M of Eq. 15 in the paper.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace lrd::numerics {
+
+/// A uniform grid of M intervals (M+1 points) over [0, B]; d = B / M.
+///
+/// Bin j corresponds to the value j * d. The two quantization operators
+/// phi_L (round down) and phi_H (round up) map a continuous value in
+/// [0, B] to a grid point, bracketing it: phi_L(x) <= x <= phi_H(x).
+class Grid {
+ public:
+  Grid(double upper, std::size_t bins) : upper_(upper), bins_(bins) {
+    if (!(upper > 0.0)) throw std::invalid_argument("Grid: upper bound must be > 0");
+    if (bins == 0) throw std::invalid_argument("Grid: bins must be >= 1");
+    step_ = upper / static_cast<double>(bins);
+  }
+
+  double upper() const noexcept { return upper_; }
+  std::size_t bins() const noexcept { return bins_; }
+  std::size_t points() const noexcept { return bins_ + 1; }
+  double step() const noexcept { return step_; }
+
+  /// Value of grid point j.
+  double value(std::size_t j) const noexcept { return static_cast<double>(j) * step_; }
+
+  /// phi_L^M: largest grid index with value <= x (x clamped to [0, upper]).
+  std::size_t floor_index(double x) const noexcept {
+    if (x <= 0.0) return 0;
+    if (x >= upper_) return bins_;
+    auto j = static_cast<std::size_t>(std::floor(x / step_));
+    return j > bins_ ? bins_ : j;
+  }
+
+  /// phi_H^M: smallest grid index with value >= x (x clamped to [0, upper]).
+  std::size_t ceil_index(double x) const noexcept {
+    if (x <= 0.0) return 0;
+    if (x >= upper_) return bins_;
+    auto j = static_cast<std::size_t>(std::ceil(x / step_));
+    return j > bins_ ? bins_ : j;
+  }
+
+  double floor_quantize(double x) const noexcept { return value(floor_index(x)); }
+  double ceil_quantize(double x) const noexcept { return value(ceil_index(x)); }
+
+  /// The refinement with m * bins intervals over the same range.
+  Grid refined(std::size_t m) const { return Grid(upper_, bins_ * m); }
+
+ private:
+  double upper_;
+  std::size_t bins_;
+  double step_;
+};
+
+}  // namespace lrd::numerics

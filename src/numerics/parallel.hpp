@@ -1,0 +1,20 @@
+// Minimal data parallelism for the experiment sweeps.
+//
+// The figure surfaces solve dozens of independent queue models; each
+// solve is pure (no shared mutable state), so a static block partition
+// over hardware threads is all the machinery needed.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace lrd::numerics {
+
+/// Invokes fn(i) for i in [0, n), distributing the indices over up to
+/// `threads` worker threads (0 = hardware concurrency). fn must be safe
+/// to call concurrently for distinct i. Exceptions thrown by fn are
+/// rethrown (the first one encountered) after all workers join.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+}  // namespace lrd::numerics

@@ -1,0 +1,37 @@
+#include "queueing/asymptotics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lrd::queueing {
+
+double norros_log_tail(double x, double mean_rate, double variance_coefficient, double hurst,
+                       double service_rate) {
+  if (!(x >= 0.0)) throw std::invalid_argument("norros_log_tail: x must be >= 0");
+  if (!(mean_rate > 0.0)) throw std::invalid_argument("norros_log_tail: mean rate must be > 0");
+  if (!(variance_coefficient > 0.0))
+    throw std::invalid_argument("norros_log_tail: variance coefficient must be > 0");
+  if (!(hurst > 0.0 && hurst < 1.0))
+    throw std::invalid_argument("norros_log_tail: H must be in (0, 1)");
+  if (!(service_rate > mean_rate))
+    throw std::invalid_argument("norros_log_tail: need c > m for stability");
+
+  const double kappa = std::pow(hurst, hurst) * std::pow(1.0 - hurst, 1.0 - hurst);
+  const double numerator =
+      std::pow(service_rate - mean_rate, 2.0 * hurst) * std::pow(x, 2.0 - 2.0 * hurst);
+  return -numerator / (2.0 * kappa * kappa * variance_coefficient * mean_rate);
+}
+
+double weibull_tail_exponent(double hurst) {
+  if (!(hurst > 0.0 && hurst < 1.0))
+    throw std::invalid_argument("weibull_tail_exponent: H must be in (0, 1)");
+  return 2.0 - 2.0 * hurst;
+}
+
+double hyperbolic_tail_index(double pareto_alpha) {
+  if (!(pareto_alpha > 1.0 && pareto_alpha < 2.0))
+    throw std::invalid_argument("hyperbolic_tail_index: alpha must be in (1, 2)");
+  return pareto_alpha - 1.0;
+}
+
+}  // namespace lrd::queueing

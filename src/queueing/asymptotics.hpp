@@ -1,0 +1,26 @@
+// Closed-form tail asymptotics for infinite-buffer queues with LRD input —
+// the results the paper's introduction contrasts (Norros; Brichet, Roberts,
+// Simonian & Veitch; Parulekar & Makowski).
+#pragma once
+
+namespace lrd::queueing {
+
+/// Norros' Weibullian approximation for a queue fed by fractional
+/// Brownian traffic A(t) = m t + sqrt(a m) B_H(t) served at rate c > m:
+///
+///   log Pr{Q > x} ~ - (c - m)^{2H} x^{2-2H} / (2 kappa(H)^2 a m),
+///   kappa(H) = H^H (1 - H)^{1-H}.
+///
+/// Returns the (negative) natural-log tail estimate at level x >= 0.
+double norros_log_tail(double x, double mean_rate, double variance_coefficient, double hurst,
+                       double service_rate);
+
+/// The Weibull tail exponent of the fBm queue: Pr{Q > x} ~ exp(-g x^w)
+/// with w = 2 - 2H. Returned so empirical fits can be compared directly.
+double weibull_tail_exponent(double hurst);
+
+/// Hyperbolic tail index for a single on/off source with Pareto(alpha) on
+/// periods (1 < alpha < 2): Pr{Q > x} ~ C x^{-(alpha-1)}; returns alpha-1.
+double hyperbolic_tail_index(double pareto_alpha);
+
+}  // namespace lrd::queueing

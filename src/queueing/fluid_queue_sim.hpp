@@ -1,0 +1,39 @@
+// Monte-Carlo simulation of the exact occupancy recursion
+// Q(n+1) = max(0, min(B, Q(n) + W(n))) — an independent check of the
+// numerical solver: the simulated loss rate must fall inside (or within
+// statistical error of) the solver's bracket.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dist/epoch.hpp"
+#include "dist/marginal.hpp"
+#include "numerics/random.hpp"
+
+namespace lrd::queueing {
+
+struct FluidSimConfig {
+  std::size_t epochs = 1 << 20;       // simulated epochs after warm-up
+  std::size_t warmup_epochs = 1 << 16;
+  std::size_t batches = 32;           // batch-means batches for the CI
+  std::uint64_t seed = 42;
+};
+
+struct FluidSimResult {
+  double loss_rate = 0.0;        // lost work / arrived work
+  double loss_rate_stderr = 0.0; // batch-means standard error
+  double mean_queue = 0.0;       // time-average-at-arrivals occupancy
+  /// Carried utilization: served work / (service rate * elapsed time).
+  double utilization_observed = 0.0;
+  double arrived_work = 0.0;
+  double lost_work = 0.0;
+};
+
+/// Simulates the finite-buffer fluid queue fed by the modulated source.
+FluidSimResult simulate_fluid_queue(const dist::Marginal& marginal,
+                                    const dist::EpochDistribution& epochs_dist,
+                                    double service_rate, double buffer,
+                                    const FluidSimConfig& cfg = {});
+
+}  // namespace lrd::queueing

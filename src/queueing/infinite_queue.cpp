@@ -1,0 +1,54 @@
+#include "queueing/infinite_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lrd::queueing {
+
+std::vector<double> lindley_occupancies(const std::vector<double>& increments) {
+  std::vector<double> out(increments.size());
+  double q = 0.0;
+  for (std::size_t k = 0; k < increments.size(); ++k) {
+    q = std::max(0.0, q + increments[k]);
+    out[k] = q;
+  }
+  return out;
+}
+
+std::vector<double> onoff_infinite_queue_samples(const dist::EpochDistribution& on_periods,
+                                                 const dist::EpochDistribution& off_periods,
+                                                 double peak, double service,
+                                                 std::size_t cycles, numerics::Rng& rng) {
+  if (!(peak > service)) throw std::invalid_argument("onoff_infinite_queue: need peak > service");
+  if (!(service > 0.0)) throw std::invalid_argument("onoff_infinite_queue: service must be > 0");
+  // Stability: mean input peak * E[on] / (E[on] + E[off]) < service.
+  const double load =
+      peak * on_periods.mean() / (on_periods.mean() + off_periods.mean()) / service;
+  if (!(load < 1.0)) throw std::invalid_argument("onoff_infinite_queue: offered load >= 1");
+
+  std::vector<double> samples;
+  samples.reserve(2 * cycles);
+  double q = 0.0;
+  for (std::size_t i = 0; i < cycles; ++i) {
+    q += (peak - service) * on_periods.sample(rng);  // fills during on
+    samples.push_back(q);
+    q = std::max(0.0, q - service * off_periods.sample(rng));  // drains during off
+    samples.push_back(q);
+  }
+  return samples;
+}
+
+std::vector<double> empirical_ccdf(const std::vector<double>& samples,
+                                   const std::vector<double>& thresholds) {
+  if (samples.empty()) throw std::invalid_argument("empirical_ccdf: no samples");
+  std::vector<double> sorted(samples);
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out(thresholds.size());
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), thresholds[i]);
+    out[i] = static_cast<double>(sorted.end() - it) / static_cast<double>(sorted.size());
+  }
+  return out;
+}
+
+}  // namespace lrd::queueing

@@ -1,0 +1,40 @@
+// Infinite-buffer queue simulation and empirical tail estimation.
+//
+// The paper's introduction contrasts three LRD arrival processes feeding
+// an infinite queue: fractional-Brownian input gives a Weibullian
+// occupancy tail, a single on/off source with heavy-tailed on periods a
+// hyperbolic tail, and an on/off source whose off periods only are heavy
+// tailed an exponential tail — "processes with the same correlation
+// structure can generate vastly different queueing behavior". These
+// routines simulate the three regimes (see bench/intro_tail_regimes) and
+// estimate the empirical complementary distribution of the occupancy.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/epoch.hpp"
+#include "numerics/random.hpp"
+
+namespace lrd::queueing {
+
+/// Lindley recursion Q_{k+1} = max(0, Q_k + X_k) over an i.i.d.-or-not
+/// increment series; returns the occupancy after each step (the input
+/// series is consumed as-is, so any dependence structure is preserved).
+std::vector<double> lindley_occupancies(const std::vector<double>& increments);
+
+/// Occupancy of an infinite queue fed by a single on/off source with the
+/// given period laws, sampled at every period boundary. `peak` is the on
+/// rate, `service` the (constant) service rate; peak > service for a
+/// nontrivial queue. Returns `cycles * 2` samples.
+std::vector<double> onoff_infinite_queue_samples(const dist::EpochDistribution& on_periods,
+                                                 const dist::EpochDistribution& off_periods,
+                                                 double peak, double service,
+                                                 std::size_t cycles, numerics::Rng& rng);
+
+/// Empirical complementary distribution Pr{Q > x} of a sample set at the
+/// given thresholds (thresholds need not be sorted).
+std::vector<double> empirical_ccdf(const std::vector<double>& samples,
+                                   const std::vector<double>& thresholds);
+
+}  // namespace lrd::queueing

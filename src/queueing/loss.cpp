@@ -1,0 +1,36 @@
+#include "queueing/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/special_functions.hpp"
+
+namespace lrd::queueing {
+
+double LossBounds::relative_gap() const noexcept { return numerics::relative_gap(lower, upper); }
+
+double expected_loss_given_occupancy(const dist::Marginal& marginal,
+                                     const dist::EpochDistribution& epochs,
+                                     double service_rate, double buffer, double x) {
+  if (!(buffer > 0.0)) throw std::invalid_argument("expected_loss_given_occupancy: buffer must be > 0");
+  if (!(x >= 0.0 && x <= buffer * (1.0 + 1e-12)))
+    throw std::invalid_argument("expected_loss_given_occupancy: occupancy outside [0, B]");
+
+  const double headroom = std::max(0.0, buffer - x);
+  double total = 0.0;
+  const auto& rates = marginal.rates();
+  const auto& probs = marginal.probs();
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double excess_rate = rates[i] - service_rate;
+    if (excess_rate <= 0.0) continue;  // under-run rates never overflow
+    total += probs[i] * excess_rate * epochs.excess_mean(headroom / excess_rate);
+  }
+  return total;
+}
+
+double expected_work_per_epoch(const dist::Marginal& marginal,
+                               const dist::EpochDistribution& epochs) {
+  return marginal.mean() * epochs.mean();
+}
+
+}  // namespace lrd::queueing

@@ -1,0 +1,39 @@
+// Stationary loss-rate functional for the finite-buffer fluid queue
+// (Eq. 13-14 of the paper and the closed-form overflow kernel below them).
+//
+// Work arriving in one epoch at rate lambda_i lasts T seconds; the queue
+// gains W = T (lambda_i - c). Given occupancy Q = x at the epoch start,
+// the lost work is W_l = (W - (B - x))^+, and
+//   E[W_l | Q = x] = sum_{i: lambda_i > c} pi_i (lambda_i - c)
+//                    * E[(T - (B - x)/(lambda_i - c))^+],
+// which reduces to the paper's truncated-Pareto expression via
+// EpochDistribution::excess_mean. The long-run loss rate is
+//   l = E[W_l] / (mean_rate * E[T]).
+#pragma once
+
+#include "dist/epoch.hpp"
+#include "dist/marginal.hpp"
+
+namespace lrd::queueing {
+
+/// Lower/upper bracket of the loss rate produced by the solver.
+struct LossBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+
+  double mid() const noexcept { return (lower + upper) / 2.0; }
+  double gap() const noexcept { return upper - lower; }
+  /// Gap relative to the midpoint (the paper's 20% convergence criterion).
+  double relative_gap() const noexcept;
+};
+
+/// E[W_l | Q = x] for occupancy x in [0, B].
+double expected_loss_given_occupancy(const dist::Marginal& marginal,
+                                     const dist::EpochDistribution& epochs,
+                                     double service_rate, double buffer, double x);
+
+/// E[arriving work per epoch] = mean_rate * E[T] — the loss-rate denominator.
+double expected_work_per_epoch(const dist::Marginal& marginal,
+                               const dist::EpochDistribution& epochs);
+
+}  // namespace lrd::queueing

@@ -1,0 +1,44 @@
+// Secondary performance metrics derived from the solver's stationary
+// occupancy bounds.
+//
+// The solver produces two pmfs over {0, d, ..., B} that stochastically
+// bracket the occupancy at arrival epochs (Q_L <=st Q <=st Q_H). Any
+// monotone functional of the occupancy therefore comes with rigorous
+// lower/upper bounds: overflow probability Pr{Q >= x} (the metric used by
+// the infinite-buffer literature the paper engages with, cf. footnote 2),
+// occupancy quantiles, and the queueing-delay distribution Q / c.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "queueing/solver.hpp"
+
+namespace lrd::queueing {
+
+struct BoundedValue {
+  double lower = 0.0;
+  double upper = 0.0;
+  double mid() const noexcept { return (lower + upper) / 2.0; }
+};
+
+/// Pr{Q >= x} bracket from a solver result. x is clamped to [0, B].
+BoundedValue overflow_probability(const SolverResult& result, double buffer, double x);
+
+/// Smallest occupancy q with Pr{Q <= q} >= p, bracketed. p in (0, 1].
+BoundedValue occupancy_quantile(const SolverResult& result, double buffer, double p);
+
+/// Queueing-delay quantile in seconds: occupancy quantile / service rate.
+BoundedValue delay_quantile(const SolverResult& result, double buffer, double service_rate,
+                            double p);
+
+/// Full complementary distribution Pr{Q >= j d} for j = 0..M, as
+/// (lower, upper) vectors — convenient for plotting tail curves.
+struct OccupancyTail {
+  double step = 0.0;
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+OccupancyTail occupancy_tail(const SolverResult& result, double buffer);
+
+}  // namespace lrd::queueing

@@ -1,0 +1,274 @@
+#include "queueing/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "numerics/convolution.hpp"
+#include "numerics/special_functions.hpp"
+
+namespace lrd::queueing {
+
+namespace {
+
+/// Dirac pmf over M+1 grid points with all mass at `index`.
+std::vector<double> dirac(std::size_t points, std::size_t index) {
+  std::vector<double> q(points, 0.0);
+  q[index] = 1.0;
+  return q;
+}
+
+/// Mean of an occupancy pmf over {0, d, ..., Md}.
+double pmf_mean(const std::vector<double>& q, double step) {
+  numerics::CompensatedSum acc;
+  for (std::size_t j = 0; j < q.size(); ++j) acc.add(q[j] * static_cast<double>(j) * step);
+  return acc.value();
+}
+
+/// Clamp FFT round-off and renormalize to total mass one.
+void sanitize(std::vector<double>& q) {
+  double total = 0.0;
+  for (double& p : q) {
+    if (p < 0.0) p = 0.0;
+    total += p;
+  }
+  if (total > 0.0) {
+    const double inv = 1.0 / total;
+    for (double& p : q) p *= inv;
+  }
+}
+
+}  // namespace
+
+struct FluidQueueSolver::Level {
+  numerics::Grid grid;
+  numerics::CachedKernelConvolver conv_lower;
+  numerics::CachedKernelConvolver conv_upper;
+  std::vector<double> kernel;  // E[W_l | Q = j d] for j = 0..M
+};
+
+FluidQueueSolver::FluidQueueSolver(dist::Marginal marginal, dist::EpochPtr epochs,
+                                   double service_rate, double buffer)
+    : marginal_(std::move(marginal)),
+      epochs_(std::move(epochs)),
+      service_rate_(service_rate),
+      buffer_(buffer) {
+  if (!epochs_) throw std::invalid_argument("FluidQueueSolver: null epoch distribution");
+  if (!(service_rate > 0.0)) throw std::invalid_argument("FluidQueueSolver: service rate must be > 0");
+  if (!(buffer > 0.0)) throw std::invalid_argument("FluidQueueSolver: buffer must be > 0");
+}
+
+double FluidQueueSolver::increment_ccdf_open(double w) const {
+  const auto& rates = marginal_.rates();
+  const auto& probs = marginal_.probs();
+  double s = 0.0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double dr = rates[i] - service_rate_;
+    if (dr > 0.0) {
+      s += probs[i] * epochs_->ccdf_open(w / dr);
+    } else if (dr < 0.0) {
+      s += probs[i] * (1.0 - epochs_->ccdf_closed(w / dr));
+    } else if (w < 0.0) {
+      s += probs[i];
+    }
+  }
+  return s;
+}
+
+double FluidQueueSolver::increment_ccdf_closed(double w) const {
+  const auto& rates = marginal_.rates();
+  const auto& probs = marginal_.probs();
+  double s = 0.0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double dr = rates[i] - service_rate_;
+    if (dr > 0.0) {
+      s += probs[i] * epochs_->ccdf_closed(w / dr);
+    } else if (dr < 0.0) {
+      s += probs[i] * (1.0 - epochs_->ccdf_open(w / dr));
+    } else if (w <= 0.0) {
+      s += probs[i];
+    }
+  }
+  return s;
+}
+
+std::vector<double> FluidQueueSolver::increment_pmf_lower(std::size_t bins) const {
+  if (bins == 0) throw std::invalid_argument("increment_pmf_lower: bins must be >= 1");
+  const numerics::Grid grid(buffer_, bins);
+  const double d = grid.step();
+  const auto m = static_cast<double>(bins);
+  std::vector<double> w(2 * bins + 1);
+  // Eq. 21: i = -M lumps everything below (-M+1)d; i = M lumps [Md, inf).
+  w[0] = 1.0 - increment_ccdf_closed((-m + 1.0) * d);
+  for (std::size_t k = 1; k < 2 * bins; ++k) {
+    const double i = static_cast<double>(k) - m;
+    w[k] = increment_ccdf_closed(i * d) - increment_ccdf_closed((i + 1.0) * d);
+  }
+  w[2 * bins] = increment_ccdf_closed(m * d);
+  for (double& p : w) p = std::max(p, 0.0);
+  return w;
+}
+
+std::vector<double> FluidQueueSolver::increment_pmf_upper(std::size_t bins) const {
+  if (bins == 0) throw std::invalid_argument("increment_pmf_upper: bins must be >= 1");
+  const numerics::Grid grid(buffer_, bins);
+  const double d = grid.step();
+  const auto m = static_cast<double>(bins);
+  std::vector<double> w(2 * bins + 1);
+  // Eq. 22: i = -M lumps (-inf, -Md]; i = M lumps ((M-1)d, inf).
+  w[0] = 1.0 - increment_ccdf_open(-m * d);
+  for (std::size_t k = 1; k < 2 * bins; ++k) {
+    const double i = static_cast<double>(k) - m;
+    w[k] = increment_ccdf_open((i - 1.0) * d) - increment_ccdf_open(i * d);
+  }
+  w[2 * bins] = increment_ccdf_open((m - 1.0) * d);
+  for (double& p : w) p = std::max(p, 0.0);
+  return w;
+}
+
+double FluidQueueSolver::overflow_kernel(double x) const {
+  return expected_loss_given_occupancy(marginal_, *epochs_, service_rate_, buffer_,
+                                       std::min(x, buffer_));
+}
+
+FluidQueueSolver::Level FluidQueueSolver::build_level(std::size_t bins) const {
+  const numerics::Grid grid(buffer_, bins);
+  std::vector<double> kernel(bins + 1);
+  for (std::size_t j = 0; j <= bins; ++j) kernel[j] = overflow_kernel(grid.value(j));
+  return Level{grid,
+               numerics::CachedKernelConvolver(increment_pmf_lower(bins), bins + 1),
+               numerics::CachedKernelConvolver(increment_pmf_upper(bins), bins + 1),
+               std::move(kernel)};
+}
+
+double FluidQueueSolver::loss_from_pmf(const std::vector<double>& q,
+                                       const std::vector<double>& kernel) const {
+  numerics::CompensatedSum acc;
+  for (std::size_t j = 0; j < q.size(); ++j) acc.add(q[j] * kernel[j]);
+  return acc.value() / expected_work_per_epoch(marginal_, *epochs_);
+}
+
+namespace {
+
+/// One epoch: convolve with the increment pmf and fold the spilled mass
+/// onto the boundary atoms at 0 and B (Eq. 19-20). `u` has 3M+1 entries;
+/// entry k corresponds to occupancy value (k - M) d.
+void fold_step(const numerics::CachedKernelConvolver& conv, std::vector<double>& q,
+               std::size_t bins) {
+  const auto u = conv.convolve(q);
+  std::vector<double> next(bins + 1, 0.0);
+  numerics::CompensatedSum at_zero, at_buffer;
+  for (std::size_t k = 0; k <= bins; ++k) at_zero.add(u[k]);            // values <= 0
+  for (std::size_t k = 2 * bins; k < u.size(); ++k) at_buffer.add(u[k]);  // values >= B
+  for (std::size_t j = 1; j < bins; ++j) next[j] = u[bins + j];
+  next[0] = at_zero.value();
+  next[bins] = at_buffer.value();
+  sanitize(next);
+  q = std::move(next);
+}
+
+}  // namespace
+
+FluidQueueSolver::LevelSnapshot FluidQueueSolver::iterate_fixed(std::size_t bins,
+                                                                std::size_t iterations) const {
+  const Level level = build_level(bins);
+  LevelSnapshot snap;
+  snap.bins = bins;
+  snap.q_lower = dirac(bins + 1, 0);
+  snap.q_upper = dirac(bins + 1, bins);
+  for (std::size_t n = 0; n < iterations; ++n) {
+    fold_step(level.conv_lower, snap.q_lower, bins);
+    fold_step(level.conv_upper, snap.q_upper, bins);
+  }
+  snap.loss.lower = loss_from_pmf(snap.q_lower, level.kernel);
+  snap.loss.upper = loss_from_pmf(snap.q_upper, level.kernel);
+  return snap;
+}
+
+SolverResult FluidQueueSolver::solve(const SolverConfig& cfg) const {
+  if (cfg.initial_bins < 2) throw std::invalid_argument("SolverConfig: initial_bins must be >= 2");
+  if (cfg.max_bins < cfg.initial_bins)
+    throw std::invalid_argument("SolverConfig: max_bins < initial_bins");
+  if (!(cfg.target_relative_gap > 0.0))
+    throw std::invalid_argument("SolverConfig: target_relative_gap must be > 0");
+  if (cfg.check_every == 0) throw std::invalid_argument("SolverConfig: check_every must be >= 1");
+
+  SolverResult result;
+  std::size_t bins = cfg.initial_bins;
+  Level level = build_level(bins);
+  result.levels = 1;
+
+  std::vector<double> q_low = dirac(bins + 1, 0);
+  std::vector<double> q_high = dirac(bins + 1, bins);
+
+  double prev_gap = std::numeric_limits<double>::infinity();
+  std::size_t level_iterations = 0;
+  int stalled_checks = 0;
+
+  while (true) {
+    for (std::size_t k = 0; k < cfg.check_every; ++k) {
+      fold_step(level.conv_lower, q_low, bins);
+      fold_step(level.conv_upper, q_high, bins);
+      ++result.iterations;
+      ++level_iterations;
+    }
+
+    result.loss.lower = loss_from_pmf(q_low, level.kernel);
+    result.loss.upper = loss_from_pmf(q_high, level.kernel);
+
+    if (result.loss.upper < cfg.zero_loss_threshold) {
+      result.zero_loss = true;
+      result.converged = true;
+      break;
+    }
+    const double gap = result.loss.relative_gap();
+    if (gap <= cfg.target_relative_gap) {
+      result.converged = true;
+      break;
+    }
+    if (result.iterations >= cfg.max_total_iterations) break;
+
+    // Declare a stall only after several consecutive low-improvement
+    // checks: the gap of a slowly mixing chain shrinks steadily but
+    // slowly, and a single noisy check must not trigger refinement.
+    if (std::isfinite(prev_gap) && (prev_gap - gap) < cfg.stall_improvement * prev_gap) {
+      ++stalled_checks;
+    } else {
+      stalled_checks = 0;
+    }
+    const bool stalled = stalled_checks >= 3;
+    const bool level_exhausted = level_iterations >= cfg.max_iterations_per_level;
+    prev_gap = gap;
+
+    if (stalled || level_exhausted) {
+      if (bins * 2 > cfg.max_bins) break;  // cannot refine; report best bracket
+      // Footnote 3: double M and re-seed the fine recursion from the
+      // current coarse distributions (grid point j d maps to 2j (d/2)).
+      const std::size_t fine = bins * 2;
+      std::vector<double> ql(fine + 1, 0.0), qh(fine + 1, 0.0);
+      for (std::size_t j = 0; j <= bins; ++j) {
+        ql[2 * j] = q_low[j];
+        qh[2 * j] = q_high[j];
+      }
+      bins = fine;
+      level = build_level(bins);
+      q_low = std::move(ql);
+      q_high = std::move(qh);
+      ++result.levels;
+      level_iterations = 0;
+      stalled_checks = 0;
+      prev_gap = std::numeric_limits<double>::infinity();
+    }
+  }
+
+  result.final_bins = bins;
+  result.occupancy_lower = std::move(q_low);
+  result.occupancy_upper = std::move(q_high);
+  const double step = buffer_ / static_cast<double>(bins);
+  result.mean_queue_lower = pmf_mean(result.occupancy_lower, step);
+  result.mean_queue_upper = pmf_mean(result.occupancy_upper, step);
+  return result;
+}
+
+}  // namespace lrd::queueing

@@ -1,0 +1,124 @@
+// The paper's numerical procedure (Section II): monotone lower/upper
+// bounds on the loss rate of a finite-buffer constant-service fluid queue
+// fed by the modulated fluid source.
+//
+// Two discretized occupancy processes bracket the true one:
+//   Q_L: floor quantization,   started empty (q = delta_0),
+//   Q_H: ceiling quantization, started full  (q = delta_B).
+// One iteration = one epoch: convolve the occupancy pmf with the fixed
+// increment pmf w_L / w_H (Eq. 19, 21, 22), then fold the mass that left
+// [0, B] onto the boundary atoms (Eq. 20). By Proposition II.1 the derived
+// loss rates l(Q_L^M(n)) and l(Q_H^M(n)) are monotone in both the
+// iteration count n and the bin count M and bracket the true l, so the
+// solver iterates until the bracket is tight, doubling M (and re-seeding
+// the fine recursion from the coarse distributions, footnote 3) whenever
+// convergence stalls.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/epoch.hpp"
+#include "dist/marginal.hpp"
+#include "numerics/grid.hpp"
+#include "queueing/loss.hpp"
+
+namespace lrd::queueing {
+
+struct SolverConfig {
+  /// Bin count M of the first discretization level.
+  std::size_t initial_bins = 128;
+  /// Hard cap on M (levels double: 128, 256, ..., <= max_bins).
+  std::size_t max_bins = 1 << 14;
+  /// Stop when (upper - lower) <= target_relative_gap * midpoint
+  /// (the paper uses 20%).
+  double target_relative_gap = 0.2;
+  /// Report zero loss when the upper bound falls below this (paper: 1e-10).
+  double zero_loss_threshold = 1e-10;
+  /// Evaluate the loss bounds every `check_every` iterations.
+  std::size_t check_every = 16;
+  /// Refine (double M) after 3 consecutive checks in which the relative
+  /// gap improved by less than this factor, while still above target.
+  double stall_improvement = 5e-3;
+  /// Safety cap on iterations within one level.
+  std::size_t max_iterations_per_level = 30000;
+  /// Safety cap on total iterations across levels.
+  std::size_t max_total_iterations = 300000;
+};
+
+struct SolverResult {
+  LossBounds loss;
+  /// True when the upper bound dropped below the zero-loss threshold
+  /// (loss reported as 0, per the paper's convention).
+  bool zero_loss = false;
+  /// True when the bracket met target_relative_gap (or zero_loss).
+  bool converged = false;
+  std::size_t final_bins = 0;
+  std::size_t iterations = 0;  // total across levels
+  std::size_t levels = 0;      // number of discretization levels used
+
+  /// Final occupancy pmfs over {0, d, ..., B} (lower/upper processes).
+  std::vector<double> occupancy_lower;
+  std::vector<double> occupancy_upper;
+
+  /// Mean queue occupancy bracket from the final pmfs.
+  double mean_queue_lower = 0.0;
+  double mean_queue_upper = 0.0;
+
+  /// Midpoint loss with the zero-loss convention applied.
+  double loss_estimate() const noexcept { return zero_loss ? 0.0 : loss.mid(); }
+};
+
+class FluidQueueSolver {
+ public:
+  /// `service_rate` c > 0, `buffer` B > 0. A marginal whose every rate is
+  /// <= c yields zero loss; rates equal to c are allowed (they contribute
+  /// a zero increment, consistent with Eq. 9).
+  FluidQueueSolver(dist::Marginal marginal, dist::EpochPtr epochs, double service_rate,
+                   double buffer);
+
+  const dist::Marginal& marginal() const noexcept { return marginal_; }
+  const dist::EpochDistribution& epochs() const noexcept { return *epochs_; }
+  double service_rate() const noexcept { return service_rate_; }
+  double buffer() const noexcept { return buffer_; }
+  double utilization() const noexcept { return marginal_.mean() / service_rate_; }
+
+  /// Full adaptive solve.
+  SolverResult solve(const SolverConfig& cfg = {}) const;
+
+  /// Runs exactly `iterations` iterations at a fixed M and returns the
+  /// state — used to reproduce Fig. 2 (bounds after n = 5, 10, 30 at
+  /// M = 100) and by the property tests of Proposition II.1.
+  struct LevelSnapshot {
+    std::size_t bins = 0;
+    std::vector<double> q_lower;  // occupancy pmf of Q_L^M(n)
+    std::vector<double> q_upper;  // occupancy pmf of Q_H^M(n)
+    LossBounds loss;
+  };
+  LevelSnapshot iterate_fixed(std::size_t bins, std::size_t iterations) const;
+
+  /// E[W_l | Q = x]: the exact overflow kernel used by the bounds.
+  double overflow_kernel(double x) const;
+
+  /// Exact increment pmfs w_L / w_H at a given M (index 0 <-> i = -M).
+  /// Exposed for tests; both sum to 1.
+  std::vector<double> increment_pmf_lower(std::size_t bins) const;
+  std::vector<double> increment_pmf_upper(std::size_t bins) const;
+
+ private:
+  dist::Marginal marginal_;
+  dist::EpochPtr epochs_;
+  double service_rate_;
+  double buffer_;
+
+  struct Level;
+  Level build_level(std::size_t bins) const;
+
+  /// Pr{W >= w} (closed) / Pr{W > w} (open) of the per-epoch increment.
+  double increment_ccdf_closed(double w) const;
+  double increment_ccdf_open(double w) const;
+
+  double loss_from_pmf(const std::vector<double>& q, const std::vector<double>& kernel) const;
+};
+
+}  // namespace lrd::queueing

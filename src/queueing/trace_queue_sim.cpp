@@ -1,0 +1,59 @@
+#include "queueing/trace_queue_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "numerics/special_functions.hpp"
+
+namespace lrd::queueing {
+
+TraceSimResult simulate_trace_queue(const traffic::RateTrace& trace, double service_rate,
+                                    double buffer) {
+  if (!(service_rate > 0.0)) throw std::invalid_argument("simulate_trace_queue: service rate must be > 0");
+  if (!(buffer > 0.0)) throw std::invalid_argument("simulate_trace_queue: buffer must be > 0");
+
+  const double delta = trace.bin_seconds();
+  const double service_per_slot = service_rate * delta;
+
+  double q = 0.0;
+  numerics::CompensatedSum arrived, lost, queue_sum;
+  double max_q = 0.0;
+  std::size_t full_slots = 0, empty_slots = 0;
+
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    const double work = trace[k] * delta;
+    arrived.add(work);
+    const double u = q + work - service_per_slot;
+    const double overflow = std::max(0.0, u - buffer);
+    lost.add(overflow);
+    q = std::clamp(u, 0.0, buffer);
+    queue_sum.add(q);
+    max_q = std::max(max_q, q);
+    if (q >= buffer) ++full_slots;
+    if (q <= 0.0) ++empty_slots;
+  }
+
+  TraceSimResult result;
+  result.arrived_work = arrived.value();
+  result.lost_work = lost.value();
+  result.served_work = result.arrived_work - result.lost_work - q;
+  result.loss_rate = result.arrived_work > 0.0 ? result.lost_work / result.arrived_work : 0.0;
+  result.mean_queue = queue_sum.value() / static_cast<double>(trace.size());
+  result.max_queue = max_q;
+  result.full_fraction = static_cast<double>(full_slots) / static_cast<double>(trace.size());
+  result.empty_fraction = static_cast<double>(empty_slots) / static_cast<double>(trace.size());
+  return result;
+}
+
+TraceSimResult simulate_trace_queue_normalized(const traffic::RateTrace& trace,
+                                               double utilization,
+                                               double normalized_buffer_seconds) {
+  if (!(utilization > 0.0 && utilization < 1.0))
+    throw std::invalid_argument("simulate_trace_queue_normalized: utilization must be in (0, 1)");
+  if (!(normalized_buffer_seconds > 0.0))
+    throw std::invalid_argument("simulate_trace_queue_normalized: buffer must be > 0");
+  const double c = trace.mean() / utilization;
+  return simulate_trace_queue(trace, c, normalized_buffer_seconds * c);
+}
+
+}  // namespace lrd::queueing

@@ -1,0 +1,44 @@
+#include "traffic/chaotic_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lrd::traffic {
+
+double chaotic_map_step(double x, const ChaoticMapConfig& cfg) {
+  if (x < cfg.d) {
+    const double c = (1.0 - cfg.epsilon - cfg.d) / std::pow(cfg.d, cfg.m);
+    double next = cfg.epsilon + x + c * std::pow(x, cfg.m);
+    // Guard against round-off pushing the iterate out of [0, 1].
+    return std::clamp(next, 0.0, 1.0 - 1e-15);
+  }
+  return std::clamp((x - cfg.d) / (1.0 - cfg.d), 0.0, 1.0 - 1e-15);
+}
+
+RateTrace generate_chaotic_map_trace(const ChaoticMapConfig& cfg, std::size_t bins,
+                                     double bin_seconds) {
+  if (!(cfg.epsilon >= 0.0 && cfg.epsilon < 0.1))
+    throw std::invalid_argument("chaotic map: epsilon in [0, 0.1)");
+  if (!(cfg.m > 1.0 && cfg.m < 2.5)) throw std::invalid_argument("chaotic map: m in (1, 2.5)");
+  if (!(cfg.d > 0.0 && cfg.d < 1.0)) throw std::invalid_argument("chaotic map: d in (0, 1)");
+  if (!(cfg.peak_rate > 0.0)) throw std::invalid_argument("chaotic map: peak rate > 0");
+  if (!(cfg.x0 > 0.0 && cfg.x0 < 1.0)) throw std::invalid_argument("chaotic map: x0 in (0, 1)");
+  if (bins == 0 || !(bin_seconds > 0.0)) throw std::invalid_argument("chaotic map: bad trace shape");
+
+  std::vector<double> rates(bins);
+  double x = cfg.x0;
+  for (std::size_t k = 0; k < bins; ++k) {
+    rates[k] = x >= cfg.d ? cfg.peak_rate : 0.0;
+    x = chaotic_map_step(x, cfg);
+  }
+  return RateTrace(std::move(rates), bin_seconds);
+}
+
+double chaotic_map_hurst(double m) {
+  if (!(m > 1.5 && m < 2.0))
+    throw std::invalid_argument("chaotic_map_hurst: LRD regime needs m in (3/2, 2)");
+  return std::clamp((3.0 * m - 4.0) / (2.0 * (m - 1.0)), 0.5, 1.0);
+}
+
+}  // namespace lrd::traffic

@@ -1,0 +1,43 @@
+// Deterministic chaotic-map traffic source (Erramilli, Singh & Pruthi),
+// one of the LRD models the paper's introduction surveys: "deterministic
+// models (such as chaotic maps) that exhibit the LRD observed in the
+// experimental data".
+//
+// The intermittency map on [0, 1],
+//   x_{n+1} = eps + x_n + c x_n^m          for x_n < d,
+//   x_{n+1} = (x_n - d) / (1 - d)          otherwise,
+// with c = (1 - eps - d) / d^m, lingers near 0 for heavy-tailed sojourn
+// times when 3/2 < m < 2 and eps ~ 0. Emitting fluid only while
+// x_n >= d yields an on/off source whose off periods are heavy tailed —
+// aggregate traffic with H ~ (3m - 4)/(2(m - 1)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "traffic/trace.hpp"
+
+namespace lrd::traffic {
+
+struct ChaoticMapConfig {
+  double epsilon = 1e-4;  // perturbation; > 0 keeps sojourns finite
+  double m = 1.8;         // intermittency exponent, in (3/2, 2) for LRD
+  double d = 0.7;         // threshold splitting the two branches
+  double peak_rate = 1.0; // emitted rate while x >= d
+  double x0 = 0.3;        // initial condition in (0, 1)
+};
+
+/// One iteration of the map.
+double chaotic_map_step(double x, const ChaoticMapConfig& cfg);
+
+/// Generates `bins` slots of length `bin_seconds`: each map iteration is
+/// one slot emitting peak_rate when x >= d and 0 otherwise. Deterministic
+/// given cfg (vary x0 for different paths).
+RateTrace generate_chaotic_map_trace(const ChaoticMapConfig& cfg, std::size_t bins,
+                                     double bin_seconds);
+
+/// The Hurst parameter the sojourn-time tail analysis predicts for the
+/// map's aggregate: H = (3m - 4) / (2(m - 1)), clamped to (1/2, 1).
+double chaotic_map_hurst(double m);
+
+}  // namespace lrd::traffic

@@ -1,0 +1,64 @@
+#include "traffic/fluid_source.hpp"
+
+#include <stdexcept>
+
+namespace lrd::traffic {
+
+FluidSource::FluidSource(dist::Marginal marginal, dist::EpochPtr epochs)
+    : marginal_(std::move(marginal)), epochs_(std::move(epochs)) {
+  if (!epochs_) throw std::invalid_argument("FluidSource: null epoch distribution");
+}
+
+double FluidSource::autocovariance(double t) const {
+  return marginal_.variance() * epochs_->residual_ccdf(t);
+}
+
+double FluidSource::autocorrelation(double t) const {
+  const double v = marginal_.variance();
+  if (v == 0.0) return 0.0;
+  return autocovariance(t) / v;
+}
+
+std::vector<Epoch> FluidSource::sample_epochs(std::size_t n, numerics::Rng& rng) const {
+  std::vector<Epoch> out;
+  out.reserve(n);
+  const numerics::AliasTable alias(marginal_.probs());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = epochs_->sample(rng);
+    const double r = marginal_.rates()[alias.sample(rng)];
+    out.push_back(Epoch{d, r});
+  }
+  return out;
+}
+
+RateTrace FluidSource::sample_trace(std::size_t bins, double bin_seconds,
+                                    numerics::Rng& rng) const {
+  if (bins == 0) throw std::invalid_argument("FluidSource::sample_trace: bins must be >= 1");
+  if (!(bin_seconds > 0.0))
+    throw std::invalid_argument("FluidSource::sample_trace: bin length must be > 0");
+
+  const numerics::AliasTable alias(marginal_.probs());
+  std::vector<double> out(bins, 0.0);
+
+  // Integrate the piecewise-constant rate over each bin.
+  double epoch_left = epochs_->sample(rng);
+  double rate = marginal_.rates()[alias.sample(rng)];
+  for (std::size_t b = 0; b < bins; ++b) {
+    double bin_left = bin_seconds;
+    double work = 0.0;
+    while (bin_left > 0.0) {
+      const double span = std::min(bin_left, epoch_left);
+      work += rate * span;
+      bin_left -= span;
+      epoch_left -= span;
+      if (epoch_left <= 0.0) {
+        epoch_left = epochs_->sample(rng);
+        rate = marginal_.rates()[alias.sample(rng)];
+      }
+    }
+    out[b] = work / bin_seconds;
+  }
+  return RateTrace(std::move(out), bin_seconds);
+}
+
+}  // namespace lrd::traffic

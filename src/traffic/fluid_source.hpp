@@ -1,0 +1,59 @@
+// The paper's modulated fluid source (Section II).
+//
+// The fluid rate X_t is piecewise constant: at each renewal of a point
+// process with i.i.d. epoch lengths T_n ~ EpochDistribution, a new rate is
+// drawn i.i.d. from the Marginal. The autocovariance is
+//   phi(t) = Var[X] * Pr{residual life >= t}            (Eq. 3-5)
+// which for truncated-Pareto epochs is Eq. 8 and matches an asymptotically
+// second-order self-similar process with H = (3 - alpha)/2 up to lag T_c.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/epoch.hpp"
+#include "dist/marginal.hpp"
+#include "numerics/random.hpp"
+#include "traffic/trace.hpp"
+
+namespace lrd::traffic {
+
+/// One constant-rate epoch of a sample path.
+struct Epoch {
+  double duration;  // seconds
+  double rate;      // Mb/s
+};
+
+class FluidSource {
+ public:
+  FluidSource(dist::Marginal marginal, dist::EpochPtr epochs);
+
+  const dist::Marginal& marginal() const noexcept { return marginal_; }
+  const dist::EpochDistribution& epochs() const noexcept { return *epochs_; }
+  dist::EpochPtr epochs_ptr() const noexcept { return epochs_; }
+
+  double mean_rate() const noexcept { return marginal_.mean(); }
+  double rate_variance() const noexcept { return marginal_.variance(); }
+
+  /// Autocovariance phi(t) of the stationary fluid rate (Eq. 3-5).
+  double autocovariance(double t) const;
+
+  /// Autocorrelation phi(t) / phi(0).
+  double autocorrelation(double t) const;
+
+  /// Draws `n` consecutive epochs of a sample path.
+  std::vector<Epoch> sample_epochs(std::size_t n, numerics::Rng& rng) const;
+
+  /// Samples the process into a rate trace of `bins` bins of length
+  /// `bin_seconds`: each element is the average rate over its bin
+  /// (work arriving in the bin divided by the bin length). The sample path
+  /// starts at a renewal instant; for bins much shorter than the trace
+  /// this start-up bias is negligible.
+  RateTrace sample_trace(std::size_t bins, double bin_seconds, numerics::Rng& rng) const;
+
+ private:
+  dist::Marginal marginal_;
+  dist::EpochPtr epochs_;
+};
+
+}  // namespace lrd::traffic

@@ -1,0 +1,33 @@
+// Exact synthesis of stationary Gaussian processes from their
+// autocovariance (Durbin-Levinson innovations), plus the FARIMA(0,d,0)
+// autocovariance — a second exact LRD generator that cross-validates the
+// circulant-embedding fGn path and extends the library to the fractional
+// ARIMA family used throughout the self-similar-traffic literature.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numerics/random.hpp"
+
+namespace lrd::traffic {
+
+/// Samples n points of a zero-mean stationary Gaussian process with the
+/// given autocovariance sequence (acov[k] = gamma(k), k = 0..n-1) via the
+/// Durbin-Levinson innovations recursion. Exact in distribution; O(n^2)
+/// time, so intended for n up to ~2^14. Throws std::domain_error if the
+/// sequence is not positive definite (innovation variance would go
+/// negative).
+std::vector<double> sample_gaussian_from_acf(const std::vector<double>& acov, std::size_t n,
+                                             numerics::Rng& rng);
+
+/// Autocovariance of FARIMA(0, d, 0) with unit innovation variance,
+/// |d| < 1/2:  gamma(0) = Gamma(1-2d) / Gamma(1-d)^2,
+/// gamma(k) = gamma(k-1) (k-1+d)/(k-d). The process is LRD for d > 0 with
+/// Hurst parameter H = d + 1/2.
+std::vector<double> farima_autocovariance(double d, std::size_t lags);
+
+/// Convenience: n samples of FARIMA(0, d, 0), normalized to unit variance.
+std::vector<double> generate_farima(std::size_t n, double d, numerics::Rng& rng);
+
+}  // namespace lrd::traffic

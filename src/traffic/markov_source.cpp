@@ -1,0 +1,39 @@
+#include "traffic/markov_source.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lrd::traffic {
+
+Dar1Source::Dar1Source(dist::Marginal marginal, double retention)
+    : marginal_(std::move(marginal)), retention_(retention) {
+  if (!(retention >= 0.0 && retention < 1.0))
+    throw std::invalid_argument("Dar1Source: retention must be in [0, 1)");
+}
+
+double Dar1Source::autocorrelation(std::size_t lag) const {
+  return std::pow(retention_, static_cast<double>(lag));
+}
+
+double Dar1Source::retention_for_mean_sojourn(double mean_epoch, double bin_seconds) {
+  if (!(mean_epoch > 0.0 && bin_seconds > 0.0))
+    throw std::invalid_argument("Dar1Source: lengths must be > 0");
+  const double sojourn_bins = mean_epoch / bin_seconds;
+  if (sojourn_bins <= 1.0) return 0.0;
+  return 1.0 - 1.0 / sojourn_bins;
+}
+
+RateTrace Dar1Source::sample_trace(std::size_t bins, double bin_seconds,
+                                   numerics::Rng& rng) const {
+  if (bins == 0) throw std::invalid_argument("Dar1Source::sample_trace: bins must be >= 1");
+  const numerics::AliasTable alias(marginal_.probs());
+  std::vector<double> out(bins);
+  double rate = marginal_.rates()[alias.sample(rng)];
+  for (std::size_t k = 0; k < bins; ++k) {
+    if (rng.uniform() >= retention_) rate = marginal_.rates()[alias.sample(rng)];
+    out[k] = rate;
+  }
+  return RateTrace(std::move(out), bin_seconds);
+}
+
+}  // namespace lrd::traffic

@@ -1,0 +1,44 @@
+// Discrete-autoregressive (DAR(1)) rate source — the Markovian baseline.
+//
+// X_k = X_{k-1} with probability r, otherwise a fresh i.i.d. draw from the
+// marginal. The process is a finite-state Markov chain with exactly the
+// prescribed marginal and a geometric autocorrelation r^k. Together with
+// the hyperexponential epoch fit (dist/hyperexp_fit.hpp) this provides the
+// "Markov models could have been another possible choice" comparison of
+// Section IV: a short-memory model matched to the LRD model's correlation
+// up to the correlation horizon should predict the same loss.
+#pragma once
+
+#include <cstddef>
+
+#include "dist/marginal.hpp"
+#include "numerics/random.hpp"
+#include "traffic/trace.hpp"
+
+namespace lrd::traffic {
+
+class Dar1Source {
+ public:
+  /// `retention` = probability of keeping the previous rate, in [0, 1).
+  Dar1Source(dist::Marginal marginal, double retention);
+
+  const dist::Marginal& marginal() const noexcept { return marginal_; }
+  double retention() const noexcept { return retention_; }
+
+  /// Theoretical autocorrelation at integer lag k: retention^k.
+  double autocorrelation(std::size_t lag) const;
+
+  /// Retention factor such that the lag-1 decorrelation time (mean sojourn
+  /// in a rate, 1/(1-r)) equals `mean_epoch / bin_seconds` bins — the
+  /// natural match to a renewal source with that mean epoch length.
+  static double retention_for_mean_sojourn(double mean_epoch, double bin_seconds);
+
+  /// Samples a rate trace of `bins` bins of length `bin_seconds`.
+  RateTrace sample_trace(std::size_t bins, double bin_seconds, numerics::Rng& rng) const;
+
+ private:
+  dist::Marginal marginal_;
+  double retention_;
+};
+
+}  // namespace lrd::traffic

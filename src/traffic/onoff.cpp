@@ -1,0 +1,41 @@
+#include "traffic/onoff.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace lrd::traffic {
+
+RateTrace generate_onoff_aggregate(const OnOffConfig& cfg, std::size_t bins,
+                                   double bin_seconds, numerics::Rng& rng) {
+  if (cfg.sources == 0) throw std::invalid_argument("onoff: need >= 1 source");
+  if (!cfg.on_periods || !cfg.off_periods) throw std::invalid_argument("onoff: null period dist");
+  if (bins == 0 || !(bin_seconds > 0.0)) throw std::invalid_argument("onoff: bad trace shape");
+  if (!(cfg.peak_rate > 0.0)) throw std::invalid_argument("onoff: peak rate must be > 0");
+
+  const double mean_on = cfg.on_periods->mean();
+  const double mean_off = cfg.off_periods->mean();
+  const double p_on = mean_on / (mean_on + mean_off);
+
+  std::vector<double> work(bins, 0.0);
+  for (std::size_t s = 0; s < cfg.sources; ++s) {
+    bool on = rng.uniform() < p_on;
+    double left = on ? cfg.on_periods->sample(rng) : cfg.off_periods->sample(rng);
+    for (std::size_t b = 0; b < bins; ++b) {
+      double bin_left = bin_seconds;
+      while (bin_left > 0.0) {
+        const double span = std::min(bin_left, left);
+        if (on) work[b] += cfg.peak_rate * span;
+        bin_left -= span;
+        left -= span;
+        if (left <= 0.0) {
+          on = !on;
+          left = on ? cfg.on_periods->sample(rng) : cfg.off_periods->sample(rng);
+        }
+      }
+    }
+  }
+  for (double& w : work) w /= bin_seconds;  // work -> average rate
+  return RateTrace(std::move(work), bin_seconds);
+}
+
+}  // namespace lrd::traffic

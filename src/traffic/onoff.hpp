@@ -1,0 +1,38 @@
+// Superposition of heavy-tailed on/off sources.
+//
+// Willinger, Taqqu, Sherman & Wilson showed that aggregating many on/off
+// sources whose on- and/or off-periods are heavy tailed (Pareto with
+// 1 < alpha < 2) yields long-range dependent traffic with
+// H = (3 - alpha_min)/2 — the paper cites this as the physical explanation
+// for LRD in networks. We provide the generator both as an alternative
+// LRD traffic substrate and for property tests (the aggregate's estimated
+// H must rise above 1/2 for heavy-tailed periods and stay near 1/2 for
+// exponential ones).
+#pragma once
+
+#include <cstddef>
+
+#include "dist/epoch.hpp"
+#include "numerics/random.hpp"
+#include "traffic/trace.hpp"
+
+namespace lrd::traffic {
+
+struct OnOffConfig {
+  std::size_t sources = 32;     // number of superposed sources
+  double peak_rate = 1.0;       // rate while on, Mb/s (0 while off)
+  dist::EpochPtr on_periods;    // distribution of on-period lengths
+  dist::EpochPtr off_periods;   // distribution of off-period lengths
+};
+
+/// Generates the aggregate rate trace of `cfg.sources` independent
+/// stationary-started on/off sources, averaged over bins of
+/// `bin_seconds`. Each source alternates on/off with i.i.d. period
+/// lengths; the initial phase is on with probability
+/// E[on] / (E[on] + E[off]) and starts with a full fresh period (an
+/// adequate approximation of equilibrium for traces much longer than the
+/// mean cycle).
+RateTrace generate_onoff_aggregate(const OnOffConfig& cfg, std::size_t bins,
+                                   double bin_seconds, numerics::Rng& rng);
+
+}  // namespace lrd::traffic

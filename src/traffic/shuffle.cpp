@@ -1,0 +1,55 @@
+#include "traffic/shuffle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lrd::traffic {
+
+RateTrace external_shuffle(const RateTrace& trace, std::size_t block_len, numerics::Rng& rng) {
+  if (block_len == 0) throw std::invalid_argument("external_shuffle: block_len must be >= 1");
+  const auto& in = trace.rates();
+  const std::size_t n = in.size();
+  const std::size_t blocks = n / block_len;
+  if (blocks <= 1) return trace;
+
+  const auto perm = numerics::random_permutation(blocks, rng);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t src = perm[b] * block_len;
+    out.insert(out.end(), in.begin() + static_cast<long>(src),
+               in.begin() + static_cast<long>(src + block_len));
+  }
+  // Keep the tail (partial block) in place so the marginal is unchanged.
+  out.insert(out.end(), in.begin() + static_cast<long>(blocks * block_len), in.end());
+  return RateTrace(std::move(out), trace.bin_seconds());
+}
+
+RateTrace internal_shuffle(const RateTrace& trace, std::size_t block_len, numerics::Rng& rng) {
+  if (block_len == 0) throw std::invalid_argument("internal_shuffle: block_len must be >= 1");
+  std::vector<double> out = trace.rates();
+  const std::size_t n = out.size();
+  for (std::size_t start = 0; start < n; start += block_len) {
+    const std::size_t len = std::min(block_len, n - start);
+    const auto perm = numerics::random_permutation(len, rng);
+    std::vector<double> tmp(len);
+    for (std::size_t k = 0; k < len; ++k) tmp[k] = out[start + perm[k]];
+    std::copy(tmp.begin(), tmp.end(), out.begin() + static_cast<long>(start));
+  }
+  return RateTrace(std::move(out), trace.bin_seconds());
+}
+
+RateTrace full_shuffle(const RateTrace& trace, numerics::Rng& rng) {
+  return external_shuffle(trace, 1, rng);
+}
+
+std::size_t block_length_for_cutoff(const RateTrace& trace, double cutoff_seconds) {
+  if (!(cutoff_seconds > 0.0))
+    throw std::invalid_argument("block_length_for_cutoff: cutoff must be > 0");
+  const double blocks = cutoff_seconds / trace.bin_seconds();
+  const auto len = static_cast<std::size_t>(std::llround(blocks));
+  return std::max<std::size_t>(1, len);
+}
+
+}  // namespace lrd::traffic

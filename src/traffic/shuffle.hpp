@@ -1,0 +1,38 @@
+// External and internal trace shuffling (Fig. 6 of the paper).
+//
+// External shuffling divides a trace into blocks and permutes the blocks,
+// leaving each block's interior untouched: correlation beyond the block
+// length is destroyed, correlation within it is preserved. This is the
+// trace-level analogue of the model's cutoff lag T_c, and is how the
+// paper validates the model against trace-driven simulation (Figs. 7, 8, 14).
+//
+// Internal shuffling is the complement (permute samples within each block,
+// keep block order): it destroys short-lag correlation but preserves the
+// long-lag structure. Both appear in Erramilli, Narayan & Willinger's
+// experimental-queueing study, which the paper builds on.
+#pragma once
+
+#include <cstddef>
+
+#include "numerics/random.hpp"
+#include "traffic/trace.hpp"
+
+namespace lrd::traffic {
+
+/// Permutes whole blocks of `block_len` samples (the final partial block,
+/// if any, stays at the end). block_len >= 1; block_len >= trace size
+/// returns the trace unchanged.
+RateTrace external_shuffle(const RateTrace& trace, std::size_t block_len, numerics::Rng& rng);
+
+/// Permutes samples within each consecutive block of `block_len` samples,
+/// preserving block order.
+RateTrace internal_shuffle(const RateTrace& trace, std::size_t block_len, numerics::Rng& rng);
+
+/// Full random permutation of all samples (external shuffle with block 1):
+/// an i.i.d. surrogate with exactly the same marginal.
+RateTrace full_shuffle(const RateTrace& trace, numerics::Rng& rng);
+
+/// Block length (in samples) corresponding to a cutoff lag in seconds.
+std::size_t block_length_for_cutoff(const RateTrace& trace, double cutoff_seconds);
+
+}  // namespace lrd::traffic

@@ -1,0 +1,53 @@
+#include "traffic/smoother.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "numerics/special_functions.hpp"
+
+namespace lrd::traffic {
+
+ShaperResult shape_trace(const RateTrace& input, double cap) {
+  if (!(cap > 0.0)) throw std::invalid_argument("shape_trace: cap must be > 0");
+  const double delta = input.bin_seconds();
+  const double drain = cap * delta;
+
+  std::vector<double> out(input.size());
+  double backlog = 0.0;
+  numerics::CompensatedSum backlog_sum;
+  double max_backlog = 0.0;
+  for (std::size_t k = 0; k < input.size(); ++k) {
+    backlog += input.work(k);
+    const double sent = std::min(backlog, drain);
+    backlog -= sent;
+    out[k] = sent / delta;
+    backlog_sum.add(backlog);
+    max_backlog = std::max(max_backlog, backlog);
+  }
+
+  ShaperResult result{RateTrace(std::move(out), delta), max_backlog,
+                      backlog_sum.value() / static_cast<double>(input.size()),
+                      max_backlog / cap, backlog};
+  return result;
+}
+
+double cap_for_max_delay(const RateTrace& input, double max_delay_seconds, double tolerance) {
+  if (!(max_delay_seconds > 0.0))
+    throw std::invalid_argument("cap_for_max_delay: delay bound must be > 0");
+  if (!(tolerance > 0.0)) throw std::invalid_argument("cap_for_max_delay: tolerance must be > 0");
+
+  double lo = input.mean();  // below the mean the backlog diverges
+  double hi = input.max();
+  if (shape_trace(input, hi).max_delay > max_delay_seconds) return hi;
+  while ((hi - lo) > tolerance * hi) {
+    const double mid = (lo + hi) / 2.0;
+    if (shape_trace(input, mid).max_delay <= max_delay_seconds) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace lrd::traffic

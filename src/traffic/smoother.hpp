@@ -1,0 +1,36 @@
+// Source traffic control: rate shaping (smoothing) at the source.
+//
+// Section III/IV: "the ability to change the marginal distribution and
+// get very different loss rates as a result suggests it would be useful
+// to examine control mechanisms for LRD sources that modify the scaling
+// of the marginal distribution". A work-conserving shaper with output
+// cap C does exactly that — it clips the marginal's upper tail at C and
+// converts network loss into bounded source-side delay.
+#pragma once
+
+#include "traffic/trace.hpp"
+
+namespace lrd::traffic {
+
+struct ShaperResult {
+  RateTrace output;        // shaped rate trace (same bin length)
+  double max_backlog = 0.0;    // peak shaper backlog, Mb
+  double mean_backlog = 0.0;   // time-average backlog, Mb
+  double max_delay = 0.0;      // max_backlog / cap, seconds
+  double final_backlog = 0.0;  // work still queued at the source at the end
+};
+
+/// Work-conserving shaper: input work r_k Delta enters a source queue
+/// drained at up to `cap` Mb/s; the output rate per slot is the drained
+/// work divided by Delta. Conserves work (up to the final backlog) and
+/// bounds the output marginal at `cap`.
+ShaperResult shape_trace(const RateTrace& input, double cap);
+
+/// Smallest output cap (within `tolerance` relative) that keeps the
+/// shaper's worst-case delay below `max_delay_seconds`, found by
+/// bisection on [mean rate, peak rate]. Returns the peak rate when even
+/// it cannot meet the bound (it always can: delay is 0 at cap = peak).
+double cap_for_max_delay(const RateTrace& input, double max_delay_seconds,
+                         double tolerance = 1e-3);
+
+}  // namespace lrd::traffic

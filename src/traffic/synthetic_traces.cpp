@@ -1,0 +1,53 @@
+#include "traffic/synthetic_traces.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/random.hpp"
+#include "traffic/fgn.hpp"
+
+namespace lrd::traffic {
+
+RateTrace generate_synthetic_trace(const SyntheticTraceSpec& spec) {
+  if (!(spec.mean_rate > 0.0)) throw std::invalid_argument("synthetic trace: mean rate must be > 0");
+  if (!(spec.cov > 0.0)) throw std::invalid_argument("synthetic trace: CoV must be > 0");
+  if (spec.samples == 0) throw std::invalid_argument("synthetic trace: need >= 1 sample");
+
+  // Lognormal(mu, sigma) with the requested mean and CoV.
+  const double sigma2 = std::log1p(spec.cov * spec.cov);
+  const double sigma = std::sqrt(sigma2);
+  const double mu = std::log(spec.mean_rate) - sigma2 / 2.0;
+
+  numerics::Rng rng(spec.seed);
+  auto z = generate_fgn(spec.samples, spec.hurst, rng);
+  for (double& x : z) x = std::exp(mu + sigma * x);
+  return RateTrace(std::move(z), spec.bin_seconds);
+}
+
+SyntheticTraceSpec mtv_spec() {
+  SyntheticTraceSpec s;
+  s.hurst = 0.83;
+  s.mean_rate = 9.5222;      // Mb/s, as reported for the MTV trace
+  s.cov = 0.25;              // moderate-variability JPEG video
+  s.bin_seconds = 1.0 / 29.97;  // NTSC frame interval (~33.4 ms)
+  s.samples = 107892;        // one hour of frames, as in the paper
+  s.seed = 0x4d54561996ULL;  // "MTV" 1996
+  return s;
+}
+
+SyntheticTraceSpec bellcore_spec() {
+  SyntheticTraceSpec s;
+  s.hurst = 0.90;
+  s.mean_rate = 2.6;    // Mb/s aggregate LAN rate (order of the pAug trace)
+  s.cov = 1.2;          // highly bursty Ethernet aggregate
+  s.bin_seconds = 0.01; // 10 ms averaging, as in the paper
+  s.samples = 1 << 18;
+  s.seed = 0xbc1989ULL; // Bellcore, August 1989
+  return s;
+}
+
+RateTrace mtv_trace() { return generate_synthetic_trace(mtv_spec()); }
+
+RateTrace bellcore_trace() { return generate_synthetic_trace(bellcore_spec()); }
+
+}  // namespace lrd::traffic

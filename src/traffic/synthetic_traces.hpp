@@ -1,0 +1,52 @@
+// Synthetic stand-ins for the paper's measurement traces.
+//
+// The paper uses (i) a one-hour JPEG-coded NTSC "MTV" trace (107 892
+// frames, mean 9.5222 Mb/s, H ~ 0.83, Delta = 33 ms) and (ii) the August
+// 1989 Bellcore "purple cable" Ethernet trace (Delta = 10 ms, H ~ 0.9).
+// Neither is redistributable here, so we synthesize traces that match
+// every statistic the experiments consume: the Hurst parameter, the
+// mean rate, the marginal shape (via its coefficient of variation) and
+// the bin length. See DESIGN.md §3 for the substitution argument.
+//
+// Construction: exact fractional Gaussian noise (Davies-Harte) with the
+// target H, mapped through x -> exp(mu + sigma x). The map is monotone, so
+// the rank correlation (and hence the LRD structure) of the fGn is
+// preserved while the marginal becomes exactly lognormal(mu, sigma) —
+// a standard model for VBR video (moderate CoV) and bursty LAN aggregate
+// rates (high CoV).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "traffic/trace.hpp"
+
+namespace lrd::traffic {
+
+struct SyntheticTraceSpec {
+  double hurst = 0.8;        // target Hurst parameter of the rate process
+  double mean_rate = 1.0;    // marginal mean, Mb/s
+  double cov = 0.3;          // marginal coefficient of variation
+  double bin_seconds = 0.01; // averaging interval Delta
+  std::size_t samples = 1 << 17;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a lognormal-marginal, fGn-copula rate trace.
+RateTrace generate_synthetic_trace(const SyntheticTraceSpec& spec);
+
+/// Canonical specs calibrated to the paper's reported trace statistics.
+/// Both factories are deterministic (fixed seeds), so every figure and
+/// test sees bit-identical traces.
+SyntheticTraceSpec mtv_spec();
+SyntheticTraceSpec bellcore_spec();
+
+/// The synthetic MTV trace: H = 0.83, mean 9.5222 Mb/s, CoV 0.25,
+/// Delta = 1/29.97 s, 107 892 samples (one hour of NTSC video).
+RateTrace mtv_trace();
+
+/// The synthetic Bellcore trace: H = 0.90, mean 2.6 Mb/s, CoV 1.2,
+/// Delta = 10 ms, 2^18 samples (~44 minutes of Ethernet rates).
+RateTrace bellcore_trace();
+
+}  // namespace lrd::traffic

@@ -1,0 +1,91 @@
+#include "traffic/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "numerics/special_functions.hpp"
+
+namespace lrd::traffic {
+
+RateTrace::RateTrace(std::vector<double> rates, double bin_seconds)
+    : rates_(std::move(rates)), bin_seconds_(bin_seconds) {
+  if (rates_.empty()) throw std::invalid_argument("RateTrace: empty trace");
+  if (!(bin_seconds > 0.0)) throw std::invalid_argument("RateTrace: bin length must be > 0");
+  for (double r : rates_)
+    if (!(r >= 0.0)) throw std::invalid_argument("RateTrace: rates must be >= 0");
+}
+
+double RateTrace::mean() const noexcept {
+  return numerics::neumaier_sum(rates_) / static_cast<double>(rates_.size());
+}
+
+double RateTrace::variance() const noexcept {
+  const double mu = mean();
+  numerics::CompensatedSum acc;
+  for (double r : rates_) {
+    const double d = r - mu;
+    acc.add(d * d);
+  }
+  return acc.value() / static_cast<double>(rates_.size());
+}
+
+double RateTrace::min() const noexcept { return *std::min_element(rates_.begin(), rates_.end()); }
+
+double RateTrace::max() const noexcept { return *std::max_element(rates_.begin(), rates_.end()); }
+
+RateTrace RateTrace::aggregated(std::size_t m) const {
+  if (m == 0) throw std::invalid_argument("RateTrace::aggregated: m must be >= 1");
+  if (m == 1) return *this;
+  const std::size_t blocks = rates_.size() / m;
+  if (blocks == 0) throw std::invalid_argument("RateTrace::aggregated: m exceeds trace length");
+  std::vector<double> out(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < m; ++k) s += rates_[b * m + k];
+    out[b] = s / static_cast<double>(m);
+  }
+  return RateTrace(std::move(out), bin_seconds_ * static_cast<double>(m));
+}
+
+RateTrace RateTrace::head(std::size_t n) const {
+  if (n == 0 || n > rates_.size()) throw std::invalid_argument("RateTrace::head: bad length");
+  return RateTrace(std::vector<double>(rates_.begin(), rates_.begin() + static_cast<long>(n)),
+                   bin_seconds_);
+}
+
+double RateTrace::total_work() const noexcept {
+  return numerics::neumaier_sum(rates_) * bin_seconds_;
+}
+
+void RateTrace::save(std::ostream& os) const {
+  os.precision(17);
+  os << bin_seconds_ << ' ' << rates_.size() << '\n';
+  for (double r : rates_) os << r << '\n';
+}
+
+RateTrace RateTrace::load(std::istream& is) {
+  double delta = 0.0;
+  std::size_t n = 0;
+  if (!(is >> delta >> n)) throw std::runtime_error("RateTrace::load: bad header");
+  std::vector<double> rates(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (!(is >> rates[i])) throw std::runtime_error("RateTrace::load: truncated trace");
+  return RateTrace(std::move(rates), delta);
+}
+
+void RateTrace::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("RateTrace::save_file: cannot open " + path);
+  save(os);
+}
+
+RateTrace RateTrace::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("RateTrace::load_file: cannot open " + path);
+  return load(is);
+}
+
+}  // namespace lrd::traffic

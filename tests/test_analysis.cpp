@@ -1,0 +1,255 @@
+// Tests for ACF estimation, line fitting, Hurst estimators and
+// histogramming.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/acf.hpp"
+#include "analysis/histogram.hpp"
+#include "analysis/hurst.hpp"
+#include "analysis/regression.hpp"
+#include "numerics/random.hpp"
+#include "traffic/fgn.hpp"
+
+namespace {
+
+using namespace lrd;
+
+TEST(Acf, Validation) {
+  EXPECT_THROW(analysis::autocovariance(std::vector<double>{}, 0), std::invalid_argument);
+  EXPECT_THROW(analysis::autocovariance(std::vector<double>{1.0, 2.0}, 2), std::invalid_argument);
+  EXPECT_THROW(analysis::autocorrelation(std::vector<double>(10, 3.0), 2), std::domain_error);
+}
+
+TEST(Acf, LagZeroIsVariance) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  auto g = analysis::autocovariance(x, 0);
+  EXPECT_NEAR(g[0], 1.25, 1e-12);
+}
+
+TEST(Acf, MatchesDirectComputation) {
+  numerics::Rng rng(3);
+  std::vector<double> x(500);
+  for (auto& v : x) v = rng.uniform();
+  auto fast = analysis::autocovariance(x, 10);
+
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= 500.0;
+  for (std::size_t k = 0; k <= 10; ++k) {
+    double direct = 0.0;
+    for (std::size_t t = 0; t + k < x.size(); ++t) direct += (x[t] - mean) * (x[t + k] - mean);
+    direct /= 500.0;  // biased normalization
+    EXPECT_NEAR(fast[k], direct, 1e-10) << "lag " << k;
+  }
+}
+
+TEST(Acf, Ar1GeometricDecay) {
+  // X_t = phi X_{t-1} + eps: rho(k) = phi^k.
+  const double phi = 0.8;
+  numerics::Rng rng(5);
+  std::vector<double> x(1 << 17);
+  x[0] = 0.0;
+  for (std::size_t t = 1; t < x.size(); ++t) x[t] = phi * x[t - 1] + rng.normal();
+  auto acf = analysis::autocorrelation(x, 8);
+  for (std::size_t k = 1; k <= 8; ++k)
+    EXPECT_NEAR(acf[k], std::pow(phi, static_cast<double>(k)), 0.02) << "lag " << k;
+}
+
+TEST(Acf, WhiteNoiseIsUncorrelated) {
+  numerics::Rng rng(7);
+  std::vector<double> x(1 << 16);
+  for (auto& v : x) v = rng.normal();
+  auto acf = analysis::autocorrelation(x, 16);
+  for (std::size_t k = 1; k <= 16; ++k) EXPECT_NEAR(acf[k], 0.0, 0.02);
+}
+
+TEST(FitLine, ExactLineIsRecovered) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> y;
+  for (double v : x) y.push_back(2.5 * v - 1.0);
+  auto fit = analysis::fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, Validation) {
+  EXPECT_THROW(analysis::fit_line({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(analysis::fit_line({1.0, 2.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(analysis::fit_line({1.0, 1.0}, {2.0, 3.0}), std::domain_error);
+  EXPECT_THROW(analysis::fit_line_weighted({1.0, 2.0}, {1.0, 2.0}, {1.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(FitLine, WeightsPullTheFit) {
+  // Three points; the outlier gets tiny weight, so the fit follows the
+  // other two.
+  std::vector<double> x{0.0, 1.0, 2.0};
+  std::vector<double> y{0.0, 1.0, 10.0};
+  auto fit = analysis::fit_line_weighted(x, y, {1.0, 1.0, 1e-9});
+  EXPECT_NEAR(fit.slope, 1.0, 1e-6);
+  EXPECT_NEAR(fit.intercept, 0.0, 1e-6);
+}
+
+TEST(FitLine, NoisyLineGoodRSquared) {
+  numerics::Rng rng(9);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i * 0.1);
+    y.push_back(3.0 * i * 0.1 + 2.0 + 0.05 * rng.normal());
+  }
+  auto fit = analysis::fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.02);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+// ---- Hurst estimators --------------------------------------------------
+
+struct HurstCase {
+  double hurst;
+  std::uint64_t seed;
+};
+
+class HurstRecovery : public ::testing::TestWithParam<HurstCase> {
+ protected:
+  std::vector<double> series() const {
+    numerics::Rng rng(GetParam().seed);
+    return traffic::generate_fgn(1 << 17, GetParam().hurst, rng);
+  }
+};
+
+TEST_P(HurstRecovery, VarianceTime) {
+  const auto est = analysis::hurst_variance_time(series());
+  EXPECT_NEAR(est.hurst, GetParam().hurst, 0.08);
+  EXPECT_GT(est.fit.r_squared, 0.95);
+}
+
+TEST_P(HurstRecovery, RsAnalysis) {
+  const auto est = analysis::hurst_rs(series());
+  // R/S is the crudest of the four; allow a wider band.
+  EXPECT_NEAR(est.hurst, GetParam().hurst, 0.12);
+}
+
+TEST_P(HurstRecovery, Wavelet) {
+  const auto est = analysis::hurst_wavelet(series());
+  EXPECT_NEAR(est.hurst, GetParam().hurst, 0.06);
+}
+
+TEST_P(HurstRecovery, Periodogram) {
+  const auto est = analysis::hurst_periodogram(series());
+  EXPECT_NEAR(est.hurst, GetParam().hurst, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstSweep, HurstRecovery,
+                         ::testing::Values(HurstCase{0.55, 101}, HurstCase{0.7, 102},
+                                           HurstCase{0.83, 103}, HurstCase{0.9, 104}));
+
+TEST(Hurst, WhiteNoiseIsHalf) {
+  numerics::Rng rng(201);
+  std::vector<double> x(1 << 16);
+  for (auto& v : x) v = rng.normal();
+  EXPECT_NEAR(analysis::hurst_variance_time(x).hurst, 0.5, 0.05);
+  EXPECT_NEAR(analysis::hurst_wavelet(x).hurst, 0.5, 0.05);
+}
+
+TEST(Hurst, ShortSeriesRejected) {
+  std::vector<double> tiny(32, 1.0);
+  EXPECT_THROW(analysis::hurst_variance_time(tiny), std::invalid_argument);
+  EXPECT_THROW(analysis::hurst_rs(tiny), std::invalid_argument);
+  EXPECT_THROW(analysis::hurst_wavelet(tiny), std::invalid_argument);
+  EXPECT_THROW(analysis::hurst_periodogram(tiny), std::invalid_argument);
+}
+
+// ---- Histogram ----------------------------------------------------------
+
+TEST(Histogram, ProbabilitiesSumToOne) {
+  numerics::Rng rng(301);
+  std::vector<double> x(10000);
+  for (auto& v : x) v = rng.uniform(0.0, 10.0);
+  auto h = analysis::make_histogram(x, 50);
+  EXPECT_EQ(h.bins(), 50u);
+  double total = 0.0;
+  for (double p : h.probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, UniformDataIsFlat) {
+  std::vector<double> x;
+  for (int i = 0; i < 10000; ++i) x.push_back(i * 0.001);
+  auto h = analysis::make_histogram(x, 10);
+  for (double p : h.probs) EXPECT_NEAR(p, 0.1, 0.01);
+}
+
+TEST(Histogram, MaxSampleLandsInLastBin) {
+  std::vector<double> x{0.0, 0.5, 1.0};
+  auto h = analysis::make_histogram(x, 2);
+  EXPECT_NEAR(h.probs[1], 2.0 / 3.0, 1e-12);  // 0.5 and 1.0
+}
+
+TEST(Histogram, DegenerateConstantData) {
+  std::vector<double> x(100, 7.0);
+  auto h = analysis::make_histogram(x, 5);
+  EXPECT_DOUBLE_EQ(h.probs[0], 1.0);
+  auto m = analysis::marginal_from_histogram(h);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.mean(), 7.0);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(analysis::make_histogram({}, 5), std::invalid_argument);
+  EXPECT_THROW(analysis::make_histogram({1.0}, 0), std::invalid_argument);
+}
+
+TEST(Histogram, ConditionalMeanMarginalPreservesTraceMean) {
+  numerics::Rng rng(303);
+  std::vector<double> x(50000);
+  for (auto& v : x) v = std::exp(rng.normal(1.0, 0.5));
+  traffic::RateTrace trace(x, 0.01);
+  auto m = analysis::marginal_from_trace(trace, 50, /*conditional_means=*/true);
+  EXPECT_NEAR(m.mean(), trace.mean(), 1e-9 * trace.mean());
+  // Bin centers only approximately preserve the mean.
+  auto mc = analysis::marginal_from_trace(trace, 50, /*conditional_means=*/false);
+  EXPECT_NEAR(mc.mean(), trace.mean(), 0.02 * trace.mean());
+  EXPECT_LE(m.size(), 50u);
+}
+
+TEST(Histogram, RunLengthOfAlternatingSeriesIsOne) {
+  std::vector<double> x;
+  for (int i = 0; i < 1000; ++i) x.push_back(i % 2 == 0 ? 0.0 : 10.0);
+  auto h = analysis::make_histogram(x, 10);
+  EXPECT_NEAR(analysis::mean_same_bin_run_length(x, h), 1.0, 1e-12);
+}
+
+TEST(Histogram, RunLengthOfBlocksIsBlockLength) {
+  std::vector<double> x;
+  for (int b = 0; b < 100; ++b)
+    for (int i = 0; i < 7; ++i) x.push_back(b % 2 == 0 ? 0.0 : 10.0);
+  auto h = analysis::make_histogram(x, 10);
+  EXPECT_NEAR(analysis::mean_same_bin_run_length(x, h), 7.0, 1e-12);
+}
+
+TEST(Histogram, MeanEpochSecondsScalesWithBinLength) {
+  std::vector<double> x;
+  for (int b = 0; b < 200; ++b)
+    for (int i = 0; i < 4; ++i) x.push_back(b % 2 == 0 ? 1.0 : 9.0);
+  traffic::RateTrace t(x, 0.01);
+  EXPECT_NEAR(analysis::mean_epoch_seconds(t, 10), 0.04, 1e-12);
+}
+
+TEST(Histogram, BinIndicesAreConsistentWithProbs) {
+  numerics::Rng rng(305);
+  std::vector<double> x(20000);
+  for (auto& v : x) v = rng.normal(5.0, 1.0);
+  auto h = analysis::make_histogram(x, 20);
+  auto idx = analysis::bin_indices(x, h);
+  std::vector<double> counts(20, 0.0);
+  for (auto i : idx) {
+    ASSERT_LT(i, 20u);
+    counts[i] += 1.0;
+  }
+  for (std::size_t b = 0; b < 20; ++b)
+    EXPECT_NEAR(counts[b] / 20000.0, h.probs[b], 1e-12) << "bin " << b;
+}
+
+}  // namespace

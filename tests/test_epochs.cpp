@@ -1,0 +1,194 @@
+// Tests for the SRD epoch distributions and the mixture — including the
+// generic consistency property every EpochDistribution must satisfy:
+// excess_mean(u) = integral_u^inf ccdf(t) dt and mean == excess_mean(0).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "dist/mixture_epoch.hpp"
+#include "dist/simple_epochs.hpp"
+#include "dist/truncated_pareto.hpp"
+#include "numerics/random.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace lrd::dist;
+using lrd::testing::integrate_tail;
+using lrd::testing::simpson;
+
+TEST(ExponentialEpoch, Basics) {
+  ExponentialEpoch d(2.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.25);
+  EXPECT_NEAR(d.ccdf_open(1.0), std::exp(-2.0), 1e-15);
+  EXPECT_DOUBLE_EQ(d.ccdf_open(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.ccdf_open(-1.0), 1.0);
+  EXPECT_NEAR(d.excess_mean(1.0), std::exp(-2.0) / 2.0, 1e-15);
+  EXPECT_TRUE(std::isinf(d.max_support()));
+  EXPECT_THROW(ExponentialEpoch(0.0), std::invalid_argument);
+}
+
+TEST(ExponentialEpoch, MemorylessResidual) {
+  // The residual-life ccdf of an exponential equals its own ccdf.
+  ExponentialEpoch d(3.0);
+  for (double t : {0.1, 0.5, 2.0}) EXPECT_NEAR(d.residual_ccdf(t), d.ccdf_open(t), 1e-14);
+}
+
+TEST(DeterministicEpoch, Basics) {
+  DeterministicEpoch d(2.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(d.ccdf_open(1.9), 1.0);
+  EXPECT_DOUBLE_EQ(d.ccdf_open(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.ccdf_closed(2.0), 1.0);  // atom at 2
+  EXPECT_DOUBLE_EQ(d.ccdf_closed(2.1), 0.0);
+  EXPECT_DOUBLE_EQ(d.excess_mean(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(d.excess_mean(3.0), 0.0);
+  lrd::numerics::Rng rng(1);
+  EXPECT_DOUBLE_EQ(d.sample(rng), 2.0);
+  EXPECT_THROW(DeterministicEpoch(0.0), std::invalid_argument);
+}
+
+TEST(DeterministicEpoch, ResidualIsLinear) {
+  DeterministicEpoch d(4.0);
+  EXPECT_NEAR(d.residual_ccdf(1.0), 0.75, 1e-15);
+  EXPECT_NEAR(d.residual_ccdf(3.0), 0.25, 1e-15);
+}
+
+TEST(UniformEpoch, Basics) {
+  UniformEpoch d(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+  EXPECT_NEAR(d.variance(), 4.0 / 12.0, 1e-15);
+  EXPECT_DOUBLE_EQ(d.ccdf_open(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(d.ccdf_open(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.ccdf_open(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.max_support(), 3.0);
+  EXPECT_THROW(UniformEpoch(3.0, 3.0), std::invalid_argument);
+  EXPECT_THROW(UniformEpoch(-1.0, 3.0), std::invalid_argument);
+}
+
+TEST(UniformEpoch, ExcessMeanBranches) {
+  UniformEpoch d(1.0, 3.0);
+  EXPECT_NEAR(d.excess_mean(0.0), 2.0, 1e-15);                  // u below support
+  EXPECT_NEAR(d.excess_mean(0.5), 1.5, 1e-15);                  // mean - u
+  EXPECT_NEAR(d.excess_mean(2.0), 1.0 / 4.0, 1e-15);            // (hi-u)^2/(2(hi-lo))
+  EXPECT_DOUBLE_EQ(d.excess_mean(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.excess_mean(10.0), 0.0);
+}
+
+// Generic property: excess_mean must equal the integral of the ccdf for
+// EVERY epoch distribution (the solver and the covariance rely on it).
+class EpochConsistency : public ::testing::TestWithParam<int> {
+ protected:
+  static EpochPtr make(int which) {
+    switch (which) {
+      case 0: return std::make_shared<ExponentialEpoch>(1.7);
+      case 1: return std::make_shared<DeterministicEpoch>(1.3);
+      case 2: return std::make_shared<UniformEpoch>(0.2, 2.8);
+      case 3: return std::make_shared<TruncatedPareto>(0.5, 1.6, 25.0);
+      default: {
+        std::vector<MixtureEpoch::Component> comps;
+        comps.push_back({0.3, std::make_shared<ExponentialEpoch>(4.0)});
+        comps.push_back({0.7, std::make_shared<TruncatedPareto>(0.3, 1.5, 10.0)});
+        return std::make_shared<MixtureEpoch>(std::move(comps));
+      }
+    }
+  }
+};
+
+TEST_P(EpochConsistency, ExcessMeanIsIntegralOfCcdf) {
+  auto d = make(GetParam());
+  for (double u : {0.0, 0.1, 0.7, 2.0, 5.0}) {
+    const double numeric = std::isinf(d->max_support())
+                               ? integrate_tail([&](double t) { return d->ccdf_open(t); }, u, 1.0)
+                               : simpson([&](double t) { return d->ccdf_open(t); }, u,
+                                         d->max_support(), 100000);
+    // The tolerance must absorb quadrature error across ccdf jump
+    // discontinuities (the truncated Pareto's atom).
+    EXPECT_NEAR(d->excess_mean(u), numeric, 2e-3 * (numeric + 1e-9)) << "u = " << u;
+  }
+}
+
+TEST_P(EpochConsistency, MeanIsExcessMeanAtZero) {
+  auto d = make(GetParam());
+  EXPECT_NEAR(d->mean(), d->excess_mean(0.0), 1e-12 * d->mean());
+}
+
+TEST_P(EpochConsistency, CcdfMonotoneAndBounded) {
+  auto d = make(GetParam());
+  double prev = 1.0;
+  const double hi = std::isinf(d->max_support()) ? 20.0 : d->max_support() * 1.1;
+  for (double t = 0.0; t <= hi; t += hi / 200.0) {
+    const double c = d->ccdf_open(t);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, prev + 1e-12);
+    EXPECT_GE(d->ccdf_closed(t), c - 1e-15);  // closed >= open everywhere
+    prev = c;
+  }
+}
+
+TEST_P(EpochConsistency, SampleMeanMatches) {
+  auto d = make(GetParam());
+  lrd::numerics::Rng rng(GetParam() + 100);
+  const int n = 300000;
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += d->sample(rng);
+  EXPECT_NEAR(s / n, d->mean(), 0.05 * d->mean());
+}
+
+TEST_P(EpochConsistency, ResidualCcdfIsOneAtZeroAndDecreasing) {
+  auto d = make(GetParam());
+  EXPECT_DOUBLE_EQ(d->residual_ccdf(0.0), 1.0);
+  double prev = 1.0;
+  for (double t = 0.05; t < 5.0; t += 0.05) {
+    const double r = d->residual_ccdf(t);
+    EXPECT_LE(r, prev + 1e-12);
+    EXPECT_GE(r, 0.0);
+    prev = r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEpochs, EpochConsistency, ::testing::Range(0, 5));
+
+TEST(MixtureEpoch, ValidatesInput) {
+  EXPECT_THROW(MixtureEpoch({}), std::invalid_argument);
+  std::vector<MixtureEpoch::Component> bad;
+  bad.push_back({0.0, std::make_shared<ExponentialEpoch>(1.0)});
+  EXPECT_THROW(MixtureEpoch(std::move(bad)), std::invalid_argument);
+  std::vector<MixtureEpoch::Component> null_comp;
+  null_comp.push_back({1.0, nullptr});
+  EXPECT_THROW(MixtureEpoch(std::move(null_comp)), std::invalid_argument);
+}
+
+TEST(MixtureEpoch, WeightsAreNormalized) {
+  std::vector<MixtureEpoch::Component> comps;
+  comps.push_back({2.0, std::make_shared<ExponentialEpoch>(1.0)});
+  comps.push_back({6.0, std::make_shared<ExponentialEpoch>(2.0)});
+  MixtureEpoch mix(std::move(comps));
+  EXPECT_NEAR(mix.components()[0].weight, 0.25, 1e-15);
+  EXPECT_NEAR(mix.components()[1].weight, 0.75, 1e-15);
+  // Mean: 0.25 * 1 + 0.75 * 0.5.
+  EXPECT_NEAR(mix.mean(), 0.625, 1e-15);
+}
+
+TEST(MixtureEpoch, VarianceLawOfTotalVariance) {
+  std::vector<MixtureEpoch::Component> comps;
+  comps.push_back({0.5, std::make_shared<DeterministicEpoch>(1.0)});
+  comps.push_back({0.5, std::make_shared<DeterministicEpoch>(3.0)});
+  MixtureEpoch mix(std::move(comps));
+  EXPECT_DOUBLE_EQ(mix.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(mix.variance(), 1.0);  // pure between-component variance
+}
+
+TEST(MixtureEpoch, MaxSupportIsComponentMax) {
+  std::vector<MixtureEpoch::Component> comps;
+  comps.push_back({0.5, std::make_shared<DeterministicEpoch>(1.0)});
+  comps.push_back({0.5, std::make_shared<TruncatedPareto>(1.0, 1.5, 7.0)});
+  MixtureEpoch mix(std::move(comps));
+  EXPECT_DOUBLE_EQ(mix.max_support(), 7.0);
+}
+
+}  // namespace

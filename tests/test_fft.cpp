@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "numerics/convolution.hpp"
+#include "numerics/fft.hpp"
+#include "numerics/random.hpp"
+
+namespace {
+
+using namespace lrd::numerics;
+using cd = std::complex<double>;
+
+TEST(NextPow2, Basics) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(1023), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+  EXPECT_THROW(next_pow2(0), std::invalid_argument);
+}
+
+TEST(IsPow2, Basics) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1u << 20));
+  EXPECT_FALSE(is_pow2((1u << 20) + 1));
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<cd> data(3);
+  EXPECT_THROW(fft_inplace(data, false), std::invalid_argument);
+}
+
+TEST(Fft, SizeOneIsIdentity) {
+  std::vector<cd> data{cd{3.0, -2.0}};
+  auto out = fft(data);
+  EXPECT_EQ(out[0], data[0]);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<cd> data(8, cd{0.0, 0.0});
+  data[0] = 1.0;
+  auto out = fft(data);
+  for (const auto& z : out) {
+    EXPECT_NEAR(z.real(), 1.0, 1e-12);
+    EXPECT_NEAR(z.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ConstantTransformsToDelta) {
+  std::vector<cd> data(16, cd{1.0, 0.0});
+  auto out = fft(data);
+  EXPECT_NEAR(out[0].real(), 16.0, 1e-12);
+  for (std::size_t k = 1; k < out.size(); ++k) EXPECT_NEAR(std::abs(out[k]), 0.0, 1e-11);
+}
+
+TEST(Fft, MatchesDirectDftOnRandomInput) {
+  Rng rng(7);
+  const std::size_t n = 64;
+  std::vector<cd> data(n);
+  for (auto& z : data) z = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  auto fast = fft(data);
+  for (std::size_t k = 0; k < n; ++k) {
+    cd direct{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k * j) / static_cast<double>(n);
+      direct += data[j] * cd{std::cos(ang), std::sin(ang)};
+    }
+    EXPECT_NEAR(std::abs(fast[k] - direct), 0.0, 1e-9) << "bin " << k;
+  }
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseRecoversInput) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<cd> data(n);
+  for (auto& z : data) z = {rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)};
+  auto out = ifft(fft(data));
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(out[i] - data[i]), 0.0, 1e-10) << "index " << i;
+}
+
+TEST_P(FftRoundTrip, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 1);
+  std::vector<cd> data(n);
+  double time_energy = 0.0;
+  for (auto& z : data) {
+    z = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    time_energy += std::norm(z);
+  }
+  auto spec = fft(data);
+  double freq_energy = 0.0;
+  for (const auto& z : spec) freq_energy += std::norm(z);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-8 * time_energy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(1, 2, 4, 8, 32, 128, 1024, 4096));
+
+TEST(Convolution, DirectKnownResult) {
+  auto out = convolve_direct({1.0, 2.0, 3.0}, {4.0, 5.0});
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], 4.0);
+  EXPECT_DOUBLE_EQ(out[1], 13.0);
+  EXPECT_DOUBLE_EQ(out[2], 22.0);
+  EXPECT_DOUBLE_EQ(out[3], 15.0);
+}
+
+TEST(Convolution, EmptyInputThrows) {
+  EXPECT_THROW(convolve_direct({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(convolve_fft({1.0}, {}), std::invalid_argument);
+}
+
+class ConvolutionAgreement : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ConvolutionAgreement, FftMatchesDirect) {
+  const auto [na, nb] = GetParam();
+  Rng rng(na * 1000 + nb);
+  std::vector<double> a(na), b(nb);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  auto d = convolve_direct(a, b);
+  auto f = convolve_fft(a, b);
+  ASSERT_EQ(d.size(), f.size());
+  for (std::size_t i = 0; i < d.size(); ++i) EXPECT_NEAR(d[i], f[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ConvolutionAgreement,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                                           std::pair<std::size_t, std::size_t>{1, 17},
+                                           std::pair<std::size_t, std::size_t>{33, 1},
+                                           std::pair<std::size_t, std::size_t>{7, 13},
+                                           std::pair<std::size_t, std::size_t>{100, 100},
+                                           std::pair<std::size_t, std::size_t>{257, 513}));
+
+TEST(Convolution, SelfConvolvePowersOfBinomial) {
+  // (1 + x)^4 coefficients via repeated self-convolution of {1, 1}.
+  auto out = self_convolve({1.0, 1.0}, 4);
+  ASSERT_EQ(out.size(), 5u);
+  const double expect[] = {1, 4, 6, 4, 1};
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(out[i], expect[i], 1e-12);
+}
+
+TEST(Convolution, SelfConvolveIdentity) {
+  auto out = self_convolve({0.25, 0.75}, 1);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 0.25);
+  EXPECT_DOUBLE_EQ(out[1], 0.75);
+}
+
+TEST(CachedKernelConvolver, MatchesDirectConvolution) {
+  Rng rng(99);
+  std::vector<double> kernel(41), signal(21);
+  for (auto& v : kernel) v = rng.uniform(0.0, 1.0);
+  for (auto& v : signal) v = rng.uniform(0.0, 1.0);
+  CachedKernelConvolver conv(kernel, signal.size());
+  auto fast = conv.convolve(signal);
+  auto direct = convolve_direct(signal, kernel);
+  ASSERT_EQ(fast.size(), direct.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) EXPECT_NEAR(fast[i], direct[i], 1e-10);
+}
+
+TEST(CachedKernelConvolver, ReusableAcrossSignals) {
+  CachedKernelConvolver conv({0.5, 0.5}, 4);
+  auto a = conv.convolve({1.0, 0.0, 0.0, 1.0});
+  auto b = conv.convolve({0.0, 2.0});
+  EXPECT_NEAR(a[0], 0.5, 1e-12);
+  EXPECT_NEAR(a[4], 0.5, 1e-12);
+  EXPECT_NEAR(b[1], 1.0, 1e-12);
+  EXPECT_NEAR(b[2], 1.0, 1e-12);
+}
+
+TEST(CachedKernelConvolver, RejectsOversizedSignal) {
+  CachedKernelConvolver conv({1.0}, 2);
+  EXPECT_THROW(conv.convolve({1.0, 2.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(conv.convolve({}), std::invalid_argument);
+}
+
+TEST(CachedKernelConvolver, ProbabilityMassIsConserved) {
+  // Convolving two pmfs must keep total mass at one (the solver relies on it).
+  Rng rng(5);
+  std::vector<double> kernel(201), signal(101);
+  double ks = 0.0, ss = 0.0;
+  for (auto& v : kernel) { v = rng.uniform(); ks += v; }
+  for (auto& v : signal) { v = rng.uniform(); ss += v; }
+  for (auto& v : kernel) v /= ks;
+  for (auto& v : signal) v /= ss;
+  CachedKernelConvolver conv(kernel, signal.size());
+  auto out = conv.convolve(signal);
+  double total = 0.0;
+  for (double v : out) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/fitting.hpp"
+#include "numerics/random.hpp"
+#include "traffic/synthetic_traces.hpp"
+
+namespace {
+
+using namespace lrd;
+
+TEST(KsStatistic, PerfectFitIsSmall) {
+  numerics::Rng rng(1);
+  std::vector<double> x(20000);
+  for (auto& v : x) v = rng.uniform();
+  const double d = analysis::ks_statistic(x, [](double v) { return std::clamp(v, 0.0, 1.0); });
+  // KS ~ 1/sqrt(n) for a correct model.
+  EXPECT_LT(d, 0.02);
+  EXPECT_THROW(analysis::ks_statistic({}, [](double) { return 0.5; }), std::invalid_argument);
+}
+
+TEST(KsStatistic, WrongModelIsLarge) {
+  numerics::Rng rng(2);
+  std::vector<double> x(5000);
+  for (auto& v : x) v = rng.uniform();  // U(0,1)
+  const double d =
+      analysis::ks_statistic(x, [](double v) { return v <= 0.0 ? 0.0 : -std::expm1(-v); });
+  EXPECT_GT(d, 0.2);
+}
+
+TEST(FitLognormal, RecoversParameters) {
+  numerics::Rng rng(3);
+  std::vector<double> x(100000);
+  for (auto& v : x) v = rng.lognormal(1.2, 0.4);
+  const auto fit = analysis::fit_lognormal(x);
+  EXPECT_NEAR(fit.mu_log, 1.2, 0.01);
+  EXPECT_NEAR(fit.sigma_log, 0.4, 0.01);
+  EXPECT_LT(fit.ks_statistic, 0.01);
+  EXPECT_NEAR(fit.mean(), std::exp(1.2 + 0.08), 0.1);
+  EXPECT_NEAR(fit.cov(), std::sqrt(std::expm1(0.16)), 0.01);
+}
+
+TEST(FitLognormal, Validation) {
+  EXPECT_THROW(analysis::fit_lognormal({}), std::invalid_argument);
+  EXPECT_THROW(analysis::fit_lognormal({1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(FitExponential, RecoversRate) {
+  numerics::Rng rng(4);
+  std::vector<double> x(100000);
+  for (auto& v : x) v = rng.exponential(2.5);
+  const auto fit = analysis::fit_exponential(x);
+  EXPECT_NEAR(fit.rate, 2.5, 0.03);
+  EXPECT_LT(fit.ks_statistic, 0.01);
+}
+
+TEST(CharacterizeMarginal, SyntheticTracesAreLognormal) {
+  // The synthetic MTV trace is lognormal by construction; the
+  // characterization must prefer lognormal over exponential decisively.
+  const auto c = analysis::characterize_marginal(traffic::mtv_trace());
+  EXPECT_STREQ(c.better, "lognormal");
+  EXPECT_LT(c.lognormal.ks_statistic, 0.05);
+  EXPECT_GT(c.exponential.ks_statistic, 5.0 * c.lognormal.ks_statistic);
+  EXPECT_NEAR(c.lognormal.cov(), 0.25, 0.03);
+}
+
+}  // namespace

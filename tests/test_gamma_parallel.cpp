@@ -1,0 +1,108 @@
+// Tests for the Gamma epoch law and the parallel_for substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "dist/gamma_epoch.hpp"
+#include "numerics/parallel.hpp"
+#include "numerics/random.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace lrd;
+using dist::GammaEpoch;
+
+TEST(GammaEpoch, Validation) {
+  EXPECT_THROW(GammaEpoch(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(GammaEpoch(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(GammaEpoch::from_mean(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(GammaEpoch, ShapeOneIsExponential) {
+  GammaEpoch g(1.0, 0.5);
+  EXPECT_DOUBLE_EQ(g.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(g.variance(), 0.25);
+  for (double t : {0.1, 0.5, 2.0}) {
+    EXPECT_NEAR(g.ccdf_open(t), std::exp(-2.0 * t), 1e-11);
+    EXPECT_NEAR(g.excess_mean(t), std::exp(-2.0 * t) / 2.0, 1e-10) << t;
+  }
+}
+
+TEST(GammaEpoch, ErlangTwoCcdf) {
+  // Gamma(2, 1): ccdf = e^-t (1 + t).
+  GammaEpoch g(2.0, 1.0);
+  for (double t : {0.5, 1.0, 3.0}) EXPECT_NEAR(g.ccdf_open(t), std::exp(-t) * (1.0 + t), 1e-11);
+}
+
+class GammaShapes : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaShapes, ExcessMeanMatchesNumericIntegral) {
+  const double k = GetParam();
+  GammaEpoch g = GammaEpoch::from_mean(0.8, k);
+  for (double u : {0.0, 0.2, 0.8, 2.5}) {
+    const double numeric =
+        lrd::testing::integrate_tail([&](double t) { return g.ccdf_open(t); }, u, 0.8);
+    // Tolerance absorbs quadrature error near the ccdf's steep start for
+    // shape < 1 (infinite density at 0).
+    EXPECT_NEAR(g.excess_mean(u), numeric, 1e-4 * (numeric + 1e-10)) << "u = " << u;
+  }
+}
+
+TEST_P(GammaShapes, MomentsAndSampling) {
+  const double k = GetParam();
+  GammaEpoch g = GammaEpoch::from_mean(1.0, k);
+  EXPECT_NEAR(g.mean(), 1.0, 1e-12);
+  EXPECT_NEAR(g.variance(), 1.0 / k, 1e-12);
+  numerics::Rng rng(static_cast<std::uint64_t>(k * 31));
+  const int n = 300000;
+  double s = 0.0, s2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = g.sample(rng);
+    ASSERT_GT(x, 0.0);
+    s += x;
+    s2 += x * x;
+  }
+  const double mean = s / n;
+  EXPECT_NEAR(mean, 1.0, 0.02);
+  EXPECT_NEAR(s2 / n - mean * mean, 1.0 / k, 0.05 / k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GammaShapes, ::testing::Values(0.3, 0.7, 1.0, 2.0, 6.0));
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  numerics::parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroAndSingleWork) {
+  int calls = 0;
+  numerics::parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  numerics::parallel_for(1, [&](std::size_t i) { calls += static_cast<int>(i) + 1; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, MatchesSerialResult) {
+  std::vector<double> par(500), ser(500);
+  numerics::parallel_for(500, [&](std::size_t i) {
+    par[i] = std::sin(static_cast<double>(i)) * std::sqrt(static_cast<double>(i) + 1.0);
+  }, 4);
+  for (std::size_t i = 0; i < 500; ++i)
+    ser[i] = std::sin(static_cast<double>(i)) * std::sqrt(static_cast<double>(i) + 1.0);
+  EXPECT_EQ(par, ser);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(numerics::parallel_for(64,
+                                      [](std::size_t i) {
+                                        if (i == 13) throw std::runtime_error("boom");
+                                      },
+                                      4),
+               std::runtime_error);
+}
+
+}  // namespace

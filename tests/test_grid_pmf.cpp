@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/grid.hpp"
+#include "numerics/pmf.hpp"
+
+namespace {
+
+using namespace lrd::numerics;
+
+TEST(Grid, BasicGeometry) {
+  Grid g(10.0, 4);
+  EXPECT_DOUBLE_EQ(g.step(), 2.5);
+  EXPECT_EQ(g.points(), 5u);
+  EXPECT_DOUBLE_EQ(g.value(0), 0.0);
+  EXPECT_DOUBLE_EQ(g.value(4), 10.0);
+}
+
+TEST(Grid, InvalidArguments) {
+  EXPECT_THROW(Grid(0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Grid(-1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Grid(1.0, 0), std::invalid_argument);
+}
+
+TEST(Grid, FloorAndCeilBracketTheValue) {
+  Grid g(1.0, 100);
+  for (double x : {0.0, 0.001, 0.0149, 0.5, 0.995, 1.0}) {
+    EXPECT_LE(g.floor_quantize(x), x + 1e-15);
+    EXPECT_GE(g.ceil_quantize(x), x - 1e-15);
+    EXPECT_LE(g.ceil_quantize(x) - g.floor_quantize(x), g.step() + 1e-15);
+  }
+}
+
+TEST(Grid, QuantizationClampsOutOfRange) {
+  Grid g(5.0, 10);
+  EXPECT_EQ(g.floor_index(-3.0), 0u);
+  EXPECT_EQ(g.ceil_index(-3.0), 0u);
+  EXPECT_EQ(g.floor_index(7.0), 10u);
+  EXPECT_EQ(g.ceil_index(7.0), 10u);
+}
+
+TEST(Grid, ExactGridPointsAreFixedPoints) {
+  Grid g(8.0, 16);
+  for (std::size_t j = 0; j <= 16; ++j) {
+    EXPECT_EQ(g.floor_index(g.value(j)), j);
+    EXPECT_EQ(g.ceil_index(g.value(j)), j);
+  }
+}
+
+TEST(Grid, RefinementIsNested) {
+  // Every coarse grid point must exist in the refined grid (property (v)
+  // of Proposition II.1 relies on nesting).
+  Grid coarse(3.0, 6);
+  Grid fine = coarse.refined(4);
+  EXPECT_EQ(fine.bins(), 24u);
+  for (std::size_t j = 0; j <= 6; ++j) {
+    const double v = coarse.value(j);
+    EXPECT_DOUBLE_EQ(fine.floor_quantize(v), v);
+    EXPECT_DOUBLE_EQ(fine.ceil_quantize(v), v);
+  }
+}
+
+TEST(Grid, FinerFloorIsWeaklyLarger) {
+  Grid coarse(1.0, 10);
+  Grid fine(1.0, 20);
+  for (double x = 0.0; x <= 1.0; x += 0.013) {
+    EXPECT_LE(coarse.floor_quantize(x), fine.floor_quantize(x) + 1e-15);
+    EXPECT_GE(coarse.ceil_quantize(x), fine.ceil_quantize(x) - 1e-15);
+  }
+}
+
+TEST(Pmf, ConstructionValidation) {
+  EXPECT_THROW(Pmf(0.0, 1.0, {}), std::invalid_argument);
+  EXPECT_THROW(Pmf(0.0, 0.0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Pmf(0.0, 1.0, {-0.5}), std::invalid_argument);
+}
+
+TEST(Pmf, MomentsOfFairCoin) {
+  Pmf p(0.0, 1.0, {0.5, 0.5});
+  EXPECT_DOUBLE_EQ(p.total_mass(), 1.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(p.variance(), 0.25);
+}
+
+TEST(Pmf, OriginShiftsMean) {
+  Pmf p(10.0, 2.0, {0.25, 0.5, 0.25});
+  EXPECT_DOUBLE_EQ(p.mean(), 12.0);
+  EXPECT_DOUBLE_EQ(p.variance(), 2.0);
+}
+
+TEST(Pmf, NormalizeRescales) {
+  Pmf p(0.0, 1.0, {2.0, 2.0});
+  p.normalize();
+  EXPECT_DOUBLE_EQ(p.probs()[0], 0.5);
+  EXPECT_NEAR(p.total_mass(), 1.0, 1e-15);
+}
+
+TEST(Pmf, CdfAndQuantile) {
+  Pmf p(0.0, 1.0, {0.2, 0.3, 0.5});
+  EXPECT_NEAR(p.cdf(-0.5), 0.0, 1e-15);
+  EXPECT_NEAR(p.cdf(0.0), 0.2, 1e-15);
+  EXPECT_NEAR(p.cdf(1.0), 0.5, 1e-15);
+  EXPECT_NEAR(p.cdf(5.0), 1.0, 1e-15);
+  EXPECT_DOUBLE_EQ(p.quantile(0.2), 0.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 2.0);
+  EXPECT_THROW(p.quantile(0.0), std::domain_error);
+}
+
+TEST(Pmf, ConvolutionOfTwoDiceIsTriangular) {
+  Pmf die(1.0, 1.0, std::vector<double>(6, 1.0 / 6.0));
+  Pmf sum = convolve(die, die);
+  EXPECT_DOUBLE_EQ(sum.origin(), 2.0);
+  EXPECT_EQ(sum.size(), 11u);
+  EXPECT_NEAR(sum.probs()[5], 6.0 / 36.0, 1e-12);  // Pr{sum = 7}
+  EXPECT_NEAR(sum.total_mass(), 1.0, 1e-12);
+  EXPECT_NEAR(sum.mean(), 7.0, 1e-12);
+}
+
+TEST(Pmf, ConvolveMismatchedStepsThrows) {
+  Pmf a(0.0, 1.0, {1.0});
+  Pmf b(0.0, 2.0, {1.0});
+  EXPECT_THROW(convolve(a, b), std::invalid_argument);
+}
+
+TEST(Pmf, SelfConvolveMatchesRepeatedConvolve) {
+  Pmf p(0.0, 0.5, {0.3, 0.7});
+  Pmf three = p.self_convolve(3);
+  Pmf manual = convolve(convolve(p, p), p);
+  ASSERT_EQ(three.size(), manual.size());
+  for (std::size_t k = 0; k < three.size(); ++k)
+    EXPECT_NEAR(three.probs()[k], manual.probs()[k], 1e-12);
+  EXPECT_NEAR(three.mean(), 3.0 * p.mean(), 1e-12);
+  EXPECT_NEAR(three.variance(), 3.0 * p.variance(), 1e-12);
+}
+
+TEST(Pmf, AffinePositiveScale) {
+  Pmf p(1.0, 1.0, {0.5, 0.5});
+  Pmf q = p.affine(2.0, 3.0);  // values {5, 7}
+  EXPECT_DOUBLE_EQ(q.mean(), 2.0 * p.mean() + 3.0);
+  EXPECT_DOUBLE_EQ(q.variance(), 4.0 * p.variance());
+}
+
+TEST(Pmf, AffineNegativeScaleReversesSupport) {
+  Pmf p(0.0, 1.0, {0.2, 0.8});  // values {0, 1}
+  Pmf q = p.affine(-1.0, 0.0);  // values {-1, 0} with masses {0.8, 0.2}
+  EXPECT_DOUBLE_EQ(q.origin(), -1.0);
+  EXPECT_DOUBLE_EQ(q.probs()[0], 0.8);
+  EXPECT_DOUBLE_EQ(q.probs()[1], 0.2);
+  EXPECT_DOUBLE_EQ(q.mean(), -p.mean());
+}
+
+TEST(Pmf, AffineZeroScaleThrows) {
+  Pmf p(0.0, 1.0, {1.0});
+  EXPECT_THROW(p.affine(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Pmf, TotalVariationDistance) {
+  Pmf a(0.0, 1.0, {0.5, 0.5});
+  Pmf b(0.0, 1.0, {0.9, 0.1});
+  EXPECT_NEAR(total_variation(a, b), 0.4, 1e-12);
+  EXPECT_NEAR(total_variation(a, a), 0.0, 1e-15);
+  Pmf c(0.0, 1.0, {1.0});
+  EXPECT_THROW(total_variation(a, c), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,36 @@
+// Shared helpers for the test suite: simple adaptive quadrature and
+// moment estimation used to cross-check closed forms.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+namespace lrd::testing {
+
+/// Simpson's rule on [a, b] with n (even) panels.
+inline double simpson(const std::function<double(double)>& f, double a, double b, int n = 4096) {
+  if (n % 2 != 0) ++n;
+  const double h = (b - a) / n;
+  double s = f(a) + f(b);
+  for (int i = 1; i < n; ++i) s += f(a + i * h) * (i % 2 == 1 ? 4.0 : 2.0);
+  return s * h / 3.0;
+}
+
+/// Integrates a non-negative decreasing tail function from a to infinity
+/// by doubling panels until the increment is negligible.
+inline double integrate_tail(const std::function<double(double)>& f, double a,
+                             double scale_hint = 1.0) {
+  double total = 0.0;
+  double left = a;
+  double width = scale_hint;
+  for (int k = 0; k < 200; ++k) {
+    const double piece = simpson(f, left, left + width, 512);
+    total += piece;
+    left += width;
+    width *= 2.0;
+    if (piece < 1e-14 * (total + 1e-300) && k > 3) break;
+  }
+  return total;
+}
+
+}  // namespace lrd::testing

@@ -1,0 +1,79 @@
+// Tests for the Feldmann-Whitt hyperexponential fit and its use as a
+// Markovian stand-in for the truncated Pareto.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/hyperexp_fit.hpp"
+#include "dist/truncated_pareto.hpp"
+
+namespace {
+
+using namespace lrd::dist;
+
+TEST(HyperExpFit, Validation) {
+  auto ccdf = [](double t) { return std::exp(-t); };
+  HyperExpFitConfig cfg;
+  cfg.components = 1;
+  EXPECT_THROW(fit_hyperexponential(ccdf, cfg), std::invalid_argument);
+  cfg = HyperExpFitConfig{};
+  cfg.t_min = 1.0;
+  cfg.t_max = 0.5;
+  EXPECT_THROW(fit_hyperexponential(ccdf, cfg), std::invalid_argument);
+}
+
+TEST(HyperExpFit, ExponentialTargetIsRecovered) {
+  // Fitting an exponential ccdf must give back (a mixture equivalent to)
+  // that exponential.
+  auto ccdf = [](double t) { return std::exp(-2.0 * t); };
+  HyperExpFitConfig cfg;
+  cfg.components = 4;
+  cfg.t_min = 0.05;
+  cfg.t_max = 3.0;
+  auto fit = fit_hyperexponential(ccdf, cfg);
+  for (double t : {0.1, 0.5, 1.0, 2.0})
+    EXPECT_NEAR(fit->ccdf_open(t), ccdf(t), 0.05 * ccdf(t) + 1e-4) << "t = " << t;
+  EXPECT_NEAR(fit->mean(), 0.5, 0.05);
+}
+
+TEST(HyperExpFit, TruncatedParetoCcdfIsMatchedOverRange) {
+  TruncatedPareto target(0.02, 1.3, 50.0);
+  auto fit = fit_hyperexponential(target, /*horizon=*/50.0, /*components=*/10);
+  ASSERT_GE(fit->components().size(), 4u);
+  // Relative ccdf error stays modest across three decades of time scale.
+  for (double t : {0.01, 0.05, 0.2, 1.0, 5.0, 20.0}) {
+    const double want = target.ccdf_open(t);
+    const double got = fit->ccdf_open(t);
+    EXPECT_NEAR(got, want, 0.35 * want + 1e-4) << "t = " << t;
+  }
+}
+
+TEST(HyperExpFit, MeanIsClose) {
+  TruncatedPareto target(0.05, 1.5, 20.0);
+  auto fit = fit_hyperexponential(target, 20.0, 10);
+  EXPECT_NEAR(fit->mean(), target.mean(), 0.25 * target.mean());
+}
+
+TEST(HyperExpFit, ResidualCcdfTracksTarget) {
+  // The covariance of the fluid source is sigma^2 * residual ccdf, so this
+  // is the quantity that must match for the Markov-equivalence ablation.
+  TruncatedPareto target(0.02, 1.4, 10.0);
+  auto fit = fit_hyperexponential(target, 10.0, 10);
+  for (double t : {0.05, 0.2, 1.0, 4.0}) {
+    const double want = target.residual_ccdf(t);
+    EXPECT_NEAR(fit->residual_ccdf(t), want, 0.35 * want + 0.02) << "t = " << t;
+  }
+}
+
+TEST(HyperExpFit, WeightsArePositiveAndNormalized) {
+  TruncatedPareto target(0.02, 1.3, 50.0);
+  auto fit = fit_hyperexponential(target, 50.0, 8);
+  double total = 0.0;
+  for (const auto& c : fit->components()) {
+    EXPECT_GT(c.weight, 0.0);
+    total += c.weight;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+}  // namespace

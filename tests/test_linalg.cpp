@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/linalg.hpp"
+#include "numerics/random.hpp"
+
+namespace {
+
+using namespace lrd::numerics;
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+  EXPECT_THROW(Matrix(0, 3), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndMultiply) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 3.0;
+  a(1, 1) = 4.0;
+  Matrix i = Matrix::identity(2);
+  Matrix prod = a * i;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(prod(r, c), a(r, c));
+  auto v = a.multiply({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+  EXPECT_THROW(a.multiply({1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, KnownProduct) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  int val = 1;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = val++;
+  val = 1;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c) b(r, c) = val++;
+  Matrix p = a * b;  // [[22,28],[49,64]]
+  EXPECT_DOUBLE_EQ(p(0, 0), 22.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 28.0);
+  EXPECT_DOUBLE_EQ(p(1, 0), 49.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 64.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix a(2, 3);
+  a(0, 2) = 5.0;
+  Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+}
+
+TEST(SolveLinear, KnownSystem) {
+  // x + 2y = 5; 3x - y = 1  ->  x = 1, y = 2.
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 3.0;
+  a(1, 1) = -1.0;
+  auto x = solve_linear_system(a, {5.0, 1.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinear, RandomRoundTrip) {
+  Rng rng(7);
+  const std::size_t n = 12;
+  Matrix a(n, n);
+  std::vector<double> x_true(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    x_true[r] = rng.uniform(-2.0, 2.0);
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += 4.0;  // diagonally dominant => well conditioned
+  }
+  auto b = a.multiply(x_true);
+  auto x = solve_linear_system(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(SolveLinear, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_THROW(solve_linear_system(a, {1.0, 2.0}), std::domain_error);
+}
+
+TEST(SolveLinear, NeedsPivoting) {
+  // Zero pivot in the naive order; partial pivoting must handle it.
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  auto x = solve_linear_system(a, {3.0, 4.0});
+  EXPECT_NEAR(x[0], 4.0, 1e-14);
+  EXPECT_NEAR(x[1], 3.0, 1e-14);
+}
+
+TEST(Determinant, KnownValues) {
+  Matrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_NEAR(determinant(a), 10.0, 1e-12);
+  EXPECT_NEAR(determinant(Matrix::identity(5)), 1.0, 1e-12);
+  Matrix s(2, 2);  // singular
+  s(0, 0) = 1.0;
+  s(0, 1) = 1.0;
+  s(1, 0) = 1.0;
+  s(1, 1) = 1.0;
+  EXPECT_DOUBLE_EQ(determinant(s), 0.0);
+}
+
+TEST(StationaryDistribution, TwoStateChain) {
+  // off -> on at 1, on -> off at 3: pi = (3/4, 1/4).
+  Matrix q(2, 2);
+  q(0, 0) = -1.0;
+  q(0, 1) = 1.0;
+  q(1, 0) = 3.0;
+  q(1, 1) = -3.0;
+  auto pi = stationary_distribution(q);
+  EXPECT_NEAR(pi[0], 0.75, 1e-12);
+  EXPECT_NEAR(pi[1], 0.25, 1e-12);
+}
+
+TEST(StationaryDistribution, BirthDeathBinomial) {
+  // 3 iid on/off sources, lambda_on = 2, lambda_off = 1 -> binomial(3, 2/3).
+  const std::size_t n = 3;
+  Matrix q(n + 1, n + 1);
+  for (std::size_t i = 0; i <= n; ++i) {
+    const double up = static_cast<double>(n - i) * 2.0;
+    const double down = static_cast<double>(i) * 1.0;
+    if (i < n) q(i, i + 1) = up;
+    if (i > 0) q(i, i - 1) = down;
+    q(i, i) = -(up + down);
+  }
+  auto pi = stationary_distribution(q);
+  const double p = 2.0 / 3.0;
+  const double expect[] = {std::pow(1 - p, 3), 3 * p * std::pow(1 - p, 2),
+                           3 * p * p * (1 - p), p * p * p};
+  for (std::size_t i = 0; i <= n; ++i) EXPECT_NEAR(pi[i], expect[i], 1e-12) << i;
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Tests of the loss kernel E[W_l | Q = x] against the paper's closed form
+// and basic structural properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "dist/simple_epochs.hpp"
+#include "dist/truncated_pareto.hpp"
+#include "queueing/loss.hpp"
+
+namespace {
+
+using namespace lrd;
+using dist::Marginal;
+using queueing::expected_loss_given_occupancy;
+using queueing::expected_work_per_epoch;
+using queueing::LossBounds;
+
+// The paper's closed form (display after Eq. 14) for truncated Pareto:
+// E[W_l|Q=x] = theta/(alpha-1) sum_{i: Tc(l_i-c) - B + x > 0} pi_i (l_i-c) *
+//   [ ((B-x)/(theta (l_i - c)) + 1)^{1-alpha} - (Tc/theta + 1)^{1-alpha} ].
+double paper_kernel(const Marginal& m, const dist::TruncatedPareto& d, double c, double B,
+                    double x) {
+  const double th = d.theta(), a = d.alpha(), tc = d.cutoff();
+  double total = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const double dr = m.rates()[i] - c;
+    if (dr <= 0.0) continue;
+    if (!(tc * dr - B + x > 0.0)) continue;
+    total += m.probs()[i] * dr *
+             (std::pow((B - x) / (th * dr) + 1.0, 1.0 - a) - std::pow(tc / th + 1.0, 1.0 - a));
+  }
+  return th / (a - 1.0) * total;
+}
+
+TEST(LossKernel, MatchesPaperClosedForm) {
+  Marginal m({1.0, 4.0, 7.0, 12.0}, {0.3, 0.3, 0.2, 0.2});
+  dist::TruncatedPareto d(0.05, 1.4, 20.0);
+  const double c = 5.0, B = 8.0;
+  for (double x : {0.0, 1.0, 4.0, 7.5, 8.0}) {
+    EXPECT_NEAR(expected_loss_given_occupancy(m, d, c, B, x), paper_kernel(m, d, c, B, x),
+                1e-12)
+        << "x = " << x;
+  }
+}
+
+TEST(LossKernel, MatchesPaperClosedFormInfiniteCutoff) {
+  Marginal m({2.0, 9.0}, {0.6, 0.4});
+  dist::TruncatedPareto d(0.1, 1.25, std::numeric_limits<double>::infinity());
+  const double c = 4.0, B = 3.0;
+  for (double x : {0.0, 1.5, 3.0})
+    EXPECT_NEAR(expected_loss_given_occupancy(m, d, c, B, x), paper_kernel(m, d, c, B, x), 1e-12);
+}
+
+TEST(LossKernel, IncreasingInOccupancy) {
+  // Fuller buffer -> more expected loss (the monotonicity Proposition II.1
+  // step (i) relies on).
+  Marginal m({0.0, 10.0}, {0.5, 0.5});
+  dist::TruncatedPareto d(0.02, 1.5, 50.0);
+  double prev = -1.0;
+  for (double x = 0.0; x <= 4.0; x += 0.25) {
+    const double k = expected_loss_given_occupancy(m, d, 6.0, 4.0, x);
+    EXPECT_GE(k, prev);
+    prev = k;
+  }
+}
+
+TEST(LossKernel, ZeroWhenNoRateExceedsService) {
+  Marginal m({1.0, 2.0, 3.0}, {0.3, 0.4, 0.3});
+  dist::ExponentialEpoch d(1.0);
+  EXPECT_DOUBLE_EQ(expected_loss_given_occupancy(m, d, 3.5, 1.0, 0.5), 0.0);
+  // A rate exactly equal to c also never overflows.
+  Marginal m2({1.0, 3.5}, {0.5, 0.5});
+  EXPECT_DOUBLE_EQ(expected_loss_given_occupancy(m2, d, 3.5, 1.0, 1.0), 0.0);
+}
+
+TEST(LossKernel, ZeroWhenCutoffCannotFillHeadroom) {
+  // With T <= Tc, the largest burst is Tc (lambda_max - c); if that cannot
+  // reach B - x there is no loss contribution.
+  Marginal m({0.0, 6.0}, {0.5, 0.5});
+  dist::TruncatedPareto d(0.1, 1.5, 1.0);  // max epoch 1 s
+  const double c = 5.0;                    // max net inflow 1 Mb per epoch
+  EXPECT_DOUBLE_EQ(expected_loss_given_occupancy(m, d, c, 2.0, 0.5), 0.0);
+  EXPECT_GT(expected_loss_given_occupancy(m, d, c, 2.0, 1.5), 0.0);
+}
+
+TEST(LossKernel, FullBufferEqualsMeanExcessWork) {
+  // At x = B every drop of excess work is lost:
+  // E[W_l | Q = B] = sum_{i>c} pi_i (l_i - c) E[T].
+  Marginal m({1.0, 9.0}, {0.5, 0.5});
+  dist::ExponentialEpoch d(2.0);
+  const double c = 4.0;
+  EXPECT_NEAR(expected_loss_given_occupancy(m, d, c, 5.0, 5.0), 0.5 * 5.0 * 0.5, 1e-12);
+}
+
+TEST(LossKernel, Validation) {
+  Marginal m({1.0}, {1.0});
+  dist::ExponentialEpoch d(1.0);
+  EXPECT_THROW(expected_loss_given_occupancy(m, d, 1.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(expected_loss_given_occupancy(m, d, 1.0, 1.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(expected_loss_given_occupancy(m, d, 1.0, 1.0, 1.5), std::invalid_argument);
+}
+
+TEST(LossDenominator, IsMeanRateTimesMeanEpoch) {
+  Marginal m({2.0, 4.0}, {0.5, 0.5});
+  dist::ExponentialEpoch d(4.0);
+  EXPECT_DOUBLE_EQ(expected_work_per_epoch(m, d), 3.0 * 0.25);
+}
+
+TEST(LossBounds, Accessors) {
+  LossBounds b{1e-4, 3e-4};
+  EXPECT_DOUBLE_EQ(b.mid(), 2e-4);
+  EXPECT_DOUBLE_EQ(b.gap(), 2e-4);
+  EXPECT_NEAR(b.relative_gap(), 1.0, 1e-12);
+  LossBounds tight{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(tight.relative_gap(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Tests for the loss-process analysis (run statistics, FEC/ARQ metrics)
+// and the index of dispersion for counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/idc.hpp"
+#include "analysis/loss_process.hpp"
+#include "numerics/random.hpp"
+#include "traffic/fgn.hpp"
+#include "traffic/shuffle.hpp"
+
+namespace {
+
+using namespace lrd;
+
+TEST(LossRuns, EmptyAndAllClear) {
+  auto s = analysis::loss_run_stats({});
+  EXPECT_EQ(s.losses, 0u);
+  EXPECT_EQ(s.bursts, 0u);
+  auto clear = analysis::loss_run_stats({false, false, false});
+  EXPECT_EQ(clear.losses, 0u);
+  EXPECT_DOUBLE_EQ(clear.loss_fraction, 0.0);
+}
+
+TEST(LossRuns, CountsBurstsAndLengths) {
+  // 1 1 0 1 0 0 1 1 1 -> 3 bursts, 6 losses, mean 2, max 3.
+  std::vector<bool> lost{true, true, false, true, false, false, true, true, true};
+  auto s = analysis::loss_run_stats(lost);
+  EXPECT_EQ(s.losses, 6u);
+  EXPECT_EQ(s.bursts, 3u);
+  EXPECT_DOUBLE_EQ(s.mean_burst, 2.0);
+  EXPECT_EQ(s.max_burst, 3u);
+  EXPECT_NEAR(s.loss_fraction, 6.0 / 9.0, 1e-15);
+}
+
+TEST(LossRuns, TrailingBurstIsCounted) {
+  auto s = analysis::loss_run_stats({false, true, true});
+  EXPECT_EQ(s.bursts, 1u);
+  EXPECT_EQ(s.max_burst, 2u);
+}
+
+TEST(Fec, PerfectRecoveryBelowThreshold) {
+  // 2 losses in a 10-slot block, k_max = 2 -> everything recovered.
+  std::vector<bool> lost(10, false);
+  lost[3] = lost[7] = true;
+  EXPECT_DOUBLE_EQ(analysis::fec_residual_loss(lost, 10, 2), 0.0);
+  // k_max = 1 -> the block is unrecoverable: 2/10 residual.
+  EXPECT_DOUBLE_EQ(analysis::fec_residual_loss(lost, 10, 1), 0.2);
+}
+
+TEST(Fec, BurstsConcentrateDamage) {
+  // Same number of losses; spread vs concentrated. Block 4, k_max 1.
+  std::vector<bool> spread{true, false, false, false, true, false, false, false};
+  std::vector<bool> burst{true, true, false, false, false, false, false, false};
+  EXPECT_DOUBLE_EQ(analysis::fec_residual_loss(spread, 4, 1), 0.0);
+  EXPECT_DOUBLE_EQ(analysis::fec_residual_loss(burst, 4, 1), 0.25);
+}
+
+TEST(Fec, PartialFinalBlock) {
+  std::vector<bool> lost{false, false, false, true, true};  // block 3 -> final block {t,t}
+  EXPECT_DOUBLE_EQ(analysis::fec_residual_loss(lost, 3, 1), 0.4);
+  EXPECT_DOUBLE_EQ(analysis::fec_residual_loss(lost, 3, 2), 0.0);
+  EXPECT_THROW(analysis::fec_residual_loss(lost, 0, 1), std::invalid_argument);
+}
+
+TEST(Arq, FeedbackPerLossFavorsBursts) {
+  std::vector<bool> spread{true, false, true, false, true, false};
+  std::vector<bool> burst{true, true, true, false, false, false};
+  EXPECT_DOUBLE_EQ(analysis::arq_feedback_per_loss(spread), 1.0);
+  EXPECT_NEAR(analysis::arq_feedback_per_loss(burst), 1.0 / 3.0, 1e-15);
+  EXPECT_DOUBLE_EQ(analysis::arq_feedback_per_loss({false, false}), 0.0);
+}
+
+TEST(LossIndicators, MatchQueueOverflowSlots) {
+  // Constant overload: after the fill time every slot loses.
+  traffic::RateTrace t(std::vector<double>(100, 6.0), 0.1);
+  auto lost = analysis::loss_indicators(t, 6.0 / 9.0, 2.0 / 9.0);  // c = 9, B = 2
+  // net gain 0.3 Mb per slot minus... rate 6, c 9 -> never loses.
+  for (bool l : lost) EXPECT_FALSE(l);
+  EXPECT_THROW(analysis::loss_indicators(t, 1.5, 0.1), std::invalid_argument);
+}
+
+TEST(LossIndicators, CorrelatedInputYieldsBurstierLosses) {
+  // The conclusion's premise: with correlation, losses cluster; after a
+  // full shuffle (same marginal), they spread out.
+  numerics::Rng rng(11);
+  auto z = traffic::generate_fgn(1 << 16, 0.9, rng);
+  for (double& v : z) v = std::exp(0.4 * v);
+  traffic::RateTrace lrd_trace(z, 0.01);
+  numerics::Rng srng(12);
+  auto iid_trace = traffic::full_shuffle(lrd_trace, srng);
+
+  // High utilization and a small buffer so even the smoothed-out i.i.d.
+  // surrogate loses regularly.
+  auto lost_lrd = analysis::loss_indicators(lrd_trace, 0.95, 0.01);
+  auto lost_iid = analysis::loss_indicators(iid_trace, 0.95, 0.01);
+  auto s_lrd = analysis::loss_run_stats(lost_lrd);
+  auto s_iid = analysis::loss_run_stats(lost_iid);
+  ASSERT_GT(s_lrd.losses, 100u);
+  ASSERT_GT(s_iid.losses, 100u);
+  EXPECT_GT(s_lrd.mean_burst, s_iid.mean_burst);
+}
+
+TEST(Idc, FlatForWhiteNoise) {
+  numerics::Rng rng(21);
+  std::vector<double> x(1 << 15);
+  for (auto& v : x) v = std::exp(0.3 * rng.normal());
+  traffic::RateTrace t(x, 0.01);
+  auto curve = analysis::idc_curve(t);
+  ASSERT_GE(curve.size(), 3u);
+  // IDC roughly constant: last/first within a factor ~2.
+  const double ratio = curve.back().idc / curve.front().idc;
+  EXPECT_LT(ratio, 2.5);
+  EXPECT_GT(ratio, 0.4);
+}
+
+TEST(Idc, GrowsForLrdTraffic) {
+  numerics::Rng rng(22);
+  auto z = traffic::generate_fgn(1 << 17, 0.85, rng);
+  for (double& v : z) v = std::exp(0.3 * v);
+  traffic::RateTrace t(z, 0.01);
+  auto curve = analysis::idc_curve(t);
+  EXPECT_GT(curve.back().idc, 4.0 * curve.front().idc);
+}
+
+TEST(Idc, HurstFromIdcRecoversH) {
+  numerics::Rng rng(23);
+  auto z = traffic::generate_fgn(1 << 17, 0.8, rng);
+  for (double& v : z) v += 5.0;  // positive rates
+  for (double& v : z) v = std::max(v, 0.0);
+  traffic::RateTrace t(z, 0.01);
+  const auto est = analysis::hurst_from_idc(t);
+  EXPECT_NEAR(est.hurst, 0.8, 0.1);
+}
+
+TEST(Idc, Validation) {
+  traffic::RateTrace tiny(std::vector<double>(16, 1.0), 0.01);
+  EXPECT_THROW(analysis::idc_curve(tiny), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+// Randomized property tests: for a fleet of seeded random model
+// instances, the structural invariants of the solver and its inputs must
+// hold — bracket validity, conservation, monotonicity, pmf properness.
+// These catch interaction bugs that the hand-picked unit fixtures cannot.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "dist/marginal.hpp"
+#include "dist/simple_epochs.hpp"
+#include "dist/truncated_pareto.hpp"
+#include "dist/gamma_epoch.hpp"
+#include "dist/mixture_epoch.hpp"
+#include "dist/weibull_epoch.hpp"
+#include "numerics/random.hpp"
+#include "queueing/fluid_queue_sim.hpp"
+#include "queueing/occupancy.hpp"
+#include "queueing/solver.hpp"
+
+namespace {
+
+using namespace lrd;
+
+struct RandomInstance {
+  dist::Marginal marginal;
+  dist::EpochPtr epochs;
+  double service;
+  double buffer;
+};
+
+RandomInstance make_instance(std::uint64_t seed) {
+  numerics::Rng rng(seed);
+
+  // Random marginal: 2..12 states, rates in (0, 20), Dirichlet-ish probs.
+  const std::size_t states = 2 + static_cast<std::size_t>(rng.below(11));
+  std::vector<double> rates(states), probs(states);
+  for (std::size_t i = 0; i < states; ++i) {
+    rates[i] = rng.uniform(0.0, 20.0);
+    probs[i] = rng.exponential(1.0);
+  }
+  dist::Marginal marginal(std::move(rates), std::move(probs));
+
+  // Random epoch law from the full family.
+  dist::EpochPtr epochs;
+  switch (rng.below(6)) {
+    case 0:
+      epochs = std::make_shared<const dist::TruncatedPareto>(
+          rng.uniform(0.005, 0.2), rng.uniform(1.1, 1.9), rng.uniform(0.5, 50.0));
+      break;
+    case 1:
+      epochs = std::make_shared<const dist::ExponentialEpoch>(rng.uniform(1.0, 50.0));
+      break;
+    case 2:
+      epochs = std::make_shared<const dist::UniformEpoch>(0.0, rng.uniform(0.05, 0.5));
+      break;
+    case 3:
+      epochs = std::make_shared<const dist::GammaEpoch>(rng.uniform(0.4, 4.0),
+                                                        rng.uniform(0.01, 0.2));
+      break;
+    case 4: {
+      std::vector<dist::MixtureEpoch::Component> comps;
+      comps.push_back({rng.uniform(0.2, 0.8),
+                       std::make_shared<const dist::ExponentialEpoch>(rng.uniform(5.0, 50.0))});
+      comps.push_back({1.0, std::make_shared<const dist::TruncatedPareto>(
+                                rng.uniform(0.005, 0.1), rng.uniform(1.2, 1.8),
+                                rng.uniform(1.0, 20.0))});
+      epochs = std::make_shared<const dist::MixtureEpoch>(std::move(comps));
+      break;
+    }
+    default:
+      epochs = std::make_shared<const dist::WeibullEpoch>(rng.uniform(0.01, 0.2),
+                                                          rng.uniform(0.5, 2.0));
+      break;
+  }
+
+  // Utilization in (0.3, 0.95); avoid rates exactly equal to c.
+  double service = marginal.mean() / rng.uniform(0.3, 0.95);
+  for (double r : marginal.rates())
+    if (std::abs(r - service) < 1e-9) service += 1e-6;
+  const double buffer = rng.uniform(0.05, 2.0) * service;
+  return RandomInstance{std::move(marginal), std::move(epochs), service, buffer};
+}
+
+class RandomModels : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomModels, IncrementPmfsAreProperAndOrdered) {
+  const auto inst = make_instance(GetParam());
+  queueing::FluidQueueSolver s(inst.marginal, inst.epochs, inst.service, inst.buffer);
+  for (std::size_t bins : {32u, 128u}) {
+    const auto wl = s.increment_pmf_lower(bins);
+    const auto wh = s.increment_pmf_upper(bins);
+    EXPECT_NEAR(std::accumulate(wl.begin(), wl.end(), 0.0), 1.0, 1e-10);
+    EXPECT_NEAR(std::accumulate(wh.begin(), wh.end(), 0.0), 1.0, 1e-10);
+    double tail_l = 0.0, tail_h = 0.0;
+    for (std::size_t k = wl.size(); k-- > 0;) {
+      tail_l += wl[k];
+      tail_h += wh[k];
+      ASSERT_GE(tail_h, tail_l - 1e-10);
+    }
+  }
+}
+
+TEST_P(RandomModels, SolverBracketIsValidAndConsistent) {
+  const auto inst = make_instance(GetParam());
+  queueing::FluidQueueSolver s(inst.marginal, inst.epochs, inst.service, inst.buffer);
+  queueing::SolverConfig cfg;
+  cfg.max_bins = 1 << 11;
+  const auto r = s.solve(cfg);
+  EXPECT_LE(r.loss.lower, r.loss.upper + 1e-15);
+  EXPECT_GE(r.loss.lower, 0.0);
+  EXPECT_LE(r.loss.upper, 1.0 + 1e-9);
+  EXPECT_LE(r.mean_queue_lower, r.mean_queue_upper + 1e-9);
+  EXPECT_GE(r.mean_queue_lower, -1e-12);
+  EXPECT_LE(r.mean_queue_upper, inst.buffer * (1.0 + 1e-9));
+  // Occupancy pmfs are proper.
+  EXPECT_NEAR(std::accumulate(r.occupancy_lower.begin(), r.occupancy_lower.end(), 0.0), 1.0,
+              1e-6);
+  EXPECT_NEAR(std::accumulate(r.occupancy_upper.begin(), r.occupancy_upper.end(), 0.0), 1.0,
+              1e-6);
+  // Zero-loss convention is self-consistent.
+  if (r.zero_loss) {
+    EXPECT_LT(r.loss.upper, 1e-10);
+  }
+}
+
+TEST_P(RandomModels, BoundsTightenWithIterationsEverywhere) {
+  const auto inst = make_instance(GetParam());
+  queueing::FluidQueueSolver s(inst.marginal, inst.epochs, inst.service, inst.buffer);
+  const auto early = s.iterate_fixed(64, 6);
+  const auto later = s.iterate_fixed(64, 24);
+  EXPECT_GE(later.loss.lower, early.loss.lower - 1e-13);
+  EXPECT_LE(later.loss.upper, early.loss.upper + 1e-13);
+}
+
+TEST_P(RandomModels, SimulationAgreesWithBracket) {
+  const auto inst = make_instance(GetParam());
+  queueing::FluidQueueSolver s(inst.marginal, inst.epochs, inst.service, inst.buffer);
+  queueing::SolverConfig cfg;
+  cfg.target_relative_gap = 0.05;
+  cfg.max_bins = 1 << 12;
+  const auto r = s.solve(cfg);
+
+  queueing::FluidSimConfig sim_cfg;
+  sim_cfg.epochs = 1 << 20;
+  sim_cfg.seed = GetParam() ^ 0xabcdef;
+  const auto sim = queueing::simulate_fluid_queue(inst.marginal, *inst.epochs, inst.service,
+                                                  inst.buffer, sim_cfg);
+  const double slack = 5.0 * sim.loss_rate_stderr + 0.05 * r.loss.upper + 1e-9;
+  EXPECT_LE(sim.loss_rate, r.loss.upper + slack);
+  // The lower-bound check only makes sense when losses are frequent
+  // enough for a ~1M-epoch simulation to observe them reliably.
+  if (r.loss.upper > 1e-4) {
+    EXPECT_GE(sim.loss_rate, r.loss.lower - slack);
+  }
+}
+
+TEST_P(RandomModels, OverflowTailIsCoherent) {
+  const auto inst = make_instance(GetParam());
+  queueing::FluidQueueSolver s(inst.marginal, inst.epochs, inst.service, inst.buffer);
+  queueing::SolverConfig cfg;
+  cfg.max_bins = 1 << 11;
+  const auto r = s.solve(cfg);
+  const auto tail = queueing::occupancy_tail(r, inst.buffer);
+  for (std::size_t j = 1; j < tail.lower.size(); ++j) {
+    ASSERT_LE(tail.lower[j], tail.lower[j - 1] + 1e-12);
+    ASSERT_LE(tail.upper[j], tail.upper[j - 1] + 1e-12);
+    ASSERT_LE(tail.lower[j], tail.upper[j] + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomModels,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110, 121, 132));
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Tests for the Monte-Carlo fluid-queue simulator and the trace-driven
+// queue simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "dist/simple_epochs.hpp"
+#include "dist/truncated_pareto.hpp"
+#include "queueing/fluid_queue_sim.hpp"
+#include "queueing/trace_queue_sim.hpp"
+#include "traffic/trace.hpp"
+
+namespace {
+
+using namespace lrd;
+using dist::Marginal;
+using traffic::RateTrace;
+
+TEST(FluidSim, Validation) {
+  Marginal m({1.0}, {1.0});
+  dist::ExponentialEpoch d(1.0);
+  EXPECT_THROW(queueing::simulate_fluid_queue(m, d, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(queueing::simulate_fluid_queue(m, d, 1.0, 0.0), std::invalid_argument);
+  queueing::FluidSimConfig bad;
+  bad.epochs = 4;
+  bad.batches = 8;
+  EXPECT_THROW(queueing::simulate_fluid_queue(m, d, 1.0, 1.0, bad), std::invalid_argument);
+}
+
+TEST(FluidSim, NoLossUnderLightLoad) {
+  Marginal m({1.0, 2.0}, {0.5, 0.5});
+  dist::ExponentialEpoch d(5.0);
+  queueing::FluidSimConfig cfg;
+  cfg.epochs = 1 << 16;
+  cfg.warmup_epochs = 1 << 10;
+  auto r = queueing::simulate_fluid_queue(m, d, 2.5, 10.0, cfg);
+  EXPECT_DOUBLE_EQ(r.loss_rate, 0.0);
+  EXPECT_DOUBLE_EQ(r.lost_work, 0.0);
+  EXPECT_GT(r.arrived_work, 0.0);
+}
+
+TEST(FluidSim, ConstantOverloadLosesExactFraction) {
+  Marginal m = Marginal::constant(5.0);
+  dist::ExponentialEpoch d(1.0);
+  queueing::FluidSimConfig cfg;
+  cfg.epochs = 1 << 16;
+  auto r = queueing::simulate_fluid_queue(m, d, 4.0, 1.0, cfg);
+  EXPECT_NEAR(r.loss_rate, 0.2, 1e-3);  // (5-4)/5, modulo the initial fill
+  EXPECT_NEAR(r.utilization_observed, 1.0, 1e-9);
+  EXPECT_NEAR(r.mean_queue, 1.0, 1e-2);  // pinned at B
+}
+
+TEST(FluidSim, UtilizationMatchesOfferedLoadWhenLossFree) {
+  Marginal m({0.0, 4.0}, {0.5, 0.5});  // mean 2
+  dist::ExponentialEpoch d(2.0);
+  queueing::FluidSimConfig cfg;
+  cfg.epochs = 1 << 18;
+  auto r = queueing::simulate_fluid_queue(m, d, 8.0, 50.0, cfg);
+  // Negligible loss: carried = offered load = 2/8.
+  EXPECT_NEAR(r.utilization_observed, 0.25, 0.01);
+}
+
+TEST(FluidSim, DeterministicSeed) {
+  Marginal m({0.0, 10.0}, {0.5, 0.5});
+  dist::ExponentialEpoch d(2.0);
+  queueing::FluidSimConfig cfg;
+  cfg.epochs = 1 << 14;
+  cfg.seed = 99;
+  auto a = queueing::simulate_fluid_queue(m, d, 6.0, 2.0, cfg);
+  auto b = queueing::simulate_fluid_queue(m, d, 6.0, 2.0, cfg);
+  EXPECT_DOUBLE_EQ(a.loss_rate, b.loss_rate);
+  EXPECT_DOUBLE_EQ(a.mean_queue, b.mean_queue);
+}
+
+TEST(FluidSim, StderrShrinksWithMoreEpochs) {
+  Marginal m({0.0, 10.0}, {0.5, 0.5});
+  auto d = dist::TruncatedPareto(0.05, 1.5, 5.0);
+  queueing::FluidSimConfig small;
+  small.epochs = 1 << 14;
+  queueing::FluidSimConfig big;
+  big.epochs = 1 << 20;
+  auto rs = queueing::simulate_fluid_queue(m, d, 6.0, 2.0, small);
+  auto rb = queueing::simulate_fluid_queue(m, d, 6.0, 2.0, big);
+  EXPECT_LT(rb.loss_rate_stderr, rs.loss_rate_stderr);
+}
+
+// ---- Trace-driven queue ---------------------------------------------------
+
+TEST(TraceSim, Validation) {
+  RateTrace t({1.0, 2.0}, 0.1);
+  EXPECT_THROW(queueing::simulate_trace_queue(t, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(queueing::simulate_trace_queue(t, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(queueing::simulate_trace_queue_normalized(t, 1.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(queueing::simulate_trace_queue_normalized(t, 0.5, 0.0), std::invalid_argument);
+}
+
+TEST(TraceSim, WorkConservation) {
+  RateTrace t({5.0, 0.0, 8.0, 1.0, 9.0, 2.0}, 0.5);
+  auto r = queueing::simulate_trace_queue(t, 3.0, 1.0);
+  // arrived = lost + served + final queue; served <= c * duration.
+  EXPECT_NEAR(r.arrived_work, t.total_work(), 1e-12);
+  EXPECT_LE(r.served_work, 3.0 * t.duration() + 1e-12);
+  EXPECT_GE(r.lost_work, 0.0);
+  EXPECT_GE(r.served_work, 0.0);
+}
+
+TEST(TraceSim, NoLossWithAmpleService) {
+  RateTrace t({1.0, 2.0, 3.0, 2.0}, 0.1);
+  auto r = queueing::simulate_trace_queue(t, 5.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.loss_rate, 0.0);
+  EXPECT_DOUBLE_EQ(r.max_queue, 0.0);
+  EXPECT_DOUBLE_EQ(r.empty_fraction, 1.0);
+}
+
+TEST(TraceSim, ConstantOverloadFillsThenLoses) {
+  RateTrace t(std::vector<double>(1000, 6.0), 0.1);
+  const double c = 4.0, B = 2.0;
+  auto r = queueing::simulate_trace_queue(t, c, B);
+  // The queue gains 0.2 Mb per slot, reaching B = 2 exactly at the end of
+  // slot 10 (index 9); the remaining 990 slots each lose 2/6 of their work.
+  EXPECT_NEAR(r.loss_rate, (6.0 - 4.0) / 6.0 * (990.0 / 1000.0), 1e-9);
+  EXPECT_DOUBLE_EQ(r.max_queue, B);
+  EXPECT_NEAR(r.full_fraction, 0.991, 1e-12);
+}
+
+TEST(TraceSim, SingleSpikeLosesExactOverflow) {
+  // One huge slot; everything beyond B + c*Delta is lost.
+  RateTrace t({0.0, 100.0, 0.0}, 0.1);
+  const double c = 10.0, B = 3.0;
+  auto r = queueing::simulate_trace_queue(t, c, B);
+  // Work in spike slot: 10 Mb; service 1 Mb; buffer 3 Mb -> lost 6 Mb.
+  EXPECT_NEAR(r.lost_work, 6.0, 1e-12);
+  EXPECT_NEAR(r.loss_rate, 6.0 / 10.0, 1e-12);
+}
+
+TEST(TraceSim, LossDecreasesWithBuffer) {
+  std::vector<double> rates;
+  for (int i = 0; i < 5000; ++i) rates.push_back(i % 7 == 0 ? 30.0 : 2.0);
+  RateTrace t(rates, 0.05);
+  double prev = 1.0;
+  for (double b : {0.1, 0.5, 1.0, 3.0}) {
+    auto r = queueing::simulate_trace_queue_normalized(t, 0.7, b);
+    EXPECT_LE(r.loss_rate, prev + 1e-12) << "buffer " << b;
+    prev = r.loss_rate;
+  }
+}
+
+TEST(TraceSim, NormalizedWrapperMatchesManualParameters) {
+  RateTrace t({4.0, 8.0, 2.0, 6.0}, 0.25);  // mean 5
+  auto a = queueing::simulate_trace_queue_normalized(t, 0.5, 2.0);
+  auto b = queueing::simulate_trace_queue(t, 10.0, 20.0);
+  EXPECT_DOUBLE_EQ(a.loss_rate, b.loss_rate);
+  EXPECT_DOUBLE_EQ(a.mean_queue, b.mean_queue);
+}
+
+TEST(TraceSim, FullAndEmptyFractionsArePlausible) {
+  std::vector<double> rates;
+  for (int i = 0; i < 1000; ++i) rates.push_back(i % 2 == 0 ? 10.0 : 0.0);
+  RateTrace t(rates, 0.1);
+  auto r = queueing::simulate_trace_queue(t, 5.0, 0.25);
+  EXPECT_GT(r.full_fraction, 0.0);
+  EXPECT_GT(r.empty_fraction, 0.0);
+  EXPECT_LE(r.full_fraction + r.empty_fraction, 1.0 + 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/acf.hpp"
+#include "numerics/random.hpp"
+#include "traffic/fgn.hpp"
+#include "traffic/shuffle.hpp"
+
+namespace {
+
+using namespace lrd;
+using traffic::RateTrace;
+
+RateTrace lrd_test_trace(std::size_t n, double hurst, std::uint64_t seed) {
+  numerics::Rng rng(seed);
+  auto x = traffic::generate_fgn(n, hurst, rng);
+  for (double& v : x) v = std::exp(0.3 * v);  // positive rates
+  return RateTrace(std::move(x), 0.01);
+}
+
+TEST(ExternalShuffle, PreservesMarginalExactly) {
+  auto t = lrd_test_trace(4096, 0.8, 1);
+  numerics::Rng rng(2);
+  auto s = traffic::external_shuffle(t, 64, rng);
+  ASSERT_EQ(s.size(), t.size());
+  auto a = t.rates();
+  auto b = s.rates();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);  // bitwise identical multiset of samples
+}
+
+TEST(ExternalShuffle, PreservesPartialTailBlock) {
+  RateTrace t({1, 2, 3, 4, 5, 6, 7}, 1.0);
+  numerics::Rng rng(3);
+  auto s = traffic::external_shuffle(t, 3, rng);  // blocks {1,2,3},{4,5,6}, tail {7}
+  EXPECT_DOUBLE_EQ(s[6], 7.0);
+}
+
+TEST(ExternalShuffle, BlockInteriorsSurviveIntact) {
+  RateTrace t({10, 11, 20, 21, 30, 31, 40, 41}, 1.0);
+  numerics::Rng rng(4);
+  auto s = traffic::external_shuffle(t, 2, rng);
+  // Each output block must be one of the original consecutive pairs.
+  for (std::size_t b = 0; b < 4; ++b) {
+    const double first = s[2 * b];
+    EXPECT_DOUBLE_EQ(s[2 * b + 1], first + 1.0) << "block " << b;
+  }
+}
+
+TEST(ExternalShuffle, DegenerateBlockLengths) {
+  auto t = lrd_test_trace(256, 0.7, 5);
+  numerics::Rng rng(6);
+  // Block longer than the trace: unchanged.
+  auto same = traffic::external_shuffle(t, 1000, rng);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_DOUBLE_EQ(same[i], t[i]);
+  EXPECT_THROW(traffic::external_shuffle(t, 0, rng), std::invalid_argument);
+}
+
+TEST(ExternalShuffle, KillsCorrelationBeyondBlockLag) {
+  // The defining property (Fig. 6): after shuffling with block length L,
+  // the ACF beyond lag L is indistinguishable from noise while the
+  // original LRD trace keeps substantial correlation there.
+  auto t = lrd_test_trace(1 << 16, 0.9, 7);
+  const std::size_t block = 32;
+  numerics::Rng rng(8);
+  auto s = traffic::external_shuffle(t, block, rng);
+
+  auto acf_orig = analysis::autocorrelation(t, 4 * block);
+  auto acf_shuf = analysis::autocorrelation(s, 4 * block);
+
+  EXPECT_GT(acf_orig[2 * block], 0.1);           // original keeps LRD
+  EXPECT_NEAR(acf_shuf[2 * block], 0.0, 0.03);   // shuffled does not
+  EXPECT_NEAR(acf_shuf[4 * block], 0.0, 0.03);
+}
+
+TEST(ExternalShuffle, PreservesShortLagCorrelation) {
+  // Within-block structure is untouched, so small-lag ACF survives
+  // (diluted only by the O(1/L) block-boundary fraction).
+  auto t = lrd_test_trace(1 << 16, 0.9, 9);
+  numerics::Rng rng(10);
+  auto s = traffic::external_shuffle(t, 256, rng);
+  auto acf_orig = analysis::autocorrelation(t, 4);
+  auto acf_shuf = analysis::autocorrelation(s, 4);
+  EXPECT_NEAR(acf_shuf[1], acf_orig[1], 0.05);
+  EXPECT_NEAR(acf_shuf[2], acf_orig[2], 0.05);
+}
+
+TEST(InternalShuffle, PreservesMarginalAndBlockMembership) {
+  RateTrace t({1, 2, 3, 4, 5, 6, 7, 8}, 1.0);
+  numerics::Rng rng(11);
+  auto s = traffic::internal_shuffle(t, 4, rng);
+  // First four outputs are a permutation of {1,2,3,4}.
+  std::vector<double> head{s[0], s[1], s[2], s[3]};
+  std::sort(head.begin(), head.end());
+  EXPECT_EQ(head, (std::vector<double>{1, 2, 3, 4}));
+  std::vector<double> tail{s[4], s[5], s[6], s[7]};
+  std::sort(tail.begin(), tail.end());
+  EXPECT_EQ(tail, (std::vector<double>{5, 6, 7, 8}));
+}
+
+TEST(InternalShuffle, KillsShortLagKeepsLongLag) {
+  auto t = lrd_test_trace(1 << 16, 0.9, 13);
+  const std::size_t block = 128;
+  numerics::Rng rng(14);
+  auto s = traffic::internal_shuffle(t, block, rng);
+  auto acf_orig = analysis::autocorrelation(t, 4 * block);
+  auto acf_shuf = analysis::autocorrelation(s, 4 * block);
+  // Short-lag correlation is destroyed...
+  EXPECT_LT(acf_shuf[1], acf_orig[1] / 2.0);
+  // ...while block-scale correlation (long lags) survives approximately.
+  EXPECT_NEAR(acf_shuf[2 * block], acf_orig[2 * block], 0.05);
+  EXPECT_GT(acf_shuf[2 * block], 0.05);
+}
+
+TEST(FullShuffle, ProducesIidSurrogate) {
+  auto t = lrd_test_trace(1 << 15, 0.9, 15);
+  numerics::Rng rng(16);
+  auto s = traffic::full_shuffle(t, rng);
+  auto acf = analysis::autocorrelation(s, 8);
+  for (std::size_t k = 1; k <= 8; ++k) EXPECT_NEAR(acf[k], 0.0, 0.03);
+  EXPECT_DOUBLE_EQ(s.mean(), s.mean());
+  EXPECT_NEAR(s.mean(), t.mean(), 1e-9);
+}
+
+TEST(BlockLengthForCutoff, RoundsToNearestBin) {
+  RateTrace t(std::vector<double>(100, 1.0), 0.01);
+  EXPECT_EQ(traffic::block_length_for_cutoff(t, 0.01), 1u);
+  EXPECT_EQ(traffic::block_length_for_cutoff(t, 0.1), 10u);
+  EXPECT_EQ(traffic::block_length_for_cutoff(t, 0.104), 10u);
+  EXPECT_EQ(traffic::block_length_for_cutoff(t, 0.001), 1u);  // floor at one bin
+  EXPECT_THROW(traffic::block_length_for_cutoff(t, 0.0), std::invalid_argument);
+}
+
+TEST(Shuffles, DeterministicGivenSeed) {
+  auto t = lrd_test_trace(1024, 0.8, 17);
+  numerics::Rng a(18), b(18);
+  auto s1 = traffic::external_shuffle(t, 16, a);
+  auto s2 = traffic::external_shuffle(t, 16, b);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_DOUBLE_EQ(s1[i], s2[i]);
+}
+
+}  // namespace

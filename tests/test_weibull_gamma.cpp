@@ -1,0 +1,121 @@
+// Tests for the incomplete gamma function and the Weibull epoch law.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/weibull_epoch.hpp"
+#include "numerics/random.hpp"
+#include "numerics/special_functions.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace lrd;
+using lrd::testing::integrate_tail;
+
+TEST(RegularizedGammaQ, Boundaries) {
+  EXPECT_DOUBLE_EQ(numerics::regularized_gamma_q(1.0, 0.0), 1.0);
+  EXPECT_THROW(numerics::regularized_gamma_q(0.0, 1.0), std::domain_error);
+  EXPECT_THROW(numerics::regularized_gamma_q(1.0, -1.0), std::domain_error);
+}
+
+TEST(RegularizedGammaQ, IntegerShapeIsErlangTail) {
+  // Q(n, x) = e^-x sum_{k<n} x^k / k! for integer n.
+  for (double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(numerics::regularized_gamma_q(1.0, x), std::exp(-x), 1e-12);
+    EXPECT_NEAR(numerics::regularized_gamma_q(2.0, x), std::exp(-x) * (1.0 + x), 1e-11);
+    EXPECT_NEAR(numerics::regularized_gamma_q(3.0, x),
+                std::exp(-x) * (1.0 + x + x * x / 2.0), 1e-11);
+  }
+}
+
+TEST(RegularizedGammaQ, HalfShapeIsErfc) {
+  // Q(1/2, x) = erfc(sqrt(x)).
+  for (double x : {0.01, 0.25, 1.0, 4.0, 16.0})
+    EXPECT_NEAR(numerics::regularized_gamma_q(0.5, x), std::erfc(std::sqrt(x)), 1e-11);
+}
+
+TEST(RegularizedGammaQ, MatchesNumericIntegralForFractionalShape) {
+  const double a = 0.37;
+  for (double x : {0.05, 0.5, 2.0}) {
+    const double numeric = lrd::testing::integrate_tail(
+        [a](double t) { return std::pow(t, a - 1.0) * std::exp(-t); }, x, 1.0);
+    EXPECT_NEAR(numerics::upper_incomplete_gamma(a, x), numeric, 1e-6 * numeric)
+        << "x = " << x;
+  }
+}
+
+TEST(RegularizedGammaQ, MonotoneDecreasingInX) {
+  double prev = 1.0;
+  for (double x = 0.1; x < 20.0; x += 0.3) {
+    const double q = numerics::regularized_gamma_q(1.7, x);
+    EXPECT_LT(q, prev);
+    EXPECT_GE(q, 0.0);
+    prev = q;
+  }
+}
+
+TEST(WeibullEpoch, Validation) {
+  EXPECT_THROW(dist::WeibullEpoch(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(dist::WeibullEpoch(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(dist::WeibullEpoch::from_mean(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(WeibullEpoch, ShapeOneIsExponential) {
+  dist::WeibullEpoch w(0.5, 1.0);
+  EXPECT_NEAR(w.mean(), 0.5, 1e-12);
+  EXPECT_NEAR(w.variance(), 0.25, 1e-10);
+  for (double t : {0.1, 0.5, 2.0}) {
+    EXPECT_NEAR(w.ccdf_open(t), std::exp(-2.0 * t), 1e-12);
+    EXPECT_NEAR(w.excess_mean(t), std::exp(-2.0 * t) / 2.0, 1e-10) << "t = " << t;
+  }
+}
+
+class WeibullShapes : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeibullShapes, MomentsMatchGammaFormulas) {
+  const double k = GetParam();
+  dist::WeibullEpoch w(1.3, k);
+  const double g1 = std::tgamma(1.0 + 1.0 / k);
+  const double g2 = std::tgamma(1.0 + 2.0 / k);
+  EXPECT_NEAR(w.mean(), 1.3 * g1, 1e-12);
+  EXPECT_NEAR(w.variance(), 1.69 * (g2 - g1 * g1), 1e-10);
+}
+
+TEST_P(WeibullShapes, ExcessMeanMatchesNumericIntegral) {
+  const double k = GetParam();
+  dist::WeibullEpoch w(0.8, k);
+  for (double u : {0.0, 0.2, 0.8, 2.0}) {
+    const double numeric = integrate_tail([&](double t) { return w.ccdf_open(t); }, u, 0.8);
+    EXPECT_NEAR(w.excess_mean(u), numeric, 1e-5 * (numeric + 1e-10)) << "u = " << u;
+  }
+}
+
+TEST_P(WeibullShapes, MeanEqualsExcessAtZero) {
+  const double k = GetParam();
+  dist::WeibullEpoch w(2.0, k);
+  EXPECT_NEAR(w.mean(), w.excess_mean(0.0), 1e-10 * w.mean());
+}
+
+TEST_P(WeibullShapes, SampleMomentsMatch) {
+  const double k = GetParam();
+  dist::WeibullEpoch w = dist::WeibullEpoch::from_mean(1.0, k);
+  EXPECT_NEAR(w.mean(), 1.0, 1e-12);
+  numerics::Rng rng(static_cast<std::uint64_t>(k * 100));
+  double s = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) s += w.sample(rng);
+  EXPECT_NEAR(s / n, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, WeibullShapes, ::testing::Values(0.4, 0.7, 1.0, 1.5, 2.5));
+
+TEST(WeibullEpoch, SubexponentialShapeIsBurstierThanExponential) {
+  // Same mean, shape 0.5: heavier tail beyond the mean.
+  auto heavy = dist::WeibullEpoch::from_mean(1.0, 0.5);
+  dist::WeibullEpoch expo(1.0, 1.0);
+  EXPECT_GT(heavy.ccdf_open(5.0), expo.ccdf_open(5.0));
+  EXPECT_GT(heavy.variance(), expo.variance());
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+// Minimal flag parsing shared by the lrdq_* command-line tools.
+//
+// Supports `--name value` and `--name=value` forms; unknown flags are an
+// error (fail fast beats silently ignoring a typo in an experiment).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lrd::cli {
+
+class Args {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  Args(int argc, char** argv, std::vector<std::string> known) : known_(std::move(known)) {
+    for (int i = 1; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) != 0)
+        throw std::invalid_argument("unexpected positional argument: " + token);
+      token.erase(0, 2);
+      std::string value;
+      const auto eq = token.find('=');
+      if (eq != std::string::npos) {
+        value = token.substr(eq + 1);
+        token.erase(eq);
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        throw std::invalid_argument("flag --" + token + " is missing a value");
+      }
+      if (std::find(known_.begin(), known_.end(), token) == known_.end())
+        throw std::invalid_argument("unknown flag --" + token);
+      values_[token] = value;
+    }
+  }
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string get(const std::string& name, const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double get_double(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size())
+      throw std::invalid_argument("flag --" + name + ": not a number: " + it->second);
+    return v;
+  }
+
+  std::size_t get_size(const std::string& name, std::size_t fallback) const {
+    const double v = get_double(name, static_cast<double>(fallback));
+    if (v < 0.0 || v != static_cast<double>(static_cast<std::size_t>(v)))
+      throw std::invalid_argument("flag --" + name + ": not a non-negative integer");
+    return static_cast<std::size_t>(v);
+  }
+
+  /// Comma-separated list of doubles.
+  std::vector<double> get_list(const std::string& name,
+                               const std::vector<double>& fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    std::vector<double> out;
+    std::stringstream ss(it->second);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (!item.empty()) out.push_back(std::stod(item));
+    }
+    if (out.empty()) throw std::invalid_argument("flag --" + name + ": empty list");
+    return out;
+  }
+
+ private:
+  std::vector<std::string> known_;
+  std::map<std::string, std::string> values_;
+};
+
+/// Standard error handling wrapper for tool main() bodies.
+template <typename Fn>
+int run_tool(const char* usage, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n\n%s\n", e.what(), usage);
+    return 2;
+  }
+}
+
+}  // namespace lrd::cli

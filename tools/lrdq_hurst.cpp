@@ -1,0 +1,57 @@
+// lrdq_hurst — estimate the Hurst parameter of a rate trace.
+//
+//   lrdq_hurst --trace trace.txt [--bins 50]
+//
+// Runs all five estimators (variance-time, R/S, wavelet, periodogram,
+// IDC slope), prints the fit quality of each, and reports the 50-bin
+// marginal statistics plus the mean epoch duration used for theta
+// calibration — everything needed to parameterize lrdq_solve.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "analysis/histogram.hpp"
+#include "analysis/hurst.hpp"
+#include "analysis/idc.hpp"
+#include "cli_common.hpp"
+#include "traffic/trace.hpp"
+
+namespace {
+
+constexpr const char* kUsage = "usage: lrdq_hurst --trace FILE [--bins 50]";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lrd;
+  return cli::run_tool(kUsage, [&] {
+    cli::Args args(argc, argv, {"trace", "bins"});
+    if (!args.has("trace")) throw std::invalid_argument("--trace is required");
+    const auto trace = traffic::RateTrace::load_file(args.get("trace", ""));
+    const std::size_t bins = args.get_size("bins", 50);
+
+    std::printf("trace: %zu samples, Delta = %.5f s, duration %.1f s\n", trace.size(),
+                trace.bin_seconds(), trace.duration());
+    std::printf("rates: mean %.4f, std %.4f, min %.4f, max %.4f\n\n", trace.mean(),
+                std::sqrt(trace.variance()), trace.min(), trace.max());
+
+    std::printf("%-16s %8s %8s\n", "estimator", "H", "R^2");
+    const auto vt = analysis::hurst_variance_time(trace);
+    std::printf("%-16s %8.3f %8.3f\n", "variance-time", vt.hurst, vt.fit.r_squared);
+    const auto rs = analysis::hurst_rs(trace);
+    std::printf("%-16s %8.3f %8.3f\n", "R/S", rs.hurst, rs.fit.r_squared);
+    const auto wav = analysis::hurst_wavelet(trace);
+    std::printf("%-16s %8.3f %8.3f\n", "wavelet (AV)", wav.hurst, wav.fit.r_squared);
+    const auto per = analysis::hurst_periodogram(trace);
+    std::printf("%-16s %8.3f %8.3f\n", "periodogram", per.hurst, per.fit.r_squared);
+    const auto idc = analysis::hurst_from_idc(trace);
+    std::printf("%-16s %8.3f %8.3f\n", "IDC slope", idc.hurst, idc.fit.r_squared);
+
+    const auto marginal = analysis::marginal_from_trace(trace, bins);
+    std::printf("\n%zu-bin marginal: %zu occupied states, mean %.4f, std %.4f\n", bins,
+                marginal.size(), marginal.mean(), marginal.stddev());
+    std::printf("mean epoch (same-bin run length): %.4f s\n",
+                analysis::mean_epoch_seconds(trace, bins));
+    return 0;
+  });
+}

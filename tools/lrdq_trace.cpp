@@ -1,0 +1,55 @@
+// lrdq_trace — generate a synthetic LRD rate trace.
+//
+//   lrdq_trace --out trace.txt [--hurst 0.85] [--mean 10] [--cov 0.4]
+//              [--delta 0.01] [--samples 131072] [--seed 1]
+//   lrdq_trace --preset mtv --out mtv.txt
+//   lrdq_trace --preset bellcore --out bc.txt
+//
+// Writes a plain-text trace loadable by RateTrace::load_file (and by the
+// trace_analysis example / lrdq_hurst tool).
+#include <cstdio>
+#include <string>
+
+#include "cli_common.hpp"
+#include "traffic/synthetic_traces.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: lrdq_trace --out FILE [--preset mtv|bellcore]\n"
+    "                  [--hurst 0.85] [--mean 10] [--cov 0.4]\n"
+    "                  [--delta 0.01] [--samples 131072] [--seed 1]";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lrd;
+  return cli::run_tool(kUsage, [&] {
+    cli::Args args(argc, argv,
+                   {"out", "preset", "hurst", "mean", "cov", "delta", "samples", "seed"});
+    if (!args.has("out")) throw std::invalid_argument("--out is required");
+    const std::string out = args.get("out", "");
+
+    traffic::SyntheticTraceSpec spec;
+    const std::string preset = args.get("preset", "");
+    if (preset == "mtv") {
+      spec = traffic::mtv_spec();
+    } else if (preset == "bellcore") {
+      spec = traffic::bellcore_spec();
+    } else if (!preset.empty()) {
+      throw std::invalid_argument("unknown preset: " + preset);
+    }
+    spec.hurst = args.get_double("hurst", spec.hurst);
+    spec.mean_rate = args.get_double("mean", spec.mean_rate);
+    spec.cov = args.get_double("cov", spec.cov);
+    spec.bin_seconds = args.get_double("delta", spec.bin_seconds);
+    spec.samples = args.get_size("samples", spec.samples);
+    spec.seed = args.get_size("seed", spec.seed);
+
+    const auto trace = traffic::generate_synthetic_trace(spec);
+    trace.save_file(out);
+    std::printf("wrote %zu samples (Delta = %.5f s, mean %.4f Mb/s, H target %.2f) to %s\n",
+                trace.size(), trace.bin_seconds(), trace.mean(), spec.hurst, out.c_str());
+    return 0;
+  });
+}

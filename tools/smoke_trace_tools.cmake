@@ -1,0 +1,11 @@
+# Generates a small trace with lrdq_trace, then analyzes it with lrdq_hurst.
+set(trace_file "${WORK_DIR}/smoke_trace.txt")
+execute_process(COMMAND ${TRACE_TOOL} --out ${trace_file} --samples 4096 --hurst 0.8
+                RESULT_VARIABLE gen_result)
+if(NOT gen_result EQUAL 0)
+  message(FATAL_ERROR "lrdq_trace failed: ${gen_result}")
+endif()
+execute_process(COMMAND ${HURST_TOOL} --trace ${trace_file} RESULT_VARIABLE hurst_result)
+if(NOT hurst_result EQUAL 0)
+  message(FATAL_ERROR "lrdq_hurst failed: ${hurst_result}")
+endif()
