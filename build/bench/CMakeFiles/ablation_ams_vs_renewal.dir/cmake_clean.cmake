@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ams_vs_renewal.dir/ablation_ams_vs_renewal.cpp.o"
+  "CMakeFiles/ablation_ams_vs_renewal.dir/ablation_ams_vs_renewal.cpp.o.d"
+  "ablation_ams_vs_renewal"
+  "ablation_ams_vs_renewal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ams_vs_renewal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

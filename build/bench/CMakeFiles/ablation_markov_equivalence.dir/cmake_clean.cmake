@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_markov_equivalence.dir/ablation_markov_equivalence.cpp.o"
+  "CMakeFiles/ablation_markov_equivalence.dir/ablation_markov_equivalence.cpp.o.d"
+  "ablation_markov_equivalence"
+  "ablation_markov_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_markov_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_skelly_histogram.dir/ablation_skelly_histogram.cpp.o"
+  "CMakeFiles/ablation_skelly_histogram.dir/ablation_skelly_histogram.cpp.o.d"
+  "ablation_skelly_histogram"
+  "ablation_skelly_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_skelly_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vbr_mixture.dir/ablation_vbr_mixture.cpp.o"
+  "CMakeFiles/ablation_vbr_mixture.dir/ablation_vbr_mixture.cpp.o.d"
+  "ablation_vbr_mixture"
+  "ablation_vbr_mixture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vbr_mixture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_bounds_convergence.dir/fig02_bounds_convergence.cpp.o"
+  "CMakeFiles/fig02_bounds_convergence.dir/fig02_bounds_convergence.cpp.o.d"
+  "fig02_bounds_convergence"
+  "fig02_bounds_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_bounds_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

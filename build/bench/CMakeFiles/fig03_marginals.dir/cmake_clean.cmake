@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_marginals.dir/fig03_marginals.cpp.o"
+  "CMakeFiles/fig03_marginals.dir/fig03_marginals.cpp.o.d"
+  "fig03_marginals"
+  "fig03_marginals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_marginals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

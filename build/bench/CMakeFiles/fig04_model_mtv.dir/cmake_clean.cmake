@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_model_mtv.dir/fig04_model_mtv.cpp.o"
+  "CMakeFiles/fig04_model_mtv.dir/fig04_model_mtv.cpp.o.d"
+  "fig04_model_mtv"
+  "fig04_model_mtv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_model_mtv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

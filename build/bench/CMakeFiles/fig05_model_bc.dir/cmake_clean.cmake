@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_model_bc.dir/fig05_model_bc.cpp.o"
+  "CMakeFiles/fig05_model_bc.dir/fig05_model_bc.cpp.o.d"
+  "fig05_model_bc"
+  "fig05_model_bc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_model_bc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

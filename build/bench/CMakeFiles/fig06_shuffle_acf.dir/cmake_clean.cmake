@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_shuffle_acf.dir/fig06_shuffle_acf.cpp.o"
+  "CMakeFiles/fig06_shuffle_acf.dir/fig06_shuffle_acf.cpp.o.d"
+  "fig06_shuffle_acf"
+  "fig06_shuffle_acf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_shuffle_acf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

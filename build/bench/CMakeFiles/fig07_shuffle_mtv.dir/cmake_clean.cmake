@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_shuffle_mtv.dir/fig07_shuffle_mtv.cpp.o"
+  "CMakeFiles/fig07_shuffle_mtv.dir/fig07_shuffle_mtv.cpp.o.d"
+  "fig07_shuffle_mtv"
+  "fig07_shuffle_mtv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_shuffle_mtv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

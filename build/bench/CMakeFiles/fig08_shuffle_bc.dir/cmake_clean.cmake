@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_shuffle_bc.dir/fig08_shuffle_bc.cpp.o"
+  "CMakeFiles/fig08_shuffle_bc.dir/fig08_shuffle_bc.cpp.o.d"
+  "fig08_shuffle_bc"
+  "fig08_shuffle_bc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_shuffle_bc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

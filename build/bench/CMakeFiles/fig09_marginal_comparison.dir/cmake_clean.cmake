@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_marginal_comparison.dir/fig09_marginal_comparison.cpp.o"
+  "CMakeFiles/fig09_marginal_comparison.dir/fig09_marginal_comparison.cpp.o.d"
+  "fig09_marginal_comparison"
+  "fig09_marginal_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_marginal_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

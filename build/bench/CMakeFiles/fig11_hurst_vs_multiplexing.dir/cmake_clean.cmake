@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_hurst_vs_multiplexing.dir/fig11_hurst_vs_multiplexing.cpp.o"
+  "CMakeFiles/fig11_hurst_vs_multiplexing.dir/fig11_hurst_vs_multiplexing.cpp.o.d"
+  "fig11_hurst_vs_multiplexing"
+  "fig11_hurst_vs_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_hurst_vs_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_buffer_vs_scaling_mtv.dir/fig12_buffer_vs_scaling_mtv.cpp.o"
+  "CMakeFiles/fig12_buffer_vs_scaling_mtv.dir/fig12_buffer_vs_scaling_mtv.cpp.o.d"
+  "fig12_buffer_vs_scaling_mtv"
+  "fig12_buffer_vs_scaling_mtv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_buffer_vs_scaling_mtv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

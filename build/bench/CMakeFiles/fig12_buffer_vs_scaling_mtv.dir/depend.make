@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_buffer_vs_scaling_mtv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_buffer_vs_scaling_bc.dir/fig13_buffer_vs_scaling_bc.cpp.o"
+  "CMakeFiles/fig13_buffer_vs_scaling_bc.dir/fig13_buffer_vs_scaling_bc.cpp.o.d"
+  "fig13_buffer_vs_scaling_bc"
+  "fig13_buffer_vs_scaling_bc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_buffer_vs_scaling_bc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

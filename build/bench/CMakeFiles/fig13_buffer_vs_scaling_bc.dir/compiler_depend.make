@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_buffer_vs_scaling_bc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_buffer_vs_scaling_bc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intro_tail_regimes.dir/intro_tail_regimes.cpp.o"
+  "CMakeFiles/intro_tail_regimes.dir/intro_tail_regimes.cpp.o.d"
+  "intro_tail_regimes"
+  "intro_tail_regimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intro_tail_regimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

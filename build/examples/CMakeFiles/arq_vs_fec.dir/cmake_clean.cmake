@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arq_vs_fec.dir/arq_vs_fec.cpp.o"
+  "CMakeFiles/arq_vs_fec.dir/arq_vs_fec.cpp.o.d"
+  "arq_vs_fec"
+  "arq_vs_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arq_vs_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlation_horizon_study.dir/correlation_horizon_study.cpp.o"
+  "CMakeFiles/correlation_horizon_study.dir/correlation_horizon_study.cpp.o.d"
+  "correlation_horizon_study"
+  "correlation_horizon_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlation_horizon_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

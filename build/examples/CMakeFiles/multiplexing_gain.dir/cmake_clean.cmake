@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplexing_gain.dir/multiplexing_gain.cpp.o"
+  "CMakeFiles/multiplexing_gain.dir/multiplexing_gain.cpp.o.d"
+  "multiplexing_gain"
+  "multiplexing_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplexing_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

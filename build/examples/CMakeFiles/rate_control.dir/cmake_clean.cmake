@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_control.dir/rate_control.cpp.o"
+  "CMakeFiles/rate_control.dir/rate_control.cpp.o.d"
+  "rate_control"
+  "rate_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/trace_analysis.cpp" "examples/CMakeFiles/trace_analysis.dir/trace_analysis.cpp.o" "gcc" "examples/CMakeFiles/trace_analysis.dir/trace_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lrd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lrd_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lrd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lrd_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lrd_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lrd_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/acf.cpp" "src/CMakeFiles/lrd_analysis.dir/analysis/acf.cpp.o" "gcc" "src/CMakeFiles/lrd_analysis.dir/analysis/acf.cpp.o.d"
+  "/root/repo/src/analysis/fitting.cpp" "src/CMakeFiles/lrd_analysis.dir/analysis/fitting.cpp.o" "gcc" "src/CMakeFiles/lrd_analysis.dir/analysis/fitting.cpp.o.d"
+  "/root/repo/src/analysis/histogram.cpp" "src/CMakeFiles/lrd_analysis.dir/analysis/histogram.cpp.o" "gcc" "src/CMakeFiles/lrd_analysis.dir/analysis/histogram.cpp.o.d"
+  "/root/repo/src/analysis/hurst.cpp" "src/CMakeFiles/lrd_analysis.dir/analysis/hurst.cpp.o" "gcc" "src/CMakeFiles/lrd_analysis.dir/analysis/hurst.cpp.o.d"
+  "/root/repo/src/analysis/idc.cpp" "src/CMakeFiles/lrd_analysis.dir/analysis/idc.cpp.o" "gcc" "src/CMakeFiles/lrd_analysis.dir/analysis/idc.cpp.o.d"
+  "/root/repo/src/analysis/loss_process.cpp" "src/CMakeFiles/lrd_analysis.dir/analysis/loss_process.cpp.o" "gcc" "src/CMakeFiles/lrd_analysis.dir/analysis/loss_process.cpp.o.d"
+  "/root/repo/src/analysis/regression.cpp" "src/CMakeFiles/lrd_analysis.dir/analysis/regression.cpp.o" "gcc" "src/CMakeFiles/lrd_analysis.dir/analysis/regression.cpp.o.d"
+  "/root/repo/src/analysis/whittle.cpp" "src/CMakeFiles/lrd_analysis.dir/analysis/whittle.cpp.o" "gcc" "src/CMakeFiles/lrd_analysis.dir/analysis/whittle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lrd_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lrd_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lrd_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrd_analysis.dir/analysis/acf.cpp.o"
+  "CMakeFiles/lrd_analysis.dir/analysis/acf.cpp.o.d"
+  "CMakeFiles/lrd_analysis.dir/analysis/fitting.cpp.o"
+  "CMakeFiles/lrd_analysis.dir/analysis/fitting.cpp.o.d"
+  "CMakeFiles/lrd_analysis.dir/analysis/histogram.cpp.o"
+  "CMakeFiles/lrd_analysis.dir/analysis/histogram.cpp.o.d"
+  "CMakeFiles/lrd_analysis.dir/analysis/hurst.cpp.o"
+  "CMakeFiles/lrd_analysis.dir/analysis/hurst.cpp.o.d"
+  "CMakeFiles/lrd_analysis.dir/analysis/idc.cpp.o"
+  "CMakeFiles/lrd_analysis.dir/analysis/idc.cpp.o.d"
+  "CMakeFiles/lrd_analysis.dir/analysis/loss_process.cpp.o"
+  "CMakeFiles/lrd_analysis.dir/analysis/loss_process.cpp.o.d"
+  "CMakeFiles/lrd_analysis.dir/analysis/regression.cpp.o"
+  "CMakeFiles/lrd_analysis.dir/analysis/regression.cpp.o.d"
+  "CMakeFiles/lrd_analysis.dir/analysis/whittle.cpp.o"
+  "CMakeFiles/lrd_analysis.dir/analysis/whittle.cpp.o.d"
+  "liblrd_analysis.a"
+  "liblrd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

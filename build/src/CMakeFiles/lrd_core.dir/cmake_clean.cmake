@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrd_core.dir/core/correlation_horizon.cpp.o"
+  "CMakeFiles/lrd_core.dir/core/correlation_horizon.cpp.o.d"
+  "CMakeFiles/lrd_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/lrd_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/lrd_core.dir/core/model.cpp.o"
+  "CMakeFiles/lrd_core.dir/core/model.cpp.o.d"
+  "CMakeFiles/lrd_core.dir/core/traces.cpp.o"
+  "CMakeFiles/lrd_core.dir/core/traces.cpp.o.d"
+  "liblrd_core.a"
+  "liblrd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/gamma_epoch.cpp" "src/CMakeFiles/lrd_dist.dir/dist/gamma_epoch.cpp.o" "gcc" "src/CMakeFiles/lrd_dist.dir/dist/gamma_epoch.cpp.o.d"
+  "/root/repo/src/dist/hyperexp_fit.cpp" "src/CMakeFiles/lrd_dist.dir/dist/hyperexp_fit.cpp.o" "gcc" "src/CMakeFiles/lrd_dist.dir/dist/hyperexp_fit.cpp.o.d"
+  "/root/repo/src/dist/marginal.cpp" "src/CMakeFiles/lrd_dist.dir/dist/marginal.cpp.o" "gcc" "src/CMakeFiles/lrd_dist.dir/dist/marginal.cpp.o.d"
+  "/root/repo/src/dist/mixture_epoch.cpp" "src/CMakeFiles/lrd_dist.dir/dist/mixture_epoch.cpp.o" "gcc" "src/CMakeFiles/lrd_dist.dir/dist/mixture_epoch.cpp.o.d"
+  "/root/repo/src/dist/simple_epochs.cpp" "src/CMakeFiles/lrd_dist.dir/dist/simple_epochs.cpp.o" "gcc" "src/CMakeFiles/lrd_dist.dir/dist/simple_epochs.cpp.o.d"
+  "/root/repo/src/dist/truncated_pareto.cpp" "src/CMakeFiles/lrd_dist.dir/dist/truncated_pareto.cpp.o" "gcc" "src/CMakeFiles/lrd_dist.dir/dist/truncated_pareto.cpp.o.d"
+  "/root/repo/src/dist/weibull_epoch.cpp" "src/CMakeFiles/lrd_dist.dir/dist/weibull_epoch.cpp.o" "gcc" "src/CMakeFiles/lrd_dist.dir/dist/weibull_epoch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lrd_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

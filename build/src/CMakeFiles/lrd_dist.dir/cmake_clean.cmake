@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrd_dist.dir/dist/gamma_epoch.cpp.o"
+  "CMakeFiles/lrd_dist.dir/dist/gamma_epoch.cpp.o.d"
+  "CMakeFiles/lrd_dist.dir/dist/hyperexp_fit.cpp.o"
+  "CMakeFiles/lrd_dist.dir/dist/hyperexp_fit.cpp.o.d"
+  "CMakeFiles/lrd_dist.dir/dist/marginal.cpp.o"
+  "CMakeFiles/lrd_dist.dir/dist/marginal.cpp.o.d"
+  "CMakeFiles/lrd_dist.dir/dist/mixture_epoch.cpp.o"
+  "CMakeFiles/lrd_dist.dir/dist/mixture_epoch.cpp.o.d"
+  "CMakeFiles/lrd_dist.dir/dist/simple_epochs.cpp.o"
+  "CMakeFiles/lrd_dist.dir/dist/simple_epochs.cpp.o.d"
+  "CMakeFiles/lrd_dist.dir/dist/truncated_pareto.cpp.o"
+  "CMakeFiles/lrd_dist.dir/dist/truncated_pareto.cpp.o.d"
+  "CMakeFiles/lrd_dist.dir/dist/weibull_epoch.cpp.o"
+  "CMakeFiles/lrd_dist.dir/dist/weibull_epoch.cpp.o.d"
+  "liblrd_dist.a"
+  "liblrd_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrd_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

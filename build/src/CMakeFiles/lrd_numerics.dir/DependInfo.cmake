@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/convolution.cpp" "src/CMakeFiles/lrd_numerics.dir/numerics/convolution.cpp.o" "gcc" "src/CMakeFiles/lrd_numerics.dir/numerics/convolution.cpp.o.d"
+  "/root/repo/src/numerics/fft.cpp" "src/CMakeFiles/lrd_numerics.dir/numerics/fft.cpp.o" "gcc" "src/CMakeFiles/lrd_numerics.dir/numerics/fft.cpp.o.d"
+  "/root/repo/src/numerics/linalg.cpp" "src/CMakeFiles/lrd_numerics.dir/numerics/linalg.cpp.o" "gcc" "src/CMakeFiles/lrd_numerics.dir/numerics/linalg.cpp.o.d"
+  "/root/repo/src/numerics/parallel.cpp" "src/CMakeFiles/lrd_numerics.dir/numerics/parallel.cpp.o" "gcc" "src/CMakeFiles/lrd_numerics.dir/numerics/parallel.cpp.o.d"
+  "/root/repo/src/numerics/pmf.cpp" "src/CMakeFiles/lrd_numerics.dir/numerics/pmf.cpp.o" "gcc" "src/CMakeFiles/lrd_numerics.dir/numerics/pmf.cpp.o.d"
+  "/root/repo/src/numerics/random.cpp" "src/CMakeFiles/lrd_numerics.dir/numerics/random.cpp.o" "gcc" "src/CMakeFiles/lrd_numerics.dir/numerics/random.cpp.o.d"
+  "/root/repo/src/numerics/special_functions.cpp" "src/CMakeFiles/lrd_numerics.dir/numerics/special_functions.cpp.o" "gcc" "src/CMakeFiles/lrd_numerics.dir/numerics/special_functions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrd_numerics.dir/numerics/convolution.cpp.o"
+  "CMakeFiles/lrd_numerics.dir/numerics/convolution.cpp.o.d"
+  "CMakeFiles/lrd_numerics.dir/numerics/fft.cpp.o"
+  "CMakeFiles/lrd_numerics.dir/numerics/fft.cpp.o.d"
+  "CMakeFiles/lrd_numerics.dir/numerics/linalg.cpp.o"
+  "CMakeFiles/lrd_numerics.dir/numerics/linalg.cpp.o.d"
+  "CMakeFiles/lrd_numerics.dir/numerics/parallel.cpp.o"
+  "CMakeFiles/lrd_numerics.dir/numerics/parallel.cpp.o.d"
+  "CMakeFiles/lrd_numerics.dir/numerics/pmf.cpp.o"
+  "CMakeFiles/lrd_numerics.dir/numerics/pmf.cpp.o.d"
+  "CMakeFiles/lrd_numerics.dir/numerics/random.cpp.o"
+  "CMakeFiles/lrd_numerics.dir/numerics/random.cpp.o.d"
+  "CMakeFiles/lrd_numerics.dir/numerics/special_functions.cpp.o"
+  "CMakeFiles/lrd_numerics.dir/numerics/special_functions.cpp.o.d"
+  "liblrd_numerics.a"
+  "liblrd_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrd_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

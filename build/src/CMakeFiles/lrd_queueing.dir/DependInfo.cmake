@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/asymptotics.cpp" "src/CMakeFiles/lrd_queueing.dir/queueing/asymptotics.cpp.o" "gcc" "src/CMakeFiles/lrd_queueing.dir/queueing/asymptotics.cpp.o.d"
+  "/root/repo/src/queueing/fluid_queue_sim.cpp" "src/CMakeFiles/lrd_queueing.dir/queueing/fluid_queue_sim.cpp.o" "gcc" "src/CMakeFiles/lrd_queueing.dir/queueing/fluid_queue_sim.cpp.o.d"
+  "/root/repo/src/queueing/infinite_queue.cpp" "src/CMakeFiles/lrd_queueing.dir/queueing/infinite_queue.cpp.o" "gcc" "src/CMakeFiles/lrd_queueing.dir/queueing/infinite_queue.cpp.o.d"
+  "/root/repo/src/queueing/loss.cpp" "src/CMakeFiles/lrd_queueing.dir/queueing/loss.cpp.o" "gcc" "src/CMakeFiles/lrd_queueing.dir/queueing/loss.cpp.o.d"
+  "/root/repo/src/queueing/markov_fluid.cpp" "src/CMakeFiles/lrd_queueing.dir/queueing/markov_fluid.cpp.o" "gcc" "src/CMakeFiles/lrd_queueing.dir/queueing/markov_fluid.cpp.o.d"
+  "/root/repo/src/queueing/occupancy.cpp" "src/CMakeFiles/lrd_queueing.dir/queueing/occupancy.cpp.o" "gcc" "src/CMakeFiles/lrd_queueing.dir/queueing/occupancy.cpp.o.d"
+  "/root/repo/src/queueing/solver.cpp" "src/CMakeFiles/lrd_queueing.dir/queueing/solver.cpp.o" "gcc" "src/CMakeFiles/lrd_queueing.dir/queueing/solver.cpp.o.d"
+  "/root/repo/src/queueing/trace_queue_sim.cpp" "src/CMakeFiles/lrd_queueing.dir/queueing/trace_queue_sim.cpp.o" "gcc" "src/CMakeFiles/lrd_queueing.dir/queueing/trace_queue_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lrd_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lrd_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lrd_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

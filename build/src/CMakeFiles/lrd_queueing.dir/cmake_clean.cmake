@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrd_queueing.dir/queueing/asymptotics.cpp.o"
+  "CMakeFiles/lrd_queueing.dir/queueing/asymptotics.cpp.o.d"
+  "CMakeFiles/lrd_queueing.dir/queueing/fluid_queue_sim.cpp.o"
+  "CMakeFiles/lrd_queueing.dir/queueing/fluid_queue_sim.cpp.o.d"
+  "CMakeFiles/lrd_queueing.dir/queueing/infinite_queue.cpp.o"
+  "CMakeFiles/lrd_queueing.dir/queueing/infinite_queue.cpp.o.d"
+  "CMakeFiles/lrd_queueing.dir/queueing/loss.cpp.o"
+  "CMakeFiles/lrd_queueing.dir/queueing/loss.cpp.o.d"
+  "CMakeFiles/lrd_queueing.dir/queueing/markov_fluid.cpp.o"
+  "CMakeFiles/lrd_queueing.dir/queueing/markov_fluid.cpp.o.d"
+  "CMakeFiles/lrd_queueing.dir/queueing/occupancy.cpp.o"
+  "CMakeFiles/lrd_queueing.dir/queueing/occupancy.cpp.o.d"
+  "CMakeFiles/lrd_queueing.dir/queueing/solver.cpp.o"
+  "CMakeFiles/lrd_queueing.dir/queueing/solver.cpp.o.d"
+  "CMakeFiles/lrd_queueing.dir/queueing/trace_queue_sim.cpp.o"
+  "CMakeFiles/lrd_queueing.dir/queueing/trace_queue_sim.cpp.o.d"
+  "liblrd_queueing.a"
+  "liblrd_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrd_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

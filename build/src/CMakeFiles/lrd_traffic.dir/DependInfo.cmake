@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/chaotic_map.cpp" "src/CMakeFiles/lrd_traffic.dir/traffic/chaotic_map.cpp.o" "gcc" "src/CMakeFiles/lrd_traffic.dir/traffic/chaotic_map.cpp.o.d"
+  "/root/repo/src/traffic/fgn.cpp" "src/CMakeFiles/lrd_traffic.dir/traffic/fgn.cpp.o" "gcc" "src/CMakeFiles/lrd_traffic.dir/traffic/fgn.cpp.o.d"
+  "/root/repo/src/traffic/fluid_source.cpp" "src/CMakeFiles/lrd_traffic.dir/traffic/fluid_source.cpp.o" "gcc" "src/CMakeFiles/lrd_traffic.dir/traffic/fluid_source.cpp.o.d"
+  "/root/repo/src/traffic/gaussian_synthesis.cpp" "src/CMakeFiles/lrd_traffic.dir/traffic/gaussian_synthesis.cpp.o" "gcc" "src/CMakeFiles/lrd_traffic.dir/traffic/gaussian_synthesis.cpp.o.d"
+  "/root/repo/src/traffic/markov_source.cpp" "src/CMakeFiles/lrd_traffic.dir/traffic/markov_source.cpp.o" "gcc" "src/CMakeFiles/lrd_traffic.dir/traffic/markov_source.cpp.o.d"
+  "/root/repo/src/traffic/onoff.cpp" "src/CMakeFiles/lrd_traffic.dir/traffic/onoff.cpp.o" "gcc" "src/CMakeFiles/lrd_traffic.dir/traffic/onoff.cpp.o.d"
+  "/root/repo/src/traffic/shuffle.cpp" "src/CMakeFiles/lrd_traffic.dir/traffic/shuffle.cpp.o" "gcc" "src/CMakeFiles/lrd_traffic.dir/traffic/shuffle.cpp.o.d"
+  "/root/repo/src/traffic/smoother.cpp" "src/CMakeFiles/lrd_traffic.dir/traffic/smoother.cpp.o" "gcc" "src/CMakeFiles/lrd_traffic.dir/traffic/smoother.cpp.o.d"
+  "/root/repo/src/traffic/synthetic_traces.cpp" "src/CMakeFiles/lrd_traffic.dir/traffic/synthetic_traces.cpp.o" "gcc" "src/CMakeFiles/lrd_traffic.dir/traffic/synthetic_traces.cpp.o.d"
+  "/root/repo/src/traffic/trace.cpp" "src/CMakeFiles/lrd_traffic.dir/traffic/trace.cpp.o" "gcc" "src/CMakeFiles/lrd_traffic.dir/traffic/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lrd_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lrd_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrd_traffic.dir/traffic/chaotic_map.cpp.o"
+  "CMakeFiles/lrd_traffic.dir/traffic/chaotic_map.cpp.o.d"
+  "CMakeFiles/lrd_traffic.dir/traffic/fgn.cpp.o"
+  "CMakeFiles/lrd_traffic.dir/traffic/fgn.cpp.o.d"
+  "CMakeFiles/lrd_traffic.dir/traffic/fluid_source.cpp.o"
+  "CMakeFiles/lrd_traffic.dir/traffic/fluid_source.cpp.o.d"
+  "CMakeFiles/lrd_traffic.dir/traffic/gaussian_synthesis.cpp.o"
+  "CMakeFiles/lrd_traffic.dir/traffic/gaussian_synthesis.cpp.o.d"
+  "CMakeFiles/lrd_traffic.dir/traffic/markov_source.cpp.o"
+  "CMakeFiles/lrd_traffic.dir/traffic/markov_source.cpp.o.d"
+  "CMakeFiles/lrd_traffic.dir/traffic/onoff.cpp.o"
+  "CMakeFiles/lrd_traffic.dir/traffic/onoff.cpp.o.d"
+  "CMakeFiles/lrd_traffic.dir/traffic/shuffle.cpp.o"
+  "CMakeFiles/lrd_traffic.dir/traffic/shuffle.cpp.o.d"
+  "CMakeFiles/lrd_traffic.dir/traffic/smoother.cpp.o"
+  "CMakeFiles/lrd_traffic.dir/traffic/smoother.cpp.o.d"
+  "CMakeFiles/lrd_traffic.dir/traffic/synthetic_traces.cpp.o"
+  "CMakeFiles/lrd_traffic.dir/traffic/synthetic_traces.cpp.o.d"
+  "CMakeFiles/lrd_traffic.dir/traffic/trace.cpp.o"
+  "CMakeFiles/lrd_traffic.dir/traffic/trace.cpp.o.d"
+  "liblrd_traffic.a"
+  "liblrd_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrd_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

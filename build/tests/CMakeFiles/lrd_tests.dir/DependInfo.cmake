@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/lrd_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_birth_death.cpp" "tests/CMakeFiles/lrd_tests.dir/test_birth_death.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_birth_death.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/lrd_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_epochs.cpp" "tests/CMakeFiles/lrd_tests.dir/test_epochs.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_epochs.cpp.o.d"
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/lrd_tests.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_fft.cpp.o.d"
+  "/root/repo/tests/test_fgn.cpp" "tests/CMakeFiles/lrd_tests.dir/test_fgn.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_fgn.cpp.o.d"
+  "/root/repo/tests/test_fitting.cpp" "tests/CMakeFiles/lrd_tests.dir/test_fitting.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_fitting.cpp.o.d"
+  "/root/repo/tests/test_gamma_parallel.cpp" "tests/CMakeFiles/lrd_tests.dir/test_gamma_parallel.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_gamma_parallel.cpp.o.d"
+  "/root/repo/tests/test_golden_regression.cpp" "tests/CMakeFiles/lrd_tests.dir/test_golden_regression.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_golden_regression.cpp.o.d"
+  "/root/repo/tests/test_grid_pmf.cpp" "tests/CMakeFiles/lrd_tests.dir/test_grid_pmf.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_grid_pmf.cpp.o.d"
+  "/root/repo/tests/test_hyperexp.cpp" "tests/CMakeFiles/lrd_tests.dir/test_hyperexp.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_hyperexp.cpp.o.d"
+  "/root/repo/tests/test_infinite_queue.cpp" "tests/CMakeFiles/lrd_tests.dir/test_infinite_queue.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_infinite_queue.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/lrd_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_linalg.cpp" "tests/CMakeFiles/lrd_tests.dir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_linalg.cpp.o.d"
+  "/root/repo/tests/test_loss.cpp" "tests/CMakeFiles/lrd_tests.dir/test_loss.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_loss.cpp.o.d"
+  "/root/repo/tests/test_loss_process_idc.cpp" "tests/CMakeFiles/lrd_tests.dir/test_loss_process_idc.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_loss_process_idc.cpp.o.d"
+  "/root/repo/tests/test_marginal.cpp" "tests/CMakeFiles/lrd_tests.dir/test_marginal.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_marginal.cpp.o.d"
+  "/root/repo/tests/test_markov_fluid.cpp" "tests/CMakeFiles/lrd_tests.dir/test_markov_fluid.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_markov_fluid.cpp.o.d"
+  "/root/repo/tests/test_occupancy.cpp" "tests/CMakeFiles/lrd_tests.dir/test_occupancy.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_occupancy.cpp.o.d"
+  "/root/repo/tests/test_property_random.cpp" "tests/CMakeFiles/lrd_tests.dir/test_property_random.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_property_random.cpp.o.d"
+  "/root/repo/tests/test_queue_sims.cpp" "tests/CMakeFiles/lrd_tests.dir/test_queue_sims.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_queue_sims.cpp.o.d"
+  "/root/repo/tests/test_random.cpp" "tests/CMakeFiles/lrd_tests.dir/test_random.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_random.cpp.o.d"
+  "/root/repo/tests/test_shuffle.cpp" "tests/CMakeFiles/lrd_tests.dir/test_shuffle.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_shuffle.cpp.o.d"
+  "/root/repo/tests/test_solver.cpp" "tests/CMakeFiles/lrd_tests.dir/test_solver.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_solver.cpp.o.d"
+  "/root/repo/tests/test_sources.cpp" "tests/CMakeFiles/lrd_tests.dir/test_sources.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_sources.cpp.o.d"
+  "/root/repo/tests/test_special_functions.cpp" "tests/CMakeFiles/lrd_tests.dir/test_special_functions.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_special_functions.cpp.o.d"
+  "/root/repo/tests/test_synthesis_extras.cpp" "tests/CMakeFiles/lrd_tests.dir/test_synthesis_extras.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_synthesis_extras.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/lrd_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_truncated_pareto.cpp" "tests/CMakeFiles/lrd_tests.dir/test_truncated_pareto.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_truncated_pareto.cpp.o.d"
+  "/root/repo/tests/test_weibull_gamma.cpp" "tests/CMakeFiles/lrd_tests.dir/test_weibull_gamma.cpp.o" "gcc" "tests/CMakeFiles/lrd_tests.dir/test_weibull_gamma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lrd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lrd_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lrd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lrd_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lrd_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lrd_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

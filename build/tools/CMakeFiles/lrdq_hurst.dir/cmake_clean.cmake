@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrdq_hurst.dir/lrdq_hurst.cpp.o"
+  "CMakeFiles/lrdq_hurst.dir/lrdq_hurst.cpp.o.d"
+  "lrdq_hurst"
+  "lrdq_hurst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrdq_hurst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

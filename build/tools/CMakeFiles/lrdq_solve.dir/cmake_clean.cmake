@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrdq_solve.dir/lrdq_solve.cpp.o"
+  "CMakeFiles/lrdq_solve.dir/lrdq_solve.cpp.o.d"
+  "lrdq_solve"
+  "lrdq_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrdq_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

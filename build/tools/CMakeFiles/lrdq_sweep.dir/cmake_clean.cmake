@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrdq_sweep.dir/lrdq_sweep.cpp.o"
+  "CMakeFiles/lrdq_sweep.dir/lrdq_sweep.cpp.o.d"
+  "lrdq_sweep"
+  "lrdq_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrdq_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

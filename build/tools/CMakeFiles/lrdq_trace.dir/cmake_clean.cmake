@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrdq_trace.dir/lrdq_trace.cpp.o"
+  "CMakeFiles/lrdq_trace.dir/lrdq_trace.cpp.o.d"
+  "lrdq_trace"
+  "lrdq_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrdq_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_lrdq_solve "/root/repo/build/tools/lrdq_solve" "--rates" "2,6,10" "--probs" ".3,.4,.3" "--cutoff" "5" "--buffer" "0.2")
+set_tests_properties(tool_lrdq_solve PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_lrdq_trace_and_hurst "/usr/bin/cmake" "-DTRACE_TOOL=/root/repo/build/tools/lrdq_trace" "-DHURST_TOOL=/root/repo/build/tools/lrdq_hurst" "-DWORK_DIR=/root/repo/build/tools" "-P" "/root/repo/tools/smoke_trace_tools.cmake")
+set_tests_properties(tool_lrdq_trace_and_hurst PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_lrdq_sweep "/root/repo/build/tools/lrdq_sweep" "--rates" "2,6,10" "--probs" ".3,.4,.3" "--buffers" ".05,.2" "--cutoffs" ".5,5")
+set_tests_properties(tool_lrdq_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_lrdq_solve_rejects_bad_flag "/root/repo/build/tools/lrdq_solve" "--bogus" "1")
+set_tests_properties(tool_lrdq_solve_rejects_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
