@@ -1,8 +1,10 @@
 #include "core/experiment.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <limits>
+#include <mutex>
 #include <ostream>
 
 #include "core/model.hpp"
@@ -22,7 +24,62 @@ std::string format_param(double v) {
   return buf;
 }
 
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Solves one model-driven cell, converting every failure mode into a
+/// recorded issue instead of sinking the whole surface. Returns the loss
+/// estimate, or NaN when the cell produced no usable bracket.
+double solve_cell(const dist::Marginal& marginal, const ModelConfig& mc,
+                  const queueing::SolverConfig& scfg, SweepTable& t, std::size_t r,
+                  std::size_t c, std::mutex& mu) {
+  try {
+    const auto result = FluidModel(marginal, mc).solve(scfg);
+    if (result.status.is_ok()) return result.loss_estimate();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      t.issues.push_back({r, c, result.status.diagnostics()});
+    }
+    // Budget exhaustion and rolled-back guard trips still carry a valid
+    // (wide) bracket; a cell with no healthy level at all does not.
+    const bool usable = result.has_valid_bounds() &&
+                        !(result.stop == queueing::SolverStop::kGuardTripped &&
+                          result.last_healthy_level == 0);
+    return usable ? result.loss_estimate() : kNaN;
+  } catch (const std::exception& e) {
+    lrd::Diagnostics d;
+    if (const auto* attached = lrd::diagnostics_of(e)) {
+      d = *attached;
+    } else {
+      d = lrd::make_diagnostics(lrd::ErrorCategory::kInternal, "core.experiment",
+                                "sweep cell solves without throwing", e.what());
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    t.issues.push_back({r, c, std::move(d)});
+    return kNaN;
+  }
+}
+
+void require_valid(const ModelSweepConfig& cfg) {
+  if (auto st = cfg.validate(); !st.is_ok()) throw lrd::ConfigError(st.diagnostics());
+}
+
 }  // namespace
+
+lrd::Status ModelSweepConfig::validate() const {
+  auto bad = [](std::string invariant, const char* name, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s = %g", name, value);
+    return lrd::Status::failure(lrd::make_diagnostics(lrd::ErrorCategory::kInvalidConfig,
+                                                      "core.experiment", std::move(invariant),
+                                                      buf));
+  };
+  if (!(hurst > 0.5 && hurst < 1.0)) return bad("hurst in (1/2, 1)", "hurst", hurst);
+  if (!(mean_epoch > 0.0) || !std::isfinite(mean_epoch))
+    return bad("mean_epoch is finite and > 0", "mean_epoch", mean_epoch);
+  if (!(utilization > 0.0 && utilization < 1.0))
+    return bad("utilization in (0, 1)", "utilization", utilization);
+  return solver.validate();
+}
 
 void SweepTable::print(std::ostream& os) const {
   os << title << '\n';
@@ -37,6 +94,13 @@ void SweepTable::print(std::ostream& os) const {
       os << std::right << std::setw(12) << buf;
     }
     os << '\n';
+  }
+  if (!issues.empty()) {
+    os << issues.size() << " cell(s) reported issues:\n";
+    for (const auto& issue : issues) {
+      os << "  (" << format_param(rows[issue.row]) << ", " << format_param(cols[issue.col])
+         << "): " << issue.diagnostics.describe() << '\n';
+    }
   }
 }
 
@@ -56,6 +120,7 @@ SweepTable loss_vs_buffer_and_cutoff(const dist::Marginal& marginal,
                                      const ModelSweepConfig& cfg,
                                      const std::vector<double>& normalized_buffers,
                                      const std::vector<double>& cutoffs) {
+  require_valid(cfg);
   SweepTable t;
   t.title = "loss rate vs normalized buffer size and cutoff lag";
   t.row_label = "buffer_s";
@@ -64,6 +129,7 @@ SweepTable loss_vs_buffer_and_cutoff(const dist::Marginal& marginal,
   t.cols = cutoffs;
   const std::size_t nc = cutoffs.size();
   t.values.assign(normalized_buffers.size(), std::vector<double>(nc, 0.0));
+  std::mutex mu;
   numerics::parallel_for(normalized_buffers.size() * nc, [&](std::size_t cell) {
     const std::size_t r = cell / nc, c = cell % nc;
     ModelConfig mc;
@@ -72,7 +138,7 @@ SweepTable loss_vs_buffer_and_cutoff(const dist::Marginal& marginal,
     mc.cutoff = cutoffs[c];
     mc.utilization = cfg.utilization;
     mc.normalized_buffer = normalized_buffers[r];
-    t.values[r][c] = FluidModel(marginal, mc).solve(cfg.solver).loss_estimate();
+    t.values[r][c] = solve_cell(marginal, mc, cfg.solver, t, r, c, mu);
   });
   return t;
 }
@@ -81,6 +147,7 @@ SweepTable loss_vs_hurst_and_scaling(const dist::Marginal& marginal,
                                      const ModelSweepConfig& cfg, double normalized_buffer,
                                      const std::vector<double>& hursts,
                                      const std::vector<double>& scalings) {
+  require_valid(cfg);
   SweepTable t;
   t.title = "loss rate vs Hurst parameter and marginal scaling factor";
   t.row_label = "hurst";
@@ -92,6 +159,7 @@ SweepTable loss_vs_hurst_and_scaling(const dist::Marginal& marginal,
   const double theta = dist::TruncatedPareto::theta_from_mean_epoch(cfg.mean_epoch, nominal_alpha);
   const std::size_t nc = scalings.size();
   t.values.assign(hursts.size(), std::vector<double>(nc, 0.0));
+  std::mutex mu;
   numerics::parallel_for(hursts.size() * nc, [&](std::size_t cell) {
     const std::size_t r = cell / nc, c = cell % nc;
     const double alpha = dist::TruncatedPareto::alpha_from_hurst(hursts[r]);
@@ -102,8 +170,7 @@ SweepTable loss_vs_hurst_and_scaling(const dist::Marginal& marginal,
     mc.cutoff = std::numeric_limits<double>::infinity();
     mc.utilization = cfg.utilization;
     mc.normalized_buffer = normalized_buffer;
-    t.values[r][c] =
-        FluidModel(marginal.scaled(scalings[c]), mc).solve(cfg.solver).loss_estimate();
+    t.values[r][c] = solve_cell(marginal.scaled(scalings[c]), mc, cfg.solver, t, r, c, mu);
   });
   return t;
 }
@@ -113,6 +180,7 @@ SweepTable loss_vs_hurst_and_superposition(const dist::Marginal& marginal,
                                            double normalized_buffer,
                                            const std::vector<double>& hursts,
                                            const std::vector<std::size_t>& streams) {
+  require_valid(cfg);
   SweepTable t;
   t.title = "loss rate vs Hurst parameter and number of superposed streams";
   t.row_label = "hurst";
@@ -127,6 +195,7 @@ SweepTable loss_vs_hurst_and_superposition(const dist::Marginal& marginal,
   std::vector<dist::Marginal> mux;
   mux.reserve(nc);
   for (std::size_t n : streams) mux.push_back(marginal.superposed(n));
+  std::mutex mu;
   numerics::parallel_for(hursts.size() * nc, [&](std::size_t cell) {
     const std::size_t r = cell / nc, c = cell % nc;
     const double alpha = dist::TruncatedPareto::alpha_from_hurst(hursts[r]);
@@ -136,7 +205,7 @@ SweepTable loss_vs_hurst_and_superposition(const dist::Marginal& marginal,
     mc.cutoff = std::numeric_limits<double>::infinity();
     mc.utilization = cfg.utilization;
     mc.normalized_buffer = normalized_buffer;
-    t.values[r][c] = FluidModel(mux[c], mc).solve(cfg.solver).loss_estimate();
+    t.values[r][c] = solve_cell(mux[c], mc, cfg.solver, t, r, c, mu);
   });
   return t;
 }
@@ -145,6 +214,7 @@ SweepTable loss_vs_buffer_and_scaling(const dist::Marginal& marginal,
                                       const ModelSweepConfig& cfg,
                                       const std::vector<double>& normalized_buffers,
                                       const std::vector<double>& scalings) {
+  require_valid(cfg);
   SweepTable t;
   t.title = "loss rate vs normalized buffer size and marginal scaling factor";
   t.row_label = "buffer_s";
@@ -153,6 +223,7 @@ SweepTable loss_vs_buffer_and_scaling(const dist::Marginal& marginal,
   t.cols = scalings;
   const std::size_t nc = scalings.size();
   t.values.assign(normalized_buffers.size(), std::vector<double>(nc, 0.0));
+  std::mutex mu;
   numerics::parallel_for(normalized_buffers.size() * nc, [&](std::size_t cell) {
     const std::size_t r = cell / nc, c = cell % nc;
     ModelConfig mc;
@@ -161,8 +232,7 @@ SweepTable loss_vs_buffer_and_scaling(const dist::Marginal& marginal,
     mc.cutoff = std::numeric_limits<double>::infinity();
     mc.utilization = cfg.utilization;
     mc.normalized_buffer = normalized_buffers[r];
-    t.values[r][c] =
-        FluidModel(marginal.scaled(scalings[c]), mc).solve(cfg.solver).loss_estimate();
+    t.values[r][c] = solve_cell(marginal.scaled(scalings[c]), mc, cfg.solver, t, r, c, mu);
   });
   return t;
 }
@@ -170,6 +240,7 @@ SweepTable loss_vs_buffer_and_scaling(const dist::Marginal& marginal,
 std::vector<double> loss_vs_cutoff(const dist::Marginal& marginal, const ModelSweepConfig& cfg,
                                    double normalized_buffer,
                                    const std::vector<double>& cutoffs) {
+  require_valid(cfg);
   std::vector<double> out(cutoffs.size(), 0.0);
   numerics::parallel_for(cutoffs.size(), [&](std::size_t i) {
     ModelConfig mc;
@@ -188,6 +259,12 @@ SweepTable shuffle_loss_vs_buffer_and_cutoff(const traffic::RateTrace& trace,
                                              const std::vector<double>& normalized_buffers,
                                              const std::vector<double>& cutoffs,
                                              std::uint64_t seed) {
+  if (!(utilization > 0.0 && utilization < 1.0)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "utilization = %g", utilization);
+    throw lrd::ConfigError(lrd::make_diagnostics(lrd::ErrorCategory::kInvalidConfig,
+                                                 "core.experiment", "utilization in (0, 1)", buf));
+  }
   SweepTable t;
   t.title = "shuffled-trace loss rate vs normalized buffer size and cutoff lag";
   t.row_label = "buffer_s";

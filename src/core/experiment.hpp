@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.hpp"
 #include "dist/marginal.hpp"
 #include "queueing/solver.hpp"
 #include "traffic/trace.hpp"
@@ -14,6 +15,12 @@
 namespace lrd::core {
 
 /// A 2-D sweep result: values[r][c] = loss for (rows[r], cols[c]).
+///
+/// Sweeps degrade gracefully: a cell whose solve fails (guard trip with no
+/// healthy level, or an exception) gets a NaN value and a structured entry
+/// in `issues` instead of sinking the whole surface; a cell that merely
+/// exhausted its budget keeps its (valid, wide) bracket midpoint and is
+/// also recorded. `ok()` is true iff no cell reported a problem.
 struct SweepTable {
   std::string title;
   std::string row_label;
@@ -22,7 +29,18 @@ struct SweepTable {
   std::vector<double> cols;
   std::vector<std::vector<double>> values;
 
-  /// Aligned human-readable table (losses in scientific notation).
+  /// One failed or degraded cell.
+  struct CellIssue {
+    std::size_t row = 0;
+    std::size_t col = 0;
+    lrd::Diagnostics diagnostics;
+  };
+  std::vector<CellIssue> issues;
+
+  bool ok() const noexcept { return issues.empty(); }
+
+  /// Aligned human-readable table (losses in scientific notation),
+  /// followed by one line per recorded issue.
   void print(std::ostream& os) const;
   /// Machine-readable CSV: header row of cols, one line per row.
   void print_csv(std::ostream& os) const;
@@ -36,6 +54,10 @@ struct ModelSweepConfig {
   double mean_epoch = 0.08;     // seconds (theta calibration at T_c = inf)
   double utilization = 0.8;
   queueing::SolverConfig solver;
+
+  /// Ok, or a kInvalidConfig diagnostic. Every sweep driver calls this
+  /// before touching a single cell.
+  lrd::Status validate() const;
 };
 
 /// First experiment set (Figs. 4, 5): loss vs (normalized buffer b,

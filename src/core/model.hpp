@@ -10,6 +10,7 @@
 #include <limits>
 #include <memory>
 
+#include "core/status.hpp"
 #include "dist/marginal.hpp"
 #include "dist/truncated_pareto.hpp"
 #include "queueing/solver.hpp"
@@ -28,6 +29,11 @@ struct ModelConfig {
   double utilization = 0.8;
   /// Normalized buffer size b in seconds; B = b * c.
   double normalized_buffer = 1.0;
+
+  /// Ok, or a kInvalidConfig diagnostic with a precise message (e.g.
+  /// "utilization = 1.2 outside (0, 1)"). The FluidModel constructor
+  /// calls this, so an invalid config can never reach the solver.
+  lrd::Status validate() const;
 };
 
 class FluidModel {

@@ -1,20 +1,35 @@
 #include "dist/truncated_pareto.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
+#include <string>
+
+#include "core/status.hpp"
 
 namespace lrd::dist {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+[[noreturn]] void bad_param(std::string invariant, const char* name, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s = %g", name, value);
+  throw lrd::ConfigError(lrd::make_diagnostics(lrd::ErrorCategory::kInvalidArgument,
+                                               "dist.truncated_pareto", std::move(invariant), buf));
 }
+
+}  // namespace
 
 TruncatedPareto::TruncatedPareto(double theta, double alpha, double cutoff)
     : theta_(theta), alpha_(alpha), cutoff_(cutoff) {
-  if (!(theta > 0.0)) throw std::invalid_argument("TruncatedPareto: theta must be > 0");
-  if (!(alpha > 1.0)) throw std::invalid_argument("TruncatedPareto: alpha must be > 1");
-  if (!(cutoff > 0.0)) throw std::invalid_argument("TruncatedPareto: cutoff must be > 0");
+  if (!(theta > 0.0) || !std::isfinite(theta)) bad_param("theta is finite and > 0", "theta", theta);
+  // The paper works with 1 < alpha < 2 (heavy untruncated tail); alpha >= 2
+  // is accepted for the light-tailed comparison models, alpha <= 1 is not
+  // (the mean would diverge and the loss functional is undefined).
+  if (!(alpha > 1.0) || !std::isfinite(alpha)) bad_param("alpha > 1 (paper: 1 < alpha < 2)", "alpha", alpha);
+  if (!(cutoff > 0.0)) bad_param("cutoff is > 0 (possibly +inf)", "cutoff", cutoff);
 }
 
 double TruncatedPareto::atom_mass() const noexcept {
@@ -76,19 +91,20 @@ double TruncatedPareto::sample(numerics::Rng& rng) const {
 
 double TruncatedPareto::alpha_from_hurst(double hurst) {
   if (!(hurst > 0.5 && hurst < 1.0))
-    throw std::invalid_argument("TruncatedPareto: Hurst parameter must be in (1/2, 1)");
+    bad_param("Hurst parameter is in (1/2, 1)", "hurst", hurst);
   return 3.0 - 2.0 * hurst;
 }
 
 double TruncatedPareto::hurst_from_alpha(double alpha) {
   if (!(alpha > 1.0 && alpha < 2.0))
-    throw std::invalid_argument("TruncatedPareto: alpha must be in (1, 2) for the Hurst mapping");
+    bad_param("alpha is in (1, 2) for the Hurst mapping", "alpha", alpha);
   return (3.0 - alpha) / 2.0;
 }
 
 double TruncatedPareto::theta_from_mean_epoch(double mean_epoch, double alpha) {
-  if (!(mean_epoch > 0.0)) throw std::invalid_argument("TruncatedPareto: mean epoch must be > 0");
-  if (!(alpha > 1.0)) throw std::invalid_argument("TruncatedPareto: alpha must be > 1");
+  if (!(mean_epoch > 0.0) || !std::isfinite(mean_epoch))
+    bad_param("mean epoch is finite and > 0", "mean_epoch", mean_epoch);
+  if (!(alpha > 1.0)) bad_param("alpha > 1", "alpha", alpha);
   return mean_epoch * (alpha - 1.0);
 }
 

@@ -2,12 +2,27 @@
 
 #include <stdexcept>
 
+#include "core/status.hpp"
 #include "numerics/fft.hpp"
+#include "numerics/special_functions.hpp"
 
 namespace lrd::numerics {
 
+namespace {
+
+void require_finite(const std::vector<double>& x, const char* where) {
+  if (!all_finite(x))
+    throw_error(make_diagnostics(ErrorCategory::kNumericalGuard, "numerics.convolution",
+                                 "input sequences are finite",
+                                 std::string(where) + ": non-finite (NaN/Inf) entry in input"));
+}
+
+}  // namespace
+
 std::vector<double> convolve_direct(const std::vector<double>& a, const std::vector<double>& b) {
   if (a.empty() || b.empty()) throw std::invalid_argument("convolve_direct: empty input");
+  require_finite(a, "convolve_direct");
+  require_finite(b, "convolve_direct");
   std::vector<double> out(a.size() + b.size() - 1, 0.0);
   for (std::size_t i = 0; i < a.size(); ++i) {
     const double ai = a[i];
@@ -48,6 +63,8 @@ CachedKernelConvolver::CachedKernelConvolver(std::vector<double> kernel,
     : kernel_len_(kernel.size()), max_signal_len_(max_signal_len) {
   if (kernel.empty()) throw std::invalid_argument("CachedKernelConvolver: empty kernel");
   if (max_signal_len == 0) throw std::invalid_argument("CachedKernelConvolver: max_signal_len == 0");
+  require_finite(kernel, "CachedKernelConvolver");
+  kernel_mass_ = neumaier_sum(kernel);
   n_ = next_pow2(kernel_len_ + max_signal_len_ - 1);
   kernel_spectrum_ = fft_real(kernel, n_);
 }

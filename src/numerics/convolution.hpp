@@ -38,10 +38,17 @@ class CachedKernelConvolver {
   std::size_t kernel_size() const noexcept { return kernel_len_; }
   std::size_t fft_size() const noexcept { return n_; }
 
+  /// Total mass of the cached kernel. Convolution preserves mass, so the
+  /// output of convolve() must sum to signal_mass * kernel_mass() up to
+  /// FFT round-off — the invariant the solver's mass-conservation
+  /// guardrail checks against.
+  double kernel_mass() const noexcept { return kernel_mass_; }
+
  private:
   std::size_t kernel_len_;
   std::size_t max_signal_len_;
   std::size_t n_;  // FFT size (power of two)
+  double kernel_mass_ = 0.0;
   std::vector<std::complex<double>> kernel_spectrum_;
 };
 

@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/status.hpp"
+
 namespace lrd::numerics {
 
 std::size_t next_pow2(std::size_t n) {
@@ -62,10 +64,20 @@ std::vector<std::complex<double>> ifft(std::vector<std::complex<double>> data) {
 std::vector<std::complex<double>> fft_real(const std::vector<double>& x, std::size_t n) {
   if (!is_pow2(n) || n < x.size())
     throw std::invalid_argument("fft_real: n must be a power of two >= x.size()");
+  if (!all_finite(x))
+    throw_error(make_diagnostics(ErrorCategory::kNumericalGuard, "numerics.fft",
+                                 "input signal is finite",
+                                 "fft_real: non-finite (NaN/Inf) entry in input"));
   std::vector<std::complex<double>> data(n);
   for (std::size_t i = 0; i < x.size(); ++i) data[i] = {x[i], 0.0};
   fft_inplace(data, /*inverse=*/false);
   return data;
+}
+
+bool all_finite(const std::vector<double>& x) noexcept {
+  for (double v : x)
+    if (!std::isfinite(v)) return false;
+  return true;
 }
 
 }  // namespace lrd::numerics

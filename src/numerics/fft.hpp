@@ -32,6 +32,11 @@ std::vector<std::complex<double>> fft(std::vector<std::complex<double>> data);
 std::vector<std::complex<double>> ifft(std::vector<std::complex<double>> data);
 
 /// Forward FFT of a real vector zero-padded to `n` (a power of two >= x.size()).
+/// Rejects non-finite input (a NaN anywhere in the signal would otherwise
+/// silently poison the whole spectrum and every value convolved with it).
 std::vector<std::complex<double>> fft_real(const std::vector<double>& x, std::size_t n);
+
+/// True iff every entry is finite (no NaN/Inf).
+bool all_finite(const std::vector<double>& x) noexcept;
 
 }  // namespace lrd::numerics

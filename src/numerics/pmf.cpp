@@ -2,12 +2,57 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
+#include <string>
 
 #include "numerics/convolution.hpp"
 #include "numerics/special_functions.hpp"
 
 namespace lrd::numerics {
+
+MassHealth inspect_mass(const std::vector<double>& probs) noexcept {
+  MassHealth h;
+  CompensatedSum acc;
+  for (double p : probs) {
+    if (!std::isfinite(p)) {
+      h.finite = false;
+      continue;
+    }
+    acc.add(p);
+    if (p < h.min_entry) h.min_entry = p;
+  }
+  h.mass = acc.value();
+  return h;
+}
+
+namespace {
+
+std::string format_g(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+lrd::Status check_pmf_health(const std::vector<double>& probs, double mass_tolerance,
+                             double negative_tolerance, const char* component) {
+  const MassHealth h = inspect_mass(probs);
+  auto fail = [&](const char* invariant, std::string message) {
+    return lrd::Status::failure(lrd::make_diagnostics(lrd::ErrorCategory::kNumericalGuard,
+                                                      component, invariant, std::move(message)));
+  };
+  if (!h.finite) return fail("pmf entries are finite", "NaN/Inf entry in probability vector");
+  if (h.min_entry < -negative_tolerance)
+    return fail("pmf entries are non-negative",
+                "entry " + format_g(h.min_entry) + " below -" + format_g(negative_tolerance));
+  if (std::abs(h.mass - 1.0) > mass_tolerance)
+    return fail("pmf conserves unit mass", "total mass " + format_g(h.mass) +
+                                               " deviates from 1 by more than " +
+                                               format_g(mass_tolerance));
+  return lrd::Status::ok();
+}
 
 Pmf::Pmf(double origin, double step, std::vector<double> probs)
     : origin_(origin), step_(step), probs_(std::move(probs)) {

@@ -9,7 +9,27 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/status.hpp"
+
 namespace lrd::numerics {
+
+/// Health summary of a raw mass vector — the numbers the solver's
+/// per-iteration guardrails look at.
+struct MassHealth {
+  double mass = 0.0;       ///< Compensated sum of all entries.
+  double min_entry = 0.0;  ///< Most negative entry (0 when none are negative).
+  bool finite = true;      ///< False if any entry is NaN or +/-Inf.
+};
+
+/// Single-pass inspection of a mass vector.
+MassHealth inspect_mass(const std::vector<double>& probs) noexcept;
+
+/// Guardrail check for a probability vector: every entry finite, no entry
+/// below -`negative_tolerance`, and total mass within `mass_tolerance` of
+/// one. Returns ok, or a kNumericalGuard diagnostic naming the violated
+/// invariant, tagged with `component`.
+lrd::Status check_pmf_health(const std::vector<double>& probs, double mass_tolerance,
+                             double negative_tolerance, const char* component);
 
 /// Pmf with mass `probs()[k]` at value `origin() + k * step()`.
 class Pmf {

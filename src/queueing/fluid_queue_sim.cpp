@@ -3,20 +3,47 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "numerics/special_functions.hpp"
 
+namespace {
+
+lrd::ConfigError bad_sim(std::string invariant, std::string message) {
+  return lrd::ConfigError(lrd::make_diagnostics(lrd::ErrorCategory::kInvalidConfig,
+                                                "queueing.fluid_sim", std::move(invariant),
+                                                std::move(message)));
+}
+
+}  // namespace
+
 namespace lrd::queueing {
+
+lrd::Status FluidSimConfig::validate() const {
+  auto fail = [](std::string invariant, std::string message) {
+    return lrd::Status::failure(lrd::make_diagnostics(lrd::ErrorCategory::kInvalidConfig,
+                                                      "queueing.fluid_sim", std::move(invariant),
+                                                      std::move(message)));
+  };
+  if (batches < 2)
+    return fail("batches >= 2 (batch-means needs a variance)",
+                "batches = " + std::to_string(batches));
+  if (epochs < batches)
+    return fail("epochs >= batches", "epochs = " + std::to_string(epochs) + ", batches = " +
+                                         std::to_string(batches));
+  return lrd::Status::ok();
+}
 
 FluidSimResult simulate_fluid_queue(const dist::Marginal& marginal,
                                     const dist::EpochDistribution& epochs_dist,
                                     double service_rate, double buffer,
                                     const FluidSimConfig& cfg) {
-  if (!(service_rate > 0.0)) throw std::invalid_argument("simulate_fluid_queue: service rate must be > 0");
-  if (!(buffer > 0.0)) throw std::invalid_argument("simulate_fluid_queue: buffer must be > 0");
-  if (cfg.epochs == 0 || cfg.batches == 0 || cfg.epochs < cfg.batches)
-    throw std::invalid_argument("simulate_fluid_queue: bad epoch/batch counts");
+  if (!(service_rate > 0.0) || !std::isfinite(service_rate))
+    throw bad_sim("service rate is finite and > 0", "service_rate = " + std::to_string(service_rate));
+  if (!(buffer > 0.0) || !std::isfinite(buffer))
+    throw bad_sim("buffer is finite and > 0", "buffer = " + std::to_string(buffer));
+  if (auto st = cfg.validate(); !st.is_ok()) throw lrd::ConfigError(st.diagnostics());
 
   numerics::Rng rng(cfg.seed);
   const numerics::AliasTable alias(marginal.probs());
@@ -73,6 +100,13 @@ FluidSimResult simulate_fluid_queue(const dist::Marginal& marginal,
   for (double v : batch_loss) var_b += (v - mean_b) * (v - mean_b);
   var_b /= static_cast<double>(cfg.batches - 1);
   result.loss_rate_stderr = std::sqrt(var_b / static_cast<double>(cfg.batches));
+  if (!std::isfinite(result.loss_rate) || result.loss_rate < 0.0 || result.loss_rate > 1.0 ||
+      !std::isfinite(result.mean_queue) || !std::isfinite(result.loss_rate_stderr)) {
+    result.status = lrd::Status::failure(lrd::make_diagnostics(
+        lrd::ErrorCategory::kNumericalGuard, "queueing.fluid_sim",
+        "simulated loss rate is finite and in [0, 1]",
+        "loss_rate = " + std::to_string(result.loss_rate)));
+  }
   return result;
 }
 

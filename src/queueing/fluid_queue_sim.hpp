@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "core/status.hpp"
 #include "dist/epoch.hpp"
 #include "dist/marginal.hpp"
 #include "numerics/random.hpp"
@@ -18,6 +19,10 @@ struct FluidSimConfig {
   std::size_t warmup_epochs = 1 << 16;
   std::size_t batches = 32;           // batch-means batches for the CI
   std::uint64_t seed = 42;
+
+  /// Ok, or a kInvalidConfig diagnostic (batches >= 2 for a standard
+  /// error; epochs >= batches so every batch gets at least one sample).
+  lrd::Status validate() const;
 };
 
 struct FluidSimResult {
@@ -28,6 +33,9 @@ struct FluidSimResult {
   double utilization_observed = 0.0;
   double arrived_work = 0.0;
   double lost_work = 0.0;
+  /// Ok, or a kNumericalGuard diagnostic if the run produced non-finite
+  /// or out-of-range statistics.
+  lrd::Status status;
 };
 
 /// Simulates the finite-buffer fluid queue fed by the modulated source.

@@ -2,15 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "numerics/convolution.hpp"
+#include "numerics/pmf.hpp"
 #include "numerics/special_functions.hpp"
 
 namespace lrd::queueing {
 
 namespace {
+
+std::string format_g(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
 
 /// Dirac pmf over M+1 grid points with all mass at `index`.
 std::vector<double> dirac(std::size_t points, std::size_t index) {
@@ -39,7 +48,87 @@ void sanitize(std::vector<double>& q) {
   }
 }
 
+/// Worst pre-sanitize health seen by a chain over one check interval.
+struct StepHealth {
+  double mass_dev = 0.0;   // worst |mass - 1|
+  double min_entry = 0.0;  // most negative pre-clamp entry
+  bool finite = true;
+
+  void merge(const numerics::MassHealth& h) {
+    if (!h.finite) finite = false;
+    mass_dev = std::max(mass_dev, std::abs(h.mass - 1.0));
+    min_entry = std::min(min_entry, h.min_entry);
+  }
+};
+
+lrd::Status guard_failure(const char* invariant, std::string message) {
+  return lrd::Status::failure(lrd::make_diagnostics(lrd::ErrorCategory::kNumericalGuard,
+                                                    "queueing.solver", invariant,
+                                                    std::move(message)));
+}
+
+/// Evaluates the per-step guardrails for one chain's accumulated health.
+lrd::Status step_guard(const StepHealth& h, const SolverConfig& cfg, const char* chain) {
+  if (!h.finite)
+    return guard_failure("occupancy pmf entries are finite",
+                         std::string(chain) + " occupancy pmf contains NaN/Inf after convolution");
+  if (h.min_entry < -cfg.negative_tolerance)
+    return guard_failure("occupancy pmf entries are non-negative",
+                         std::string(chain) + " occupancy pmf entry " + format_g(h.min_entry) +
+                             " below -" + format_g(cfg.negative_tolerance));
+  if (h.mass_dev > cfg.mass_tolerance)
+    return guard_failure("occupancy pmf conserves unit mass",
+                         std::string(chain) + " occupancy pmf mass drifted " +
+                             format_g(h.mass_dev) + " from 1 (tolerance " +
+                             format_g(cfg.mass_tolerance) + "); the increment pmf leaks mass");
+  return lrd::Status::ok();
+}
+
 }  // namespace
+
+lrd::Status SolverConfig::validate() const {
+  auto bad = [](std::string invariant, std::string message) {
+    return lrd::Status::failure(lrd::make_diagnostics(lrd::ErrorCategory::kInvalidConfig,
+                                                      "queueing.solver_config",
+                                                      std::move(invariant), std::move(message)));
+  };
+  if (initial_bins < 2)
+    return bad("initial_bins >= 2", "initial_bins = " + std::to_string(initial_bins));
+  if (max_bins < initial_bins)
+    return bad("max_bins >= initial_bins", "max_bins = " + std::to_string(max_bins) +
+                                               " < initial_bins = " + std::to_string(initial_bins));
+  if (!(target_relative_gap > 0.0) || !std::isfinite(target_relative_gap))
+    return bad("target_relative_gap in (0, inf)",
+               "target_relative_gap = " + format_g(target_relative_gap));
+  if (!(zero_loss_threshold >= 0.0) || !std::isfinite(zero_loss_threshold))
+    return bad("zero_loss_threshold in [0, inf)",
+               "zero_loss_threshold = " + format_g(zero_loss_threshold));
+  if (check_every == 0) return bad("check_every >= 1", "check_every = 0");
+  if (!(stall_improvement > 0.0) || !std::isfinite(stall_improvement))
+    return bad("stall_improvement in (0, inf)", "stall_improvement = " + format_g(stall_improvement));
+  if (max_iterations_per_level == 0)
+    return bad("max_iterations_per_level >= 1", "max_iterations_per_level = 0");
+  if (max_total_iterations == 0) return bad("max_total_iterations >= 1", "max_total_iterations = 0");
+  if (!(mass_tolerance > 0.0)) return bad("mass_tolerance > 0", "mass_tolerance = " + format_g(mass_tolerance));
+  if (!(negative_tolerance >= 0.0))
+    return bad("negative_tolerance >= 0", "negative_tolerance = " + format_g(negative_tolerance));
+  if (!(bracket_tolerance >= 0.0))
+    return bad("bracket_tolerance >= 0", "bracket_tolerance = " + format_g(bracket_tolerance));
+  return lrd::Status::ok();
+}
+
+const char* solver_stop_name(SolverStop stop) noexcept {
+  switch (stop) {
+    case SolverStop::kNone: return "not-run";
+    case SolverStop::kConverged: return "converged";
+    case SolverStop::kZeroLoss: return "zero-loss";
+    case SolverStop::kIterationBudget: return "iteration-budget-exhausted";
+    case SolverStop::kBinBudget: return "bin-budget-exhausted";
+    case SolverStop::kGuardTripped: return "guard-tripped";
+    case SolverStop::kInvalidInput: return "invalid-input";
+  }
+  return "unknown";
+}
 
 struct FluidQueueSolver::Level {
   numerics::Grid grid;
@@ -54,9 +143,16 @@ FluidQueueSolver::FluidQueueSolver(dist::Marginal marginal, dist::EpochPtr epoch
       epochs_(std::move(epochs)),
       service_rate_(service_rate),
       buffer_(buffer) {
-  if (!epochs_) throw std::invalid_argument("FluidQueueSolver: null epoch distribution");
-  if (!(service_rate > 0.0)) throw std::invalid_argument("FluidQueueSolver: service rate must be > 0");
-  if (!(buffer > 0.0)) throw std::invalid_argument("FluidQueueSolver: buffer must be > 0");
+  auto bad = [](std::string invariant, std::string message) {
+    return lrd::ConfigError(lrd::make_diagnostics(lrd::ErrorCategory::kInvalidArgument,
+                                                  "queueing.solver", std::move(invariant),
+                                                  std::move(message)));
+  };
+  if (!epochs_) throw bad("epoch distribution is non-null", "null epoch distribution");
+  if (!(service_rate > 0.0) || !std::isfinite(service_rate))
+    throw bad("service rate is finite and > 0", "service rate = " + format_g(service_rate));
+  if (!(buffer > 0.0) || !std::isfinite(buffer))
+    throw bad("buffer is finite and > 0", "buffer = " + format_g(buffer));
 }
 
 double FluidQueueSolver::increment_ccdf_open(double w) const {
@@ -133,12 +229,17 @@ double FluidQueueSolver::overflow_kernel(double x) const {
 }
 
 FluidQueueSolver::Level FluidQueueSolver::build_level(std::size_t bins) const {
+  return build_level_with(bins, increment_pmf_lower(bins), increment_pmf_upper(bins));
+}
+
+FluidQueueSolver::Level FluidQueueSolver::build_level_with(std::size_t bins,
+                                                           std::vector<double> lower_pmf,
+                                                           std::vector<double> upper_pmf) const {
   const numerics::Grid grid(buffer_, bins);
   std::vector<double> kernel(bins + 1);
   for (std::size_t j = 0; j <= bins; ++j) kernel[j] = overflow_kernel(grid.value(j));
-  return Level{grid,
-               numerics::CachedKernelConvolver(increment_pmf_lower(bins), bins + 1),
-               numerics::CachedKernelConvolver(increment_pmf_upper(bins), bins + 1),
+  return Level{grid, numerics::CachedKernelConvolver(std::move(lower_pmf), bins + 1),
+               numerics::CachedKernelConvolver(std::move(upper_pmf), bins + 1),
                std::move(kernel)};
 }
 
@@ -153,9 +254,11 @@ namespace {
 
 /// One epoch: convolve with the increment pmf and fold the spilled mass
 /// onto the boundary atoms at 0 and B (Eq. 19-20). `u` has 3M+1 entries;
-/// entry k corresponds to occupancy value (k - M) d.
+/// entry k corresponds to occupancy value (k - M) d. The pre-sanitize
+/// mass/negativity/finiteness of the folded pmf is merged into `health`
+/// so the caller's guardrails see drift before renormalization hides it.
 void fold_step(const numerics::CachedKernelConvolver& conv, std::vector<double>& q,
-               std::size_t bins) {
+               std::size_t bins, StepHealth& health) {
   const auto u = conv.convolve(q);
   std::vector<double> next(bins + 1, 0.0);
   numerics::CompensatedSum at_zero, at_buffer;
@@ -164,6 +267,7 @@ void fold_step(const numerics::CachedKernelConvolver& conv, std::vector<double>&
   for (std::size_t j = 1; j < bins; ++j) next[j] = u[bins + j];
   next[0] = at_zero.value();
   next[bins] = at_buffer.value();
+  health.merge(numerics::inspect_mass(next));
   sanitize(next);
   q = std::move(next);
 }
@@ -172,62 +276,151 @@ void fold_step(const numerics::CachedKernelConvolver& conv, std::vector<double>&
 
 FluidQueueSolver::LevelSnapshot FluidQueueSolver::iterate_fixed(std::size_t bins,
                                                                 std::size_t iterations) const {
+  if (bins == 0)
+    throw lrd::ConfigError(lrd::make_diagnostics(lrd::ErrorCategory::kInvalidArgument,
+                                                 "queueing.solver", "bins >= 1",
+                                                 "iterate_fixed: bins = 0"));
   const Level level = build_level(bins);
   LevelSnapshot snap;
   snap.bins = bins;
   snap.q_lower = dirac(bins + 1, 0);
   snap.q_upper = dirac(bins + 1, bins);
+  StepHealth ignored;
   for (std::size_t n = 0; n < iterations; ++n) {
-    fold_step(level.conv_lower, snap.q_lower, bins);
-    fold_step(level.conv_upper, snap.q_upper, bins);
+    fold_step(level.conv_lower, snap.q_lower, bins, ignored);
+    fold_step(level.conv_upper, snap.q_upper, bins, ignored);
   }
   snap.loss.lower = loss_from_pmf(snap.q_lower, level.kernel);
   snap.loss.upper = loss_from_pmf(snap.q_upper, level.kernel);
   return snap;
 }
 
-SolverResult FluidQueueSolver::solve(const SolverConfig& cfg) const {
-  if (cfg.initial_bins < 2) throw std::invalid_argument("SolverConfig: initial_bins must be >= 2");
-  if (cfg.max_bins < cfg.initial_bins)
-    throw std::invalid_argument("SolverConfig: max_bins < initial_bins");
-  if (!(cfg.target_relative_gap > 0.0))
-    throw std::invalid_argument("SolverConfig: target_relative_gap must be > 0");
-  if (cfg.check_every == 0) throw std::invalid_argument("SolverConfig: check_every must be >= 1");
+template <typename MakeLevel>
+SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
+                                          const MakeLevel& make_level) const {
+  if (auto st = cfg.validate(); !st.is_ok()) throw lrd::ConfigError(st.diagnostics());
 
   SolverResult result;
+
+  // Note: utilization >= 1 is NOT rejected here. The finite-buffer
+  // recursion is stable at any load (Q lives on [0, B]); overload just
+  // means heavy loss, and the bracket converges to it (e.g. exactly
+  // (r - c)/r for a constant rate r > c). The paper's parameterization,
+  // where rho in (0, 1) defines c, enforces that range in
+  // ModelConfig::validate / ModelSweepConfig::validate instead.
+
   std::size_t bins = cfg.initial_bins;
-  Level level = build_level(bins);
+  Level level = make_level(bins);
   result.levels = 1;
 
   std::vector<double> q_low = dirac(bins + 1, 0);
   std::vector<double> q_high = dirac(bins + 1, bins);
+
+  // Rollback point for graceful degradation: the most recent state that
+  // passed every health check.
+  struct Healthy {
+    std::vector<double> q_low, q_high;
+    LossBounds loss;
+    std::size_t bins = 0;
+    std::size_t levels = 0;
+    bool valid = false;
+  } healthy;
+
+  auto budget_exhausted = [&](const char* invariant, std::string message) {
+    auto d = lrd::make_diagnostics(lrd::ErrorCategory::kResourceExhausted, "queueing.solver",
+                                   invariant, std::move(message));
+    d.iteration = result.iterations;
+    d.level = result.levels;
+    d.bins = bins;
+    d.last_healthy_level = result.last_healthy_level;
+    result.status = lrd::Status::failure(std::move(d));
+  };
 
   double prev_gap = std::numeric_limits<double>::infinity();
   std::size_t level_iterations = 0;
   int stalled_checks = 0;
 
   while (true) {
+    StepHealth low_health, high_health;
     for (std::size_t k = 0; k < cfg.check_every; ++k) {
-      fold_step(level.conv_lower, q_low, bins);
-      fold_step(level.conv_upper, q_high, bins);
+      fold_step(level.conv_lower, q_low, bins, low_health);
+      fold_step(level.conv_upper, q_high, bins, high_health);
       ++result.iterations;
       ++level_iterations;
     }
 
-    result.loss.lower = loss_from_pmf(q_low, level.kernel);
-    result.loss.upper = loss_from_pmf(q_high, level.kernel);
+    lrd::Status guard = step_guard(low_health, cfg, "lower");
+    if (guard.is_ok()) guard = step_guard(high_health, cfg, "upper");
+
+    if (guard.is_ok()) {
+      result.loss.lower = loss_from_pmf(q_low, level.kernel);
+      result.loss.upper = loss_from_pmf(q_high, level.kernel);
+      if (!std::isfinite(result.loss.lower) || !std::isfinite(result.loss.upper)) {
+        guard = guard_failure("loss bounds are finite",
+                              "loss bracket [" + format_g(result.loss.lower) + ", " +
+                                  format_g(result.loss.upper) + "] is not finite");
+      } else if (result.loss.lower - result.loss.upper >
+                 cfg.bracket_tolerance * std::max(result.loss.lower, result.loss.upper)) {
+        guard = guard_failure("lower bound <= upper bound (Prop. II.1)",
+                              "bracket inverted: lower " + format_g(result.loss.lower) +
+                                  " > upper " + format_g(result.loss.upper));
+      }
+    }
+
+    if (!guard.is_ok()) {
+      // Graceful degradation: report the last healthy state (whose bounds
+      // still bracket the true loss by monotonicity) instead of garbage.
+      auto d = guard.diagnostics();
+      d.iteration = result.iterations;
+      d.level = result.levels;
+      d.bins = bins;
+      d.last_healthy_level = healthy.valid ? healthy.levels : 0;
+      result.status = lrd::Status::failure(std::move(d));
+      result.stop = SolverStop::kGuardTripped;
+      result.converged = false;
+      result.zero_loss = false;
+      if (healthy.valid) {
+        result.loss = healthy.loss;
+        q_low = std::move(healthy.q_low);
+        q_high = std::move(healthy.q_high);
+        bins = healthy.bins;
+      } else {
+        result.loss = LossBounds{0.0, 1.0};  // vacuous but valid bracket
+        q_low.clear();
+        q_high.clear();
+      }
+      break;
+    }
+
+    // This state passed every guardrail: make it the new rollback point.
+    healthy.q_low = q_low;
+    healthy.q_high = q_high;
+    healthy.loss = result.loss;
+    healthy.bins = bins;
+    healthy.levels = result.levels;
+    healthy.valid = true;
+    result.last_healthy_level = result.levels;
 
     if (result.loss.upper < cfg.zero_loss_threshold) {
       result.zero_loss = true;
       result.converged = true;
+      result.stop = SolverStop::kZeroLoss;
       break;
     }
     const double gap = result.loss.relative_gap();
     if (gap <= cfg.target_relative_gap) {
       result.converged = true;
+      result.stop = SolverStop::kConverged;
       break;
     }
-    if (result.iterations >= cfg.max_total_iterations) break;
+    if (result.iterations >= cfg.max_total_iterations) {
+      result.stop = SolverStop::kIterationBudget;
+      budget_exhausted("bracket reaches target_relative_gap within max_total_iterations",
+                       "relative gap " + format_g(gap) + " still above target " +
+                           format_g(cfg.target_relative_gap) + " after " +
+                           std::to_string(result.iterations) + " iterations");
+      break;
+    }
 
     // Declare a stall only after several consecutive low-improvement
     // checks: the gap of a slowly mixing chain shrinks steadily but
@@ -242,7 +435,15 @@ SolverResult FluidQueueSolver::solve(const SolverConfig& cfg) const {
     prev_gap = gap;
 
     if (stalled || level_exhausted) {
-      if (bins * 2 > cfg.max_bins) break;  // cannot refine; report best bracket
+      if (bins * 2 > cfg.max_bins) {
+        // Cannot refine; report the best (still valid) bracket.
+        result.stop = SolverStop::kBinBudget;
+        budget_exhausted("bracket reaches target_relative_gap within max_bins",
+                         "relative gap " + format_g(gap) + " still above target " +
+                             format_g(cfg.target_relative_gap) + " at max_bins = " +
+                             std::to_string(cfg.max_bins));
+        break;
+      }
       // Footnote 3: double M and re-seed the fine recursion from the
       // current coarse distributions (grid point j d maps to 2j (d/2)).
       const std::size_t fine = bins * 2;
@@ -252,7 +453,7 @@ SolverResult FluidQueueSolver::solve(const SolverConfig& cfg) const {
         qh[2 * j] = q_high[j];
       }
       bins = fine;
-      level = build_level(bins);
+      level = make_level(bins);
       q_low = std::move(ql);
       q_high = std::move(qh);
       ++result.levels;
@@ -265,10 +466,38 @@ SolverResult FluidQueueSolver::solve(const SolverConfig& cfg) const {
   result.final_bins = bins;
   result.occupancy_lower = std::move(q_low);
   result.occupancy_upper = std::move(q_high);
-  const double step = buffer_ / static_cast<double>(bins);
-  result.mean_queue_lower = pmf_mean(result.occupancy_lower, step);
-  result.mean_queue_upper = pmf_mean(result.occupancy_upper, step);
+  if (!result.occupancy_lower.empty() && !result.occupancy_upper.empty()) {
+    const double step = buffer_ / static_cast<double>(bins);
+    result.mean_queue_lower = pmf_mean(result.occupancy_lower, step);
+    result.mean_queue_upper = pmf_mean(result.occupancy_upper, step);
+  } else {
+    // No healthy state survived: report the vacuous occupancy bracket.
+    result.mean_queue_lower = 0.0;
+    result.mean_queue_upper = buffer_;
+  }
   return result;
+}
+
+SolverResult FluidQueueSolver::solve(const SolverConfig& cfg) const {
+  return solve_impl(cfg, [this](std::size_t bins) { return build_level(bins); });
+}
+
+SolverResult FluidQueueSolver::solve_with_increments(const SolverConfig& cfg,
+                                                     std::vector<double> lower_pmf,
+                                                     std::vector<double> upper_pmf) const {
+  if (auto st = cfg.validate(); !st.is_ok()) throw lrd::ConfigError(st.diagnostics());
+  const std::size_t want = 2 * cfg.initial_bins + 1;
+  if (lower_pmf.size() != want || upper_pmf.size() != want)
+    throw lrd::ConfigError(lrd::make_diagnostics(
+        lrd::ErrorCategory::kInvalidArgument, "queueing.solver",
+        "override increment pmfs have 2 * initial_bins + 1 entries",
+        "got " + std::to_string(lower_pmf.size()) + " / " + std::to_string(upper_pmf.size()) +
+            " entries, want " + std::to_string(want)));
+  return solve_impl(cfg, [&](std::size_t bins) {
+    if (bins == cfg.initial_bins)
+      return build_level_with(bins, lower_pmf, upper_pmf);
+    return build_level(bins);
+  });
 }
 
 }  // namespace lrd::queueing

@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/status.hpp"
 #include "dist/epoch.hpp"
 #include "dist/marginal.hpp"
 #include "numerics/grid.hpp"
@@ -44,7 +45,44 @@ struct SolverConfig {
   std::size_t max_iterations_per_level = 30000;
   /// Safety cap on total iterations across levels.
   std::size_t max_total_iterations = 300000;
+
+  // Numerical-health guardrails. Each fold step measures the occupancy
+  // pmf *before* it is clamped/renormalized; a violation beyond these
+  // tolerances trips the guard, which rolls the result back to the last
+  // healthy check and attaches a structured diagnostic (it never aborts,
+  // hangs, or returns NaN bounds). FFT round-off sits around 1e-14, so
+  // the defaults have orders of magnitude of headroom.
+  /// Allowed per-step deviation of total pmf mass from 1.
+  double mass_tolerance = 1e-6;
+  /// Most negative pre-clamp pmf entry tolerated.
+  double negative_tolerance = 1e-9;
+  /// Relative slack tolerated before lower > upper counts as an inverted
+  /// bracket (Prop. II.1 violation).
+  double bracket_tolerance = 1e-9;
+
+  /// Ok, or a kInvalidConfig diagnostic with a precise message. Called by
+  /// every public solve entry point.
+  lrd::Status validate() const;
 };
+
+/// Why the solver stopped — always set, so `converged == false` is never
+/// the only signal a caller gets.
+enum class SolverStop {
+  kNone = 0,         ///< solve() has not run.
+  kConverged,        ///< Bracket met target_relative_gap.
+  kZeroLoss,         ///< Upper bound fell below zero_loss_threshold.
+  kIterationBudget,  ///< max_total_iterations exhausted before convergence.
+  kBinBudget,        ///< Stalled and max_bins prevents further refinement.
+  kGuardTripped,     ///< A numerical-health guardrail fired; result rolled
+                     ///< back to the last healthy state.
+  kInvalidInput,     ///< Reserved: input rejected up front. (The finite-buffer
+                     ///< recursion is stable at any utilization — overload just
+                     ///< means heavy loss — so no well-formed input currently
+                     ///< takes this path; rho in (0, 1) is enforced by the
+                     ///< model/sweep configs instead.)
+};
+
+const char* solver_stop_name(SolverStop stop) noexcept;
 
 struct SolverResult {
   LossBounds loss;
@@ -53,11 +91,24 @@ struct SolverResult {
   bool zero_loss = false;
   /// True when the bracket met target_relative_gap (or zero_loss).
   bool converged = false;
-  std::size_t final_bins = 0;
+  std::size_t final_bins = 0;  // populated on every exit path
   std::size_t iterations = 0;  // total across levels
   std::size_t levels = 0;      // number of discretization levels used
 
+  /// How the solve ended (see SolverStop).
+  SolverStop stop = SolverStop::kNone;
+  /// Ok for kConverged / kZeroLoss; otherwise a structured diagnostic
+  /// naming the violated invariant and the iteration/level/bin context.
+  /// Budget-exhausted results (kResourceExhausted) still carry a valid —
+  /// just wide — bracket; guard-tripped results carry the bracket of the
+  /// last healthy level, or the vacuous [0, 1] if none completed.
+  lrd::Status status;
+  /// Last discretization level (1-based) whose state passed every health
+  /// check; 0 when no check completed cleanly.
+  std::size_t last_healthy_level = 0;
+
   /// Final occupancy pmfs over {0, d, ..., B} (lower/upper processes).
+  /// Empty only when a guard tripped before any healthy check.
   std::vector<double> occupancy_lower;
   std::vector<double> occupancy_upper;
 
@@ -67,6 +118,9 @@ struct SolverResult {
 
   /// Midpoint loss with the zero-loss convention applied.
   double loss_estimate() const noexcept { return zero_loss ? 0.0 : loss.mid(); }
+
+  /// True when the result carries usable loss bounds (possibly wide).
+  bool has_valid_bounds() const noexcept { return stop != SolverStop::kInvalidInput; }
 };
 
 class FluidQueueSolver {
@@ -83,8 +137,20 @@ class FluidQueueSolver {
   double buffer() const noexcept { return buffer_; }
   double utilization() const noexcept { return marginal_.mean() / service_rate_; }
 
-  /// Full adaptive solve.
+  /// Full adaptive solve. Throws lrd::ConfigError on an invalid config;
+  /// pathological-but-well-formed inputs (a mass-leaking kernel, budget
+  /// exhaustion) come back as a SolverResult carrying a structured
+  /// diagnostic rather than throwing. Overloaded queues (utilization >=
+  /// 1) are solved normally: the finite buffer keeps the chain stable.
   SolverResult solve(const SolverConfig& cfg = {}) const;
+
+  /// Test/diagnostic seam: the adaptive solve, but with externally
+  /// supplied increment pmfs for the *initial* level (each must have
+  /// 2 * cfg.initial_bins + 1 entries; refined levels fall back to the
+  /// exact pmfs). This is how the failure-path tests inject a
+  /// mass-leaking kernel and assert the guardrails trip gracefully.
+  SolverResult solve_with_increments(const SolverConfig& cfg, std::vector<double> lower_pmf,
+                                     std::vector<double> upper_pmf) const;
 
   /// Runs exactly `iterations` iterations at a fixed M and returns the
   /// state — used to reproduce Fig. 2 (bounds after n = 5, 10, 30 at
@@ -113,6 +179,10 @@ class FluidQueueSolver {
 
   struct Level;
   Level build_level(std::size_t bins) const;
+  Level build_level_with(std::size_t bins, std::vector<double> lower_pmf,
+                         std::vector<double> upper_pmf) const;
+  template <typename MakeLevel>
+  SolverResult solve_impl(const SolverConfig& cfg, const MakeLevel& make_level) const;
 
   /// Pr{W >= w} (closed) / Pr{W > w} (open) of the per-epoch increment.
   double increment_ccdf_closed(double w) const;

@@ -8,6 +8,7 @@
 // stochastic traffic model".
 #pragma once
 
+#include "core/status.hpp"
 #include "traffic/trace.hpp"
 
 namespace lrd::queueing {
@@ -23,6 +24,9 @@ struct TraceSimResult {
   double full_fraction = 0.0;
   /// Fraction of slots in which the buffer was empty at the slot end.
   double empty_fraction = 0.0;
+  /// Ok, or a kNumericalGuard diagnostic if the run produced non-finite
+  /// or out-of-range statistics (e.g. a poisoned input trace).
+  lrd::Status status;
 };
 
 /// Runs the queue over the whole trace, starting empty. Within slot k the

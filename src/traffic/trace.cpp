@@ -1,10 +1,13 @@
 #include "traffic/trace.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "numerics/special_functions.hpp"
 
@@ -12,10 +15,18 @@ namespace lrd::traffic {
 
 RateTrace::RateTrace(std::vector<double> rates, double bin_seconds)
     : rates_(std::move(rates)), bin_seconds_(bin_seconds) {
-  if (rates_.empty()) throw std::invalid_argument("RateTrace: empty trace");
-  if (!(bin_seconds > 0.0)) throw std::invalid_argument("RateTrace: bin length must be > 0");
-  for (double r : rates_)
-    if (!(r >= 0.0)) throw std::invalid_argument("RateTrace: rates must be >= 0");
+  auto bad = [](std::string invariant, std::string message) {
+    return lrd::ConfigError(lrd::make_diagnostics(lrd::ErrorCategory::kInvalidArgument,
+                                                  "traffic.trace", std::move(invariant),
+                                                  std::move(message)));
+  };
+  if (rates_.empty()) throw bad("trace is non-empty", "empty rate vector");
+  if (!(bin_seconds > 0.0) || !std::isfinite(bin_seconds))
+    throw bad("bin length is finite and > 0", "bin_seconds = " + std::to_string(bin_seconds));
+  for (std::size_t i = 0; i < rates_.size(); ++i)
+    if (!(rates_[i] >= 0.0) || !std::isfinite(rates_[i]))
+      throw bad("every rate is finite and >= 0",
+                "rate[" + std::to_string(i) + "] = " + std::to_string(rates_[i]));
 }
 
 double RateTrace::mean() const noexcept {
@@ -66,26 +77,126 @@ void RateTrace::save(std::ostream& os) const {
   for (double r : rates_) os << r << '\n';
 }
 
-RateTrace RateTrace::load(std::istream& is) {
+namespace {
+
+/// Hard cap on the declared sample count: a corrupted header like
+/// "0.01 999999999999" must produce a parse error, not a bad_alloc.
+constexpr std::size_t kMaxSamples = std::size_t{1} << 29;  // 512M doubles = 4 GB
+
+lrd::Diagnostics parse_error(long line, std::string invariant, std::string message) {
+  auto d = lrd::make_diagnostics(lrd::ErrorCategory::kParse, "traffic.trace",
+                                 std::move(invariant), std::move(message));
+  d.line = line;
+  return d;
+}
+
+/// Parses one double out of `token`; returns false on trailing junk.
+bool parse_double(const std::string& token, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(token, &pos);
+    return pos == token.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+lrd::Expected<RateTrace> RateTrace::try_load(std::istream& is) {
+  std::string line_buf;
+  long line_no = 0;
+
+  // Header: "<bin_seconds> <n>" on the first non-blank line.
   double delta = 0.0;
   std::size_t n = 0;
-  if (!(is >> delta >> n)) throw std::runtime_error("RateTrace::load: bad header");
-  std::vector<double> rates(n);
-  for (std::size_t i = 0; i < n; ++i)
-    if (!(is >> rates[i])) throw std::runtime_error("RateTrace::load: truncated trace");
+  {
+    do {
+      if (!std::getline(is, line_buf))
+        return parse_error(line_no, "trace starts with a \"<bin_seconds> <count>\" header",
+                           "empty input: no header line");
+      ++line_no;
+    } while (line_buf.find_first_not_of(" \t\r") == std::string::npos);
+    std::istringstream header(line_buf);
+    std::string delta_tok, count_tok, extra;
+    header >> delta_tok >> count_tok;
+    if (count_tok.empty() || (header >> extra))
+      return parse_error(line_no, "header is exactly \"<bin_seconds> <count>\"",
+                         "malformed header: '" + line_buf + "'");
+    double count_val = 0.0;
+    if (!parse_double(delta_tok, delta) || !std::isfinite(delta) || delta <= 0.0)
+      return parse_error(line_no, "bin length is finite and > 0",
+                         "bad bin length '" + delta_tok + "'");
+    if (!parse_double(count_tok, count_val) || count_val < 1.0 ||
+        count_val != static_cast<double>(static_cast<std::size_t>(count_val)))
+      return parse_error(line_no, "sample count is a positive integer",
+                         "bad sample count '" + count_tok + "'");
+    n = static_cast<std::size_t>(count_val);
+    if (n > kMaxSamples)
+      return parse_error(line_no, "sample count is plausible (<= 2^29)",
+                         "declared sample count " + std::to_string(n) + " exceeds the cap");
+  }
+
+  std::vector<double> rates;
+  rates.reserve(n);
+  while (rates.size() < n && std::getline(is, line_buf)) {
+    ++line_no;
+    std::istringstream body(line_buf);
+    std::string token;
+    while (rates.size() < n && body >> token) {
+      double r = 0.0;
+      if (!parse_double(token, r))
+        return parse_error(line_no, "every rate is a number", "unparsable rate '" + token + "'");
+      if (!std::isfinite(r))
+        return parse_error(line_no, "every rate is finite", "non-finite rate '" + token + "'");
+      if (r < 0.0)
+        return parse_error(line_no, "every rate is >= 0", "negative rate " + token);
+      rates.push_back(r);
+    }
+  }
+  if (rates.size() < n)
+    return parse_error(line_no, "body holds the declared number of samples",
+                       "truncated trace: got " + std::to_string(rates.size()) + " of " +
+                           std::to_string(n) + " declared samples");
   return RateTrace(std::move(rates), delta);
+}
+
+lrd::Expected<RateTrace> RateTrace::try_load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is)
+    return lrd::make_diagnostics(lrd::ErrorCategory::kIo, "traffic.trace", "trace file is readable",
+                                 "cannot open " + path);
+  auto result = try_load(is);
+  if (!result) {
+    // Re-tag with the file name so the diagnostic stands alone.
+    auto d = result.diagnostics();
+    d.message = path + ": " + d.message;
+    return d;
+  }
+  return result;
+}
+
+RateTrace RateTrace::load(std::istream& is) {
+  auto result = try_load(is);
+  if (!result) lrd::throw_error(result.diagnostics());
+  return std::move(result).take();
 }
 
 void RateTrace::save_file(const std::string& path) const {
   std::ofstream os(path);
-  if (!os) throw std::runtime_error("RateTrace::save_file: cannot open " + path);
+  if (!os)
+    lrd::throw_error(lrd::make_diagnostics(lrd::ErrorCategory::kIo, "traffic.trace",
+                                           "output file is writable", "cannot open " + path));
   save(os);
+  if (!os)
+    lrd::throw_error(lrd::make_diagnostics(lrd::ErrorCategory::kIo, "traffic.trace",
+                                           "trace written completely", "write failed: " + path));
 }
 
 RateTrace RateTrace::load_file(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw std::runtime_error("RateTrace::load_file: cannot open " + path);
-  return load(is);
+  auto result = try_load_file(path);
+  if (!result) lrd::throw_error(result.diagnostics());
+  return std::move(result).take();
 }
 
 }  // namespace lrd::traffic

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "core/status.hpp"
+
 namespace lrd::traffic {
 
 class RateTrace {
@@ -41,8 +43,18 @@ class RateTrace {
   /// Plain-text round trip: first line "<bin_seconds> <n>", then one rate
   /// per line.
   void save(std::ostream& os) const;
-  static RateTrace load(std::istream& is);
   void save_file(const std::string& path) const;
+
+  /// Parses a trace, reporting malformed input as a structured, line-
+  /// numbered kParse diagnostic (NaN, Inf and negative rates are
+  /// rejected; a header whose count disagrees with the body names the
+  /// line where the data ran out). I/O failures come back as kIo.
+  static lrd::Expected<RateTrace> try_load(std::istream& is);
+  static lrd::Expected<RateTrace> try_load_file(const std::string& path);
+
+  /// Throwing wrappers over try_load / try_load_file (lrd::DataError,
+  /// which is-a std::runtime_error).
+  static RateTrace load(std::istream& is);
   static RateTrace load_file(const std::string& path);
 
  private:

@@ -1,0 +1,405 @@
+// Failure-path tests: the error taxonomy (Status / Expected / Diagnostics),
+// validated configs, hardened trace ingestion, and the solver's
+// numerical-health guardrails. Every pathological input here must come back
+// as a structured diagnostic — never a crash, a hang, or NaN bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/model.hpp"
+#include "core/status.hpp"
+#include "dist/simple_epochs.hpp"
+#include "dist/truncated_pareto.hpp"
+#include "queueing/fluid_queue_sim.hpp"
+#include "queueing/solver.hpp"
+#include "queueing/trace_queue_sim.hpp"
+#include "traffic/trace.hpp"
+
+namespace {
+
+using namespace lrd;
+using dist::Marginal;
+using queueing::FluidQueueSolver;
+using queueing::SolverConfig;
+using queueing::SolverStop;
+using traffic::RateTrace;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// ---------------------------------------------------------------------------
+// Status / Expected / Diagnostics core.
+
+TEST(Status, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_EQ(st.category(), ErrorCategory::kNone);
+  EXPECT_EQ(st.describe(), "ok");
+}
+
+TEST(Status, FailureCarriesDiagnostics) {
+  auto d = make_diagnostics(ErrorCategory::kNumericalGuard, "test.component",
+                            "mass is conserved", "mass = 0.5");
+  d.iteration = 17;
+  d.level = 2;
+  const Status st = Status::failure(d);
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.category(), ErrorCategory::kNumericalGuard);
+  const std::string text = st.describe();
+  EXPECT_NE(text.find("numerical-guard"), std::string::npos);
+  EXPECT_NE(text.find("test.component"), std::string::npos);
+  EXPECT_NE(text.find("mass is conserved"), std::string::npos);
+  EXPECT_NE(text.find("iteration 17"), std::string::npos);
+  EXPECT_NE(text.find("level 2"), std::string::npos);
+}
+
+TEST(Status, DescribeIncludesLineNumber) {
+  auto d = make_diagnostics(ErrorCategory::kParse, "traffic.trace", "rates are numbers",
+                            "unparsable rate 'x'");
+  d.line = 42;
+  EXPECT_NE(Status::failure(d).describe().find("line 42"), std::string::npos);
+}
+
+TEST(Expected, ValueAndErrorPaths) {
+  Expected<int> good(7);
+  ASSERT_TRUE(good.has_value());
+  EXPECT_TRUE(static_cast<bool>(good));
+  EXPECT_EQ(good.value(), 7);
+  EXPECT_TRUE(good.status().is_ok());
+
+  Expected<int> bad(make_diagnostics(ErrorCategory::kIo, "test", "file opens", "nope"));
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.status().category(), ErrorCategory::kIo);
+  EXPECT_THROW(bad.value(), std::logic_error);
+  EXPECT_EQ(Expected<int>(3).take(), 3);
+}
+
+TEST(ExitCodes, TaxonomyMapsToDistinctCodes) {
+  EXPECT_EQ(exit_code_for(ErrorCategory::kNone), 0);
+  EXPECT_EQ(exit_code_for(ErrorCategory::kInvalidArgument), 3);
+  EXPECT_EQ(exit_code_for(ErrorCategory::kInvalidConfig), 3);
+  EXPECT_EQ(exit_code_for(ErrorCategory::kParse), 4);
+  EXPECT_EQ(exit_code_for(ErrorCategory::kIo), 5);
+  EXPECT_EQ(exit_code_for(ErrorCategory::kNumericalGuard), 6);
+  EXPECT_EQ(exit_code_for(ErrorCategory::kResourceExhausted), 6);
+  EXPECT_EQ(exit_code_for(ErrorCategory::kInternal), 6);
+}
+
+TEST(Exceptions, CarryDiagnosticsAndKeepLegacyBases) {
+  const auto d =
+      make_diagnostics(ErrorCategory::kInvalidConfig, "c", "x > 0", "x = -1");
+  try {
+    throw_error(d);
+    FAIL() << "throw_error returned";
+  } catch (const std::invalid_argument& e) {  // ConfigError is-a invalid_argument
+    const Diagnostics* got = diagnostics_of(e);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->category, ErrorCategory::kInvalidConfig);
+    EXPECT_EQ(got->invariant, "x > 0");
+  }
+  try {
+    throw_error(make_diagnostics(ErrorCategory::kParse, "c", "i", "m"));
+    FAIL() << "throw_error returned";
+  } catch (const std::runtime_error& e) {  // DataError is-a runtime_error
+    ASSERT_NE(diagnostics_of(e), nullptr);
+    EXPECT_EQ(diagnostics_of(e)->category, ErrorCategory::kParse);
+  }
+  const std::logic_error plain("no diagnostics here");
+  EXPECT_EQ(diagnostics_of(plain), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Validated configs.
+
+TEST(Validation, SolverConfigReportsPreciseField) {
+  SolverConfig c;
+  c.initial_bins = 1;
+  auto st = c.validate();
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.category(), ErrorCategory::kInvalidConfig);
+  EXPECT_NE(st.describe().find("initial_bins"), std::string::npos);
+
+  c = SolverConfig{};
+  c.mass_tolerance = -1.0;
+  EXPECT_FALSE(c.validate().is_ok());
+  c = SolverConfig{};
+  c.target_relative_gap = kNan;
+  EXPECT_FALSE(c.validate().is_ok());
+  c = SolverConfig{};
+  EXPECT_TRUE(c.validate().is_ok());
+}
+
+TEST(Validation, ModelConfigRejectsBadHurstAndUtilization) {
+  core::ModelConfig cfg;
+  cfg.hurst = 0.5;
+  EXPECT_FALSE(cfg.validate().is_ok());
+  cfg = core::ModelConfig{};
+  cfg.utilization = 1.0;
+  EXPECT_FALSE(cfg.validate().is_ok());
+  cfg = core::ModelConfig{};
+  EXPECT_TRUE(cfg.validate().is_ok());
+  cfg.utilization = 1.2;
+  Marginal m({2.0, 6.0}, {0.5, 0.5});
+  try {
+    core::FluidModel model(m, cfg);
+    FAIL() << "FluidModel accepted utilization = 1.2";
+  } catch (const ConfigError& e) {
+    ASSERT_NE(diagnostics_of(e), nullptr);
+    EXPECT_NE(std::string(e.what()).find("utilization"), std::string::npos);
+  }
+}
+
+TEST(Validation, DistributionParamsCarryDiagnostics) {
+  try {
+    dist::TruncatedPareto bad(0.01, 1.0, 10.0);  // alpha must be > 1
+    FAIL() << "TruncatedPareto accepted alpha = 1";
+  } catch (const ConfigError& e) {
+    ASSERT_NE(diagnostics_of(e), nullptr);
+    EXPECT_EQ(diagnostics_of(e)->category, ErrorCategory::kInvalidArgument);
+    EXPECT_NE(std::string(e.what()).find("alpha"), std::string::npos);
+  }
+  EXPECT_THROW(dist::TruncatedPareto(kNan, 1.3, 10.0), std::invalid_argument);
+}
+
+TEST(Validation, SimulatorConfigs) {
+  Marginal m({1.0}, {1.0});
+  dist::ExponentialEpoch d(1.0);
+  queueing::FluidSimConfig bad;
+  bad.batches = 1;
+  EXPECT_THROW(queueing::simulate_fluid_queue(m, d, 2.0, 1.0, bad), ConfigError);
+  EXPECT_FALSE(bad.validate().is_ok());
+  EXPECT_THROW(queueing::simulate_fluid_queue(m, d, kNan, 1.0), ConfigError);
+  RateTrace trace({1.0, 2.0, 1.0}, 0.1);
+  EXPECT_THROW(queueing::simulate_trace_queue(trace, kNan, 1.0), ConfigError);
+  EXPECT_THROW(queueing::simulate_trace_queue_normalized(trace, 1.5, 1.0), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Hardened trace ingestion.
+
+Expected<RateTrace> parse(const std::string& text) {
+  std::istringstream is(text);
+  return RateTrace::try_load(is);
+}
+
+TEST(TraceParse, RejectsMalformedHeaderWithLineNumber) {
+  auto r = parse("not a header at all extra tokens\n");
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().category(), ErrorCategory::kParse);
+  EXPECT_EQ(r.diagnostics().line, 1);
+
+  EXPECT_FALSE(parse("").has_value());
+  EXPECT_FALSE(parse("0 3\n1\n2\n3\n").has_value());        // bin length <= 0
+  EXPECT_FALSE(parse("0.01 2.5\n1\n2\n").has_value());      // non-integer count
+  EXPECT_FALSE(parse("0.01 99999999999999\n").has_value()); // absurd count, no bad_alloc
+}
+
+TEST(TraceParse, RejectsBadRatesWithLineNumber) {
+  auto r = parse("0.01 3\n1.0\nbogus\n2.0\n");
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().category(), ErrorCategory::kParse);
+  EXPECT_EQ(r.diagnostics().line, 3);
+  EXPECT_NE(r.diagnostics().message.find("bogus"), std::string::npos);
+
+  r = parse("0.01 3\n1.0\nnan\n2.0\n");
+  ASSERT_FALSE(r.has_value());
+  EXPECT_NE(r.diagnostics().message.find("non-finite"), std::string::npos);
+
+  r = parse("0.01 3\n1.0\n-2.0\n2.0\n");
+  ASSERT_FALSE(r.has_value());
+  EXPECT_NE(r.diagnostics().message.find("negative"), std::string::npos);
+  EXPECT_EQ(r.diagnostics().line, 3);
+}
+
+TEST(TraceParse, ReportsTruncationPrecisely) {
+  auto r = parse("0.01 5\n1.0\n2.0\n");
+  ASSERT_FALSE(r.has_value());
+  EXPECT_NE(r.diagnostics().message.find("got 2 of 5"), std::string::npos);
+}
+
+TEST(TraceParse, GoodTraceRoundTrips) {
+  auto r = parse("0.01 3\n1.0 2.0\n3.0\n");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r.value().size(), 3u);
+  EXPECT_DOUBLE_EQ(r.value()[2], 3.0);
+}
+
+TEST(TraceParse, ThrowingWrapperIsDataError) {
+  std::istringstream is("0.01 5\n1.0\n");
+  EXPECT_THROW(RateTrace::load(is), DataError);
+  std::istringstream is2("0.01 5\n1.0\n");
+  EXPECT_THROW(RateTrace::load(is2), std::runtime_error);  // legacy base preserved
+}
+
+TEST(TraceParse, MissingFileIsIoCategory) {
+  auto r = RateTrace::try_load_file("/nonexistent/definitely/missing.txt");
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().category(), ErrorCategory::kIo);
+}
+
+TEST(TraceParse, CtorRejectsNegativeAndNonFiniteRates) {
+  EXPECT_THROW(RateTrace({1.0, -0.5}, 0.1), ConfigError);
+  EXPECT_THROW(RateTrace({1.0, kNan}, 0.1), std::invalid_argument);
+  EXPECT_THROW(RateTrace({1.0}, 0.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Solver guardrails and structured exit paths.
+
+FluidQueueSolver make_solver(double service_rate = 2.0, double buffer = 1.0) {
+  Marginal m({0.0, 3.0}, {2.0 / 3.0, 1.0 / 3.0});
+  auto d = std::make_shared<const dist::DeterministicEpoch>(1.0);
+  return FluidQueueSolver(m, d, service_rate, buffer);
+}
+
+TEST(SolverGuards, OverloadedQueueSolvesWithFiniteBracket) {
+  // utilization > 1 is NOT pathological for a finite buffer: the chain is
+  // stable and the loss is simply heavy. The solver must converge with an
+  // ok status (no spurious guard noise), never NaN.
+  const auto solver = make_solver(0.9, 1.0);  // mean 1, peak 3, c = 0.9
+  const auto r = solver.solve();
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.status.is_ok());
+  EXPECT_TRUE(r.has_valid_bounds());
+  EXPECT_TRUE(std::isfinite(r.loss.lower));
+  EXPECT_TRUE(std::isfinite(r.loss.upper));
+  EXPECT_GT(r.loss_estimate(), 0.0);
+  // The structured utilization >= 1 rejection lives at the model layer,
+  // where rho in (0, 1) is what defines the service rate.
+  core::ModelConfig cfg;
+  cfg.utilization = 1.1;
+  EXPECT_THROW(core::FluidModel(Marginal({2.0, 6.0}, {0.5, 0.5}), cfg), ConfigError);
+}
+
+TEST(SolverGuards, LeakingIncrementPmfTripsMassGuard) {
+  const auto solver = make_solver();
+  SolverConfig cfg;
+  cfg.initial_bins = 64;
+  cfg.max_bins = 64;
+  // Exact kernels, then bleed 5% of the mass out of both: every fold step
+  // now destroys mass, which sanitize() would silently renormalize away if
+  // the guard measured after clamping.
+  auto lo = solver.increment_pmf_lower(cfg.initial_bins);
+  auto hi = solver.increment_pmf_upper(cfg.initial_bins);
+  for (double& p : lo) p *= 0.95;
+  for (double& p : hi) p *= 0.95;
+  const auto r = solver.solve_with_increments(cfg, lo, hi);
+
+  EXPECT_EQ(r.stop, SolverStop::kGuardTripped);
+  EXPECT_FALSE(r.converged);
+  ASSERT_FALSE(r.status.is_ok());
+  EXPECT_EQ(r.status.category(), ErrorCategory::kNumericalGuard);
+  const auto& d = r.status.diagnostics();
+  EXPECT_NE(d.invariant.find("mass"), std::string::npos);
+  EXPECT_NE(d.iteration, Diagnostics::npos);  // context: where it tripped
+  EXPECT_EQ(d.last_healthy_level, r.last_healthy_level);
+  // The leak poisons the very first level, so no healthy state exists and
+  // the solver falls back to the vacuous-but-valid bracket.
+  EXPECT_EQ(r.last_healthy_level, 0u);
+  EXPECT_DOUBLE_EQ(r.loss.lower, 0.0);
+  EXPECT_DOUBLE_EQ(r.loss.upper, 1.0);
+  EXPECT_TRUE(r.has_valid_bounds());
+  // Populated on every exit path.
+  EXPECT_GT(r.final_bins, 0u);
+  EXPECT_GE(r.levels, 1u);
+}
+
+TEST(SolverGuards, NonFiniteKernelIsCaughtUpFront) {
+  const auto solver = make_solver();
+  SolverConfig cfg;
+  cfg.initial_bins = 64;
+  auto lo = solver.increment_pmf_lower(cfg.initial_bins);
+  auto hi = solver.increment_pmf_upper(cfg.initial_bins);
+  lo[lo.size() / 2] = kNan;
+  // The convolver's finiteness check fires as a DataError (kNumericalGuard).
+  try {
+    (void)solver.solve_with_increments(cfg, lo, hi);
+    FAIL() << "NaN kernel was accepted";
+  } catch (const DataError& e) {
+    ASSERT_NE(diagnostics_of(e), nullptr);
+    EXPECT_EQ(diagnostics_of(e)->category, ErrorCategory::kNumericalGuard);
+  }
+}
+
+TEST(SolverGuards, BudgetExhaustionKeepsValidWideBracket) {
+  // Demand an absurdly tight gap with no room to refine: the solver must
+  // surface kResourceExhausted and still hand back a finite bracket.
+  Marginal m({2.0, 6.0, 10.0}, {0.3, 0.4, 0.3});
+  auto d = std::make_shared<const dist::TruncatedPareto>(0.015, 1.3, 10.0);
+  FluidQueueSolver solver(m, d, 7.5, 2.0);
+  SolverConfig cfg;
+  cfg.initial_bins = 32;
+  cfg.max_bins = 64;
+  cfg.target_relative_gap = 1e-9;
+  cfg.max_total_iterations = 2000;
+  const auto r = solver.solve(cfg);
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.stop == SolverStop::kIterationBudget || r.stop == SolverStop::kBinBudget);
+  ASSERT_FALSE(r.status.is_ok());
+  EXPECT_EQ(r.status.category(), ErrorCategory::kResourceExhausted);
+  EXPECT_TRUE(r.has_valid_bounds());
+  EXPECT_TRUE(std::isfinite(r.loss.lower));
+  EXPECT_TRUE(std::isfinite(r.loss.upper));
+  EXPECT_LE(r.loss.lower, r.loss.upper);
+  EXPECT_GT(r.final_bins, 0u);
+  EXPECT_GE(r.levels, 1u);
+  EXPECT_GE(r.last_healthy_level, 1u);
+}
+
+TEST(SolverGuards, HealthyPathStaysClean) {
+  // A benign solve must report kConverged / kZeroLoss with an ok status —
+  // the guardrails may not perturb the paper-faithful path.
+  const auto solver = make_solver();
+  const auto r = solver.solve();
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.status.is_ok());
+  EXPECT_TRUE(r.stop == SolverStop::kConverged || r.stop == SolverStop::kZeroLoss);
+  EXPECT_GE(r.last_healthy_level, 1u);
+}
+
+TEST(SolverGuards, SolveWithIncrementsValidatesShape) {
+  const auto solver = make_solver();
+  SolverConfig cfg;
+  cfg.initial_bins = 64;
+  EXPECT_THROW(solver.solve_with_increments(cfg, {0.5, 0.5}, {0.5, 0.5}), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep graceful degradation.
+
+TEST(SweepRobustness, InvalidSweepConfigThrowsBeforeAnyCell) {
+  Marginal m({2.0, 6.0}, {0.5, 0.5});
+  core::ModelSweepConfig cfg;
+  cfg.utilization = 1.5;
+  EXPECT_THROW(core::loss_vs_buffer_and_cutoff(m, cfg, {0.1}, {1.0}), ConfigError);
+}
+
+TEST(SweepRobustness, BudgetStarvedCellsAreRecordedNotFatal) {
+  Marginal m({2.0, 6.0, 10.0}, {0.3, 0.4, 0.3});
+  core::ModelSweepConfig cfg;
+  cfg.utilization = 0.9;
+  cfg.solver.initial_bins = 16;
+  cfg.solver.max_bins = 32;
+  cfg.solver.target_relative_gap = 1e-10;
+  cfg.solver.max_total_iterations = 400;
+  const auto table = core::loss_vs_buffer_and_cutoff(m, cfg, {0.5, 1.0}, {1.0});
+  ASSERT_EQ(table.values.size(), 2u);
+  // Cells that merely exhausted their budget keep a usable value and are
+  // listed in `issues`; the sweep as a whole must not throw.
+  EXPECT_FALSE(table.ok());
+  EXPECT_FALSE(table.issues.empty());
+  for (const auto& row : table.values)
+    for (double v : row) EXPECT_FALSE(std::isnan(v));
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("issue"), std::string::npos);
+}
+
+}  // namespace

@@ -1,7 +1,9 @@
 // Minimal flag parsing shared by the lrdq_* command-line tools.
 //
-// Supports `--name value` and `--name=value` forms; unknown flags are an
-// error (fail fast beats silently ignoring a typo in an experiment).
+// Supports `--name value` and `--name=value` forms plus valueless boolean
+// flags; unknown flags are an error (fail fast beats silently ignoring a
+// typo in an experiment). `--help` is recognized everywhere and wins over
+// any other parse problem, so `tool --help` never throws.
 #pragma once
 
 #include <algorithm>
@@ -13,34 +15,58 @@
 #include <string>
 #include <vector>
 
+#include "core/status.hpp"
+
 namespace lrd::cli {
 
 class Args {
  public:
-  /// Parses argv; throws std::invalid_argument on malformed input.
-  Args(int argc, char** argv, std::vector<std::string> known) : known_(std::move(known)) {
+  /// Parses argv; throws std::invalid_argument on malformed input (exit
+  /// code 2 via run_tool). `known` flags take a value; `flags` are
+  /// valueless booleans. "help" is always accepted as a boolean flag and
+  /// is detected before anything else is parsed, so a command line that
+  /// contains --help is never rejected.
+  Args(int argc, char** argv, std::vector<std::string> known, std::vector<std::string> flags = {})
+      : known_(std::move(known)), flags_(std::move(flags)) {
+    flags_.push_back("help");
+    for (int i = 1; i < argc; ++i)
+      if (std::string(argv[i]) == "--help") help_ = true;
+    if (help_) return;
     for (int i = 1; i < argc; ++i) {
       std::string token = argv[i];
       if (token.rfind("--", 0) != 0)
         throw std::invalid_argument("unexpected positional argument: " + token);
       token.erase(0, 2);
       std::string value;
+      bool have_value = false;
       const auto eq = token.find('=');
       if (eq != std::string::npos) {
         value = token.substr(eq + 1);
         token.erase(eq);
-      } else if (i + 1 < argc) {
-        value = argv[++i];
-      } else {
-        throw std::invalid_argument("flag --" + token + " is missing a value");
+        have_value = true;
+      }
+      if (std::find(flags_.begin(), flags_.end(), token) != flags_.end()) {
+        if (have_value)
+          throw std::invalid_argument("flag --" + token + " does not take a value");
+        values_[token] = "true";
+        continue;
       }
       if (std::find(known_.begin(), known_.end(), token) == known_.end())
         throw std::invalid_argument("unknown flag --" + token);
+      if (!have_value) {
+        if (i + 1 >= argc) throw std::invalid_argument("flag --" + token + " is missing a value");
+        value = argv[++i];
+      }
       values_[token] = value;
     }
   }
 
-  bool has(const std::string& name) const { return values_.count(name) > 0; }
+  /// True when --help appeared anywhere on the command line.
+  bool help() const noexcept { return help_; }
+
+  bool has(const std::string& name) const {
+    return name == "help" ? help_ : values_.count(name) > 0;
+  }
 
   std::string get(const std::string& name, const std::string& fallback) const {
     const auto it = values_.find(name);
@@ -81,15 +107,31 @@ class Args {
 
  private:
   std::vector<std::string> known_;
+  std::vector<std::string> flags_;
   std::map<std::string, std::string> values_;
+  bool help_ = false;
 };
 
 /// Standard error handling wrapper for tool main() bodies.
+///
+/// Exit codes follow the repo-wide taxonomy (lrd::exit_code_for):
+///   0  success
+///   1  solver finished without converging (tools return this themselves)
+///   2  command-line usage error (unknown flag, missing value, bad number)
+///   3  invalid configuration or argument (lrd::ConfigError)
+///   4  parse error in an input file         (lrd::DataError, kParse)
+///   5  I/O error                            (lrd::DataError, kIo)
+///   6  numerical guard / budget / internal  (lrd::DataError, others)
+/// Exceptions that carry no lrd::Diagnostics are treated as usage errors.
 template <typename Fn>
 int run_tool(const char* usage, Fn&& fn) {
   try {
     return fn();
   } catch (const std::exception& e) {
+    if (const lrd::Diagnostics* d = lrd::diagnostics_of(e)) {
+      std::fprintf(stderr, "error: %s\n", d->describe().c_str());
+      return lrd::exit_code_for(d->category);
+    }
     std::fprintf(stderr, "error: %s\n\n%s\n", e.what(), usage);
     return 2;
   }

@@ -18,7 +18,7 @@
 
 namespace {
 
-constexpr const char* kUsage = "usage: lrdq_hurst --trace FILE [--bins 50]";
+constexpr const char* kUsage = "usage: lrdq_hurst --trace FILE [--bins 50]\n       lrdq_hurst --help";
 
 }  // namespace
 
@@ -26,6 +26,10 @@ int main(int argc, char** argv) {
   using namespace lrd;
   return cli::run_tool(kUsage, [&] {
     cli::Args args(argc, argv, {"trace", "bins"});
+    if (args.help()) {
+      std::printf("%s\n", kUsage);
+      return 0;
+    }
     if (!args.has("trace")) throw std::invalid_argument("--trace is required");
     const auto trace = traffic::RateTrace::load_file(args.get("trace", ""));
     const std::size_t bins = args.get_size("bins", 50);

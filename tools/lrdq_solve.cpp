@@ -22,7 +22,10 @@ namespace {
 constexpr const char* kUsage =
     "usage: lrdq_solve --rates r1,r2,... --probs p1,p2,...\n"
     "                  [--hurst 0.85] [--mean-epoch 0.05] [--cutoff 10|inf]\n"
-    "                  [--utilization 0.8] [--buffer 0.5] [--gap 0.2] [--max-bins 16384]";
+    "                  [--utilization 0.8] [--buffer 0.5] [--gap 0.2] [--max-bins 16384]\n"
+    "       lrdq_solve --help\n"
+    "exit codes: 0 ok, 1 not converged, 2 usage, 3 bad config,\n"
+    "            4 parse, 5 I/O, 6 numerical guard / budget";
 
 }  // namespace
 
@@ -32,6 +35,10 @@ int main(int argc, char** argv) {
     cli::Args args(argc, argv,
                    {"rates", "probs", "hurst", "mean-epoch", "cutoff", "utilization", "buffer",
                     "gap", "max-bins"});
+    if (args.help()) {
+      std::printf("%s\n", kUsage);
+      return 0;
+    }
     if (!args.has("rates") || !args.has("probs"))
       throw std::invalid_argument("--rates and --probs are required");
 
@@ -60,9 +67,17 @@ int main(int argc, char** argv) {
     std::printf("\nloss rate: %.6e  (bracket [%.6e, %.6e], rel. gap %.3f)\n",
                 result.loss_estimate(), result.loss.lower, result.loss.upper,
                 result.loss.relative_gap());
-    std::printf("solver: M = %zu, %zu iterations, %zu level(s), %s\n", result.final_bins,
+    std::printf("solver: M = %zu, %zu iterations, %zu level(s), %s (%s)\n", result.final_bins,
                 result.iterations, result.levels,
-                result.converged ? "converged" : "NOT converged");
+                result.converged ? "converged" : "NOT converged",
+                queueing::solver_stop_name(result.stop));
+    if (!result.status.is_ok()) {
+      std::printf("diagnostic: %s\n", result.status.describe().c_str());
+      if (result.stop == queueing::SolverStop::kGuardTripped)
+        std::printf("            reported bracket is from the last healthy refinement level"
+                    " (%zu)\n",
+                    result.last_healthy_level);
+    }
     std::printf("mean occupancy: [%.4f, %.4f] Mb\n", result.mean_queue_lower,
                 result.mean_queue_upper);
     for (double p : {0.5, 0.9, 0.99}) {
@@ -73,6 +88,7 @@ int main(int argc, char** argv) {
       std::printf("correlation horizon (Eq. 26, p = 0.05): %.3f s\n",
                   core::correlation_horizon(marginal, *model.epochs(), model.buffer()));
     }
-    return result.converged ? 0 : 1;
+    if (result.converged) return 0;
+    return result.status.is_ok() ? 1 : lrd::exit_code_for(result.status.category());
   });
 }

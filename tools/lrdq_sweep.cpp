@@ -23,6 +23,7 @@ constexpr const char* kUsage =
     "                  --buffers b1,b2,... --cutoffs t1,t2,...\n"
     "                  [--hurst 0.85] [--mean-epoch 0.05] [--utilization 0.8]\n"
     "                  [--gap 0.2] [--seed 7]\n"
+    "       lrdq_sweep --help\n"
     "note: list entries for --cutoffs may not include 'inf'; pass a large\n"
     "      number for the model, or use --trace mode where the largest\n"
     "      cutoff >= trace duration behaves as unshuffled.";
@@ -34,6 +35,10 @@ int main(int argc, char** argv) {
   return cli::run_tool(kUsage, [&] {
     cli::Args args(argc, argv, {"rates", "probs", "trace", "buffers", "cutoffs", "hurst",
                                 "mean-epoch", "utilization", "gap", "seed"});
+    if (args.help()) {
+      std::printf("%s\n", kUsage);
+      return 0;
+    }
     const auto buffers = args.get_list("buffers", {0.05, 0.2, 1.0});
     const auto cutoffs = args.get_list("cutoffs", {0.1, 1.0, 10.0});
     const double utilization = args.get_double("utilization", 0.8);
@@ -57,6 +62,6 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::printf("\n");
     table.print_csv(std::cout);
-    return 0;
+    return table.ok() ? 0 : 1;
   });
 }

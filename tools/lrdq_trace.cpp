@@ -18,7 +18,8 @@ namespace {
 constexpr const char* kUsage =
     "usage: lrdq_trace --out FILE [--preset mtv|bellcore]\n"
     "                  [--hurst 0.85] [--mean 10] [--cov 0.4]\n"
-    "                  [--delta 0.01] [--samples 131072] [--seed 1]";
+    "                  [--delta 0.01] [--samples 131072] [--seed 1]\n"
+    "       lrdq_trace --help";
 
 }  // namespace
 
@@ -27,6 +28,10 @@ int main(int argc, char** argv) {
   return cli::run_tool(kUsage, [&] {
     cli::Args args(argc, argv,
                    {"out", "preset", "hurst", "mean", "cov", "delta", "samples", "seed"});
+    if (args.help()) {
+      std::printf("%s\n", kUsage);
+      return 0;
+    }
     if (!args.has("out")) throw std::invalid_argument("--out is required");
     const std::string out = args.get("out", "");
 
