@@ -9,12 +9,65 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "cli_common.hpp"
 #include "core/experiment.hpp"
 
 namespace lrd::bench {
+
+/// Runtime options every figure binary accepts (all optional; the default
+/// reproduces the historical "just run the sweep" behaviour):
+///   --threads N       worker threads (0 = hardware; LRDQ_THREADS default)
+///   --cache-dir DIR   persistent solver result cache
+///   --checkpoint FILE periodic sweep checkpoint; --resume to reload it
+///   --manifest FILE   per-run JSON manifest
+/// The cache and manifest are owned here so `sweep` can point into them.
+struct FigureOptions {
+  core::SweepRunOptions sweep;
+  std::string manifest_path;
+  std::shared_ptr<runtime::SolverCache> cache;
+  std::shared_ptr<runtime::RunManifest> manifest;
+};
+
+constexpr const char* kFigureUsage =
+    "usage: figure binary [--threads N] [--cache-dir DIR]\n"
+    "                     [--checkpoint FILE [--resume]] [--manifest FILE]";
+
+inline FigureOptions parse_figure_options(int argc, char** argv) {
+  cli::Args args(argc, argv, {"threads", "cache-dir", "checkpoint", "manifest"}, {"resume"});
+  if (args.help()) {
+    std::printf("%s\n", kFigureUsage);
+    std::exit(0);
+  }
+  FigureOptions fo;
+  fo.sweep.threads = cli::resolve_threads(args);
+  if (args.has("cache-dir")) {
+    fo.cache = std::make_shared<runtime::SolverCache>(args.get("cache-dir", ""));
+    fo.sweep.cache = fo.cache.get();
+  }
+  fo.sweep.checkpoint_path = args.get("checkpoint", "");
+  fo.sweep.resume = args.has("resume");
+  fo.manifest_path = args.get("manifest", "");
+  if (!fo.manifest_path.empty()) {
+    fo.manifest = std::make_shared<runtime::RunManifest>();
+    fo.sweep.manifest = fo.manifest.get();
+  }
+  return fo;
+}
+
+/// Writes the manifest a figure run accumulated, if one was requested.
+inline void finish_manifest(const FigureOptions& fo, const core::SweepTable& table,
+                            const char* figure) {
+  if (!fo.manifest) return;
+  fo.manifest->set_tool(figure);
+  fo.manifest->set_title(table.title);
+  if (!fo.manifest->write_file(fo.manifest_path))
+    std::fprintf(stderr, "warning: could not write manifest %s\n", fo.manifest_path.c_str());
+}
 
 class Stopwatch {
  public:

@@ -11,7 +11,8 @@
 
 namespace lrd::bench {
 
-inline int run_buffer_scaling_surface(const core::TraceModel& model, const char* figure) {
+inline int run_buffer_scaling_surface(const core::TraceModel& model, const char* figure,
+                                      const FigureOptions& fo = {}) {
   print_header(figure, std::string("loss vs (buffer size, marginal scaling), ") + model.name);
 
   core::ModelSweepConfig cfg;
@@ -25,11 +26,12 @@ inline int run_buffer_scaling_surface(const core::TraceModel& model, const char*
   const std::vector<double> scalings{0.5, 0.75, 1.0, 1.25, 1.5};
 
   Stopwatch watch;
-  auto table = core::loss_vs_buffer_and_scaling(model.marginal, cfg, buffers, scalings);
+  auto table = core::loss_vs_buffer_and_scaling(model.marginal, cfg, buffers, scalings, fo.sweep);
   table.title = std::string(figure) + ": loss rate, " + model.name +
                 ", rows = normalized buffer (s), cols = marginal scaling factor";
   print_table(table);
   std::printf("elapsed: %.2f s\n\n", watch.seconds());
+  finish_manifest(fo, table, figure);
 
   bool ok = true;
   {

@@ -3,4 +3,9 @@
 #include "core/traces.hpp"
 #include "model_surface.hpp"
 
-int main() { return lrd::bench::run_model_surface(lrd::core::bellcore_model(), "Fig. 5"); }
+int main(int argc, char** argv) {
+  return lrd::cli::run_tool(lrd::bench::kFigureUsage, [&] {
+    const auto fo = lrd::bench::parse_figure_options(argc, argv);
+    return lrd::bench::run_model_surface(lrd::core::bellcore_model(), "Fig. 5", fo);
+  });
+}

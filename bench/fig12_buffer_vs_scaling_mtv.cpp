@@ -3,6 +3,9 @@
 #include "buffer_scaling_surface.hpp"
 #include "core/traces.hpp"
 
-int main() {
-  return lrd::bench::run_buffer_scaling_surface(lrd::core::mtv_model(), "Fig. 12");
+int main(int argc, char** argv) {
+  return lrd::cli::run_tool(lrd::bench::kFigureUsage, [&] {
+    const auto fo = lrd::bench::parse_figure_options(argc, argv);
+    return lrd::bench::run_buffer_scaling_surface(lrd::core::mtv_model(), "Fig. 12", fo);
+  });
 }

@@ -1,0 +1,161 @@
+// micro_sweep — scheduling and caching microbenchmark for the sweep
+// runtime.
+//
+// Solves a deliberately imbalanced loss surface (per-cell solver cost
+// grows steeply with the buffer size, and cells are enumerated row-major,
+// so a static block partition hands one thread the whole heavy row) two
+// ways: with a plain static partition and with the work-stealing
+// executor. Then runs the same surface twice through the sweep driver
+// with a solver result cache attached to measure cold vs warm cost.
+//
+// Results go to stdout and to BENCH_sweep.json (override with --json).
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "core/model.hpp"
+#include "numerics/parallel.hpp"
+#include "runtime/cache.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: micro_sweep [--threads N] [--json FILE]\n"
+    "       --threads defaults to 8 (the sweep surfaces are small; the\n"
+    "       point is scheduling, not machine saturation); LRDQ_THREADS\n"
+    "       overrides the default, 0 means hardware concurrency";
+
+double now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The baseline the executor replaced: split [0, n) into `threads`
+/// contiguous blocks, one std::thread each, no redistribution.
+void static_parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                         std::size_t threads) {
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::size_t p = std::min(threads, n);
+  std::vector<std::thread> pool;
+  pool.reserve(p);
+  for (std::size_t w = 0; w < p; ++w) {
+    pool.emplace_back([&, w] {
+      for (std::size_t i = w * n / p; i < (w + 1) * n / p; ++i) fn(i);
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lrd;
+  return cli::run_tool(kUsage, [&] {
+    cli::Args args(argc, argv, {"threads", "json"});
+    if (args.help()) {
+      std::printf("%s\n", kUsage);
+      return 0;
+    }
+    std::size_t threads = 8;
+    if (args.has("threads") || std::getenv("LRDQ_THREADS")) threads = cli::resolve_threads(args);
+    if (threads == 0) threads = std::thread::hardware_concurrency();
+    const std::string json_path = args.get("json", "BENCH_sweep.json");
+
+    const dist::Marginal marginal({2.0, 6.0, 10.0}, {0.3, 0.4, 0.3});
+    core::ModelSweepConfig cfg;
+    cfg.hurst = 0.85;
+    cfg.mean_epoch = 0.05;
+    cfg.utilization = 0.8;
+    cfg.solver.target_relative_gap = 0.2;
+
+    // Row-major enumeration; solver cost rises steeply with the buffer, so
+    // the last rows dominate and land in one or two static blocks.
+    const std::vector<double> buffers{0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 0.85, 1.0};
+    const std::vector<double> cutoffs{0.1, 1.0, 10.0, 100.0};
+    const std::size_t cells = buffers.size() * cutoffs.size();
+
+    const auto solve_cell = [&](std::size_t i) {
+      core::ModelConfig mc;
+      mc.hurst = cfg.hurst;
+      mc.mean_epoch = cfg.mean_epoch;
+      mc.utilization = cfg.utilization;
+      mc.normalized_buffer = buffers[i / cutoffs.size()];
+      mc.cutoff = cutoffs[i % cutoffs.size()];
+      (void)core::FluidModel(marginal, mc).solve(cfg.solver).loss_estimate();
+    };
+
+    std::printf("micro_sweep: %zu cells, %zu threads\n", cells, threads);
+
+    double t0 = now_seconds();
+    static_parallel_for(cells, solve_cell, threads);
+    const double static_seconds = now_seconds() - t0;
+    std::printf("static partition:      %7.3f s  (%.1f cells/s)\n", static_seconds,
+                cells / static_seconds);
+
+    t0 = now_seconds();
+    numerics::parallel_for(cells, solve_cell, threads);
+    const double ws_seconds = now_seconds() - t0;
+    const double speedup = static_seconds / ws_seconds;
+    std::printf("work stealing:         %7.3f s  (%.1f cells/s, %.2fx vs static)\n", ws_seconds,
+                cells / ws_seconds, speedup);
+
+    // Cache cost: the same surface through the sweep driver, cold then
+    // warm. The warm pass should be all hits (every cell is clean).
+    runtime::SolverCache cache;
+    core::SweepRunOptions opts;
+    opts.threads = threads;
+    opts.cache = &cache;
+
+    t0 = now_seconds();
+    (void)core::loss_vs_buffer_and_cutoff(marginal, cfg, buffers, cutoffs, opts);
+    const double cold_seconds = now_seconds() - t0;
+    const auto cold_stats = cache.stats();
+
+    t0 = now_seconds();
+    (void)core::loss_vs_buffer_and_cutoff(marginal, cfg, buffers, cutoffs, opts);
+    const double warm_seconds = now_seconds() - t0;
+    const auto warm_stats = cache.stats();
+    const std::uint64_t warm_lookups =
+        (warm_stats.hits - cold_stats.hits) + (warm_stats.misses - cold_stats.misses);
+    const double warm_hit_rate =
+        warm_lookups == 0 ? 0.0
+                          : static_cast<double>(warm_stats.hits - cold_stats.hits) /
+                                static_cast<double>(warm_lookups);
+    std::printf("sweep cold cache:      %7.3f s\n", cold_seconds);
+    std::printf("sweep warm cache:      %7.3f s  (hit rate %.0f%%, %.0fx vs cold)\n",
+                warm_seconds, 100.0 * warm_hit_rate, cold_seconds / warm_seconds);
+
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 5;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"micro_sweep\",\n"
+                 "  \"threads\": %zu,\n"
+                 "  \"cells\": %zu,\n"
+                 "  \"static_seconds\": %.6f,\n"
+                 "  \"static_cells_per_second\": %.3f,\n"
+                 "  \"work_stealing_seconds\": %.6f,\n"
+                 "  \"work_stealing_cells_per_second\": %.3f,\n"
+                 "  \"speedup_vs_static\": %.4f,\n"
+                 "  \"cold_cache_seconds\": %.6f,\n"
+                 "  \"warm_cache_seconds\": %.6f,\n"
+                 "  \"warm_hit_rate\": %.4f\n"
+                 "}\n",
+                 threads, cells, static_seconds, cells / static_seconds, ws_seconds,
+                 cells / ws_seconds, speedup, cold_seconds, warm_seconds, warm_hit_rate);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
+  });
+}

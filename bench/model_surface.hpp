@@ -11,7 +11,8 @@
 
 namespace lrd::bench {
 
-inline int run_model_surface(const core::TraceModel& model, const char* figure) {
+inline int run_model_surface(const core::TraceModel& model, const char* figure,
+                             const FigureOptions& fo = {}) {
   print_header(figure, std::string("model loss surface for the ") + model.name +
                            " trace (utilization " + std::to_string(model.utilization) + ")");
 
@@ -26,11 +27,12 @@ inline int run_model_surface(const core::TraceModel& model, const char* figure) 
   const std::vector<double> cutoffs{0.1, 1.0, 10.0, 100.0, 1000.0};
 
   Stopwatch watch;
-  auto table = core::loss_vs_buffer_and_cutoff(model.marginal, cfg, buffers, cutoffs);
+  auto table = core::loss_vs_buffer_and_cutoff(model.marginal, cfg, buffers, cutoffs, fo.sweep);
   table.title = std::string(figure) + ": loss rate, " + model.name +
                 " marginal, rows = normalized buffer (s), cols = cutoff lag (s)";
   print_table(table);
   std::printf("elapsed: %.2f s\n\n", watch.seconds());
+  finish_manifest(fo, table, figure);
 
   bool ok = true;
   // Correlation horizon: for the smallest buffer, the last cutoff doubling

@@ -13,7 +13,8 @@
 
 namespace lrd::bench {
 
-inline int run_shuffle_surface(const core::TraceModel& model, const char* figure) {
+inline int run_shuffle_surface(const core::TraceModel& model, const char* figure,
+                               const FigureOptions& fo = {}) {
   print_header(figure, std::string("shuffled-trace loss surface for the ") + model.name +
                            " trace (utilization " + std::to_string(model.utilization) + ")");
 
@@ -25,11 +26,12 @@ inline int run_shuffle_surface(const core::TraceModel& model, const char* figure
 
   Stopwatch watch;
   auto table = core::shuffle_loss_vs_buffer_and_cutoff(model.trace, model.utilization, buffers,
-                                                       cutoffs, /*seed=*/1996);
+                                                       cutoffs, /*seed=*/1996, fo.sweep);
   table.title = std::string(figure) + ": shuffled-trace loss, " + model.name +
                 ", rows = normalized buffer (s), cols = shuffle block / cutoff (s; inf = unshuffled)";
   print_table(table);
   std::printf("elapsed: %.2f s\n\n", watch.seconds());
+  finish_manifest(fo, table, figure);
 
   bool ok = true;
   {

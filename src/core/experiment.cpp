@@ -1,9 +1,12 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <iomanip>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <ostream>
 
@@ -11,6 +14,8 @@
 #include "numerics/parallel.hpp"
 #include "numerics/random.hpp"
 #include "queueing/trace_queue_sim.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/executor.hpp"
 #include "traffic/shuffle.hpp"
 
 namespace lrd::core {
@@ -26,15 +31,27 @@ std::string format_param(double v) {
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Result of one cell: its loss value plus whether the solve was clean
+/// (no CellIssue). Only clean cells enter the result cache and the
+/// checkpoint, so degraded cells re-solve — and re-diagnose — every run.
+struct CellOutcome {
+  double value = kNaN;
+  bool clean = false;
+};
+
 /// Solves one model-driven cell, converting every failure mode into a
-/// recorded issue instead of sinking the whole surface. Returns the loss
-/// estimate, or NaN when the cell produced no usable bracket.
-double solve_cell(const dist::Marginal& marginal, const ModelConfig& mc,
-                  const queueing::SolverConfig& scfg, SweepTable& t, std::size_t r,
-                  std::size_t c, std::mutex& mu) {
+/// recorded issue instead of sinking the whole surface. The value is the
+/// loss estimate, or NaN when the cell produced no usable bracket.
+CellOutcome solve_cell(const dist::Marginal& marginal, const ModelConfig& mc,
+                       const queueing::SolverConfig& scfg, SweepTable& t, std::size_t r,
+                       std::size_t c, std::mutex& mu) {
   try {
     const auto result = FluidModel(marginal, mc).solve(scfg);
-    if (result.status.is_ok()) return result.loss_estimate();
+    if (result.status.is_ok()) return {result.loss_estimate(), true};
     {
       std::lock_guard<std::mutex> lock(mu);
       t.issues.push_back({r, c, result.status.diagnostics()});
@@ -44,7 +61,7 @@ double solve_cell(const dist::Marginal& marginal, const ModelConfig& mc,
     const bool usable = result.has_valid_bounds() &&
                         !(result.stop == queueing::SolverStop::kGuardTripped &&
                           result.last_healthy_level == 0);
-    return usable ? result.loss_estimate() : kNaN;
+    return {usable ? result.loss_estimate() : kNaN, false};
   } catch (const std::exception& e) {
     lrd::Diagnostics d;
     if (const auto* attached = lrd::diagnostics_of(e)) {
@@ -55,7 +72,7 @@ double solve_cell(const dist::Marginal& marginal, const ModelConfig& mc,
     }
     std::lock_guard<std::mutex> lock(mu);
     t.issues.push_back({r, c, std::move(d)});
-    return kNaN;
+    return {kNaN, false};
   }
 }
 
@@ -63,7 +80,162 @@ void require_valid(const ModelSweepConfig& cfg) {
   if (auto st = cfg.validate(); !st.is_ok()) throw lrd::ConfigError(st.diagnostics());
 }
 
+void sort_issues(std::vector<SweepTable::CellIssue>& issues) {
+  std::sort(issues.begin(), issues.end(),
+            [](const SweepTable::CellIssue& a, const SweepTable::CellIssue& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+}
+
+void hash_marginal(runtime::Fnv1a& h, const dist::Marginal& m) {
+  // Marginal canonicalizes at construction (sorted support, merged
+  // duplicates, renormalized probabilities), so equal distributions hash
+  // equal regardless of the order the caller listed them in.
+  h.u64(m.size());
+  for (double r : m.rates()) h.f64(r);
+  for (double p : m.probs()) h.f64(p);
+}
+
+void hash_solver_config(runtime::Fnv1a& h, const queueing::SolverConfig& scfg) {
+  h.u64(scfg.initial_bins).u64(scfg.max_bins).f64(scfg.target_relative_gap);
+  h.f64(scfg.zero_loss_threshold).u64(scfg.check_every).f64(scfg.stall_improvement);
+  h.u64(scfg.max_iterations_per_level).u64(scfg.max_total_iterations);
+  h.f64(scfg.mass_tolerance).f64(scfg.negative_tolerance).f64(scfg.bracket_tolerance);
+}
+
+void hash_axes(runtime::Fnv1a& h, const std::vector<double>& rows,
+               const std::vector<double>& cols) {
+  h.u64(rows.size());
+  for (double r : rows) h.f64(r);
+  h.u64(cols.size());
+  for (double c : cols) h.f64(c);
+}
+
+/// Generic sweep-cell runner behind every SweepTable driver: applies a
+/// resumed checkpoint, serves cells from the result cache, solves the
+/// rest on the work-stealing executor, and keeps checkpoint + manifest
+/// up to date. `cell_key` is only consulted when a cache is attached.
+void run_sweep_cells(
+    SweepTable& t, const SweepRunOptions& opts, std::uint64_t config_hash,
+    const std::function<std::uint64_t(std::size_t, std::size_t)>& cell_key,
+    const std::function<CellOutcome(std::size_t, std::size_t, std::mutex&)>& compute) {
+  const std::size_t nc = t.cols.size();
+  const std::size_t total = t.rows.size() * nc;
+  const auto run_start = std::chrono::steady_clock::now();
+  runtime::RunManifest* manifest = opts.manifest;
+  if (manifest) {
+    manifest->set_grid(t.rows.size(), nc);
+    manifest->set_config_hash(config_hash);
+  }
+
+  std::vector<char> done(total, 0);
+
+  std::unique_ptr<runtime::SweepCheckpoint> ckpt;
+  if (!opts.checkpoint_path.empty()) {
+    ckpt = std::make_unique<runtime::SweepCheckpoint>(opts.checkpoint_path, config_hash,
+                                                      t.rows.size(), nc);
+    ckpt->set_autoflush(opts.checkpoint_every);
+    if (opts.resume) {
+      for (const auto& cell : ckpt->load()) {
+        const std::size_t idx = cell.row * nc + cell.col;
+        if (done[idx]) continue;
+        done[idx] = 1;
+        t.values[cell.row][cell.col] = cell.value;
+        if (manifest)
+          manifest->add_cell(cell.row, cell.col, 0.0,
+                             runtime::RunManifest::CellSource::kCheckpoint);
+      }
+    }
+  }
+
+  // Cache pass: serve what the result cache already knows.
+  std::vector<std::size_t> todo;
+  std::vector<std::uint64_t> keys;
+  todo.reserve(total);
+  keys.reserve(total);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    if (done[idx]) continue;
+    const std::size_t r = idx / nc, c = idx % nc;
+    std::uint64_t key = 0;
+    if (opts.cache) {
+      key = cell_key(r, c);
+      if (const auto hit = opts.cache->lookup(key)) {
+        t.values[r][c] = *hit;
+        done[idx] = 1;
+        if (ckpt) ckpt->record(r, c, *hit);
+        if (manifest)
+          manifest->add_cell(r, c, 0.0, runtime::RunManifest::CellSource::kCache);
+        continue;
+      }
+    }
+    todo.push_back(idx);
+    keys.push_back(key);
+  }
+
+  if (!todo.empty()) {
+    std::mutex mu;
+    auto& executor = runtime::Executor::global();
+    executor.parallel_for(
+        todo.size(),
+        [&](std::size_t k) {
+          const std::size_t idx = todo[k];
+          const std::size_t r = idx / nc, c = idx % nc;
+          const auto t0 = std::chrono::steady_clock::now();
+          const CellOutcome out = compute(r, c, mu);
+          t.values[r][c] = out.value;
+          if (out.clean) {
+            if (opts.cache) opts.cache->store(keys[k], out.value);
+            if (ckpt) ckpt->record(r, c, out.value);
+          }
+          if (manifest)
+            manifest->add_cell(r, c, seconds_since(t0),
+                               runtime::RunManifest::CellSource::kComputed);
+        },
+        opts.threads);
+    if (manifest) manifest->set_executor_stats(executor.last_job_stats());
+  }
+
+  if (ckpt) ckpt->flush();
+
+  // Deterministic issue order regardless of worker interleaving — part of
+  // what makes a resumed CSV bit-identical to an uninterrupted one.
+  sort_issues(t.issues);
+
+  if (manifest) {
+    if (opts.cache) manifest->set_cache_stats(opts.cache->stats());
+    for (const auto& issue : t.issues) {
+      manifest->add_issue("(" + format_param(t.rows[issue.row]) + ", " +
+                          format_param(t.cols[issue.col]) + "): " +
+                          issue.diagnostics.describe());
+    }
+    manifest->set_wall_seconds(seconds_since(run_start));
+  }
+}
+
 }  // namespace
+
+std::uint64_t model_cell_key(const dist::Marginal& marginal, const ModelConfig& mc,
+                             const queueing::SolverConfig& scfg) {
+  runtime::Fnv1a h;
+  h.str(runtime::kCacheVersionSalt);
+  h.str("model-cell");
+  hash_marginal(h, marginal);
+  h.f64(mc.hurst).f64(mc.mean_epoch).f64(mc.cutoff).f64(mc.utilization).f64(mc.normalized_buffer);
+  hash_solver_config(h, scfg);
+  return h.digest();
+}
+
+std::uint64_t trace_cell_key(const traffic::RateTrace& trace, double utilization,
+                             double normalized_buffer, double cutoff, std::uint64_t seed) {
+  runtime::Fnv1a h;
+  h.str(runtime::kCacheVersionSalt);
+  h.str("trace-cell");
+  h.f64(trace.bin_seconds());
+  h.u64(trace.size());
+  for (double r : trace.rates()) h.f64(r);
+  h.u64(seed).f64(utilization).f64(normalized_buffer).f64(cutoff);
+  return h.digest();
+}
 
 lrd::Status ModelSweepConfig::validate() const {
   auto bad = [](std::string invariant, const char* name, double value) {
@@ -96,8 +268,10 @@ void SweepTable::print(std::ostream& os) const {
     os << '\n';
   }
   if (!issues.empty()) {
-    os << issues.size() << " cell(s) reported issues:\n";
-    for (const auto& issue : issues) {
+    auto sorted = issues;
+    sort_issues(sorted);
+    os << sorted.size() << " cell(s) reported issues:\n";
+    for (const auto& issue : sorted) {
       os << "  (" << format_param(rows[issue.row]) << ", " << format_param(cols[issue.col])
          << "): " << issue.diagnostics.describe() << '\n';
     }
@@ -114,12 +288,26 @@ void SweepTable::print_csv(std::ostream& os) const {
     for (std::size_t c = 0; c < cols.size(); ++c) os << ',' << values[r][c];
     os << '\n';
   }
+  // Trailing comment block: one line per degraded cell, so a NaN (or
+  // budget-widened) entry in the saved artifact is attributable without
+  // the human-readable table alongside it.
+  if (!issues.empty()) {
+    auto sorted = issues;
+    sort_issues(sorted);
+    os << "# issues: " << sorted.size() << '\n';
+    for (const auto& issue : sorted) {
+      os << "# issue: row=" << format_param(rows[issue.row])
+         << " col=" << format_param(cols[issue.col]) << ' '
+         << issue.diagnostics.describe() << '\n';
+    }
+  }
 }
 
 SweepTable loss_vs_buffer_and_cutoff(const dist::Marginal& marginal,
                                      const ModelSweepConfig& cfg,
                                      const std::vector<double>& normalized_buffers,
-                                     const std::vector<double>& cutoffs) {
+                                     const std::vector<double>& cutoffs,
+                                     const SweepRunOptions& opts) {
   require_valid(cfg);
   SweepTable t;
   t.title = "loss rate vs normalized buffer size and cutoff lag";
@@ -127,26 +315,39 @@ SweepTable loss_vs_buffer_and_cutoff(const dist::Marginal& marginal,
   t.col_label = "cutoff_s";
   t.rows = normalized_buffers;
   t.cols = cutoffs;
-  const std::size_t nc = cutoffs.size();
-  t.values.assign(normalized_buffers.size(), std::vector<double>(nc, 0.0));
-  std::mutex mu;
-  numerics::parallel_for(normalized_buffers.size() * nc, [&](std::size_t cell) {
-    const std::size_t r = cell / nc, c = cell % nc;
+  t.values.assign(normalized_buffers.size(), std::vector<double>(cutoffs.size(), 0.0));
+
+  auto mc_for = [&](std::size_t r, std::size_t c) {
     ModelConfig mc;
     mc.hurst = cfg.hurst;
     mc.mean_epoch = cfg.mean_epoch;
     mc.cutoff = cutoffs[c];
     mc.utilization = cfg.utilization;
     mc.normalized_buffer = normalized_buffers[r];
-    t.values[r][c] = solve_cell(marginal, mc, cfg.solver, t, r, c, mu);
-  });
+    return mc;
+  };
+
+  runtime::Fnv1a ch;
+  ch.str(runtime::kCacheVersionSalt).str("loss_vs_buffer_and_cutoff");
+  hash_marginal(ch, marginal);
+  ch.f64(cfg.hurst).f64(cfg.mean_epoch).f64(cfg.utilization);
+  hash_solver_config(ch, cfg.solver);
+  hash_axes(ch, t.rows, t.cols);
+
+  run_sweep_cells(
+      t, opts, ch.digest(),
+      [&](std::size_t r, std::size_t c) { return model_cell_key(marginal, mc_for(r, c), cfg.solver); },
+      [&](std::size_t r, std::size_t c, std::mutex& mu) {
+        return solve_cell(marginal, mc_for(r, c), cfg.solver, t, r, c, mu);
+      });
   return t;
 }
 
 SweepTable loss_vs_hurst_and_scaling(const dist::Marginal& marginal,
                                      const ModelSweepConfig& cfg, double normalized_buffer,
                                      const std::vector<double>& hursts,
-                                     const std::vector<double>& scalings) {
+                                     const std::vector<double>& scalings,
+                                     const SweepRunOptions& opts) {
   require_valid(cfg);
   SweepTable t;
   t.title = "loss rate vs Hurst parameter and marginal scaling factor";
@@ -154,14 +355,18 @@ SweepTable loss_vs_hurst_and_scaling(const dist::Marginal& marginal,
   t.col_label = "scaling";
   t.rows = hursts;
   t.cols = scalings;
+  t.values.assign(hursts.size(), std::vector<double>(scalings.size(), 0.0));
+
   // Theta is matched once, at the nominal Hurst parameter (paper, Fig. 10).
   const double nominal_alpha = dist::TruncatedPareto::alpha_from_hurst(cfg.hurst);
   const double theta = dist::TruncatedPareto::theta_from_mean_epoch(cfg.mean_epoch, nominal_alpha);
-  const std::size_t nc = scalings.size();
-  t.values.assign(hursts.size(), std::vector<double>(nc, 0.0));
-  std::mutex mu;
-  numerics::parallel_for(hursts.size() * nc, [&](std::size_t cell) {
-    const std::size_t r = cell / nc, c = cell % nc;
+
+  // Scaled marginals are shared across rows; build them once.
+  std::vector<dist::Marginal> scaled;
+  scaled.reserve(scalings.size());
+  for (double a : scalings) scaled.push_back(marginal.scaled(a));
+
+  auto mc_for = [&](std::size_t r) {
     const double alpha = dist::TruncatedPareto::alpha_from_hurst(hursts[r]);
     ModelConfig mc;
     mc.hurst = hursts[r];
@@ -170,8 +375,22 @@ SweepTable loss_vs_hurst_and_scaling(const dist::Marginal& marginal,
     mc.cutoff = std::numeric_limits<double>::infinity();
     mc.utilization = cfg.utilization;
     mc.normalized_buffer = normalized_buffer;
-    t.values[r][c] = solve_cell(marginal.scaled(scalings[c]), mc, cfg.solver, t, r, c, mu);
-  });
+    return mc;
+  };
+
+  runtime::Fnv1a ch;
+  ch.str(runtime::kCacheVersionSalt).str("loss_vs_hurst_and_scaling");
+  hash_marginal(ch, marginal);
+  ch.f64(cfg.hurst).f64(cfg.mean_epoch).f64(cfg.utilization).f64(normalized_buffer);
+  hash_solver_config(ch, cfg.solver);
+  hash_axes(ch, t.rows, t.cols);
+
+  run_sweep_cells(
+      t, opts, ch.digest(),
+      [&](std::size_t r, std::size_t c) { return model_cell_key(scaled[c], mc_for(r), cfg.solver); },
+      [&](std::size_t r, std::size_t c, std::mutex& mu) {
+        return solve_cell(scaled[c], mc_for(r), cfg.solver, t, r, c, mu);
+      });
   return t;
 }
 
@@ -179,7 +398,8 @@ SweepTable loss_vs_hurst_and_superposition(const dist::Marginal& marginal,
                                            const ModelSweepConfig& cfg,
                                            double normalized_buffer,
                                            const std::vector<double>& hursts,
-                                           const std::vector<std::size_t>& streams) {
+                                           const std::vector<std::size_t>& streams,
+                                           const SweepRunOptions& opts) {
   require_valid(cfg);
   SweepTable t;
   t.title = "loss rate vs Hurst parameter and number of superposed streams";
@@ -187,17 +407,17 @@ SweepTable loss_vs_hurst_and_superposition(const dist::Marginal& marginal,
   t.col_label = "streams";
   t.rows = hursts;
   for (std::size_t n : streams) t.cols.push_back(static_cast<double>(n));
+  t.values.assign(hursts.size(), std::vector<double>(streams.size(), 0.0));
+
   const double nominal_alpha = dist::TruncatedPareto::alpha_from_hurst(cfg.hurst);
   const double theta = dist::TruncatedPareto::theta_from_mean_epoch(cfg.mean_epoch, nominal_alpha);
-  const std::size_t nc = streams.size();
-  t.values.assign(hursts.size(), std::vector<double>(nc, 0.0));
+
   // Superposed marginals are shared across rows; build them once.
   std::vector<dist::Marginal> mux;
-  mux.reserve(nc);
+  mux.reserve(streams.size());
   for (std::size_t n : streams) mux.push_back(marginal.superposed(n));
-  std::mutex mu;
-  numerics::parallel_for(hursts.size() * nc, [&](std::size_t cell) {
-    const std::size_t r = cell / nc, c = cell % nc;
+
+  auto mc_for = [&](std::size_t r) {
     const double alpha = dist::TruncatedPareto::alpha_from_hurst(hursts[r]);
     ModelConfig mc;
     mc.hurst = hursts[r];
@@ -205,15 +425,30 @@ SweepTable loss_vs_hurst_and_superposition(const dist::Marginal& marginal,
     mc.cutoff = std::numeric_limits<double>::infinity();
     mc.utilization = cfg.utilization;
     mc.normalized_buffer = normalized_buffer;
-    t.values[r][c] = solve_cell(mux[c], mc, cfg.solver, t, r, c, mu);
-  });
+    return mc;
+  };
+
+  runtime::Fnv1a ch;
+  ch.str(runtime::kCacheVersionSalt).str("loss_vs_hurst_and_superposition");
+  hash_marginal(ch, marginal);
+  ch.f64(cfg.hurst).f64(cfg.mean_epoch).f64(cfg.utilization).f64(normalized_buffer);
+  hash_solver_config(ch, cfg.solver);
+  hash_axes(ch, t.rows, t.cols);
+
+  run_sweep_cells(
+      t, opts, ch.digest(),
+      [&](std::size_t r, std::size_t c) { return model_cell_key(mux[c], mc_for(r), cfg.solver); },
+      [&](std::size_t r, std::size_t c, std::mutex& mu) {
+        return solve_cell(mux[c], mc_for(r), cfg.solver, t, r, c, mu);
+      });
   return t;
 }
 
 SweepTable loss_vs_buffer_and_scaling(const dist::Marginal& marginal,
                                       const ModelSweepConfig& cfg,
                                       const std::vector<double>& normalized_buffers,
-                                      const std::vector<double>& scalings) {
+                                      const std::vector<double>& scalings,
+                                      const SweepRunOptions& opts) {
   require_valid(cfg);
   SweepTable t;
   t.title = "loss rate vs normalized buffer size and marginal scaling factor";
@@ -221,19 +456,35 @@ SweepTable loss_vs_buffer_and_scaling(const dist::Marginal& marginal,
   t.col_label = "scaling";
   t.rows = normalized_buffers;
   t.cols = scalings;
-  const std::size_t nc = scalings.size();
-  t.values.assign(normalized_buffers.size(), std::vector<double>(nc, 0.0));
-  std::mutex mu;
-  numerics::parallel_for(normalized_buffers.size() * nc, [&](std::size_t cell) {
-    const std::size_t r = cell / nc, c = cell % nc;
+  t.values.assign(normalized_buffers.size(), std::vector<double>(scalings.size(), 0.0));
+
+  std::vector<dist::Marginal> scaled;
+  scaled.reserve(scalings.size());
+  for (double a : scalings) scaled.push_back(marginal.scaled(a));
+
+  auto mc_for = [&](std::size_t r) {
     ModelConfig mc;
     mc.hurst = cfg.hurst;
     mc.mean_epoch = cfg.mean_epoch;
     mc.cutoff = std::numeric_limits<double>::infinity();
     mc.utilization = cfg.utilization;
     mc.normalized_buffer = normalized_buffers[r];
-    t.values[r][c] = solve_cell(marginal.scaled(scalings[c]), mc, cfg.solver, t, r, c, mu);
-  });
+    return mc;
+  };
+
+  runtime::Fnv1a ch;
+  ch.str(runtime::kCacheVersionSalt).str("loss_vs_buffer_and_scaling");
+  hash_marginal(ch, marginal);
+  ch.f64(cfg.hurst).f64(cfg.mean_epoch).f64(cfg.utilization);
+  hash_solver_config(ch, cfg.solver);
+  hash_axes(ch, t.rows, t.cols);
+
+  run_sweep_cells(
+      t, opts, ch.digest(),
+      [&](std::size_t r, std::size_t c) { return model_cell_key(scaled[c], mc_for(r), cfg.solver); },
+      [&](std::size_t r, std::size_t c, std::mutex& mu) {
+        return solve_cell(scaled[c], mc_for(r), cfg.solver, t, r, c, mu);
+      });
   return t;
 }
 
@@ -258,7 +509,8 @@ SweepTable shuffle_loss_vs_buffer_and_cutoff(const traffic::RateTrace& trace,
                                              double utilization,
                                              const std::vector<double>& normalized_buffers,
                                              const std::vector<double>& cutoffs,
-                                             std::uint64_t seed) {
+                                             std::uint64_t seed,
+                                             const SweepRunOptions& opts) {
   if (!(utilization > 0.0 && utilization < 1.0)) {
     char buf[64];
     std::snprintf(buf, sizeof buf, "utilization = %g", utilization);
@@ -286,13 +538,25 @@ SweepTable shuffle_loss_vs_buffer_and_cutoff(const traffic::RateTrace& trace,
             : traffic::external_shuffle(
                   trace, traffic::block_length_for_cutoff(trace, cutoffs[c]), rng));
   }
-  const std::size_t nc = cutoffs.size();
-  numerics::parallel_for(normalized_buffers.size() * nc, [&](std::size_t cell) {
-    const std::size_t r = cell / nc, c = cell % nc;
-    t.values[r][c] = queueing::simulate_trace_queue_normalized(shuffled[c], utilization,
-                                                               normalized_buffers[r])
-                         .loss_rate;
-  });
+
+  runtime::Fnv1a ch;
+  ch.str(runtime::kCacheVersionSalt).str("shuffle_loss_vs_buffer_and_cutoff");
+  ch.f64(trace.bin_seconds()).u64(trace.size());
+  for (double r : trace.rates()) ch.f64(r);
+  ch.u64(seed).f64(utilization);
+  hash_axes(ch, t.rows, t.cols);
+
+  run_sweep_cells(
+      t, opts, ch.digest(),
+      [&](std::size_t r, std::size_t c) {
+        return trace_cell_key(trace, utilization, normalized_buffers[r], cutoffs[c], seed);
+      },
+      [&](std::size_t r, std::size_t c, std::mutex&) {
+        const double loss = queueing::simulate_trace_queue_normalized(
+                                shuffled[c], utilization, normalized_buffers[r])
+                                .loss_rate;
+        return CellOutcome{loss, true};
+      });
   return t;
 }
 

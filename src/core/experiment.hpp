@@ -10,9 +10,13 @@
 #include "core/status.hpp"
 #include "dist/marginal.hpp"
 #include "queueing/solver.hpp"
+#include "runtime/cache.hpp"
+#include "runtime/manifest.hpp"
 #include "traffic/trace.hpp"
 
 namespace lrd::core {
+
+struct ModelConfig;  // core/model.hpp
 
 /// A 2-D sweep result: values[r][c] = loss for (rows[r], cols[c]).
 ///
@@ -42,7 +46,10 @@ struct SweepTable {
   /// Aligned human-readable table (losses in scientific notation),
   /// followed by one line per recorded issue.
   void print(std::ostream& os) const;
-  /// Machine-readable CSV: header row of cols, one line per row.
+  /// Machine-readable CSV: header row of cols, one line per row. Recorded
+  /// issues follow as a trailing '#'-comment block (sorted by cell), so a
+  /// degraded cell is distinguishable from a genuine NaN loss in saved
+  /// artifacts without consulting the human-readable table.
   void print_csv(std::ostream& os) const;
 
   double at(std::size_t r, std::size_t c) const { return values.at(r).at(c); }
@@ -60,12 +67,48 @@ struct ModelSweepConfig {
   lrd::Status validate() const;
 };
 
+/// Runtime knobs shared by every sweep driver: how many workers to use,
+/// whether to reuse cached cell results, where to checkpoint progress,
+/// and where to record observability data. The default-constructed value
+/// reproduces the plain "compute everything, keep nothing" behaviour, so
+/// existing call sites are unaffected.
+struct SweepRunOptions {
+  /// Worker threads for the cell solves (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Optional solver result cache, shared across sweeps and runs. Only
+  /// clean cells (no CellIssue) are stored or served.
+  runtime::SolverCache* cache = nullptr;
+  /// Checkpoint file path; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Reload `checkpoint_path` (if compatible) and skip completed cells.
+  bool resume = false;
+  /// Completed cells between atomic checkpoint rewrites.
+  std::size_t checkpoint_every = 8;
+  /// Optional per-run manifest to populate (cell timings, cache counters,
+  /// worker utilization, issues).
+  runtime::RunManifest* manifest = nullptr;
+};
+
+/// Content address of one model-driven sweep cell: a canonical FNV-1a
+/// hash of (version salt, marginal, ModelConfig, SolverConfig). Stable
+/// across runs and platforms — see runtime/cache.hpp for the contract.
+std::uint64_t model_cell_key(const dist::Marginal& marginal, const ModelConfig& mc,
+                             const queueing::SolverConfig& scfg);
+
+/// Content address of one shuffled-trace sweep cell: a canonical FNV-1a
+/// hash of (version salt, trace, shuffle seed, utilization, buffer,
+/// cutoff). The simulation is deterministic given the seed, so cells are
+/// cacheable exactly like model solves.
+std::uint64_t trace_cell_key(const traffic::RateTrace& trace, double utilization,
+                             double normalized_buffer, double cutoff, std::uint64_t seed);
+
 /// First experiment set (Figs. 4, 5): loss vs (normalized buffer b,
 /// cutoff lag T_c) for a fixed marginal.
 SweepTable loss_vs_buffer_and_cutoff(const dist::Marginal& marginal,
                                      const ModelSweepConfig& cfg,
                                      const std::vector<double>& normalized_buffers,
-                                     const std::vector<double>& cutoffs);
+                                     const std::vector<double>& cutoffs,
+                                     const SweepRunOptions& opts = {});
 
 /// Second experiment set (Fig. 10): loss vs (Hurst H, marginal scaling a)
 /// at fixed b and T_c = inf. Theta is matched once at `cfg.hurst` (the
@@ -74,7 +117,8 @@ SweepTable loss_vs_buffer_and_cutoff(const dist::Marginal& marginal,
 SweepTable loss_vs_hurst_and_scaling(const dist::Marginal& marginal,
                                      const ModelSweepConfig& cfg, double normalized_buffer,
                                      const std::vector<double>& hursts,
-                                     const std::vector<double>& scalings);
+                                     const std::vector<double>& scalings,
+                                     const SweepRunOptions& opts = {});
 
 /// Second experiment set (Fig. 11): loss vs (Hurst H, number of
 /// superposed streams n); buffer and service rate are per-stream.
@@ -82,14 +126,16 @@ SweepTable loss_vs_hurst_and_superposition(const dist::Marginal& marginal,
                                            const ModelSweepConfig& cfg,
                                            double normalized_buffer,
                                            const std::vector<double>& hursts,
-                                           const std::vector<std::size_t>& streams);
+                                           const std::vector<std::size_t>& streams,
+                                           const SweepRunOptions& opts = {});
 
 /// Third experiment set (Figs. 12, 13): loss vs (normalized buffer b,
 /// marginal scaling a) at T_c = inf.
 SweepTable loss_vs_buffer_and_scaling(const dist::Marginal& marginal,
                                       const ModelSweepConfig& cfg,
                                       const std::vector<double>& normalized_buffers,
-                                      const std::vector<double>& scalings);
+                                      const std::vector<double>& scalings,
+                                      const SweepRunOptions& opts = {});
 
 /// Loss vs cutoff at fixed buffer — the Fig. 9 single-row sweep.
 std::vector<double> loss_vs_cutoff(const dist::Marginal& marginal, const ModelSweepConfig& cfg,
@@ -103,6 +149,7 @@ SweepTable shuffle_loss_vs_buffer_and_cutoff(const traffic::RateTrace& trace,
                                              double utilization,
                                              const std::vector<double>& normalized_buffers,
                                              const std::vector<double>& cutoffs,
-                                             std::uint64_t seed = 7);
+                                             std::uint64_t seed = 7,
+                                             const SweepRunOptions& opts = {});
 
 }  // namespace lrd::core

@@ -1,50 +1,12 @@
 #include "numerics/parallel.hpp"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "runtime/executor.hpp"
 
 namespace lrd::numerics {
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads) {
-  if (n == 0) return;
-  if (threads == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw == 0 ? 1 : hw;
-  }
-  threads = std::min(threads, n);
-
-  if (threads == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= n) return;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
-  if (error) std::rethrow_exception(error);
+  runtime::Executor::global().parallel_for(n, fn, threads);
 }
 
 }  // namespace lrd::numerics

@@ -1,8 +1,9 @@
 // Minimal data parallelism for the experiment sweeps.
 //
-// The figure surfaces solve dozens of independent queue models; each
-// solve is pure (no shared mutable state), so a static block partition
-// over hardware threads is all the machinery needed.
+// The figure surfaces solve dozens of independent queue models whose
+// per-cell cost is heavy-tailed, so the indices are scheduled by the
+// shared work-stealing executor (runtime::Executor) rather than a static
+// partition; this header stays the stable, dependency-light entry point.
 #pragma once
 
 #include <cstddef>
@@ -11,9 +12,10 @@
 namespace lrd::numerics {
 
 /// Invokes fn(i) for i in [0, n), distributing the indices over up to
-/// `threads` worker threads (0 = hardware concurrency). fn must be safe
-/// to call concurrently for distinct i. Exceptions thrown by fn are
-/// rethrown (the first one encountered) after all workers join.
+/// `threads` worker threads (0 = hardware concurrency) of the process-wide
+/// work-stealing pool. fn must be safe to call concurrently for distinct
+/// i. The first exception thrown by fn cancels all tasks not yet started
+/// (running tasks finish) and is rethrown after the job winds down.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads = 0);
 

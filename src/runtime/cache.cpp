@@ -1,0 +1,72 @@
+#include "runtime/cache.hpp"
+
+#include <cinttypes>
+#include <filesystem>
+
+namespace lrd::runtime {
+
+namespace {
+
+// %.17g round-trips every finite double exactly; "nan"/"inf" are parsed
+// back by strtod, so non-finite cached values survive the text format too.
+constexpr const char* kValueFormat = "%016" PRIx64 " %.17g\n";
+
+}  // namespace
+
+SolverCache::SolverCache(const std::string& disk_dir) {
+  if (disk_dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(disk_dir, ec);  // best effort; open decides
+  file_path_ = (std::filesystem::path(disk_dir) / "solver_cache.txt").string();
+
+  if (std::FILE* in = std::fopen(file_path_.c_str(), "r")) {
+    char line[128];
+    while (std::fgets(line, sizeof line, in)) {
+      std::uint64_t key = 0;
+      double value = 0.0;
+      if (std::sscanf(line, "%" SCNx64 " %lf", &key, &value) == 2) {
+        map_[key] = value;
+        ++stats_.loaded;
+      }  // else: damaged line — skip, the entry just recomputes
+    }
+    std::fclose(in);
+  }
+  file_ = std::fopen(file_path_.c_str(), "a");
+}
+
+SolverCache::~SolverCache() {
+  if (file_) std::fclose(file_);
+}
+
+std::optional<double> SolverCache::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void SolverCache::store(std::uint64_t key, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool fresh = map_.emplace(key, value).second;
+  ++stats_.stores;
+  if (fresh && file_) {
+    std::fprintf(file_, kValueFormat, key, value);
+    std::fflush(file_);  // a killed run keeps everything stored so far
+  }
+}
+
+CacheStats SolverCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t SolverCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace lrd::runtime

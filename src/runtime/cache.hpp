@@ -1,0 +1,124 @@
+// Content-addressed solver result cache.
+//
+// A sweep cell is pure: its loss value is fully determined by the model
+// configuration, the solver configuration and the cell coordinates. The
+// cache keys each cell by a canonical 64-bit FNV-1a hash of exactly those
+// inputs plus a code-version salt (`kCacheVersionSalt`), so re-running a
+// figure with one changed axis only recomputes the changed cells, and a
+// solver-numerics change invalidates everything at once by bumping the
+// salt.
+//
+// Key contract:
+//   * every double is hashed by bit pattern after canonicalization
+//     (-0.0 hashes as +0.0, every NaN as one fixed pattern), so a key is
+//     stable across runs, platforms and compiler optimization levels;
+//   * variable-length inputs (marginal support, strings) are
+//     length-prefixed, so concatenation ambiguities cannot alias keys;
+//   * the salt is hashed first; bump it whenever the solver's numerical
+//     behaviour changes in a way that invalidates cached losses.
+//
+// Tiers: an in-memory map always; optionally a persistent append-only
+// text file (`<dir>/solver_cache.txt`, one `<16-hex-key> <value>` line
+// per entry) loaded at construction — the on-disk tier is what makes a
+// warm rerun of an unchanged surface complete without a single solve.
+// Only *clean* results should be stored (callers skip degraded cells), so
+// a cached value never masks a diagnosable failure.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace lrd::runtime {
+
+/// Bump whenever solver numerics change in a way that invalidates cached
+/// cell results (the cache key contract above).
+inline constexpr std::string_view kCacheVersionSalt = "lrd-solver-cache-v1";
+
+/// Streaming 64-bit FNV-1a over a canonical byte encoding.
+class Fnv1a {
+ public:
+  Fnv1a& bytes(const void* data, std::size_t n) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ull;
+    }
+    return *this;
+  }
+
+  Fnv1a& u64(std::uint64_t v) noexcept {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    return bytes(b, 8);
+  }
+
+  /// Canonical double: -0.0 hashes as +0.0, every NaN as one pattern.
+  Fnv1a& f64(double v) noexcept {
+    if (v == 0.0) v = 0.0;                         // collapse -0.0
+    std::uint64_t bits;
+    if (v != v) bits = 0x7ff8000000000000ull;      // collapse NaN payloads
+    else std::memcpy(&bits, &v, sizeof bits);
+    return u64(bits);
+  }
+
+  /// Length-prefixed, so "ab"+"c" and "a"+"bc" cannot alias.
+  Fnv1a& str(std::string_view s) noexcept {
+    u64(s.size());
+    return bytes(s.data(), s.size());
+  }
+
+  std::uint64_t digest() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ull;  // FNV-1a offset basis
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t loaded = 0;  ///< Entries read from the disk tier at startup.
+};
+
+/// Thread-safe key -> loss-value cache (in-memory tier, optional disk tier).
+class SolverCache {
+ public:
+  /// Memory-only cache.
+  SolverCache() = default;
+
+  /// Memory tier plus a persistent tier under `disk_dir` (created if
+  /// missing). Existing entries are loaded eagerly; malformed lines in a
+  /// damaged file are skipped, never fatal. An empty dir means memory-only.
+  explicit SolverCache(const std::string& disk_dir);
+
+  ~SolverCache();
+  SolverCache(const SolverCache&) = delete;
+  SolverCache& operator=(const SolverCache&) = delete;
+
+  /// Value for `key`, counting a hit or a miss.
+  std::optional<double> lookup(std::uint64_t key);
+
+  /// Inserts (last write wins) and appends to the disk tier when present.
+  void store(std::uint64_t key, double value);
+
+  CacheStats stats() const;
+  std::size_t size() const;
+
+  /// Path of the persistent file, empty for a memory-only cache.
+  const std::string& disk_path() const noexcept { return file_path_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, double> map_;
+  CacheStats stats_;
+  std::string file_path_;
+  std::FILE* file_ = nullptr;  // append stream of the persistent tier
+};
+
+}  // namespace lrd::runtime

@@ -1,0 +1,85 @@
+#include "runtime/checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string_view>
+
+namespace lrd::runtime {
+
+SweepCheckpoint::SweepCheckpoint(std::string path, std::uint64_t config_hash,
+                                 std::size_t rows, std::size_t cols)
+    : path_(std::move(path)), config_hash_(config_hash), rows_(rows), cols_(cols) {}
+
+std::vector<CheckpointCell> SweepCheckpoint::load() {
+  std::vector<CheckpointCell> out;
+  std::FILE* in = std::fopen(path_.c_str(), "r");
+  if (!in) return out;
+
+  char line[256];
+  // Header line 1: magic.
+  if (!std::fgets(line, sizeof line, in) ||
+      std::string_view(line).rfind("# lrd-sweep-checkpoint v1", 0) != 0) {
+    std::fclose(in);
+    return out;
+  }
+  // Header line 2: config hash + grid shape must match this sweep.
+  std::uint64_t hash = 0;
+  std::size_t rows = 0, cols = 0;
+  if (!std::fgets(line, sizeof line, in) ||
+      std::sscanf(line, "# config %" SCNx64 " rows %zu cols %zu", &hash, &rows, &cols) != 3 ||
+      hash != config_hash_ || rows != rows_ || cols != cols_) {
+    std::fclose(in);
+    return out;
+  }
+
+  while (std::fgets(line, sizeof line, in)) {
+    CheckpointCell cell;
+    if (std::sscanf(line, "%zu %zu %lf", &cell.row, &cell.col, &cell.value) == 3 &&
+        cell.row < rows_ && cell.col < cols_) {
+      out.push_back(cell);
+    }  // else: torn tail line from an interrupted non-atomic write — skip
+  }
+  std::fclose(in);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_.insert(cells_.end(), out.begin(), out.end());
+  return out;
+}
+
+void SweepCheckpoint::record(std::size_t row, std::size_t col, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_.push_back({row, col, value});
+  if (autoflush_every_ != 0 && ++since_flush_ >= autoflush_every_) {
+    flush_locked();
+    since_flush_ = 0;
+  }
+}
+
+bool SweepCheckpoint::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flush_locked();
+}
+
+bool SweepCheckpoint::flush_locked() {
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "w");
+  if (!out) return false;
+  std::fprintf(out, "# lrd-sweep-checkpoint v1\n");
+  std::fprintf(out, "# config %016" PRIx64 " rows %zu cols %zu\n", config_hash_, rows_, cols_);
+  for (const CheckpointCell& cell : cells_)
+    std::fprintf(out, "%zu %zu %.17g\n", cell.row, cell.col, cell.value);
+  const bool wrote = std::fflush(out) == 0;
+  std::fclose(out);
+  if (!wrote) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path_.c_str()) == 0;
+}
+
+std::size_t SweepCheckpoint::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cells_.size();
+}
+
+}  // namespace lrd::runtime

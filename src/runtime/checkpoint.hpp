@@ -1,0 +1,78 @@
+// Checkpoint/resume for sweep surfaces.
+//
+// A sweep driver records each completed cell; the checkpoint writes the
+// accumulated set atomically (temp file + rename) every `autoflush`
+// completions and once at the end, so an interrupted run loses at most
+// the last few cells. A resumed run reloads the file, applies the cells
+// to the table and only computes what is missing. The file is bound to
+// its sweep by a config hash in the header: a checkpoint written for a
+// different configuration (or grid shape) is silently ignored rather
+// than poisoning the resumed surface.
+//
+// Only clean cells are ever recorded — a degraded cell (one that pushed
+// a CellIssue) recomputes on resume so its diagnostic is regenerated and
+// the resumed table is indistinguishable from an uninterrupted run.
+//
+// File format (plain text, `%.17g` values for exact double round-trip):
+//   # lrd-sweep-checkpoint v1
+//   # config <16-hex hash> rows <R> cols <C>
+//   <row> <col> <value>
+//   ...
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lrd::runtime {
+
+struct CheckpointCell {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+class SweepCheckpoint {
+ public:
+  /// `config_hash` binds the file to one sweep configuration; `rows` x
+  /// `cols` is the expected grid shape.
+  SweepCheckpoint(std::string path, std::uint64_t config_hash, std::size_t rows,
+                  std::size_t cols);
+
+  /// Loads a compatible checkpoint file into the recorded set and returns
+  /// the loaded cells (empty when the file is absent, malformed, or was
+  /// written for a different config/grid). Loaded cells survive the next
+  /// flush, so a twice-resumed run keeps its full history.
+  std::vector<CheckpointCell> load();
+
+  /// Records one completed cell (thread-safe); flushes atomically every
+  /// `autoflush_every` recorded cells when that is non-zero.
+  void record(std::size_t row, std::size_t col, double value);
+
+  /// Atomically rewrites the checkpoint file with every recorded cell
+  /// (temp file + rename). Returns false on I/O failure — checkpointing
+  /// is best-effort and must never sink the sweep itself.
+  bool flush();
+
+  void set_autoflush(std::size_t every) noexcept { autoflush_every_ = every; }
+
+  const std::string& path() const noexcept { return path_; }
+  std::size_t recorded() const;
+
+ private:
+  bool flush_locked();
+
+  std::string path_;
+  std::uint64_t config_hash_;
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t autoflush_every_ = 0;
+  std::size_t since_flush_ = 0;
+
+  mutable std::mutex mu_;
+  std::vector<CheckpointCell> cells_;
+};
+
+}  // namespace lrd::runtime

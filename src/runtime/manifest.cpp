@@ -1,0 +1,194 @@
+#include "runtime/manifest.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+
+namespace lrd::runtime {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string number(double v) {
+  char buf[40];
+  // JSON has no NaN/Inf literals; emit null for them (degraded cells).
+  if (v != v || v == std::numeric_limits<double>::infinity() ||
+      v == -std::numeric_limits<double>::infinity())
+    return "null";
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+const char* source_name(RunManifest::CellSource s) {
+  switch (s) {
+    case RunManifest::CellSource::kComputed: return "computed";
+    case RunManifest::CellSource::kCache: return "cache";
+    case RunManifest::CellSource::kCheckpoint: return "checkpoint";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void RunManifest::set_tool(std::string tool) { tool_ = std::move(tool); }
+void RunManifest::set_title(std::string title) { title_ = std::move(title); }
+
+void RunManifest::add_config(std::string key, std::string value) {
+  config_.emplace_back(std::move(key), std::move(value));
+}
+
+void RunManifest::set_config_hash(std::uint64_t hash) { config_hash_ = hash; }
+
+void RunManifest::set_grid(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+}
+
+void RunManifest::set_cache_stats(const CacheStats& stats) { cache_ = stats; }
+void RunManifest::set_executor_stats(const JobStats& stats) { executor_ = stats; }
+void RunManifest::set_wall_seconds(double seconds) { wall_seconds_ = seconds; }
+
+void RunManifest::add_cell(std::size_t row, std::size_t col, double seconds,
+                           CellSource source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_.push_back({row, col, seconds, source});
+}
+
+void RunManifest::add_issue(std::string description) {
+  std::lock_guard<std::mutex> lock(mu_);
+  issues_.push_back(std::move(description));
+}
+
+std::size_t RunManifest::cells_from(CellSource source) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const Cell& cell : cells_)
+    if (cell.source == source) ++n;
+  return n;
+}
+
+std::size_t RunManifest::total_cells() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cells_.size();
+}
+
+std::string RunManifest::to_json() const {
+  std::vector<Cell> cells;
+  std::vector<std::string> issues;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cells = cells_;
+    issues = issues_;
+  }
+  std::sort(cells.begin(), cells.end(), [](const Cell& a, const Cell& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  std::size_t computed = 0, cached = 0, resumed = 0;
+  for (const Cell& cell : cells) {
+    if (cell.source == CellSource::kComputed) ++computed;
+    else if (cell.source == CellSource::kCache) ++cached;
+    else ++resumed;
+  }
+
+  std::string out = "{\n";
+  out += "  \"tool\": ";
+  append_escaped(out, tool_);
+  out += ",\n  \"title\": ";
+  append_escaped(out, title_);
+  out += ",\n  \"config\": {";
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_escaped(out, config_[i].first);
+    out += ": ";
+    append_escaped(out, config_[i].second);
+  }
+  out += config_.empty() ? "},\n" : "\n  },\n";
+
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "  \"config_hash\": \"%016" PRIx64 "\",\n", config_hash_);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  \"grid\": { \"rows\": %zu, \"cols\": %zu },\n", rows_, cols_);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"cells\": { \"total\": %zu, \"computed\": %zu, \"cache_hits\": %zu, "
+                "\"resumed\": %zu },\n",
+                cells.size(), computed, cached, resumed);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"cache\": { \"hits\": %" PRIu64 ", \"misses\": %" PRIu64
+                ", \"stores\": %" PRIu64 ", \"loaded\": %" PRIu64 " },\n",
+                cache_.hits, cache_.misses, cache_.stores, cache_.loaded);
+  out += buf;
+
+  std::snprintf(buf, sizeof buf,
+                "  \"executor\": { \"workers\": %zu, \"steals\": %zu, \"utilization\": %s,\n"
+                "    \"busy_seconds\": [",
+                executor_.participants, executor_.steals, number(executor_.utilization()).c_str());
+  out += buf;
+  for (std::size_t i = 0; i < executor_.busy_seconds.size(); ++i) {
+    if (i) out += ", ";
+    out += number(executor_.busy_seconds[i]);
+  }
+  out += "] },\n";
+
+  out += "  \"wall_seconds\": " + number(wall_seconds_) + ",\n";
+
+  out += "  \"cell_times\": [";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    std::snprintf(buf, sizeof buf, "{ \"row\": %zu, \"col\": %zu, \"seconds\": %s, \"source\": ",
+                  cells[i].row, cells[i].col, number(cells[i].seconds).c_str());
+    out += buf;
+    append_escaped(out, source_name(cells[i].source));
+    out += " }";
+  }
+  out += cells.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"issues\": [";
+  for (std::size_t i = 0; i < issues.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_escaped(out, issues[i]);
+  }
+  out += issues.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool RunManifest::write_file(const std::string& path) const {
+  const std::string json = to_json();
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "w");
+  if (!out) return false;
+  const bool wrote = std::fwrite(json.data(), 1, json.size(), out) == json.size() &&
+                     std::fflush(out) == 0;
+  std::fclose(out);
+  if (!wrote) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace lrd::runtime

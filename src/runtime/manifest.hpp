@@ -1,0 +1,90 @@
+// Per-run JSON manifest: the observability layer of a sweep run.
+//
+// A manifest records what a sweep did and what it cost: an echo of the
+// configuration, the config hash, per-cell wall times with their
+// provenance (computed / cache / checkpoint), cache hit/miss counters,
+// executor worker utilization, and every recorded CellIssue. The figure
+// binaries and `lrdq_sweep` write one JSON file per run, so a slow or
+// degraded surface can be diagnosed from its artifact instead of by
+// rerunning it.
+//
+// Schema (stable keys, documented in docs/RUNTIME.md):
+// {
+//   "tool": "...", "title": "...",
+//   "config": { "<flag>": "<value>", ... },
+//   "config_hash": "<16-hex>",
+//   "grid": { "rows": R, "cols": C },
+//   "cells": { "total": N, "computed": a, "cache_hits": b, "resumed": c },
+//   "cache": { "hits": h, "misses": m, "stores": s, "loaded": l },
+//   "executor": { "workers": p, "steals": k, "utilization": u,
+//                 "busy_seconds": [...] },
+//   "wall_seconds": w,
+//   "cell_times": [ { "row": r, "col": c, "seconds": s, "source": "computed" }, ... ],
+//   "issues": [ "<diagnostic>", ... ]
+// }
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/cache.hpp"
+#include "runtime/executor.hpp"
+
+namespace lrd::runtime {
+
+class RunManifest {
+ public:
+  /// Provenance of one cell value.
+  enum class CellSource { kComputed, kCache, kCheckpoint };
+
+  void set_tool(std::string tool);
+  void set_title(std::string title);
+  /// Echoes one configuration key/value pair (insertion order preserved).
+  void add_config(std::string key, std::string value);
+  void set_config_hash(std::uint64_t hash);
+  void set_grid(std::size_t rows, std::size_t cols);
+  void set_cache_stats(const CacheStats& stats);
+  void set_executor_stats(const JobStats& stats);
+  void set_wall_seconds(double seconds);
+
+  /// Records one finished cell (thread-safe).
+  void add_cell(std::size_t row, std::size_t col, double seconds, CellSource source);
+  /// Records one degraded-cell diagnostic (thread-safe).
+  void add_issue(std::string description);
+
+  std::size_t cells_from(CellSource source) const;
+  std::size_t total_cells() const;
+
+  /// Serializes the manifest; cell_times are sorted by (row, col) so the
+  /// output is deterministic regardless of execution order.
+  std::string to_json() const;
+
+  /// Atomic write (temp + rename); false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Cell {
+    std::size_t row, col;
+    double seconds;
+    CellSource source;
+  };
+
+  std::string tool_;
+  std::string title_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::uint64_t config_hash_ = 0;
+  std::size_t rows_ = 0, cols_ = 0;
+  CacheStats cache_;
+  JobStats executor_;
+  double wall_seconds_ = 0.0;
+
+  mutable std::mutex mu_;  // guards cells_ and issues_ during the parallel phase
+  std::vector<Cell> cells_;
+  std::vector<std::string> issues_;
+};
+
+}  // namespace lrd::runtime

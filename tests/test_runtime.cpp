@@ -1,0 +1,360 @@
+// Tests for the parallel experiment runtime: work-stealing executor,
+// content-addressed solver cache, and sweep checkpoint/resume.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/model.hpp"
+#include "numerics/parallel.hpp"
+#include "runtime/cache.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/manifest.hpp"
+
+namespace {
+
+using namespace lrd;
+
+void busy_wait(std::chrono::microseconds d) {
+  const auto until = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+// ---------------------------------------------------------------- executor
+
+TEST(RuntimeExecutor, CoversEveryIndexOnceUnderImbalancedCosts) {
+  // The first block is two orders of magnitude heavier than the rest, so
+  // correctness must survive heavy redistribution.
+  constexpr std::size_t kN = 512;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  runtime::Executor exec;
+  exec.parallel_for(
+      kN,
+      [&](std::size_t i) {
+        if (i < kN / 8) busy_wait(std::chrono::microseconds(200));
+        hits[i].fetch_add(1);
+      },
+      8);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  const auto stats = exec.last_job_stats();
+  EXPECT_EQ(stats.tasks, kN);
+  EXPECT_GT(stats.participants, 1u);
+  EXPECT_EQ(stats.busy_seconds.size(), stats.participants);
+}
+
+TEST(RuntimeExecutor, StealsFromTheLoadedWorker) {
+  // Worker 0's initial block is the only expensive one; everyone else
+  // drains their own block quickly and must steal to stay busy.
+  constexpr std::size_t kN = 256;
+  std::atomic<std::size_t> executed{0};
+  runtime::Executor exec;
+  exec.parallel_for(
+      kN,
+      [&](std::size_t i) {
+        if (i < kN / 4) busy_wait(std::chrono::microseconds(500));
+        executed.fetch_add(1);
+      },
+      4);
+  EXPECT_EQ(executed.load(), kN);
+  EXPECT_GE(exec.last_job_stats().steals, 1u);
+}
+
+TEST(RuntimeExecutor, FirstExceptionCancelsRemainingTasks) {
+  // The very first task to run throws (whichever worker gets there first,
+  // so the test cannot lose a scheduling race on a loaded machine); every
+  // task not yet started must then be skipped, not ground through.
+  constexpr std::size_t kN = 1000;
+  std::atomic<bool> thrown{false};
+  std::atomic<std::size_t> executed{0};
+  runtime::Executor exec;
+  try {
+    exec.parallel_for(
+        kN,
+        [&](std::size_t) {
+          if (!thrown.exchange(true)) throw std::runtime_error("boom");
+          busy_wait(std::chrono::microseconds(100));
+          executed.fetch_add(1);
+        },
+        4);
+    FAIL() << "expected the task exception to be rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // Only tasks already in flight when the cancel hit may still finish.
+  EXPECT_LT(executed.load(), kN / 2) << "cancellation should skip unstarted tasks";
+  EXPECT_LT(exec.last_job_stats().tasks, kN);
+}
+
+TEST(RuntimeExecutor, SerialPathStopsAtFirstThrow) {
+  std::size_t executed = 0;
+  EXPECT_THROW(runtime::Executor::global().parallel_for(
+                   100,
+                   [&](std::size_t i) {
+                     if (i == 3) throw std::logic_error("early");
+                     ++executed;
+                   },
+                   1),
+               std::logic_error);
+  EXPECT_EQ(executed, 3u);
+}
+
+TEST(RuntimeExecutor, NestedParallelForRunsInline) {
+  std::atomic<std::size_t> total{0};
+  numerics::parallel_for(
+      4,
+      [&](std::size_t) {
+        // A task submitting a nested job must not deadlock on the shared
+        // pool; the nested call runs inline on the worker.
+        numerics::parallel_for(8, [&](std::size_t) { total.fetch_add(1); }, 4);
+      },
+      2);
+  EXPECT_EQ(total.load(), 4u * 8u);
+}
+
+TEST(RuntimeExecutor, HandlesEmptyAndSingleElementJobs) {
+  std::atomic<std::size_t> count{0};
+  runtime::Executor exec;
+  exec.parallel_for(0, [&](std::size_t) { count.fetch_add(1); }, 8);
+  EXPECT_EQ(count.load(), 0u);
+  exec.parallel_for(1, [&](std::size_t) { count.fetch_add(1); }, 8);
+  EXPECT_EQ(count.load(), 1u);
+  EXPECT_EQ(exec.last_job_stats().tasks, 1u);
+}
+
+// -------------------------------------------------------------- cache keys
+
+TEST(RuntimeCacheKey, CanonicalDoubleEncoding) {
+  EXPECT_EQ(runtime::Fnv1a().f64(0.0).digest(), runtime::Fnv1a().f64(-0.0).digest());
+  EXPECT_EQ(runtime::Fnv1a().f64(std::nan("1")).digest(),
+            runtime::Fnv1a().f64(std::nan("2")).digest());
+  EXPECT_NE(runtime::Fnv1a().f64(1.0).digest(), runtime::Fnv1a().f64(2.0).digest());
+  // Length prefixes keep concatenations from aliasing.
+  EXPECT_NE(runtime::Fnv1a().str("ab").str("c").digest(),
+            runtime::Fnv1a().str("a").str("bc").digest());
+}
+
+TEST(RuntimeCacheKey, ModelKeyStableAndSensitive) {
+  const dist::Marginal m({2.0, 6.0, 10.0}, {0.3, 0.4, 0.3});
+  // Same distribution listed in a different order: Marginal canonicalizes,
+  // so the key must not depend on input order.
+  const dist::Marginal permuted({10.0, 2.0, 6.0}, {0.3, 0.3, 0.4});
+  core::ModelConfig mc;
+  mc.hurst = 0.85;
+  mc.mean_epoch = 0.05;
+  mc.cutoff = 10.0;
+  mc.utilization = 0.8;
+  mc.normalized_buffer = 0.2;
+  queueing::SolverConfig scfg;
+
+  const auto key = core::model_cell_key(m, mc, scfg);
+  EXPECT_EQ(key, core::model_cell_key(m, mc, scfg));
+  EXPECT_EQ(key, core::model_cell_key(permuted, mc, scfg));
+
+  auto mc2 = mc;
+  mc2.normalized_buffer = 0.25;
+  EXPECT_NE(key, core::model_cell_key(m, mc2, scfg));
+  auto scfg2 = scfg;
+  scfg2.target_relative_gap *= 0.5;
+  EXPECT_NE(key, core::model_cell_key(m, mc, scfg2));
+}
+
+// ------------------------------------------------------------------ cache
+
+TEST(RuntimeCache, HitAndMissAccounting) {
+  runtime::SolverCache cache;
+  EXPECT_FALSE(cache.lookup(42).has_value());
+  cache.store(42, 0.125);
+  const auto hit = cache.lookup(42);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0.125);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.loaded, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.disk_path().empty());
+}
+
+TEST(RuntimeCache, DiskTierRoundTripsExactDoubles) {
+  const std::string dir = ::testing::TempDir() + "lrd_cache_rt";
+  std::remove((dir + "/solver_cache.txt").c_str());
+  const double v1 = 1.0 / 3.0, v2 = 4.9406564584124654e-324;
+  {
+    runtime::SolverCache cache(dir);
+    cache.store(7, v1);
+    cache.store(9, v2);
+  }
+  runtime::SolverCache reopened(dir);
+  EXPECT_EQ(reopened.stats().loaded, 2u);
+  ASSERT_TRUE(reopened.lookup(7).has_value());
+  EXPECT_EQ(*reopened.lookup(7), v1);
+  ASSERT_TRUE(reopened.lookup(9).has_value());
+  EXPECT_EQ(*reopened.lookup(9), v2);
+}
+
+TEST(RuntimeCache, SkipsMalformedDiskLines) {
+  const std::string dir = ::testing::TempDir() + "lrd_cache_bad";
+  std::remove((dir + "/solver_cache.txt").c_str());
+  {
+    runtime::SolverCache cache(dir);
+    cache.store(1, 2.0);
+  }
+  {
+    std::ofstream f(dir + "/solver_cache.txt", std::ios::app);
+    f << "this line is garbage\n";
+  }
+  runtime::SolverCache reopened(dir);
+  EXPECT_EQ(reopened.stats().loaded, 1u);
+  EXPECT_TRUE(reopened.lookup(1).has_value());
+}
+
+// ------------------------------------------------------------- checkpoint
+
+TEST(RuntimeCheckpoint, RoundTripsCellsExactly) {
+  const std::string path = ::testing::TempDir() + "lrd_ckpt_rt.txt";
+  std::remove(path.c_str());
+  {
+    runtime::SweepCheckpoint ck(path, 0xabcdef, 3, 4);
+    ck.record(0, 0, 1.0 / 3.0);
+    ck.record(2, 3, 1e-300);
+    ASSERT_TRUE(ck.flush());
+  }
+  runtime::SweepCheckpoint ck(path, 0xabcdef, 3, 4);
+  const auto cells = ck.load();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].value, 1.0 / 3.0);
+  EXPECT_EQ(cells[1].row, 2u);
+  EXPECT_EQ(cells[1].col, 3u);
+  EXPECT_EQ(cells[1].value, 1e-300);
+}
+
+TEST(RuntimeCheckpoint, IgnoresIncompatibleFiles) {
+  const std::string path = ::testing::TempDir() + "lrd_ckpt_stale.txt";
+  std::remove(path.c_str());
+  {
+    runtime::SweepCheckpoint ck(path, 0x1111, 2, 2);
+    ck.record(0, 0, 0.5);
+    ASSERT_TRUE(ck.flush());
+  }
+  // Different config hash: stale surface, must be ignored.
+  runtime::SweepCheckpoint stale(path, 0x2222, 2, 2);
+  EXPECT_TRUE(stale.load().empty());
+  // Different grid shape: also ignored.
+  runtime::SweepCheckpoint reshaped(path, 0x1111, 3, 2);
+  EXPECT_TRUE(reshaped.load().empty());
+  // Matching binding still loads.
+  runtime::SweepCheckpoint ok(path, 0x1111, 2, 2);
+  EXPECT_EQ(ok.load().size(), 1u);
+}
+
+// ---------------------------------------------------- sweep driver plumbing
+
+core::ModelSweepConfig cheap_sweep_config() {
+  core::ModelSweepConfig cfg;
+  cfg.hurst = 0.85;
+  cfg.mean_epoch = 0.05;
+  cfg.utilization = 0.8;
+  cfg.solver.target_relative_gap = 0.5;
+  return cfg;
+}
+
+std::string csv_of(const core::SweepTable& t) {
+  std::ostringstream os;
+  t.print_csv(os);
+  return os.str();
+}
+
+TEST(RuntimeSweep, InterruptedResumeIsBitIdentical) {
+  const dist::Marginal m({2.0, 6.0, 10.0}, {0.3, 0.4, 0.3});
+  const auto cfg = cheap_sweep_config();
+  const std::vector<double> buffers{0.05, 0.1};
+  const std::vector<double> cutoffs{0.1, 1.0};
+
+  const auto uninterrupted = core::loss_vs_buffer_and_cutoff(m, cfg, buffers, cutoffs);
+  const std::string expected_csv = csv_of(uninterrupted);
+
+  // Full run with checkpointing, then truncate the file to two cells to
+  // simulate an interrupt mid-sweep.
+  const std::string path = ::testing::TempDir() + "lrd_sweep_resume.txt";
+  std::remove(path.c_str());
+  core::SweepRunOptions opts;
+  opts.checkpoint_path = path;
+  opts.checkpoint_every = 1;
+  (void)core::loss_vs_buffer_and_cutoff(m, cfg, buffers, cutoffs, opts);
+  {
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 2u + 4u) << "expected header + one line per cell";
+    std::ofstream out(path, std::ios::trunc);
+    for (std::size_t i = 0; i < 4; ++i) out << lines[i] << '\n';
+  }
+
+  runtime::RunManifest manifest;
+  core::SweepRunOptions resume_opts;
+  resume_opts.checkpoint_path = path;
+  resume_opts.resume = true;
+  resume_opts.manifest = &manifest;
+  const auto resumed = core::loss_vs_buffer_and_cutoff(m, cfg, buffers, cutoffs, resume_opts);
+
+  EXPECT_EQ(csv_of(resumed), expected_csv);
+  EXPECT_EQ(manifest.cells_from(runtime::RunManifest::CellSource::kCheckpoint), 2u);
+  EXPECT_EQ(manifest.cells_from(runtime::RunManifest::CellSource::kComputed), 2u);
+  EXPECT_EQ(manifest.total_cells(), 4u);
+}
+
+TEST(RuntimeSweep, WarmCacheServesEveryCell) {
+  const dist::Marginal m({2.0, 6.0, 10.0}, {0.3, 0.4, 0.3});
+  const auto cfg = cheap_sweep_config();
+  const std::vector<double> buffers{0.05, 0.1};
+  const std::vector<double> cutoffs{0.1, 1.0};
+
+  runtime::SolverCache cache;
+  core::SweepRunOptions opts;
+  opts.cache = &cache;
+  const auto cold = core::loss_vs_buffer_and_cutoff(m, cfg, buffers, cutoffs, opts);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cache.stats().misses, 4u);
+  EXPECT_EQ(cache.stats().stores, 4u);
+
+  runtime::RunManifest manifest;
+  opts.manifest = &manifest;
+  const auto warm = core::loss_vs_buffer_and_cutoff(m, cfg, buffers, cutoffs, opts);
+  EXPECT_EQ(cache.stats().hits, 4u);
+  EXPECT_EQ(manifest.cells_from(runtime::RunManifest::CellSource::kCache), 4u);
+  EXPECT_EQ(manifest.cells_from(runtime::RunManifest::CellSource::kComputed), 0u);
+  EXPECT_EQ(csv_of(warm), csv_of(cold));
+}
+
+TEST(RuntimeSweep, ManifestJsonIsWellFormedEnough) {
+  runtime::RunManifest manifest;
+  manifest.set_tool("test");
+  manifest.set_title("a \"quoted\" title");
+  manifest.add_config("gap", "0.2");
+  manifest.set_grid(1, 2);
+  manifest.add_cell(0, 1, 0.25, runtime::RunManifest::CellSource::kComputed);
+  manifest.add_cell(0, 0, 0.5, runtime::RunManifest::CellSource::kCache);
+  manifest.add_issue("cell went sideways");
+  const std::string json = manifest.to_json();
+  EXPECT_NE(json.find("\"a \\\"quoted\\\" title\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hits\": 1"), std::string::npos);
+  // Cells are sorted by (row, col) regardless of insertion order.
+  EXPECT_LT(json.find("\"col\": 0"), json.find("\"col\": 1"));
+  const std::string path = ::testing::TempDir() + "lrd_manifest.json";
+  EXPECT_TRUE(manifest.write_file(path));
+}
+
+}  // namespace

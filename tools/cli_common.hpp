@@ -112,6 +112,35 @@ class Args {
   bool help_ = false;
 };
 
+/// Resolves the worker-thread count for a tool: `--threads N` wins, then
+/// the LRDQ_THREADS environment variable, then 0 ("use hardware
+/// concurrency"). Anything that is not a plain non-negative integer is a
+/// configuration error (exit code 3), not a usage error: the value may
+/// come from the environment, where "typo in a flag" is the wrong story.
+inline std::size_t resolve_threads(const Args& args) {
+  std::string text;
+  std::string origin;
+  if (args.has("threads")) {
+    text = args.get("threads", "");
+    origin = "--threads";
+  } else if (const char* env = std::getenv("LRDQ_THREADS")) {
+    text = env;
+    origin = "LRDQ_THREADS";
+  } else {
+    return 0;
+  }
+  const bool digits_only =
+      !text.empty() && std::all_of(text.begin(), text.end(),
+                                   [](unsigned char ch) { return ch >= '0' && ch <= '9'; });
+  if (!digits_only || text.size() > 6) {
+    throw lrd::ConfigError(lrd::make_diagnostics(
+        lrd::ErrorCategory::kInvalidConfig, "cli",
+        "thread count is a non-negative integer (0 = hardware concurrency)",
+        origin + " = \"" + text + "\""));
+  }
+  return static_cast<std::size_t>(std::strtoull(text.c_str(), nullptr, 10));
+}
+
 /// Standard error handling wrapper for tool main() bodies.
 ///
 /// Exit codes follow the repo-wide taxonomy (lrd::exit_code_for):

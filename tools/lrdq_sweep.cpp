@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <string>
 
 #include "cli_common.hpp"
@@ -23,7 +24,15 @@ constexpr const char* kUsage =
     "                  --buffers b1,b2,... --cutoffs t1,t2,...\n"
     "                  [--hurst 0.85] [--mean-epoch 0.05] [--utilization 0.8]\n"
     "                  [--gap 0.2] [--seed 7]\n"
+    "                  [--threads N] [--cache-dir DIR]\n"
+    "                  [--checkpoint FILE [--resume]] [--manifest FILE]\n"
     "       lrdq_sweep --help\n"
+    "runtime: --threads 0 (or unset) uses hardware concurrency; the\n"
+    "      LRDQ_THREADS env var supplies the default. --cache-dir enables\n"
+    "      the on-disk solver result cache. --checkpoint writes progress\n"
+    "      periodically; rerun with --resume to skip completed cells.\n"
+    "      --manifest records per-cell timings and cache/executor stats\n"
+    "      as JSON.\n"
     "note: list entries for --cutoffs may not include 'inf'; pass a large\n"
     "      number for the model, or use --trace mode where the largest\n"
     "      cutoff >= trace duration behaves as unshuffled.";
@@ -33,8 +42,11 @@ constexpr const char* kUsage =
 int main(int argc, char** argv) {
   using namespace lrd;
   return cli::run_tool(kUsage, [&] {
-    cli::Args args(argc, argv, {"rates", "probs", "trace", "buffers", "cutoffs", "hurst",
-                                "mean-epoch", "utilization", "gap", "seed"});
+    cli::Args args(argc, argv,
+                   {"rates", "probs", "trace", "buffers", "cutoffs", "hurst", "mean-epoch",
+                    "utilization", "gap", "seed", "threads", "cache-dir", "checkpoint",
+                    "manifest"},
+                   {"resume"});
     if (args.help()) {
       std::printf("%s\n", kUsage);
       return 0;
@@ -43,11 +55,28 @@ int main(int argc, char** argv) {
     const auto cutoffs = args.get_list("cutoffs", {0.1, 1.0, 10.0});
     const double utilization = args.get_double("utilization", 0.8);
 
+    std::optional<runtime::SolverCache> cache;
+    if (args.has("cache-dir")) cache.emplace(args.get("cache-dir", ""));
+    runtime::RunManifest manifest;
+    const std::string manifest_path = args.get("manifest", "");
+
+    core::SweepRunOptions opts;
+    opts.threads = cli::resolve_threads(args);
+    opts.cache = cache ? &*cache : nullptr;
+    opts.checkpoint_path = args.get("checkpoint", "");
+    opts.resume = args.has("resume");
+    opts.manifest = manifest_path.empty() ? nullptr : &manifest;
+
+    manifest.set_tool("lrdq_sweep");
+    for (const char* key : {"rates", "probs", "trace", "buffers", "cutoffs", "hurst",
+                            "mean-epoch", "utilization", "gap", "seed"})
+      if (args.has(key)) manifest.add_config(key, args.get(key, ""));
+
     core::SweepTable table;
     if (args.has("trace")) {
       const auto trace = traffic::RateTrace::load_file(args.get("trace", ""));
       table = core::shuffle_loss_vs_buffer_and_cutoff(trace, utilization, buffers, cutoffs,
-                                                      args.get_size("seed", 7));
+                                                      args.get_size("seed", 7), opts);
     } else {
       if (!args.has("rates") || !args.has("probs"))
         throw std::invalid_argument("need either --trace or both --rates and --probs");
@@ -57,11 +86,16 @@ int main(int argc, char** argv) {
       cfg.mean_epoch = args.get_double("mean-epoch", 0.05);
       cfg.utilization = utilization;
       cfg.solver.target_relative_gap = args.get_double("gap", 0.2);
-      table = core::loss_vs_buffer_and_cutoff(marginal, cfg, buffers, cutoffs);
+      table = core::loss_vs_buffer_and_cutoff(marginal, cfg, buffers, cutoffs, opts);
     }
     table.print(std::cout);
     std::printf("\n");
     table.print_csv(std::cout);
+    if (!manifest_path.empty()) {
+      manifest.set_title(table.title);
+      if (!manifest.write_file(manifest_path))
+        std::fprintf(stderr, "warning: could not write manifest %s\n", manifest_path.c_str());
+    }
     return table.ok() ? 0 : 1;
   });
 }
