@@ -25,25 +25,36 @@ namespace lrd::bench {
 ///   --cache-dir DIR   persistent solver result cache
 ///   --checkpoint FILE periodic sweep checkpoint; --resume to reload it
 ///   --manifest FILE   per-run JSON manifest
+///   --solver-telemetry  per-solve convergence records in the manifest
+///   --progress        stderr heartbeat (cells done, ETA, cache hit-rate)
+///   --metrics-out FILE  metrics snapshot (.json = JSON, else Prometheus)
+///   --trace-out FILE  Chrome trace-event JSON (LRDQ_TRACE env default)
 /// The cache and manifest are owned here so `sweep` can point into them.
 struct FigureOptions {
   core::SweepRunOptions sweep;
   std::string manifest_path;
   std::shared_ptr<runtime::SolverCache> cache;
   std::shared_ptr<runtime::RunManifest> manifest;
+  cli::ObsSetup obs;
 };
 
 constexpr const char* kFigureUsage =
     "usage: figure binary [--threads N] [--cache-dir DIR]\n"
-    "                     [--checkpoint FILE [--resume]] [--manifest FILE]";
+    "                     [--checkpoint FILE [--resume]] [--manifest FILE]\n"
+    "                     [--solver-telemetry] [--progress]\n"
+    "                     [--metrics-out FILE] [--trace-out FILE]\n"
+    "       figure binary --help | --version";
 
 inline FigureOptions parse_figure_options(int argc, char** argv) {
-  cli::Args args(argc, argv, {"threads", "cache-dir", "checkpoint", "manifest"}, {"resume"});
+  cli::Args args(argc, argv, {"threads", "cache-dir", "checkpoint", "manifest"},
+                 {"resume", "solver-telemetry", "progress"});
   if (args.help()) {
     std::printf("%s\n", kFigureUsage);
     std::exit(0);
   }
+  if (args.version()) std::exit(cli::print_version(argv && argv[0] ? argv[0] : "figure"));
   FigureOptions fo;
+  fo.obs = cli::setup_observability(args);
   fo.sweep.threads = cli::resolve_threads(args);
   if (args.has("cache-dir")) {
     fo.cache = std::make_shared<runtime::SolverCache>(args.get("cache-dir", ""));
@@ -56,12 +67,17 @@ inline FigureOptions parse_figure_options(int argc, char** argv) {
     fo.manifest = std::make_shared<runtime::RunManifest>();
     fo.sweep.manifest = fo.manifest.get();
   }
+  fo.sweep.solver_telemetry = args.has("solver-telemetry");
+  fo.sweep.progress = args.has("progress");
   return fo;
 }
 
-/// Writes the manifest a figure run accumulated, if one was requested.
+/// Writes the manifest a figure run accumulated (if one was requested)
+/// and the metrics/trace artifacts (if configured). Called once at the
+/// end of every figure run.
 inline void finish_manifest(const FigureOptions& fo, const core::SweepTable& table,
                             const char* figure) {
+  cli::finish_observability(fo.obs);
   if (!fo.manifest) return;
   fo.manifest->set_tool(figure);
   fo.manifest->set_title(table.title);

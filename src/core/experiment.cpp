@@ -13,6 +13,10 @@
 #include "core/model.hpp"
 #include "numerics/parallel.hpp"
 #include "numerics/random.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "queueing/trace_queue_sim.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/executor.hpp"
@@ -21,6 +25,8 @@
 namespace lrd::core {
 
 namespace {
+
+using obs::seconds_since;
 
 std::string format_param(double v) {
   if (std::isinf(v)) return "inf";
@@ -31,27 +37,27 @@ std::string format_param(double v) {
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-}
-
 /// Result of one cell: its loss value plus whether the solve was clean
 /// (no CellIssue). Only clean cells enter the result cache and the
 /// checkpoint, so degraded cells re-solve — and re-diagnose — every run.
 struct CellOutcome {
   double value = kNaN;
   bool clean = false;
+  std::string telemetry_json;  // serialized SolverTelemetry, empty = none
 };
 
 /// Solves one model-driven cell, converting every failure mode into a
 /// recorded issue instead of sinking the whole surface. The value is the
 /// loss estimate, or NaN when the cell produced no usable bracket.
 CellOutcome solve_cell(const dist::Marginal& marginal, const ModelConfig& mc,
-                       const queueing::SolverConfig& scfg, SweepTable& t, std::size_t r,
-                       std::size_t c, std::mutex& mu) {
+                       const queueing::SolverConfig& scfg, bool collect_telemetry, SweepTable& t,
+                       std::size_t r, std::size_t c, std::mutex& mu) {
+  queueing::SolverConfig cell_cfg = scfg;
+  cell_cfg.collect_telemetry = collect_telemetry;
   try {
-    const auto result = FluidModel(marginal, mc).solve(scfg);
-    if (result.status.is_ok()) return {result.loss_estimate(), true};
+    const auto result = FluidModel(marginal, mc).solve(cell_cfg);
+    std::string tel = collect_telemetry ? result.telemetry.to_json() : std::string();
+    if (result.status.is_ok()) return {result.loss_estimate(), true, std::move(tel)};
     {
       std::lock_guard<std::mutex> lock(mu);
       t.issues.push_back({r, c, result.status.diagnostics()});
@@ -61,7 +67,7 @@ CellOutcome solve_cell(const dist::Marginal& marginal, const ModelConfig& mc,
     const bool usable = result.has_valid_bounds() &&
                         !(result.stop == queueing::SolverStop::kGuardTripped &&
                           result.last_healthy_level == 0);
-    return {usable ? result.loss_estimate() : kNaN, false};
+    return {usable ? result.loss_estimate() : kNaN, false, std::move(tel)};
   } catch (const std::exception& e) {
     lrd::Diagnostics d;
     if (const auto* attached = lrd::diagnostics_of(e)) {
@@ -72,7 +78,7 @@ CellOutcome solve_cell(const dist::Marginal& marginal, const ModelConfig& mc,
     }
     std::lock_guard<std::mutex> lock(mu);
     t.issues.push_back({r, c, std::move(d)});
-    return {kNaN, false};
+    return {kNaN, false, {}};
   }
 }
 
@@ -121,11 +127,33 @@ void run_sweep_cells(
     const std::function<CellOutcome(std::size_t, std::size_t, std::mutex&)>& compute) {
   const std::size_t nc = t.cols.size();
   const std::size_t total = t.rows.size() * nc;
-  const auto run_start = std::chrono::steady_clock::now();
+  const auto run_start = obs::now();
+  obs::Span run_span("sweep.run", "sweep");
+  if (obs::TraceSession::enabled())
+    run_span.annotate("\"rows\": " + std::to_string(t.rows.size()) +
+                      ", \"cols\": " + std::to_string(nc));
   runtime::RunManifest* manifest = opts.manifest;
   if (manifest) {
     manifest->set_grid(t.rows.size(), nc);
     manifest->set_config_hash(config_hash);
+  }
+
+  std::unique_ptr<obs::ProgressMeter> progress;
+  if (opts.progress) {
+    std::function<std::string()> aux;
+    if (runtime::SolverCache* cache = opts.cache) {
+      aux = [cache] {
+        const auto s = cache->stats();
+        const std::uint64_t lookups = s.hits + s.misses;
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "cache %.0f%% hit",
+                      lookups == 0 ? 0.0
+                                   : 100.0 * static_cast<double>(s.hits) /
+                                         static_cast<double>(lookups));
+        return std::string(buf);
+      };
+    }
+    progress = std::make_unique<obs::ProgressMeter>(opts.progress_label, total, std::move(aux));
   }
 
   std::vector<char> done(total, 0);
@@ -144,6 +172,7 @@ void run_sweep_cells(
         if (manifest)
           manifest->add_cell(cell.row, cell.col, 0.0,
                              runtime::RunManifest::CellSource::kCheckpoint);
+        if (progress) progress->advance();
       }
     }
   }
@@ -165,6 +194,7 @@ void run_sweep_cells(
         if (ckpt) ckpt->record(r, c, *hit);
         if (manifest)
           manifest->add_cell(r, c, 0.0, runtime::RunManifest::CellSource::kCache);
+        if (progress) progress->advance();
         continue;
       }
     }
@@ -180,16 +210,34 @@ void run_sweep_cells(
         [&](std::size_t k) {
           const std::size_t idx = todo[k];
           const std::size_t r = idx / nc, c = idx % nc;
-          const auto t0 = std::chrono::steady_clock::now();
-          const CellOutcome out = compute(r, c, mu);
+          const auto t0 = obs::now();
+          CellOutcome out;
+          {
+            obs::Span cell_span("sweep.cell", "sweep");
+            if (obs::TraceSession::enabled())
+              cell_span.annotate("\"row\": " + std::to_string(r) +
+                                 ", \"col\": " + std::to_string(c));
+            out = compute(r, c, mu);
+          }
+          const double cell_seconds = seconds_since(t0);
           t.values[r][c] = out.value;
           if (out.clean) {
             if (opts.cache) opts.cache->store(keys[k], out.value);
             if (ckpt) ckpt->record(r, c, out.value);
           }
           if (manifest)
-            manifest->add_cell(r, c, seconds_since(t0),
-                               runtime::RunManifest::CellSource::kComputed);
+            manifest->add_cell(r, c, cell_seconds, runtime::RunManifest::CellSource::kComputed,
+                               std::move(out.telemetry_json));
+          if constexpr (obs::kObsEnabled) {
+            auto& reg = obs::Registry::global();
+            static obs::Counter& cells = reg.counter("lrd_sweep_cells_total",
+                                                     "Sweep cells computed (not cached/resumed)");
+            static obs::Histogram& cell_hist =
+                reg.histogram("lrd_sweep_cell_seconds", "Wall time per computed sweep cell");
+            cells.inc();
+            cell_hist.observe(cell_seconds);
+          }
+          if (progress) progress->advance();
         },
         opts.threads);
     if (manifest) manifest->set_executor_stats(executor.last_job_stats());
@@ -201,6 +249,8 @@ void run_sweep_cells(
   // what makes a resumed CSV bit-identical to an uninterrupted one.
   sort_issues(t.issues);
 
+  if (progress) progress->finish();
+
   if (manifest) {
     if (opts.cache) manifest->set_cache_stats(opts.cache->stats());
     for (const auto& issue : t.issues) {
@@ -209,6 +259,8 @@ void run_sweep_cells(
                           issue.diagnostics.describe());
     }
     manifest->set_wall_seconds(seconds_since(run_start));
+    if constexpr (obs::kObsEnabled)
+      manifest->set_metrics_json(obs::Registry::global().to_json());
   }
 }
 
@@ -338,7 +390,7 @@ SweepTable loss_vs_buffer_and_cutoff(const dist::Marginal& marginal,
       t, opts, ch.digest(),
       [&](std::size_t r, std::size_t c) { return model_cell_key(marginal, mc_for(r, c), cfg.solver); },
       [&](std::size_t r, std::size_t c, std::mutex& mu) {
-        return solve_cell(marginal, mc_for(r, c), cfg.solver, t, r, c, mu);
+        return solve_cell(marginal, mc_for(r, c), cfg.solver, opts.solver_telemetry, t, r, c, mu);
       });
   return t;
 }
@@ -389,7 +441,7 @@ SweepTable loss_vs_hurst_and_scaling(const dist::Marginal& marginal,
       t, opts, ch.digest(),
       [&](std::size_t r, std::size_t c) { return model_cell_key(scaled[c], mc_for(r), cfg.solver); },
       [&](std::size_t r, std::size_t c, std::mutex& mu) {
-        return solve_cell(scaled[c], mc_for(r), cfg.solver, t, r, c, mu);
+        return solve_cell(scaled[c], mc_for(r), cfg.solver, opts.solver_telemetry, t, r, c, mu);
       });
   return t;
 }
@@ -439,7 +491,7 @@ SweepTable loss_vs_hurst_and_superposition(const dist::Marginal& marginal,
       t, opts, ch.digest(),
       [&](std::size_t r, std::size_t c) { return model_cell_key(mux[c], mc_for(r), cfg.solver); },
       [&](std::size_t r, std::size_t c, std::mutex& mu) {
-        return solve_cell(mux[c], mc_for(r), cfg.solver, t, r, c, mu);
+        return solve_cell(mux[c], mc_for(r), cfg.solver, opts.solver_telemetry, t, r, c, mu);
       });
   return t;
 }
@@ -483,7 +535,7 @@ SweepTable loss_vs_buffer_and_scaling(const dist::Marginal& marginal,
       t, opts, ch.digest(),
       [&](std::size_t r, std::size_t c) { return model_cell_key(scaled[c], mc_for(r), cfg.solver); },
       [&](std::size_t r, std::size_t c, std::mutex& mu) {
-        return solve_cell(scaled[c], mc_for(r), cfg.solver, t, r, c, mu);
+        return solve_cell(scaled[c], mc_for(r), cfg.solver, opts.solver_telemetry, t, r, c, mu);
       });
   return t;
 }
@@ -530,13 +582,19 @@ SweepTable shuffle_loss_vs_buffer_and_cutoff(const traffic::RateTrace& trace,
   // for all cells proceed in parallel.
   std::vector<traffic::RateTrace> shuffled;
   shuffled.reserve(cutoffs.size());
-  for (std::size_t c = 0; c < cutoffs.size(); ++c) {
-    numerics::Rng rng(seed + 7919 * c);
-    shuffled.push_back(
-        std::isinf(cutoffs[c])
-            ? trace
-            : traffic::external_shuffle(
-                  trace, traffic::block_length_for_cutoff(trace, cutoffs[c]), rng));
+  {
+    obs::Span shuffle_span("sweep.shuffle", "sweep");
+    if (obs::TraceSession::enabled())
+      shuffle_span.annotate("\"columns\": " + std::to_string(cutoffs.size()) +
+                            ", \"trace_bins\": " + std::to_string(trace.size()));
+    for (std::size_t c = 0; c < cutoffs.size(); ++c) {
+      numerics::Rng rng(seed + 7919 * c);
+      shuffled.push_back(
+          std::isinf(cutoffs[c])
+              ? trace
+              : traffic::external_shuffle(
+                    trace, traffic::block_length_for_cutoff(trace, cutoffs[c]), rng));
+    }
   }
 
   runtime::Fnv1a ch;

@@ -87,6 +87,15 @@ struct SweepRunOptions {
   /// Optional per-run manifest to populate (cell timings, cache counters,
   /// worker utilization, issues).
   runtime::RunManifest* manifest = nullptr;
+  /// Collect per-solve convergence telemetry (see obs/telemetry.hpp) and
+  /// attach it to the manifest's cell_times entries. Only model-driven
+  /// cells produce telemetry; trace-driven cells have no solver.
+  bool solver_telemetry = false;
+  /// Draw a stderr progress heartbeat while the sweep runs: cells
+  /// done/total, rate, ETA and (with a cache attached) the hit-rate.
+  bool progress = false;
+  /// Label prefixing every heartbeat line.
+  std::string progress_label = "sweep";
 };
 
 /// Content address of one model-driven sweep cell: a canonical FNV-1a

@@ -1,0 +1,36 @@
+// The one steady-clock utility shared by the executor, the sweep
+// drivers, the manifest and the telemetry/trace layers. Everything that
+// times anything in this codebase goes through these two helpers, so a
+// wall-time number always means the same thing: seconds (or
+// microseconds) of std::chrono::steady_clock, immune to wall-clock
+// adjustments.
+#pragma once
+
+#include <chrono>
+
+namespace lrd::obs {
+
+using SteadyTime = std::chrono::steady_clock::time_point;
+
+inline SteadyTime now() noexcept { return std::chrono::steady_clock::now(); }
+
+/// Seconds elapsed since `t0` (fractional, steady clock).
+inline double seconds_since(SteadyTime t0) noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Seconds between two steady-clock points.
+inline double seconds_between(SteadyTime t0, SteadyTime t1) noexcept {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Microseconds since the first call in this process — the timestamp
+/// base of every Chrome trace event, so spans recorded by different
+/// threads land on one consistent timeline.
+inline double process_uptime_us() noexcept {
+  static const SteadyTime epoch = now();
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+}  // namespace lrd::obs

@@ -1,0 +1,72 @@
+#include "obs/progress.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace lrd::obs {
+
+ProgressMeter::ProgressMeter(std::string label, std::size_t total,
+                             std::function<std::string()> aux, std::FILE* out)
+    : label_(std::move(label)), total_(total), aux_(std::move(aux)), out_(out) {}
+
+ProgressMeter::~ProgressMeter() { finish(); }
+
+std::string ProgressMeter::render_locked() const {
+  const double elapsed = seconds_since(start_);
+  const double rate = elapsed > 0.0 ? static_cast<double>(done_) / elapsed : 0.0;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "[%s] %zu/%zu cells (%.0f%%)", label_.c_str(), done_, total_,
+                total_ == 0 ? 100.0 : 100.0 * static_cast<double>(done_) / static_cast<double>(total_));
+  std::string line = buf;
+  std::snprintf(buf, sizeof buf, " | %.1f cells/s", rate);
+  line += buf;
+  if (done_ < total_ && rate > 0.0) {
+    const double eta = static_cast<double>(total_ - done_) / rate;
+    std::snprintf(buf, sizeof buf, " | eta %.0fs", eta);
+    line += buf;
+  } else {
+    std::snprintf(buf, sizeof buf, " | %.1fs", elapsed);
+    line += buf;
+  }
+  if (aux_) {
+    const std::string aux = aux_();
+    if (!aux.empty()) line += " | " + aux;
+  }
+  return line;
+}
+
+void ProgressMeter::draw_locked() {
+  if (!out_) return;
+  // \r + trailing-space padding overwrites the previous (possibly
+  // longer) render in place.
+  const std::string line = render_locked();
+  std::fprintf(out_, "\r%-78s", line.c_str());
+  std::fflush(out_);
+}
+
+void ProgressMeter::advance(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  done_ = std::min(done_ + n, total_);
+  if (seconds_since(last_draw_) >= kRedrawSeconds || last_draw_ == SteadyTime{}) {
+    last_draw_ = now();
+    draw_locked();
+  }
+}
+
+void ProgressMeter::finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  if (last_draw_ != SteadyTime{}) {  // only if something was ever drawn
+    draw_locked();
+    if (out_) std::fputc('\n', out_);
+  }
+}
+
+std::string ProgressMeter::render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return render_locked();
+}
+
+}  // namespace lrd::obs

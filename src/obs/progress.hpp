@@ -1,0 +1,57 @@
+// Stderr progress heartbeat for long sweeps: cells done/total, rate,
+// ETA and (when a cache is attached) the cache hit-rate, redrawn in
+// place on one line, rate-limited so a fast sweep doesn't spam the
+// terminal. Thread-safe: sweep workers call advance() concurrently.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "obs/clock.hpp"
+
+namespace lrd::obs {
+
+class ProgressMeter {
+ public:
+  /// `label` prefixes every line ("sweep", "fig04", ...); `total` is the
+  /// number of work items; `aux` (optional) supplies a trailing status
+  /// fragment re-evaluated at each redraw (e.g. "cache 40% hit");
+  /// `out` defaults to stderr and exists for tests.
+  ProgressMeter(std::string label, std::size_t total,
+                std::function<std::string()> aux = {}, std::FILE* out = stderr);
+  ~ProgressMeter();
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  /// Marks `n` items done; redraws at most every `kRedrawSeconds`.
+  void advance(std::size_t n = 1);
+
+  /// Final redraw plus newline; idempotent, called by the destructor.
+  void finish();
+
+  /// The current status line (no carriage return) — the render the
+  /// heartbeat would print, exposed for tests.
+  std::string render() const;
+
+ private:
+  static constexpr double kRedrawSeconds = 0.25;
+
+  std::string render_locked() const;
+  void draw_locked();
+
+  std::string label_;
+  std::size_t total_;
+  std::function<std::string()> aux_;
+  std::FILE* out_;
+
+  mutable std::mutex mu_;
+  std::size_t done_ = 0;
+  bool finished_ = false;
+  SteadyTime start_ = now();
+  SteadyTime last_draw_{};  // epoch: first advance always draws
+};
+
+}  // namespace lrd::obs

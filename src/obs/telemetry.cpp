@@ -1,0 +1,39 @@
+#include "obs/telemetry.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lrd::obs {
+
+namespace {
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf literals
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string SolverTelemetry::to_json() const {
+  std::string out = "{ \"total_seconds\": " + number(total_seconds) + ", \"levels\": [";
+  char buf[96];
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const LevelTelemetry& l = levels[i];
+    out += i == 0 ? " " : ", ";
+    std::snprintf(buf, sizeof buf, "{ \"bins\": %zu, \"iterations\": %zu", l.bins,
+                  l.iterations);
+    out += buf;
+    out += ", \"bracket_lower\": " + number(l.bracket_lower);
+    out += ", \"bracket_upper\": " + number(l.bracket_upper);
+    out += ", \"bracket_width\": " + number(l.bracket_width());
+    out += ", \"occupancy_gap\": " + number(l.occupancy_gap);
+    out += ", \"mass_drift\": " + number(l.mass_drift);
+    out += ", \"wall_seconds\": " + number(l.wall_seconds) + " }";
+  }
+  out += levels.empty() ? "] }" : " ] }";
+  return out;
+}
+
+}  // namespace lrd::obs

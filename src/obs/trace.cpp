@@ -1,0 +1,265 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace lrd::obs {
+
+namespace {
+
+struct Event {
+  double ts_us = 0.0;
+  double dur_us = -1.0;  // < 0 -> instant event
+  const char* name = "";
+  const char* category = "";
+  std::string args_json;
+};
+
+/// One ring per recording thread. The owning thread appends under `mu`
+/// (uncontended in steady state); the exporter takes the same mutex, so
+/// a concurrent export sees a consistent ring.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::uint32_t tid = 0;
+  std::string name;
+  std::vector<Event> ring;
+  std::size_t capacity = 0;
+  std::size_t next = 0;      // ring write position
+  std::uint64_t total = 0;   // events ever pushed (>= ring size)
+
+  void push(Event e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (capacity == 0) return;
+    if (ring.size() < capacity) {
+      ring.push_back(std::move(e));
+    } else {
+      ring[next] = std::move(e);
+    }
+    next = (next + 1) % capacity;
+    ++total;
+  }
+};
+
+struct Global {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::size_t capacity = 1 << 15;
+  std::uint32_t next_tid = 1;
+};
+
+Global& global() {
+  static Global g;
+  return g;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    Global& g = global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    b->tid = g.next_tid++;
+    b->capacity = g.capacity;
+    g.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::atomic<bool>& TraceSession::enabled_flag() noexcept {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+void TraceSession::enable(std::size_t per_thread_capacity) {
+  if constexpr (!kObsEnabled) return;
+  Global& g = global();
+  {
+    std::lock_guard<std::mutex> lock(g.mu);
+    g.capacity = std::max<std::size_t>(per_thread_capacity, 16);
+    for (auto& b : g.buffers) {
+      std::lock_guard<std::mutex> bl(b->mu);
+      b->capacity = g.capacity;
+    }
+  }
+  // Pin the trace epoch before the first span reads it.
+  (void)process_uptime_us();
+  enabled_flag().store(true, std::memory_order_relaxed);
+}
+
+void TraceSession::disable() { enabled_flag().store(false, std::memory_order_relaxed); }
+
+void TraceSession::clear() {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  for (auto& b : g.buffers) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    b->ring.clear();
+    b->next = 0;
+    b->total = 0;
+  }
+}
+
+std::uint64_t TraceSession::dropped() {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  std::uint64_t dropped = 0;
+  for (auto& b : g.buffers) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    dropped += b->total - b->ring.size();
+  }
+  return dropped;
+}
+
+std::size_t TraceSession::recorded() {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  std::size_t n = 0;
+  for (auto& b : g.buffers) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    n += b->ring.size();
+  }
+  return n;
+}
+
+std::string TraceSession::to_json() {
+  struct Out {
+    Event e;
+    std::uint32_t tid;
+  };
+  std::vector<Out> events;
+  std::vector<std::pair<std::uint32_t, std::string>> names;
+  std::uint64_t dropped = 0;
+  {
+    Global& g = global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    for (auto& b : g.buffers) {
+      std::lock_guard<std::mutex> bl(b->mu);
+      dropped += b->total - b->ring.size();
+      if (!b->name.empty()) names.emplace_back(b->tid, b->name);
+      // Chronological ring order: oldest first.
+      const bool wrapped = b->total > b->ring.size();
+      const std::size_t n = b->ring.size();
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t i = wrapped ? (b->next + k) % n : k;
+        events.push_back({b->ring[i], b->tid});
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Out& a, const Out& b) { return a.e.ts_us < b.e.ts_us; });
+
+  std::string out = "{\n\"displayTimeUnit\": \"ms\",\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"droppedEvents\": %llu,\n",
+                static_cast<unsigned long long>(dropped));
+  out += buf;
+  out += "\"traceEvents\": [";
+  bool first = true;
+  for (const auto& [tid, name] : names) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"args\":{\"name\":",
+                  tid);
+    out += buf;
+    append_escaped(out, name);
+    out += "}}";
+  }
+  for (const auto& ev : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":";
+    append_escaped(out, ev.e.name);
+    out += ",\"cat\":";
+    append_escaped(out, ev.e.category);
+    if (ev.e.dur_us < 0.0) {
+      std::snprintf(buf, sizeof buf, ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f", ev.e.ts_us);
+      out += buf;
+    } else {
+      std::snprintf(buf, sizeof buf, ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f", ev.e.ts_us,
+                    ev.e.dur_us);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof buf, ",\"pid\":1,\"tid\":%u", ev.tid);
+    out += buf;
+    if (!ev.e.args_json.empty()) out += ",\"args\":{" + ev.e.args_json + "}";
+    out += "}";
+  }
+  out += first ? "]\n}\n" : "\n]\n}\n";
+  return out;
+}
+
+bool TraceSession::write_file(const std::string& path) {
+  const std::string json = to_json();
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "w");
+  if (!out) return false;
+  const bool wrote = std::fwrite(json.data(), 1, json.size(), out) == json.size() &&
+                     std::fflush(out) == 0;
+  std::fclose(out);
+  if (!wrote) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+void set_thread_name(std::string name) {
+  if constexpr (!kObsEnabled) return;
+  ThreadBuffer& b = thread_buffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  b.name = std::move(name);
+}
+
+void instant(const char* name, const char* category, std::string args_json) {
+  if (!TraceSession::enabled()) return;
+  Event e;
+  e.ts_us = process_uptime_us();
+  e.dur_us = -1.0;
+  e.name = name;
+  e.category = category;
+  e.args_json = std::move(args_json);
+  thread_buffer().push(std::move(e));
+}
+
+double Span::start_timestamp() noexcept { return process_uptime_us(); }
+
+void Span::record_end() noexcept {
+  Event e;
+  e.ts_us = start_us_;
+  e.dur_us = std::max(0.0, process_uptime_us() - start_us_);
+  e.name = name_;
+  e.category = category_;
+  e.args_json = std::move(args_json_);
+  thread_buffer().push(std::move(e));
+}
+
+}  // namespace lrd::obs

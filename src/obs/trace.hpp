@@ -1,0 +1,105 @@
+// RAII spans with thread-local ring buffers, exported as Chrome
+// trace-event JSON — the file `chrome://tracing` and https://ui.perfetto.dev
+// load directly. One span = one complete ("ph":"X") event with a
+// microsecond timestamp and duration on the recording thread's track;
+// instant events ("ph":"i") mark moments (a steal, a cache hit).
+//
+// Cost model: tracing is off by default. Every instrumentation point is
+// one relaxed atomic load and a predictable branch when disabled — and
+// compiles to nothing under -DLRD_OBS_DISABLED. When enabled, recording
+// an event takes the recording thread's own buffer mutex (uncontended
+// except during export) and writes into a fixed-capacity ring, so a
+// long sweep keeps the most recent events per thread instead of growing
+// without bound; the dropped-event count is reported in the export.
+//
+// Typical wiring (see tools/cli_common.hpp): `--trace-out FILE` or the
+// LRDQ_TRACE env var enables the session at startup and writes the JSON
+// on exit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"  // kObsEnabled
+
+namespace lrd::obs {
+
+class TraceSession {
+ public:
+  /// True when spans are being recorded. One relaxed load — callers may
+  /// (and do) check this on hot paths.
+  static bool enabled() noexcept {
+    if constexpr (!kObsEnabled) return false;
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+
+  /// Starts recording. `per_thread_capacity` bounds each thread's ring
+  /// buffer (events beyond it overwrite the oldest and are counted as
+  /// dropped).
+  static void enable(std::size_t per_thread_capacity = 1 << 15);
+  static void disable();
+
+  /// Discards every recorded event (buffers stay registered).
+  static void clear();
+
+  /// Events overwritten across all rings since the last clear().
+  static std::uint64_t dropped();
+  /// Events currently held across all rings.
+  static std::size_t recorded();
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}) of everything
+  /// recorded so far, all threads merged onto one timeline.
+  static std::string to_json();
+  /// Atomic write (temp + rename); false on I/O failure.
+  static bool write_file(const std::string& path);
+
+ private:
+  static std::atomic<bool>& enabled_flag() noexcept;
+};
+
+/// Names the current thread's track in the exported trace (Perfetto
+/// shows it instead of the numeric tid). Cheap; safe to call repeatedly.
+void set_thread_name(std::string name);
+
+/// Records an instant event (a point in time) on the current thread.
+/// `args_json` is either empty or the *inside* of a JSON object, e.g.
+/// "\"row\": 3, \"col\": 7".
+void instant(const char* name, const char* category, std::string args_json = {});
+
+/// RAII span: records a complete event covering construction to
+/// destruction. `name` and `category` must be string literals (they are
+/// stored unowned). Construction when tracing is disabled is one relaxed
+/// load; build args only under TraceSession::enabled() if they allocate.
+class Span {
+ public:
+  Span(const char* name, const char* category) noexcept
+      : active_(TraceSession::enabled()), name_(name), category_(category) {
+    if (active_) start_us_ = start_timestamp();
+  }
+  Span(const char* name, const char* category, std::string args_json)
+      : Span(name, category) {
+    if (active_) args_json_ = std::move(args_json);
+  }
+  ~Span() {
+    if (active_) record_end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches args to the span after construction (no-op when disabled).
+  void annotate(std::string args_json) {
+    if (active_) args_json_ = std::move(args_json);
+  }
+
+ private:
+  static double start_timestamp() noexcept;
+  void record_end() noexcept;
+
+  bool active_;
+  const char* name_;
+  const char* category_;
+  double start_us_ = 0.0;
+  std::string args_json_;
+};
+
+}  // namespace lrd::obs

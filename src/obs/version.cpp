@@ -1,0 +1,28 @@
+#include "obs/version.hpp"
+
+#include "runtime/cache.hpp"  // kCacheVersionSalt
+
+#ifndef LRD_GIT_DESCRIBE
+#define LRD_GIT_DESCRIBE "unknown"
+#endif
+#ifndef LRD_BUILD_TYPE
+#define LRD_BUILD_TYPE "unknown"
+#endif
+#ifndef LRD_COMPILER_ID
+#define LRD_COMPILER_ID "unknown"
+#endif
+
+namespace lrd::obs {
+
+const char* git_describe() noexcept { return LRD_GIT_DESCRIBE; }
+const char* build_type() noexcept { return LRD_BUILD_TYPE; }
+const char* compiler() noexcept { return LRD_COMPILER_ID; }
+
+std::string version_string(const std::string& tool) {
+  std::string out = tool + " " + git_describe() + "\n";
+  out += std::string("build: ") + build_type() + ", " + compiler() + "\n";
+  out += "solver-cache salt: " + std::string(lrd::runtime::kCacheVersionSalt) + "\n";
+  return out;
+}
+
+}  // namespace lrd::obs

@@ -1,0 +1,26 @@
+// Build provenance: which code, built how, produced an artifact. The
+// `lrdq_* --version` output includes the solver-cache version salt so a
+// cached loss value is attributable to the numerics that computed it.
+#pragma once
+
+#include <string>
+
+namespace lrd::obs {
+
+/// `git describe --always --dirty --tags` at configure time, or
+/// "unknown" when the build tree had no git metadata.
+const char* git_describe() noexcept;
+
+/// CMAKE_BUILD_TYPE at configure time (e.g. "Release").
+const char* build_type() noexcept;
+
+/// Compiler id and version (e.g. "GNU 13.2.0").
+const char* compiler() noexcept;
+
+/// Multi-line version block:
+///   <tool> <git describe>
+///   build: <type>, <compiler>
+///   solver-cache salt: <salt>
+std::string version_string(const std::string& tool);
+
+}  // namespace lrd::obs

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "numerics/special_functions.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -44,6 +45,11 @@ FluidSimResult simulate_fluid_queue(const dist::Marginal& marginal,
   if (!(buffer > 0.0) || !std::isfinite(buffer))
     throw bad_sim("buffer is finite and > 0", "buffer = " + std::to_string(buffer));
   if (auto st = cfg.validate(); !st.is_ok()) throw lrd::ConfigError(st.diagnostics());
+
+  obs::Span sim_span("sim.fluid_queue", "sim");
+  if (obs::TraceSession::enabled())
+    sim_span.annotate("\"epochs\": " + std::to_string(cfg.epochs) +
+                      ", \"batches\": " + std::to_string(cfg.batches));
 
   numerics::Rng rng(cfg.seed);
   const numerics::AliasTable alias(marginal.probs());

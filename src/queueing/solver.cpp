@@ -10,6 +10,9 @@
 #include "numerics/convolution.hpp"
 #include "numerics/pmf.hpp"
 #include "numerics/special_functions.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lrd::queueing {
 
@@ -300,6 +303,9 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
                                           const MakeLevel& make_level) const {
   if (auto st = cfg.validate(); !st.is_ok()) throw lrd::ConfigError(st.diagnostics());
 
+  obs::Span solve_span("solver.solve", "solver");
+  const obs::SteadyTime solve_start = obs::now();
+
   SolverResult result;
 
   // Note: utilization >= 1 is NOT rejected here. The finite-buffer
@@ -340,6 +346,25 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
   std::size_t level_iterations = 0;
   int stalled_checks = 0;
 
+  // Telemetry accrues per level and is finalized on every level
+  // transition and on every exit path, so the audit trail always covers
+  // the level the solver was in when it stopped.
+  obs::LevelTelemetry level_tel;
+  obs::SteadyTime level_start = solve_start;
+  level_tel.bins = bins;
+  auto finalize_level = [&] {
+    if (!cfg.collect_telemetry) return;
+    level_tel.iterations = level_iterations;
+    level_tel.bracket_lower = result.loss.lower;
+    level_tel.bracket_upper = result.loss.upper;
+    double sup_gap = 0.0;
+    const std::size_t n = std::min(q_low.size(), q_high.size());
+    for (std::size_t j = 0; j < n; ++j) sup_gap = std::max(sup_gap, std::abs(q_high[j] - q_low[j]));
+    level_tel.occupancy_gap = sup_gap;
+    level_tel.wall_seconds = obs::seconds_since(level_start);
+    result.telemetry.levels.push_back(level_tel);
+  };
+
   while (true) {
     StepHealth low_health, high_health;
     for (std::size_t k = 0; k < cfg.check_every; ++k) {
@@ -348,6 +373,10 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
       ++result.iterations;
       ++level_iterations;
     }
+
+    if (cfg.collect_telemetry)
+      level_tel.mass_drift =
+          std::max({level_tel.mass_drift, low_health.mass_dev, high_health.mass_dev});
 
     lrd::Status guard = step_guard(low_health, cfg, "lower");
     if (guard.is_ok()) guard = step_guard(high_health, cfg, "upper");
@@ -379,6 +408,10 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
       result.stop = SolverStop::kGuardTripped;
       result.converged = false;
       result.zero_loss = false;
+      // Record the failing level's state before rolling back so the
+      // telemetry shows what tripped the guard (a non-finite pmf yields
+      // occupancy_gap = NaN, serialized as null).
+      finalize_level();
       if (healthy.valid) {
         result.loss = healthy.loss;
         q_low = std::move(healthy.q_low);
@@ -405,12 +438,14 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
       result.zero_loss = true;
       result.converged = true;
       result.stop = SolverStop::kZeroLoss;
+      finalize_level();
       break;
     }
     const double gap = result.loss.relative_gap();
     if (gap <= cfg.target_relative_gap) {
       result.converged = true;
       result.stop = SolverStop::kConverged;
+      finalize_level();
       break;
     }
     if (result.iterations >= cfg.max_total_iterations) {
@@ -419,6 +454,7 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
                        "relative gap " + format_g(gap) + " still above target " +
                            format_g(cfg.target_relative_gap) + " after " +
                            std::to_string(result.iterations) + " iterations");
+      finalize_level();
       break;
     }
 
@@ -442,10 +478,12 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
                          "relative gap " + format_g(gap) + " still above target " +
                              format_g(cfg.target_relative_gap) + " at max_bins = " +
                              std::to_string(cfg.max_bins));
+        finalize_level();
         break;
       }
       // Footnote 3: double M and re-seed the fine recursion from the
       // current coarse distributions (grid point j d maps to 2j (d/2)).
+      finalize_level();
       const std::size_t fine = bins * 2;
       std::vector<double> ql(fine + 1, 0.0), qh(fine + 1, 0.0);
       for (std::size_t j = 0; j <= bins; ++j) {
@@ -460,6 +498,11 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
       level_iterations = 0;
       stalled_checks = 0;
       prev_gap = std::numeric_limits<double>::infinity();
+      level_tel = obs::LevelTelemetry{};
+      level_tel.bins = bins;
+      level_start = obs::now();
+      if (obs::TraceSession::enabled())
+        obs::instant("solver.refine", "solver", "\"bins\": " + std::to_string(bins));
     }
   }
 
@@ -474,6 +517,28 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
     // No healthy state survived: report the vacuous occupancy bracket.
     result.mean_queue_lower = 0.0;
     result.mean_queue_upper = buffer_;
+  }
+
+  if (cfg.collect_telemetry) result.telemetry.total_seconds = obs::seconds_since(solve_start);
+  if constexpr (obs::kObsEnabled) {
+    auto& reg = obs::Registry::global();
+    static obs::Counter& solves =
+        reg.counter("lrd_solver_solves_total", "Fluid-queue solves completed (any stop reason)");
+    static obs::Counter& iters =
+        reg.counter("lrd_solver_iterations_total", "Solver iterations (epochs) across all solves");
+    static obs::Counter& guard_trips = reg.counter(
+        "lrd_solver_guard_trips_total", "Solves ended by a numerical-health guard trip");
+    static obs::Histogram& seconds =
+        reg.histogram("lrd_solver_solve_seconds", "Wall time per fluid-queue solve");
+    solves.inc();
+    iters.inc(result.iterations);
+    if (result.stop == SolverStop::kGuardTripped) guard_trips.inc();
+    seconds.observe(obs::seconds_since(solve_start));
+    if (obs::TraceSession::enabled())
+      solve_span.annotate("\"bins\": " + std::to_string(result.final_bins) +
+                          ", \"iterations\": " + std::to_string(result.iterations) +
+                          ", \"levels\": " + std::to_string(result.levels) + ", \"stop\": \"" +
+                          solver_stop_name(result.stop) + "\"");
   }
   return result;
 }

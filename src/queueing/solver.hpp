@@ -22,6 +22,7 @@
 #include "dist/epoch.hpp"
 #include "dist/marginal.hpp"
 #include "numerics/grid.hpp"
+#include "obs/telemetry.hpp"
 #include "queueing/loss.hpp"
 
 namespace lrd::queueing {
@@ -59,6 +60,13 @@ struct SolverConfig {
   /// Relative slack tolerated before lower > upper counts as an inverted
   /// bracket (Prop. II.1 violation).
   double bracket_tolerance = 1e-9;
+
+  /// Record per-level convergence telemetry (bin count, iterations, loss
+  /// bracket, sup-norm occupancy gap, worst mass drift, wall time) into
+  /// SolverResult::telemetry. Off by default: collection costs one pmf
+  /// scan per level plus a few timer reads. Does NOT affect the numerics
+  /// and is deliberately excluded from the solver-cache config hash.
+  bool collect_telemetry = false;
 
   /// Ok, or a kInvalidConfig diagnostic with a precise message. Called by
   /// every public solve entry point.
@@ -115,6 +123,10 @@ struct SolverResult {
   /// Mean queue occupancy bracket from the final pmfs.
   double mean_queue_lower = 0.0;
   double mean_queue_upper = 0.0;
+
+  /// Per-level convergence audit trail; empty unless
+  /// SolverConfig::collect_telemetry was set.
+  obs::SolverTelemetry telemetry;
 
   /// Midpoint loss with the zero-loss convention applied.
   double loss_estimate() const noexcept { return zero_loss ? 0.0 : loss.mid(); }

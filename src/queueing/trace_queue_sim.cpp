@@ -7,6 +7,7 @@
 
 #include "core/status.hpp"
 #include "numerics/special_functions.hpp"
+#include "obs/trace.hpp"
 
 namespace lrd::queueing {
 
@@ -21,6 +22,10 @@ TraceSimResult simulate_trace_queue(const traffic::RateTrace& trace, double serv
     throw bad("service rate is finite and > 0", "service_rate = " + std::to_string(service_rate));
   if (!(buffer > 0.0) || !std::isfinite(buffer))
     throw bad("buffer is finite and > 0", "buffer = " + std::to_string(buffer));
+
+  obs::Span sim_span("sim.trace_queue", "sim");
+  if (obs::TraceSession::enabled())
+    sim_span.annotate("\"bins\": " + std::to_string(trace.size()));
 
   const double delta = trace.bin_seconds();
   const double service_per_slot = service_rate * delta;

@@ -3,6 +3,9 @@
 #include <cinttypes>
 #include <filesystem>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace lrd::runtime {
 
 namespace {
@@ -11,10 +14,27 @@ namespace {
 // back by strtod, so non-finite cached values survive the text format too.
 constexpr const char* kValueFormat = "%016" PRIx64 " %.17g\n";
 
+obs::Counter& hits_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("lrd_cache_hits_total",
+                                                           "Solver-cache lookup hits");
+  return c;
+}
+obs::Counter& misses_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("lrd_cache_misses_total",
+                                                           "Solver-cache lookup misses");
+  return c;
+}
+obs::Counter& stores_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("lrd_cache_stores_total",
+                                                           "Solver-cache stores");
+  return c;
+}
+
 }  // namespace
 
 SolverCache::SolverCache(const std::string& disk_dir) {
   if (disk_dir.empty()) return;
+  obs::Span load_span("cache.load_disk", "cache");
   std::error_code ec;
   std::filesystem::create_directories(disk_dir, ec);  // best effort; open decides
   file_path_ = (std::filesystem::path(disk_dir) / "solver_cache.txt").string();
@@ -32,6 +52,8 @@ SolverCache::SolverCache(const std::string& disk_dir) {
     std::fclose(in);
   }
   file_ = std::fopen(file_path_.c_str(), "a");
+  if (obs::TraceSession::enabled())
+    load_span.annotate("\"loaded\": " + std::to_string(stats_.loaded));
 }
 
 SolverCache::~SolverCache() {
@@ -43,9 +65,13 @@ std::optional<double> SolverCache::lookup(std::uint64_t key) {
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++stats_.misses;
+    misses_counter().inc();
+    obs::instant("cache.miss", "cache");
     return std::nullopt;
   }
   ++stats_.hits;
+  hits_counter().inc();
+  obs::instant("cache.hit", "cache");
   return it->second;
 }
 
@@ -53,6 +79,7 @@ void SolverCache::store(std::uint64_t key, double value) {
   std::lock_guard<std::mutex> lock(mu_);
   const bool fresh = map_.emplace(key, value).second;
   ++stats_.stores;
+  stores_counter().inc();
   if (fresh && file_) {
     std::fprintf(file_, kValueFormat, key, value);
     std::fflush(file_);  // a killed run keeps everything stored so far

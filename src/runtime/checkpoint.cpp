@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <string_view>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace lrd::runtime {
 
 SweepCheckpoint::SweepCheckpoint(std::string path, std::uint64_t config_hash,
@@ -61,6 +64,12 @@ bool SweepCheckpoint::flush() {
 }
 
 bool SweepCheckpoint::flush_locked() {
+  obs::Span flush_span("checkpoint.flush", "checkpoint");
+  if (obs::TraceSession::enabled())
+    flush_span.annotate("\"cells\": " + std::to_string(cells_.size()));
+  static obs::Counter& flushes = obs::Registry::global().counter(
+      "lrd_checkpoint_flushes_total", "Checkpoint flushes (atomic rewrite of the cell log)");
+  flushes.inc();
   const std::string tmp = path_ + ".tmp";
   std::FILE* out = std::fopen(tmp.c_str(), "w");
   if (!out) return false;

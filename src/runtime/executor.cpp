@@ -5,14 +5,47 @@
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lrd::runtime {
 
 namespace {
 
+using obs::seconds_since;
+
 constexpr std::size_t kDefaultMaxWorkers = 256;
+
+obs::Counter& jobs_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "lrd_executor_jobs_total", "parallel_for jobs completed (including serial fallbacks)");
+  return c;
+}
+obs::Counter& tasks_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("lrd_executor_tasks_total",
+                                                           "Task indices executed by the executor");
+  return c;
+}
+obs::Counter& steals_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "lrd_executor_steals_total", "Successful steals between worker deques");
+  return c;
+}
+obs::Gauge& workers_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge("lrd_executor_workers",
+                                                       "Worker threads alive in the pool");
+  return g;
+}
+obs::Histogram& job_seconds_histogram() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "lrd_executor_job_seconds", "Wall time per parallel_for job");
+  return h;
+}
 
 /// Half-open index range [begin, end). Deques hold disjoint ranges; the
 /// union of every deque's ranges is exactly the set of unstarted tasks.
@@ -26,10 +59,6 @@ struct Range {
 /// to run nested parallel_for calls inline instead of deadlocking on the
 /// single in-flight job slot.
 thread_local bool t_inside_worker = false;
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-}
 
 }  // namespace
 
@@ -117,6 +146,9 @@ struct Executor::Impl {
           self.items += r.size();
         }
         job.steals.fetch_add(1, std::memory_order_relaxed);
+        steals_counter().inc();
+        if (obs::TraceSession::enabled())
+          obs::instant("executor.steal", "executor", "\"thief\": " + std::to_string(w));
         return true;
       }
       std::this_thread::yield();
@@ -135,8 +167,11 @@ struct Executor::Impl {
         if (!steal_some(j, w)) break;
         continue;
       }
-      const auto t0 = std::chrono::steady_clock::now();
+      const auto t0 = obs::now();
       try {
+        obs::Span task_span("executor.task", "executor");
+        if (obs::TraceSession::enabled())
+          task_span.annotate("\"index\": " + std::to_string(idx));
         (*j.fn)(idx);
       } catch (...) {
         {
@@ -160,6 +195,7 @@ struct Executor::Impl {
 
   void worker_loop(std::size_t w) {
     t_inside_worker = true;
+    obs::set_thread_name("lrd-worker-" + std::to_string(w));
     std::uint64_t seen = 0;
     for (;;) {
       std::shared_ptr<Job> j;
@@ -180,6 +216,7 @@ struct Executor::Impl {
       const std::size_t w = workers.size();
       workers.emplace_back([this, w] { worker_loop(w); });
     }
+    workers_gauge().set(static_cast<double>(workers.size()));
   }
 };
 
@@ -221,27 +258,36 @@ void Executor::parallel_for(std::size_t n, const std::function<void(std::size_t)
   }
   p = std::min({p, n, impl_->max_workers});
 
+  obs::Span job_span("executor.job", "executor");
+  if (obs::TraceSession::enabled())
+    job_span.annotate("\"n\": " + std::to_string(n) +
+                      ", \"participants\": " + std::to_string(p));
+
   if (p <= 1 || t_inside_worker) {
     // Serial fallback (and nested calls from task bodies, which must not
     // wait on the single job slot they already occupy). A throw stops
     // the loop at once — the same skip-the-rest contract as the pool.
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = obs::now();
     double busy = 0.0;
     std::size_t executed = 0;
     try {
       for (std::size_t i = 0; i < n; ++i) {
-        const auto s0 = std::chrono::steady_clock::now();
+        const auto s0 = obs::now();
         fn(i);
         busy += seconds_since(s0);
         ++executed;
       }
     } catch (...) {
+      tasks_counter().inc(executed);
       if (!t_inside_worker) {
         std::lock_guard<std::mutex> lock(impl_->mu);
         impl_->last_stats = {1, executed, 0, seconds_since(t0), {busy}};
       }
       throw;
     }
+    jobs_counter().inc();
+    tasks_counter().inc(executed);
+    job_seconds_histogram().observe(seconds_since(t0));
     if (!t_inside_worker) {
       std::lock_guard<std::mutex> lock(impl_->mu);
       impl_->last_stats = {1, executed, 0, seconds_since(t0), {busy}};
@@ -266,7 +312,7 @@ void Executor::parallel_for(std::size_t n, const std::function<void(std::size_t)
   }
   job->active.store(p, std::memory_order_relaxed);
   job->busy_seconds.assign(p, 0.0);
-  job->start = std::chrono::steady_clock::now();
+  job->start = obs::now();
 
   {
     std::unique_lock<std::mutex> lock(impl_->mu);
@@ -287,6 +333,10 @@ void Executor::parallel_for(std::size_t n, const std::function<void(std::size_t)
                          seconds_since(job->start), job->busy_seconds};
   }
   impl_->cv_state.notify_all();  // wake any queued submitter
+
+  jobs_counter().inc();
+  tasks_counter().inc(job->executed.load(std::memory_order_relaxed));
+  job_seconds_histogram().observe(seconds_since(job->start));
 
   if (job->error) std::rethrow_exception(job->error);
 }

@@ -69,10 +69,14 @@ void RunManifest::set_cache_stats(const CacheStats& stats) { cache_ = stats; }
 void RunManifest::set_executor_stats(const JobStats& stats) { executor_ = stats; }
 void RunManifest::set_wall_seconds(double seconds) { wall_seconds_ = seconds; }
 
-void RunManifest::add_cell(std::size_t row, std::size_t col, double seconds,
-                           CellSource source) {
+void RunManifest::add_cell(std::size_t row, std::size_t col, double seconds, CellSource source,
+                           std::string telemetry_json) {
   std::lock_guard<std::mutex> lock(mu_);
-  cells_.push_back({row, col, seconds, source});
+  cells_.push_back({row, col, seconds, source, std::move(telemetry_json)});
+}
+
+void RunManifest::set_metrics_json(std::string metrics_json) {
+  metrics_json_ = std::move(metrics_json);
 }
 
 void RunManifest::add_issue(std::string description) {
@@ -155,6 +159,8 @@ std::string RunManifest::to_json() const {
 
   out += "  \"wall_seconds\": " + number(wall_seconds_) + ",\n";
 
+  if (!metrics_json_.empty()) out += "  \"metrics\": " + metrics_json_ + ",\n";
+
   out += "  \"cell_times\": [";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     out += i == 0 ? "\n    " : ",\n    ";
@@ -162,6 +168,7 @@ std::string RunManifest::to_json() const {
                   cells[i].row, cells[i].col, number(cells[i].seconds).c_str());
     out += buf;
     append_escaped(out, source_name(cells[i].source));
+    if (!cells[i].telemetry.empty()) out += ", \"telemetry\": " + cells[i].telemetry;
     out += " }";
   }
   out += cells.empty() ? "],\n" : "\n  ],\n";

@@ -19,7 +19,9 @@
 //   "executor": { "workers": p, "steals": k, "utilization": u,
 //                 "busy_seconds": [...] },
 //   "wall_seconds": w,
-//   "cell_times": [ { "row": r, "col": c, "seconds": s, "source": "computed" }, ... ],
+//   "metrics": { ... },    // optional: obs::Registry JSON snapshot
+//   "cell_times": [ { "row": r, "col": c, "seconds": s, "source": "computed",
+//                     "telemetry": { ... } }, ... ],  // telemetry optional
 //   "issues": [ "<diagnostic>", ... ]
 // }
 #pragma once
@@ -51,8 +53,15 @@ class RunManifest {
   void set_executor_stats(const JobStats& stats);
   void set_wall_seconds(double seconds);
 
-  /// Records one finished cell (thread-safe).
-  void add_cell(std::size_t row, std::size_t col, double seconds, CellSource source);
+  /// Records one finished cell (thread-safe). `telemetry_json`, when
+  /// non-empty, is a serialized obs::SolverTelemetry object emitted
+  /// verbatim as the cell's "telemetry" key.
+  void add_cell(std::size_t row, std::size_t col, double seconds, CellSource source,
+                std::string telemetry_json = {});
+
+  /// Attaches a metrics-registry JSON snapshot (obs::Registry::to_json),
+  /// emitted verbatim under the "metrics" key; empty = omitted.
+  void set_metrics_json(std::string metrics_json);
   /// Records one degraded-cell diagnostic (thread-safe).
   void add_issue(std::string description);
 
@@ -71,6 +80,7 @@ class RunManifest {
     std::size_t row, col;
     double seconds;
     CellSource source;
+    std::string telemetry;  // raw JSON object, empty = none
   };
 
   std::string tool_;
@@ -81,6 +91,7 @@ class RunManifest {
   CacheStats cache_;
   JobStats executor_;
   double wall_seconds_ = 0.0;
+  std::string metrics_json_;
 
   mutable std::mutex mu_;  // guards cells_ and issues_ during the parallel phase
   std::vector<Cell> cells_;

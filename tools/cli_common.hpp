@@ -2,8 +2,14 @@
 //
 // Supports `--name value` and `--name=value` forms plus valueless boolean
 // flags; unknown flags are an error (fail fast beats silently ignoring a
-// typo in an experiment). `--help` is recognized everywhere and wins over
-// any other parse problem, so `tool --help` never throws.
+// typo in an experiment). `--help` and `--version` are recognized
+// everywhere and win over any other parse problem, so `tool --help` /
+// `tool --version` never throw.
+//
+// Observability wiring: every tool accepts `--metrics-out FILE` (metrics
+// registry snapshot on exit; ".json" suffix selects JSON, anything else
+// Prometheus text) and `--trace-out FILE` (Chrome trace-event JSON; the
+// LRDQ_TRACE env var supplies a default path). See setup_observability.
 #pragma once
 
 #include <algorithm>
@@ -16,6 +22,9 @@
 #include <vector>
 
 #include "core/status.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/version.hpp"
 
 namespace lrd::cli {
 
@@ -29,9 +38,14 @@ class Args {
   Args(int argc, char** argv, std::vector<std::string> known, std::vector<std::string> flags = {})
       : known_(std::move(known)), flags_(std::move(flags)) {
     flags_.push_back("help");
-    for (int i = 1; i < argc; ++i)
+    flags_.push_back("version");
+    known_.push_back("metrics-out");
+    known_.push_back("trace-out");
+    for (int i = 1; i < argc; ++i) {
       if (std::string(argv[i]) == "--help") help_ = true;
-    if (help_) return;
+      if (std::string(argv[i]) == "--version") version_ = true;
+    }
+    if (help_ || version_) return;
     for (int i = 1; i < argc; ++i) {
       std::string token = argv[i];
       if (token.rfind("--", 0) != 0)
@@ -63,6 +77,9 @@ class Args {
 
   /// True when --help appeared anywhere on the command line.
   bool help() const noexcept { return help_; }
+
+  /// True when --version appeared anywhere on the command line.
+  bool version() const noexcept { return version_; }
 
   bool has(const std::string& name) const {
     return name == "help" ? help_ : values_.count(name) > 0;
@@ -110,7 +127,47 @@ class Args {
   std::vector<std::string> flags_;
   std::map<std::string, std::string> values_;
   bool help_ = false;
+  bool version_ = false;
 };
+
+/// Prints the standard version block (git describe, build type,
+/// compiler, solver-cache salt) and returns 0 for the tool to exit with.
+inline int print_version(const char* tool) {
+  std::fputs(lrd::obs::version_string(tool).c_str(), stdout);
+  return 0;
+}
+
+/// Where the tool's observability artifacts go, captured at startup so
+/// the paths survive until finish_observability at exit.
+struct ObsSetup {
+  std::string metrics_path;  // empty = no metrics snapshot
+  std::string trace_path;    // empty = tracing stays off
+};
+
+/// Reads `--metrics-out` / `--trace-out` (LRDQ_TRACE env supplies the
+/// trace default) and enables the trace session when a trace path is
+/// set. Call once, right after --help/--version handling.
+inline ObsSetup setup_observability(const Args& args) {
+  ObsSetup setup;
+  setup.metrics_path = args.get("metrics-out", "");
+  setup.trace_path = args.get("trace-out", "");
+  if (setup.trace_path.empty()) {
+    if (const char* env = std::getenv("LRDQ_TRACE")) setup.trace_path = env;
+  }
+  if (!setup.trace_path.empty()) lrd::obs::TraceSession::enable();
+  return setup;
+}
+
+/// Writes the metrics snapshot and/or trace JSON configured by
+/// setup_observability. Failures warn on stderr but never change the
+/// tool's exit code: observability must not fail a run that succeeded.
+inline void finish_observability(const ObsSetup& setup) {
+  if (!setup.metrics_path.empty() &&
+      !lrd::obs::Registry::global().write_file(setup.metrics_path))
+    std::fprintf(stderr, "warning: could not write metrics to %s\n", setup.metrics_path.c_str());
+  if (!setup.trace_path.empty() && !lrd::obs::TraceSession::write_file(setup.trace_path))
+    std::fprintf(stderr, "warning: could not write trace to %s\n", setup.trace_path.c_str());
+}
 
 /// Resolves the worker-thread count for a tool: `--threads N` wins, then
 /// the LRDQ_THREADS environment variable, then 0 ("use hardware

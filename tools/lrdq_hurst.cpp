@@ -18,7 +18,10 @@
 
 namespace {
 
-constexpr const char* kUsage = "usage: lrdq_hurst --trace FILE [--bins 50]\n       lrdq_hurst --help";
+constexpr const char* kUsage =
+    "usage: lrdq_hurst --trace FILE [--bins 50]\n"
+    "                  [--metrics-out FILE] [--trace-out FILE]\n"
+    "       lrdq_hurst --help | --version";
 
 }  // namespace
 
@@ -30,6 +33,8 @@ int main(int argc, char** argv) {
       std::printf("%s\n", kUsage);
       return 0;
     }
+    if (args.version()) return cli::print_version("lrdq_hurst");
+    const cli::ObsSetup obs_setup = cli::setup_observability(args);
     if (!args.has("trace")) throw std::invalid_argument("--trace is required");
     const auto trace = traffic::RateTrace::load_file(args.get("trace", ""));
     const std::size_t bins = args.get_size("bins", 50);
@@ -56,6 +61,7 @@ int main(int argc, char** argv) {
                 marginal.size(), marginal.mean(), marginal.stddev());
     std::printf("mean epoch (same-bin run length): %.4f s\n",
                 analysis::mean_epoch_seconds(trace, bins));
+    cli::finish_observability(obs_setup);
     return 0;
   });
 }

@@ -23,9 +23,27 @@ constexpr const char* kUsage =
     "usage: lrdq_solve --rates r1,r2,... --probs p1,p2,...\n"
     "                  [--hurst 0.85] [--mean-epoch 0.05] [--cutoff 10|inf]\n"
     "                  [--utilization 0.8] [--buffer 0.5] [--gap 0.2] [--max-bins 16384]\n"
-    "       lrdq_solve --help\n"
+    "                  [--telemetry-out FILE] [--metrics-out FILE] [--trace-out FILE]\n"
+    "       lrdq_solve --help | --version\n"
+    "observability: --telemetry-out writes per-level convergence telemetry\n"
+    "      (JSON); --metrics-out writes a metrics snapshot (.json = JSON,\n"
+    "      else Prometheus text); --trace-out (or LRDQ_TRACE) writes a\n"
+    "      Chrome trace-event JSON loadable in Perfetto.\n"
     "exit codes: 0 ok, 1 not converged, 2 usage, 3 bad config,\n"
     "            4 parse, 5 I/O, 6 numerical guard / budget";
+
+/// Atomic-enough write of the telemetry JSON; warns but never fails the
+/// solve (same contract as finish_observability).
+void write_telemetry(const std::string& path, const lrd::obs::SolverTelemetry& telemetry) {
+  if (std::FILE* out = std::fopen(path.c_str(), "w")) {
+    const std::string json = telemetry.to_json();
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+  } else {
+    std::fprintf(stderr, "warning: could not write telemetry to %s\n", path.c_str());
+  }
+}
 
 }  // namespace
 
@@ -34,11 +52,13 @@ int main(int argc, char** argv) {
   return cli::run_tool(kUsage, [&] {
     cli::Args args(argc, argv,
                    {"rates", "probs", "hurst", "mean-epoch", "cutoff", "utilization", "buffer",
-                    "gap", "max-bins"});
+                    "gap", "max-bins", "telemetry-out"});
     if (args.help()) {
       std::printf("%s\n", kUsage);
       return 0;
     }
+    if (args.version()) return cli::print_version("lrdq_solve");
+    const cli::ObsSetup obs_setup = cli::setup_observability(args);
     if (!args.has("rates") || !args.has("probs"))
       throw std::invalid_argument("--rates and --probs are required");
 
@@ -62,6 +82,8 @@ int main(int argc, char** argv) {
     queueing::SolverConfig scfg;
     scfg.target_relative_gap = args.get_double("gap", 0.2);
     scfg.max_bins = args.get_size("max-bins", 1 << 14);
+    const std::string telemetry_path = args.get("telemetry-out", "");
+    scfg.collect_telemetry = !telemetry_path.empty();
     const auto result = model.solve(scfg);
 
     std::printf("\nloss rate: %.6e  (bracket [%.6e, %.6e], rel. gap %.3f)\n",
@@ -88,6 +110,8 @@ int main(int argc, char** argv) {
       std::printf("correlation horizon (Eq. 26, p = 0.05): %.3f s\n",
                   core::correlation_horizon(marginal, *model.epochs(), model.buffer()));
     }
+    if (!telemetry_path.empty()) write_telemetry(telemetry_path, result.telemetry);
+    cli::finish_observability(obs_setup);
     if (result.converged) return 0;
     return result.status.is_ok() ? 1 : lrd::exit_code_for(result.status.category());
   });

@@ -26,13 +26,21 @@ constexpr const char* kUsage =
     "                  [--gap 0.2] [--seed 7]\n"
     "                  [--threads N] [--cache-dir DIR]\n"
     "                  [--checkpoint FILE [--resume]] [--manifest FILE]\n"
-    "       lrdq_sweep --help\n"
+    "                  [--solver-telemetry] [--progress]\n"
+    "                  [--metrics-out FILE] [--trace-out FILE]\n"
+    "       lrdq_sweep --help | --version\n"
     "runtime: --threads 0 (or unset) uses hardware concurrency; the\n"
     "      LRDQ_THREADS env var supplies the default. --cache-dir enables\n"
     "      the on-disk solver result cache. --checkpoint writes progress\n"
     "      periodically; rerun with --resume to skip completed cells.\n"
     "      --manifest records per-cell timings and cache/executor stats\n"
     "      as JSON.\n"
+    "observability: --solver-telemetry attaches per-solve convergence\n"
+    "      records to the manifest's cell_times; --progress draws a\n"
+    "      stderr heartbeat (cells done, ETA, cache hit-rate);\n"
+    "      --metrics-out writes a metrics snapshot (.json = JSON, else\n"
+    "      Prometheus text); --trace-out (or LRDQ_TRACE) writes a Chrome\n"
+    "      trace-event JSON loadable in Perfetto.\n"
     "note: list entries for --cutoffs may not include 'inf'; pass a large\n"
     "      number for the model, or use --trace mode where the largest\n"
     "      cutoff >= trace duration behaves as unshuffled.";
@@ -46,11 +54,13 @@ int main(int argc, char** argv) {
                    {"rates", "probs", "trace", "buffers", "cutoffs", "hurst", "mean-epoch",
                     "utilization", "gap", "seed", "threads", "cache-dir", "checkpoint",
                     "manifest"},
-                   {"resume"});
+                   {"resume", "solver-telemetry", "progress"});
     if (args.help()) {
       std::printf("%s\n", kUsage);
       return 0;
     }
+    if (args.version()) return cli::print_version("lrdq_sweep");
+    const cli::ObsSetup obs_setup = cli::setup_observability(args);
     const auto buffers = args.get_list("buffers", {0.05, 0.2, 1.0});
     const auto cutoffs = args.get_list("cutoffs", {0.1, 1.0, 10.0});
     const double utilization = args.get_double("utilization", 0.8);
@@ -66,6 +76,9 @@ int main(int argc, char** argv) {
     opts.checkpoint_path = args.get("checkpoint", "");
     opts.resume = args.has("resume");
     opts.manifest = manifest_path.empty() ? nullptr : &manifest;
+    opts.solver_telemetry = args.has("solver-telemetry");
+    opts.progress = args.has("progress");
+    opts.progress_label = "lrdq_sweep";
 
     manifest.set_tool("lrdq_sweep");
     for (const char* key : {"rates", "probs", "trace", "buffers", "cutoffs", "hurst",
@@ -96,6 +109,7 @@ int main(int argc, char** argv) {
       if (!manifest.write_file(manifest_path))
         std::fprintf(stderr, "warning: could not write manifest %s\n", manifest_path.c_str());
     }
+    cli::finish_observability(obs_setup);
     return table.ok() ? 0 : 1;
   });
 }

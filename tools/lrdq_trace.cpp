@@ -19,7 +19,8 @@ constexpr const char* kUsage =
     "usage: lrdq_trace --out FILE [--preset mtv|bellcore]\n"
     "                  [--hurst 0.85] [--mean 10] [--cov 0.4]\n"
     "                  [--delta 0.01] [--samples 131072] [--seed 1]\n"
-    "       lrdq_trace --help";
+    "                  [--metrics-out FILE] [--trace-out FILE]\n"
+    "       lrdq_trace --help | --version";
 
 }  // namespace
 
@@ -32,6 +33,8 @@ int main(int argc, char** argv) {
       std::printf("%s\n", kUsage);
       return 0;
     }
+    if (args.version()) return cli::print_version("lrdq_trace");
+    const cli::ObsSetup obs_setup = cli::setup_observability(args);
     if (!args.has("out")) throw std::invalid_argument("--out is required");
     const std::string out = args.get("out", "");
 
@@ -55,6 +58,7 @@ int main(int argc, char** argv) {
     trace.save_file(out);
     std::printf("wrote %zu samples (Delta = %.5f s, mean %.4f Mb/s, H target %.2f) to %s\n",
                 trace.size(), trace.bin_seconds(), trace.mean(), spec.hurst, out.c_str());
+    cli::finish_observability(obs_setup);
     return 0;
   });
 }

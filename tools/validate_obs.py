@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Validate lrd::obs run artifacts against the checked-in JSON schema.
+
+Standard library only (CI runners have no jsonschema package): this
+implements exactly the JSON-Schema subset schemas/obs_artifacts.schema.json
+uses -- type, enum, required, properties, additionalProperties, items,
+$ref into #/$defs, minimum, minItems -- plus the semantic checks a shape
+schema cannot express:
+
+  * manifest: per-cell solver telemetry brackets must not widen across
+    refinement levels (Proposition II.1 made observable), and with
+    --require-telemetry at least one cell must carry telemetry;
+  * telemetry: the same bracket check on a bare `lrdq_solve
+    --telemetry-out` file;
+  * trace:    events must be sorted by timestamp, and with
+    --require-events at least one complete ("X") span must be present;
+  * metrics:  every --require NAME must name a metric in the snapshot.
+
+Usage:
+  validate_obs.py --kind metrics|trace|manifest|telemetry [--schema FILE]
+                  [--require NAME]... [--require-telemetry]
+                  [--require-events] ARTIFACT.json
+
+Exit code 0 when valid, 1 with one "path: problem" line per violation.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+
+def type_ok(value, name):
+    if name == "object":
+        return isinstance(value, dict)
+    if name == "array":
+        return isinstance(value, list)
+    if name == "string":
+        return isinstance(value, str)
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if name == "boolean":
+        return isinstance(value, bool)
+    if name == "null":
+        return value is None
+    raise ValueError(f"schema uses unsupported type {name!r}")
+
+
+def validate(value, schema, root, path, errors):
+    if "$ref" in schema:
+        ref = schema["$ref"]
+        if not ref.startswith("#/$defs/"):
+            raise ValueError(f"unsupported $ref {ref!r}")
+        validate(value, root["$defs"][ref[len("#/$defs/"):]], root, path, errors)
+        return
+
+    if "type" in schema:
+        names = schema["type"] if isinstance(schema["type"], list) else [schema["type"]]
+        if not any(type_ok(value, n) for n in names):
+            errors.append(f"{path}: expected {' or '.join(names)}, "
+                          f"got {type(value).__name__}")
+            return
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']}")
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        if not (isinstance(value, float) and math.isnan(value)) \
+                and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, sub in value.items():
+            if key in props:
+                validate(sub, props[key], root, f"{path}.{key}", errors)
+            elif isinstance(extra, dict):
+                validate(sub, extra, root, f"{path}.{key}", errors)
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{path}: {len(value)} items < minItems {schema['minItems']}")
+        if "items" in schema:
+            for i, item in enumerate(value):
+                validate(item, schema["items"], root, f"{path}[{i}]", errors)
+
+
+def check_telemetry(telemetry, path, errors):
+    """The audit trail of Prop. II.1: refinement must not widen the bracket."""
+    widths = [lvl.get("bracket_width") for lvl in telemetry.get("levels", [])]
+    finite = [w for w in widths if isinstance(w, (int, float))]
+    for earlier, later in zip(finite, finite[1:]):
+        if later > earlier * (1 + 1e-9) + 1e-12:
+            errors.append(f"{path}: bracket widened across levels "
+                          f"({earlier:g} -> {later:g})")
+            break
+
+
+def semantic_checks(kind, doc, args, errors):
+    if kind == "metrics":
+        for name in args.require:
+            if name not in doc:
+                errors.append(f"$.{name}: required metric missing from snapshot")
+    elif kind == "trace":
+        events = doc.get("traceEvents", [])
+        stamps = [e["ts"] for e in events if isinstance(e, dict) and "ts" in e]
+        if any(b < a for a, b in zip(stamps, stamps[1:])):
+            errors.append("$.traceEvents: events not sorted by ts")
+        names = {e.get("name") for e in events if isinstance(e, dict)}
+        if args.require_events and not any(
+                e.get("ph") == "X" for e in events if isinstance(e, dict)):
+            errors.append("$.traceEvents: no complete (ph=X) span recorded")
+        for name in args.require:
+            if name not in names:
+                errors.append(f"$.traceEvents: no event named {name!r}")
+    elif kind == "telemetry":
+        check_telemetry(doc, "$", errors)
+    elif kind == "manifest":
+        with_telemetry = 0
+        for i, cell in enumerate(doc.get("cell_times", [])):
+            if isinstance(cell, dict) and "telemetry" in cell:
+                with_telemetry += 1
+                check_telemetry(cell["telemetry"], f"$.cell_times[{i}].telemetry",
+                                errors)
+        if args.require_telemetry and with_telemetry == 0:
+            errors.append("$.cell_times: no cell carries solver telemetry")
+        for name in args.require:
+            if name not in doc.get("metrics", {}):
+                errors.append(f"$.metrics.{name}: required metric missing")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kind", required=True,
+                        choices=["metrics", "trace", "manifest", "telemetry"])
+    parser.add_argument("--schema",
+                        default=os.path.join(os.path.dirname(__file__), os.pardir,
+                                             "schemas", "obs_artifacts.schema.json"))
+    parser.add_argument("--require", action="append", default=[],
+                        help="metric/event name that must be present")
+    parser.add_argument("--require-telemetry", action="store_true",
+                        help="manifest: at least one cell must carry telemetry")
+    parser.add_argument("--require-events", action="store_true",
+                        help="trace: at least one complete span must be present")
+    parser.add_argument("artifact")
+    args = parser.parse_args()
+
+    with open(args.schema, encoding="utf-8") as fh:
+        root = json.load(fh)
+    try:
+        with open(args.artifact, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except json.JSONDecodeError as err:
+        print(f"{args.artifact}: not valid JSON: {err}", file=sys.stderr)
+        return 1
+
+    errors = []
+    validate(doc, root["$defs"][args.kind], root, "$", errors)
+    semantic_checks(args.kind, doc, args, errors)
+
+    if errors:
+        for err in errors:
+            print(f"{args.artifact}: {err}", file=sys.stderr)
+        return 1
+    print(f"{args.artifact}: valid {args.kind}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
