@@ -7,7 +7,6 @@
 // acceptance test of the reproduction.
 #pragma once
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -16,6 +15,7 @@
 
 #include "cli_common.hpp"
 #include "core/experiment.hpp"
+#include "obs/clock.hpp"
 
 namespace lrd::bench {
 
@@ -85,15 +85,15 @@ inline void finish_manifest(const FigureOptions& fo, const core::SweepTable& tab
     std::fprintf(stderr, "warning: could not write manifest %s\n", fo.manifest_path.c_str());
 }
 
+/// Thin wrapper over the shared steady clock (obs/clock.hpp) — the same
+/// time base the harness, executor and trace spans use.
 class Stopwatch {
  public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
-  double seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
-  }
+  Stopwatch() : start_(obs::now()) {}
+  double seconds() const { return obs::seconds_since(start_); }
 
  private:
-  std::chrono::steady_clock::time_point start_;
+  obs::SteadyTime start_;
 };
 
 inline void print_header(const std::string& figure, const std::string& description) {

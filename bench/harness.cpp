@@ -1,0 +1,129 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/version.hpp"
+
+namespace lrd::bench {
+
+EnvFingerprint environment_fingerprint() {
+  EnvFingerprint env;
+  env.git_describe = obs::git_describe();
+  env.build_type = obs::build_type();
+  env.compiler = obs::compiler();
+  env.cpu_count = std::thread::hardware_concurrency();
+  env.obs_enabled = obs::kObsEnabled;
+  return env;
+}
+
+std::string bench_record_json(const std::string& bench, const BenchRecord& rec,
+                              const EnvFingerprint& env, long long timestamp_unix) {
+  using obs::json::escape;
+  using obs::json::number_text;
+  std::string out = "{\"schema\":\"lrd-bench-v1\"";
+  out += ",\"bench\":" + escape(bench);
+  out += ",\"key\":" + escape(rec.key);
+  out += ",\"unit\":" + escape(rec.unit);
+  out += ",\"warmup\":" + std::to_string(rec.warmup);
+  out += ",\"repeats\":" + std::to_string(rec.repeats);
+  out += ",\"median\":" + number_text(rec.stats.median);
+  out += ",\"mad\":" + number_text(rec.stats.mad);
+  out += ",\"min\":" + number_text(rec.stats.min);
+  out += ",\"mean\":" + number_text(rec.stats.mean);
+  out += ",\"values\":[";
+  for (std::size_t i = 0; i < rec.stats.values.size(); ++i) {
+    if (i) out += ',';
+    out += number_text(rec.stats.values[i]);
+  }
+  out += "],\"metrics\":{";
+  for (std::size_t i = 0; i < rec.metrics.size(); ++i) {
+    if (i) out += ',';
+    out += escape(rec.metrics[i].first) + ":" + number_text(rec.metrics[i].second);
+  }
+  out += "},\"env\":{\"git_describe\":" + escape(env.git_describe);
+  out += ",\"build_type\":" + escape(env.build_type);
+  out += ",\"compiler\":" + escape(env.compiler);
+  out += ",\"cpu_count\":" + std::to_string(env.cpu_count);
+  out += std::string(",\"obs_enabled\":") + (env.obs_enabled ? "true" : "false");
+  out += "},\"timestamp_unix\":" + std::to_string(timestamp_unix) + "}";
+  return out;
+}
+
+Harness::Harness(std::string bench, const cli::Args& args) : bench_(std::move(bench)) {
+  history_path_ = args.get("history", "BENCH_history.jsonl");
+  filter_ = args.get("filter", "");
+  list_ = args.has("list");
+  no_history_ = args.has("no-history");
+  repeats_override_ = args.get_size("repeats", 0);
+  warmup_override_ = args.has("warmup") ? args.get_size("warmup", 0)
+                                        : static_cast<std::size_t>(-1);
+}
+
+std::vector<std::string> Harness::value_flags(std::vector<std::string> extra) {
+  extra.push_back("history");
+  extra.push_back("filter");
+  extra.push_back("repeats");
+  extra.push_back("warmup");
+  return extra;
+}
+
+std::vector<std::string> Harness::bool_flags(std::vector<std::string> extra) {
+  extra.push_back("list");
+  extra.push_back("no-history");
+  return extra;
+}
+
+void Harness::add(const std::string& name, RepeatPolicy policy,
+                  std::function<void(Case&)> fn) {
+  case_headers_.emplace_back(bench_ + "/" + name, policy);
+  case_bodies_.push_back(std::move(fn));
+}
+
+int Harness::run() {
+  if (list_) {
+    for (const auto& [key, policy] : case_headers_) std::printf("%s\n", key.c_str());
+    return 0;
+  }
+  const EnvFingerprint env = environment_fingerprint();
+  std::printf("%s: %s, %s, %s, %zu cpus, obs %s\n", bench_.c_str(), env.git_describe.c_str(),
+              env.build_type.c_str(), env.compiler.c_str(), env.cpu_count,
+              env.obs_enabled ? "on" : "off");
+
+  for (std::size_t i = 0; i < case_headers_.size(); ++i) {
+    const auto& [key, policy] = case_headers_[i];
+    if (!filter_.empty() && key.find(filter_) == std::string::npos) continue;
+    Case c;
+    c.record_.key = key;
+    c.record_.warmup = warmup_override_ != static_cast<std::size_t>(-1) ? warmup_override_
+                                                                        : policy.warmup;
+    c.record_.repeats = repeats_override_ != 0 ? repeats_override_ : policy.repeats;
+    case_bodies_[i](c);
+    c.record_.stats = obs::robust_stats(std::move(c.record_.stats.values));
+    std::printf("%-44s median %11.4g %-8s mad %9.3g  min %11.4g  (x%zu)", key.c_str(),
+                c.record_.stats.median, c.record_.unit.c_str(), c.record_.stats.mad,
+                c.record_.stats.min, c.record_.repeats);
+    for (const auto& [name, value] : c.record_.metrics)
+      std::printf("  %s=%.4g", name.c_str(), value);
+    std::printf("\n");
+    records_.push_back(std::move(c.record_));
+  }
+
+  if (no_history_ || history_path_.empty()) return 0;
+  std::FILE* out = std::fopen(history_path_.c_str(), "ab");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot append to %s\n", history_path_.c_str());
+    return 5;
+  }
+  const auto timestamp = static_cast<long long>(std::time(nullptr));
+  for (const BenchRecord& rec : records_)
+    std::fprintf(out, "%s\n", bench_record_json(bench_, rec, env, timestamp).c_str());
+  std::fclose(out);
+  std::printf("appended %zu record%s to %s\n", records_.size(),
+              records_.size() == 1 ? "" : "s", history_path_.c_str());
+  return 0;
+}
+
+}  // namespace lrd::bench

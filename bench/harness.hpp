@@ -1,0 +1,155 @@
+// Unified microbenchmark harness.
+//
+// Each micro_* binary registers named benchmarks against a Harness; the
+// harness owns the warmup/repeat policy, computes outlier-robust
+// statistics (median + MAD, min-of-k) over the repeat samples, prints an
+// aligned summary, and appends one "lrd-bench-v1" JSON line per
+// benchmark to the shared append-only history (BENCH_history.jsonl by
+// default). Every record carries an environment fingerprint — git
+// describe, build type, compiler, CPU count, whether lrd::obs was
+// compiled in — so `lrdq_bench_check` can judge a candidate run against
+// comparable baselines.
+//
+// Common flags (parsed from the cli::Args the binary constructs with
+// Harness::value_flags() / Harness::bool_flags()):
+//   --history FILE   history sink (default BENCH_history.jsonl)
+//   --no-history     measure and print, write nothing
+//   --filter SUBSTR  run only benchmarks whose key contains SUBSTR
+//   --list           print registered keys and exit
+//   --repeats N      override every case's repeat count
+//   --warmup N       override every case's warmup count
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cli_common.hpp"
+#include "obs/clock.hpp"
+#include "obs/regress.hpp"
+
+namespace lrd::bench {
+
+/// Where and how a history record was produced.
+struct EnvFingerprint {
+  std::string git_describe;
+  std::string build_type;
+  std::string compiler;
+  std::size_t cpu_count = 0;
+  bool obs_enabled = true;
+};
+
+/// Fingerprint of this build and machine.
+EnvFingerprint environment_fingerprint();
+
+/// One benchmark's measured result.
+struct BenchRecord {
+  std::string key;
+  std::string unit = "seconds";
+  std::size_t warmup = 0;
+  std::size_t repeats = 0;
+  obs::RobustStats stats;
+  /// Auxiliary numbers riding on the record (telemetry aggregates,
+  /// speedups, hit rates); `lrdq_bench_check` gates some by name.
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// One "lrd-bench-v1" history line (no trailing newline). Split out so
+/// tests can build golden history files from synthetic records.
+std::string bench_record_json(const std::string& bench, const BenchRecord& rec,
+                              const EnvFingerprint& env, long long timestamp_unix);
+
+/// Warmup/repeat policy for one case. The defaults suit second-scale
+/// workloads; primitive-cost cases use fewer repeats of many iterations.
+struct RepeatPolicy {
+  std::size_t warmup = 1;
+  std::size_t repeats = 5;
+};
+
+/// Handed to each benchmark body: collects samples and metrics.
+class Case {
+ public:
+  std::size_t warmup() const noexcept { return record_.warmup; }
+  std::size_t repeats() const noexcept { return record_.repeats; }
+  /// Samples recorded so far (stats are computed after the body returns;
+  /// bodies that need a mid-run summary call obs::robust_stats on this).
+  const std::vector<double>& samples() const noexcept { return record_.stats.values; }
+
+  void set_unit(std::string unit) { record_.unit = std::move(unit); }
+  void add_sample(double value) { record_.stats.values.push_back(value); }
+  void metric(const std::string& name, double value) {
+    for (auto& [metric_name, metric_value] : record_.metrics)
+      if (metric_name == name) {
+        metric_value = value;
+        return;
+      }
+    record_.metrics.emplace_back(name, value);
+  }
+
+  /// Times `fn` once per sample, in seconds.
+  template <typename Fn>
+  void measure_seconds(Fn&& fn) {
+    for (std::size_t i = 0; i < warmup(); ++i) fn();
+    for (std::size_t i = 0; i < repeats(); ++i) {
+      const obs::SteadyTime t0 = obs::now();
+      fn();
+      add_sample(obs::seconds_since(t0));
+    }
+  }
+
+  /// Times `iters` calls of `fn(i)` per sample, in nanoseconds per call —
+  /// for primitives too cheap to time individually.
+  template <typename Fn>
+  void measure_ns_per_iter(std::size_t iters, Fn&& fn) {
+    set_unit("ns");
+    const auto batch = [&] {
+      const obs::SteadyTime t0 = obs::now();
+      for (std::size_t i = 0; i < iters; ++i) fn(i);
+      return obs::seconds_since(t0) * 1e9 / static_cast<double>(iters);
+    };
+    for (std::size_t i = 0; i < warmup(); ++i) (void)batch();
+    for (std::size_t i = 0; i < repeats(); ++i) add_sample(batch());
+  }
+
+ private:
+  friend class Harness;
+  BenchRecord record_;
+};
+
+class Harness {
+ public:
+  /// `bench` names the emitting binary; keys become "<bench>/<case>".
+  Harness(std::string bench, const cli::Args& args);
+
+  /// The harness flags, plus whatever the binary adds (e.g. "threads").
+  static std::vector<std::string> value_flags(std::vector<std::string> extra = {});
+  static std::vector<std::string> bool_flags(std::vector<std::string> extra = {});
+
+  void add(const std::string& name, RepeatPolicy policy, std::function<void(Case&)> fn);
+  void add(const std::string& name, std::function<void(Case&)> fn) {
+    add(name, RepeatPolicy{}, std::move(fn));
+  }
+
+  /// Runs the registered (and filter-matched) cases in registration
+  /// order, prints one summary line each, appends to the history.
+  /// Returns a process exit code (5 when the history is unwritable).
+  int run();
+
+  const std::vector<BenchRecord>& records() const noexcept { return records_; }
+
+ private:
+  std::string bench_;
+  std::string history_path_;
+  std::string filter_;
+  bool list_ = false;
+  bool no_history_ = false;
+  std::size_t repeats_override_ = 0;  ///< 0 = keep the case's policy.
+  std::size_t warmup_override_ = static_cast<std::size_t>(-1);
+  std::vector<std::pair<std::string, RepeatPolicy>> case_headers_;
+  std::vector<std::function<void(Case&)>> case_bodies_;
+  std::vector<BenchRecord> records_;
+};
+
+}  // namespace lrd::bench

@@ -7,102 +7,106 @@
 // those primitives, then runs the same small model sweep with tracing off
 // and on to bound the end-to-end overhead (budget: < 2% wall time).
 //
-// Results go to stdout and to BENCH_obs.json (override with --json).
-#include <chrono>
+// The overhead estimate is judged against the repeat-noise floor: when
+// the measured delta is inside the jitter of the repeats, the reported
+// overhead clamps at 0 and the record carries below_noise_floor=1 — a
+// "negative overhead" is a measurement artifact, not a speedup.
+//
+// Results print to stdout and append to BENCH_history.jsonl
+// (--history/--no-history to redirect/disable).
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "bench_common.hpp"
 #include "core/experiment.hpp"
+#include "harness.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace {
 
+using namespace lrd;
+
 constexpr const char* kUsage =
-    "usage: micro_obs [--threads N] [--json FILE]\n"
-    "       --threads defaults to 4 (counter-contention stage only);\n"
+    "usage: micro_obs [--threads N] [--filter SUBSTR] [--list] [--repeats N]\n"
+    "                 [--warmup N] [--history FILE] [--no-history]\n"
+    "       --threads defaults to 4 (counter-contention case only);\n"
     "       LRDQ_THREADS overrides the default, 0 means hardware\n"
-    "       concurrency";
-
-double now_seconds() {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-/// Nanoseconds per iteration of `fn` over `iters` runs.
-template <typename Fn>
-double time_ns(std::size_t iters, Fn&& fn) {
-  const double t0 = now_seconds();
-  for (std::size_t i = 0; i < iters; ++i) fn(i);
-  return (now_seconds() - t0) * 1e9 / static_cast<double>(iters);
-}
+    "       concurrency\n"
+    "       micro_obs --help | --version";
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace lrd;
   return cli::run_tool(kUsage, [&] {
-    cli::Args args(argc, argv, {"threads", "json"});
+    cli::Args args(argc, argv, bench::Harness::value_flags({"threads"}),
+                   bench::Harness::bool_flags());
     if (args.help()) {
       std::printf("%s\n", kUsage);
       return 0;
     }
+    if (args.version()) return cli::print_version("micro_obs");
     std::size_t threads = 4;
     if (args.has("threads") || std::getenv("LRDQ_THREADS")) threads = cli::resolve_threads(args);
     if (threads == 0) threads = std::thread::hardware_concurrency();
-    const std::string json_path = args.get("json", "BENCH_obs.json");
-
-    std::printf("micro_obs: obs compiled %s\n", obs::kObsEnabled ? "in" : "out (LRD_DISABLE_OBS)");
+    bench::Harness h("micro_obs", args);
 
     // --- primitive costs -------------------------------------------------
-    constexpr std::size_t kIters = 1u << 22;
+    constexpr std::size_t kIters = 1u << 21;
 
-    obs::TraceSession::disable();
-    const double span_off_ns = time_ns(kIters, [](std::size_t) {
-      obs::Span span("bench.noop", "bench");
+    h.add("span_disabled", {1, 5}, [](bench::Case& c) {
+      obs::TraceSession::disable();
+      c.measure_ns_per_iter(kIters, [](std::size_t) {
+        obs::Span span("bench.noop", "bench");
+      });
     });
-    std::printf("span, tracing off:     %8.2f ns\n", span_off_ns);
 
-    obs::TraceSession::enable();
-    const double span_on_ns = time_ns(kIters, [](std::size_t) {
-      obs::Span span("bench.noop", "bench");
+    h.add("span_enabled", {1, 5}, [](bench::Case& c) {
+      obs::TraceSession::enable();
+      c.measure_ns_per_iter(kIters, [](std::size_t) {
+        obs::Span span("bench.noop", "bench");
+      });
+      obs::TraceSession::disable();
+      obs::TraceSession::clear();
     });
-    obs::TraceSession::disable();
-    obs::TraceSession::clear();
-    std::printf("span, tracing on:      %8.2f ns\n", span_on_ns);
 
-    obs::Counter& counter = obs::Registry::global().counter("bench_obs_counter", "scratch");
-    const double counter_ns = time_ns(kIters, [&](std::size_t) { counter.inc(); });
-    std::printf("counter inc, 1 thread: %8.2f ns\n", counter_ns);
+    h.add("counter_inc", {1, 5}, [](bench::Case& c) {
+      obs::Counter& counter = obs::Registry::global().counter("bench_obs_counter", "scratch");
+      c.measure_ns_per_iter(kIters, [&](std::size_t) { counter.inc(); });
+    });
 
     // Contended increments: all threads hammer the same counter; sharding
     // should keep this near the single-thread cost rather than serializing
     // on one cache line.
-    double counter_mt_ns = 0.0;
-    {
+    h.add("counter_inc_contended", {1, 3}, [threads](bench::Case& c) {
+      c.set_unit("ns");
+      obs::Counter& counter = obs::Registry::global().counter("bench_obs_counter", "scratch");
       const std::size_t per_thread = kIters / threads;
-      std::vector<std::thread> pool;
-      pool.reserve(threads);
-      const double t0 = now_seconds();
-      for (std::size_t w = 0; w < threads; ++w)
-        pool.emplace_back([&] {
-          for (std::size_t i = 0; i < per_thread; ++i) counter.inc();
-        });
-      for (auto& th : pool) th.join();
-      counter_mt_ns =
-          (now_seconds() - t0) * 1e9 / static_cast<double>(per_thread * threads);
-    }
-    std::printf("counter inc, %zu thr:   %8.2f ns\n", threads, counter_mt_ns);
-
-    obs::Histogram& histogram =
-        obs::Registry::global().histogram("bench_obs_histogram", "scratch");
-    const double histogram_ns = time_ns(kIters, [&](std::size_t i) {
-      histogram.observe(1e-6 * static_cast<double>(1 + (i & 1023)));
+      const auto batch = [&] {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        const obs::SteadyTime t0 = obs::now();
+        for (std::size_t w = 0; w < threads; ++w)
+          pool.emplace_back([&] {
+            for (std::size_t i = 0; i < per_thread; ++i) counter.inc();
+          });
+        for (auto& th : pool) th.join();
+        return obs::seconds_since(t0) * 1e9 / static_cast<double>(per_thread * threads);
+      };
+      for (std::size_t i = 0; i < c.warmup(); ++i) (void)batch();
+      for (std::size_t i = 0; i < c.repeats(); ++i) c.add_sample(batch());
+      c.metric("threads", static_cast<double>(threads));
     });
-    std::printf("histogram observe:     %8.2f ns\n", histogram_ns);
+
+    h.add("histogram_observe", {1, 5}, [](bench::Case& c) {
+      obs::Histogram& histogram =
+          obs::Registry::global().histogram("bench_obs_histogram", "scratch");
+      c.measure_ns_per_iter(kIters, [&](std::size_t i) {
+        histogram.observe(1e-6 * static_cast<double>(1 + (i & 1023)));
+      });
+    });
 
     // --- end-to-end: instrumented sweep, tracing off vs on ---------------
     const dist::Marginal marginal({2.0, 6.0, 10.0}, {0.3, 0.4, 0.3});
@@ -117,58 +121,34 @@ int main(int argc, char** argv) {
     opts.threads = 1;  // serial, so the delta is not hidden by scheduling noise
 
     const auto run_sweep = [&] {
-      const double t0 = now_seconds();
       (void)core::loss_vs_buffer_and_cutoff(marginal, cfg, buffers, cutoffs, opts);
-      return now_seconds() - t0;
     };
 
-    (void)run_sweep();  // warm up (page cache, lazy statics)
-    const double sweep_off_a = run_sweep();
-    const double sweep_off_b = run_sweep();
-    obs::TraceSession::enable();
-    const double sweep_on = run_sweep();
-    obs::TraceSession::disable();
-    obs::TraceSession::clear();
+    h.add("sweep_tracing_off", {1, 3}, [&](bench::Case& c) {
+      obs::TraceSession::disable();
+      c.measure_seconds(run_sweep);
+    });
 
-    // Repeat-run jitter is the noise floor the <2% budget is judged
-    // against; with tracing off the only live instrumentation is the
-    // counters/histograms, which are always on.
-    const double noise_pct = 100.0 * std::abs(sweep_off_a - sweep_off_b) /
-                             std::max(sweep_off_a, sweep_off_b);
-    const double traced_pct =
-        100.0 * (sweep_on - std::min(sweep_off_a, sweep_off_b)) /
-        std::min(sweep_off_a, sweep_off_b);
-    std::printf("sweep, tracing off:    %8.3f s / %8.3f s (repeat jitter %.2f%%)\n", sweep_off_a,
-                sweep_off_b, noise_pct);
-    std::printf("sweep, tracing on:     %8.3f s (%+.2f%% vs best off)\n", sweep_on, traced_pct);
+    h.add("sweep_tracing_on", {1, 3}, [&](bench::Case& c) {
+      obs::TraceSession::enable();
+      c.measure_seconds(run_sweep);
+      obs::TraceSession::disable();
+      obs::TraceSession::clear();
+      for (const auto& rec : h.records()) {
+        if (rec.key != "micro_obs/sweep_tracing_off") continue;
+        const obs::OverheadEstimate overhead =
+            obs::estimate_overhead(rec.stats, obs::robust_stats(c.samples()));
+        c.metric("tracing_overhead_percent", overhead.percent);
+        c.metric("tracing_overhead_raw_percent", overhead.raw_percent);
+        c.metric("noise_floor_percent", overhead.noise_floor_percent);
+        c.metric("below_noise_floor", overhead.below_noise_floor ? 1.0 : 0.0);
+        c.metric("overhead_budget_percent", 2.0);
+        std::printf("tracing overhead: %+.2f%% raw, %.2f%% clamped (noise floor %.2f%%%s)\n",
+                    overhead.raw_percent, overhead.percent, overhead.noise_floor_percent,
+                    overhead.below_noise_floor ? ", below noise floor" : "");
+      }
+    });
 
-    std::FILE* out = std::fopen(json_path.c_str(), "w");
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
-      return 5;
-    }
-    std::fprintf(out,
-                 "{\n"
-                 "  \"bench\": \"micro_obs\",\n"
-                 "  \"obs_enabled\": %s,\n"
-                 "  \"threads\": %zu,\n"
-                 "  \"span_disabled_ns\": %.3f,\n"
-                 "  \"span_enabled_ns\": %.3f,\n"
-                 "  \"counter_inc_ns\": %.3f,\n"
-                 "  \"counter_inc_contended_ns\": %.3f,\n"
-                 "  \"histogram_observe_ns\": %.3f,\n"
-                 "  \"sweep_tracing_off_seconds\": %.6f,\n"
-                 "  \"sweep_tracing_off_repeat_seconds\": %.6f,\n"
-                 "  \"sweep_tracing_on_seconds\": %.6f,\n"
-                 "  \"repeat_jitter_percent\": %.3f,\n"
-                 "  \"tracing_overhead_percent\": %.3f,\n"
-                 "  \"overhead_budget_percent\": 2.0\n"
-                 "}\n",
-                 obs::kObsEnabled ? "true" : "false", threads, span_off_ns, span_on_ns,
-                 counter_ns, counter_mt_ns, histogram_ns, sweep_off_a, sweep_off_b, sweep_on,
-                 noise_pct, traced_pct);
-    std::fclose(out);
-    std::printf("wrote %s\n", json_path.c_str());
-    return 0;
+    return h.run();
   });
 }

@@ -1,18 +1,25 @@
-// Microbenchmarks (google-benchmark) for the performance claims in the
+// micro_solver — microbenchmarks for the performance claims in the
 // paper's Section II:
 //   * the FFT-based discrete convolution reduces the per-iteration cost
 //     from O(M^2) to O(M log M) — we time both paths across M;
 //   * "the typical runtime was less than a second on a workstation" — we
-//     time full solves at figure-grade accuracy;
-//   * supporting paths: increment-pmf construction, trace-driven queue
-//     simulation throughput, fGn generation.
-#include <benchmark/benchmark.h>
-
+//     time full solves at figure-grade accuracy, and record the solver's
+//     convergence telemetry (iteration count, mass drift, occupancy gap)
+//     so lrdq_bench_check can flag convergence regressions, not just
+//     wall-time ones;
+//   * supporting paths: trace-driven queue simulation, fGn generation.
+//
+// Results print to stdout and append to BENCH_history.jsonl
+// (--history/--no-history to redirect/disable).
+#include <algorithm>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/traces.hpp"
 #include "dist/truncated_pareto.hpp"
+#include "harness.hpp"
 #include "numerics/convolution.hpp"
 #include "numerics/random.hpp"
 #include "queueing/solver.hpp"
@@ -22,6 +29,11 @@
 namespace {
 
 using namespace lrd;
+
+constexpr const char* kUsage =
+    "usage: micro_solver [--filter SUBSTR] [--list] [--repeats N] [--warmup N]\n"
+    "                    [--history FILE] [--no-history]\n"
+    "       micro_solver --help | --version";
 
 std::vector<double> random_pmf(std::size_t n, std::uint64_t seed) {
   numerics::Rng rng(seed);
@@ -35,37 +47,6 @@ std::vector<double> random_pmf(std::size_t n, std::uint64_t seed) {
   return v;
 }
 
-void BM_ConvolveDirect(benchmark::State& state) {
-  const auto m = static_cast<std::size_t>(state.range(0));
-  auto q = random_pmf(m + 1, 1);
-  auto w = random_pmf(2 * m + 1, 2);
-  for (auto _ : state) benchmark::DoNotOptimize(numerics::convolve_direct(q, w));
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_ConvolveDirect)->RangeMultiplier(4)->Range(64, 4096)->Complexity(benchmark::oNSquared);
-
-void BM_ConvolveFft(benchmark::State& state) {
-  const auto m = static_cast<std::size_t>(state.range(0));
-  auto q = random_pmf(m + 1, 1);
-  auto w = random_pmf(2 * m + 1, 2);
-  for (auto _ : state) benchmark::DoNotOptimize(numerics::convolve_fft(q, w));
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_ConvolveFft)->RangeMultiplier(4)->Range(64, 16384)->Complexity(benchmark::oNLogN);
-
-void BM_ConvolveCachedKernel(benchmark::State& state) {
-  // The solver's actual inner loop: kernel spectrum cached across calls.
-  const auto m = static_cast<std::size_t>(state.range(0));
-  auto q = random_pmf(m + 1, 1);
-  numerics::CachedKernelConvolver conv(random_pmf(2 * m + 1, 2), m + 1);
-  for (auto _ : state) benchmark::DoNotOptimize(conv.convolve(q));
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_ConvolveCachedKernel)
-    ->RangeMultiplier(4)
-    ->Range(64, 16384)
-    ->Complexity(benchmark::oNLogN);
-
 queueing::FluidQueueSolver figure_solver() {
   auto mtv = core::mtv_model();
   const double c = mtv.marginal.service_rate_for_utilization(mtv.utilization);
@@ -75,56 +56,97 @@ queueing::FluidQueueSolver figure_solver() {
   return queueing::FluidQueueSolver(mtv.marginal, epochs, c, 0.5 * c);
 }
 
-void BM_SolverFigurePoint(benchmark::State& state) {
-  // One figure-grade surface point (20% bracket) — the paper's
-  // "less than a second on a workstation" claim.
-  auto solver = figure_solver();
-  queueing::SolverConfig cfg;
-  cfg.target_relative_gap = 0.2;
-  cfg.max_bins = 1 << 12;
-  for (auto _ : state) benchmark::DoNotOptimize(solver.solve(cfg));
+/// Registers one full-solve case; the solver telemetry rides on the
+/// record as gated metrics.
+void add_solve_case(bench::Harness& h, const std::string& name, double gap,
+                    std::size_t max_bins) {
+  h.add(name, {1, 5}, [gap, max_bins](bench::Case& c) {
+    auto solver = figure_solver();
+    queueing::SolverConfig cfg;
+    cfg.target_relative_gap = gap;
+    cfg.max_bins = max_bins;
+    cfg.collect_telemetry = true;
+    queueing::SolverResult last;
+    c.measure_seconds([&] { last = solver.solve(cfg); });
+    c.metric("iterations", static_cast<double>(last.iterations));
+    c.metric("levels", static_cast<double>(last.levels));
+    double drift = 0.0, occupancy = 0.0;
+    for (const auto& level : last.telemetry.levels) {
+      drift = std::max(drift, level.mass_drift);
+      occupancy = std::max(occupancy, level.occupancy_gap);
+    }
+    c.metric("mass_drift", drift);
+    c.metric("occupancy_gap", occupancy);
+    c.metric("converged", last.converged ? 1.0 : 0.0);
+  });
 }
-BENCHMARK(BM_SolverFigurePoint)->Unit(benchmark::kMillisecond);
-
-void BM_SolverTightPoint(benchmark::State& state) {
-  auto solver = figure_solver();
-  queueing::SolverConfig cfg;
-  cfg.target_relative_gap = 0.02;
-  cfg.max_bins = 1 << 14;
-  for (auto _ : state) benchmark::DoNotOptimize(solver.solve(cfg));
-}
-BENCHMARK(BM_SolverTightPoint)->Unit(benchmark::kMillisecond);
-
-void BM_SolverIterationAtM(benchmark::State& state) {
-  // Cost of a fixed number of bound iterations as a function of M.
-  auto solver = figure_solver();
-  const auto m = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) benchmark::DoNotOptimize(solver.iterate_fixed(m, 32));
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_SolverIterationAtM)
-    ->RangeMultiplier(4)
-    ->Range(128, 8192)
-    ->Unit(benchmark::kMillisecond)
-    ->Complexity(benchmark::oNLogN);
-
-void BM_TraceQueueSim(benchmark::State& state) {
-  auto mtv = core::mtv_model();
-  for (auto _ : state)
-    benchmark::DoNotOptimize(queueing::simulate_trace_queue_normalized(mtv.trace, 0.8, 0.5));
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(mtv.trace.size()));
-}
-BENCHMARK(BM_TraceQueueSim)->Unit(benchmark::kMillisecond);
-
-void BM_FgnGeneration(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  numerics::Rng rng(7);
-  for (auto _ : state) benchmark::DoNotOptimize(traffic::generate_fgn(n, 0.85, rng));
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_FgnGeneration)->RangeMultiplier(8)->Range(1 << 12, 1 << 18)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return cli::run_tool(kUsage, [&] {
+    cli::Args args(argc, argv, bench::Harness::value_flags(), bench::Harness::bool_flags());
+    if (args.help()) {
+      std::printf("%s\n", kUsage);
+      return 0;
+    }
+    if (args.version()) return cli::print_version("micro_solver");
+    bench::Harness h("micro_solver", args);
+
+    for (const std::size_t m : {std::size_t{64}, std::size_t{256}, std::size_t{1024},
+                                std::size_t{4096}}) {
+      h.add("convolve_direct/" + std::to_string(m), {1, 5}, [m](bench::Case& c) {
+        const auto q = random_pmf(m + 1, 1);
+        const auto w = random_pmf(2 * m + 1, 2);
+        const std::size_t iters = std::max<std::size_t>(1, (4096 * 4096) / (m * m));
+        c.measure_ns_per_iter(iters,
+                              [&](std::size_t) { (void)numerics::convolve_direct(q, w); });
+      });
+    }
+    for (const std::size_t m :
+         {std::size_t{64}, std::size_t{1024}, std::size_t{16384}}) {
+      h.add("convolve_fft/" + std::to_string(m), {1, 5}, [m](bench::Case& c) {
+        const auto q = random_pmf(m + 1, 1);
+        const auto w = random_pmf(2 * m + 1, 2);
+        const std::size_t iters = std::max<std::size_t>(1, 16384 / m);
+        c.measure_ns_per_iter(iters,
+                              [&](std::size_t) { (void)numerics::convolve_fft(q, w); });
+      });
+      h.add("convolve_cached_kernel/" + std::to_string(m), {1, 5}, [m](bench::Case& c) {
+        // The solver's actual inner loop: kernel spectrum cached across calls.
+        const auto q = random_pmf(m + 1, 1);
+        numerics::CachedKernelConvolver conv(random_pmf(2 * m + 1, 2), m + 1);
+        const std::size_t iters = std::max<std::size_t>(1, 16384 / m);
+        c.measure_ns_per_iter(iters, [&](std::size_t) { (void)conv.convolve(q); });
+      });
+    }
+
+    add_solve_case(h, "solver_figure_point", 0.2, 1 << 12);
+    add_solve_case(h, "solver_tight_point", 0.02, 1 << 14);
+
+    for (const std::size_t m : {std::size_t{512}, std::size_t{4096}}) {
+      h.add("solver_iteration_at/" + std::to_string(m), {1, 5}, [m](bench::Case& c) {
+        // Cost of a fixed number of bound iterations at a fixed M.
+        auto solver = figure_solver();
+        c.measure_seconds([&] { (void)solver.iterate_fixed(m, 32); });
+      });
+    }
+
+    h.add("trace_queue_sim", {1, 5}, [](bench::Case& c) {
+      auto mtv = core::mtv_model();
+      c.measure_seconds(
+          [&] { (void)queueing::simulate_trace_queue_normalized(mtv.trace, 0.8, 0.5); });
+      c.metric("trace_samples", static_cast<double>(mtv.trace.size()));
+    });
+
+    for (const std::size_t n : {std::size_t{1} << 12, std::size_t{1} << 15,
+                                std::size_t{1} << 18}) {
+      h.add("fgn_generation/" + std::to_string(n), {1, 5}, [n](bench::Case& c) {
+        numerics::Rng rng(7);
+        c.measure_seconds([&] { (void)traffic::generate_fgn(n, 0.85, rng); });
+      });
+    }
+
+    return h.run();
+  });
+}

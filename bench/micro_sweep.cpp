@@ -5,35 +5,35 @@
 // grows steeply with the buffer size, and cells are enumerated row-major,
 // so a static block partition hands one thread the whole heavy row) two
 // ways: with a plain static partition and with the work-stealing
-// executor. Then runs the same surface twice through the sweep driver
-// with a solver result cache attached to measure cold vs warm cost.
+// executor. Then runs the same surface through the sweep driver with a
+// solver result cache attached to measure cold vs warm cost.
 //
-// Results go to stdout and to BENCH_sweep.json (override with --json).
-#include <chrono>
+// Results print to stdout and append to BENCH_history.jsonl
+// (--history/--no-history to redirect/disable).
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "bench_common.hpp"
 #include "core/experiment.hpp"
 #include "core/model.hpp"
+#include "harness.hpp"
 #include "numerics/parallel.hpp"
 #include "runtime/cache.hpp"
 
 namespace {
 
+using namespace lrd;
+
 constexpr const char* kUsage =
-    "usage: micro_sweep [--threads N] [--json FILE]\n"
+    "usage: micro_sweep [--threads N] [--filter SUBSTR] [--list] [--repeats N]\n"
+    "                   [--warmup N] [--history FILE] [--no-history]\n"
     "       --threads defaults to 8 (the sweep surfaces are small; the\n"
     "       point is scheduling, not machine saturation); LRDQ_THREADS\n"
-    "       overrides the default, 0 means hardware concurrency";
-
-double now_seconds() {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+    "       overrides the default, 0 means hardware concurrency\n"
+    "       micro_sweep --help | --version";
 
 /// The baseline the executor replaced: split [0, n) into `threads`
 /// contiguous blocks, one std::thread each, no redistribution.
@@ -57,17 +57,18 @@ void static_parallel_for(std::size_t n, const std::function<void(std::size_t)>& 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace lrd;
   return cli::run_tool(kUsage, [&] {
-    cli::Args args(argc, argv, {"threads", "json"});
+    cli::Args args(argc, argv, bench::Harness::value_flags({"threads"}),
+                   bench::Harness::bool_flags());
     if (args.help()) {
       std::printf("%s\n", kUsage);
       return 0;
     }
+    if (args.version()) return cli::print_version("micro_sweep");
     std::size_t threads = 8;
     if (args.has("threads") || std::getenv("LRDQ_THREADS")) threads = cli::resolve_threads(args);
     if (threads == 0) threads = std::thread::hardware_concurrency();
-    const std::string json_path = args.get("json", "BENCH_sweep.json");
+    bench::Harness h("micro_sweep", args);
 
     const dist::Marginal marginal({2.0, 6.0, 10.0}, {0.3, 0.4, 0.3});
     core::ModelSweepConfig cfg;
@@ -94,68 +95,49 @@ int main(int argc, char** argv) {
 
     std::printf("micro_sweep: %zu cells, %zu threads\n", cells, threads);
 
-    double t0 = now_seconds();
-    static_parallel_for(cells, solve_cell, threads);
-    const double static_seconds = now_seconds() - t0;
-    std::printf("static partition:      %7.3f s  (%.1f cells/s)\n", static_seconds,
-                cells / static_seconds);
+    h.add("static_partition", {1, 3}, [&](bench::Case& c) {
+      c.measure_seconds([&] { static_parallel_for(cells, solve_cell, threads); });
+      c.metric("threads", static_cast<double>(threads));
+      c.metric("cells", static_cast<double>(cells));
+    });
 
-    t0 = now_seconds();
-    numerics::parallel_for(cells, solve_cell, threads);
-    const double ws_seconds = now_seconds() - t0;
-    const double speedup = static_seconds / ws_seconds;
-    std::printf("work stealing:         %7.3f s  (%.1f cells/s, %.2fx vs static)\n", ws_seconds,
-                cells / ws_seconds, speedup);
+    h.add("work_stealing", {1, 3}, [&](bench::Case& c) {
+      c.measure_seconds([&] { numerics::parallel_for(cells, solve_cell, threads); });
+      c.metric("threads", static_cast<double>(threads));
+      for (const auto& rec : h.records())
+        if (rec.key == "micro_sweep/static_partition" && rec.stats.median > 0.0)
+          c.metric("speedup_vs_static",
+                   rec.stats.median / std::max(obs::median_of(c.samples()), 1e-12));
+    });
 
-    // Cache cost: the same surface through the sweep driver, cold then
-    // warm. The warm pass should be all hits (every cell is clean).
-    runtime::SolverCache cache;
-    core::SweepRunOptions opts;
-    opts.threads = threads;
-    opts.cache = &cache;
+    h.add("sweep_cold_cache", {1, 3}, [&](bench::Case& c) {
+      // A fresh cache per sample keeps every pass genuinely cold.
+      c.measure_seconds([&] {
+        runtime::SolverCache cache;
+        core::SweepRunOptions opts;
+        opts.threads = threads;
+        opts.cache = &cache;
+        (void)core::loss_vs_buffer_and_cutoff(marginal, cfg, buffers, cutoffs, opts);
+      });
+    });
 
-    t0 = now_seconds();
-    (void)core::loss_vs_buffer_and_cutoff(marginal, cfg, buffers, cutoffs, opts);
-    const double cold_seconds = now_seconds() - t0;
-    const auto cold_stats = cache.stats();
+    h.add("sweep_warm_cache", {0, 3}, [&](bench::Case& c) {
+      runtime::SolverCache cache;
+      core::SweepRunOptions opts;
+      opts.threads = threads;
+      opts.cache = &cache;
+      (void)core::loss_vs_buffer_and_cutoff(marginal, cfg, buffers, cutoffs, opts);  // prime
+      const auto primed = cache.stats();
+      c.measure_seconds(
+          [&] { (void)core::loss_vs_buffer_and_cutoff(marginal, cfg, buffers, cutoffs, opts); });
+      const auto finished = cache.stats();
+      const auto hits = finished.hits - primed.hits;
+      const auto lookups = hits + (finished.misses - primed.misses);
+      c.metric("warm_hit_rate",
+               lookups == 0 ? 0.0
+                            : static_cast<double>(hits) / static_cast<double>(lookups));
+    });
 
-    t0 = now_seconds();
-    (void)core::loss_vs_buffer_and_cutoff(marginal, cfg, buffers, cutoffs, opts);
-    const double warm_seconds = now_seconds() - t0;
-    const auto warm_stats = cache.stats();
-    const std::uint64_t warm_lookups =
-        (warm_stats.hits - cold_stats.hits) + (warm_stats.misses - cold_stats.misses);
-    const double warm_hit_rate =
-        warm_lookups == 0 ? 0.0
-                          : static_cast<double>(warm_stats.hits - cold_stats.hits) /
-                                static_cast<double>(warm_lookups);
-    std::printf("sweep cold cache:      %7.3f s\n", cold_seconds);
-    std::printf("sweep warm cache:      %7.3f s  (hit rate %.0f%%, %.0fx vs cold)\n",
-                warm_seconds, 100.0 * warm_hit_rate, cold_seconds / warm_seconds);
-
-    std::FILE* out = std::fopen(json_path.c_str(), "w");
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
-      return 5;
-    }
-    std::fprintf(out,
-                 "{\n"
-                 "  \"bench\": \"micro_sweep\",\n"
-                 "  \"threads\": %zu,\n"
-                 "  \"cells\": %zu,\n"
-                 "  \"static_seconds\": %.6f,\n"
-                 "  \"static_cells_per_second\": %.3f,\n"
-                 "  \"work_stealing_seconds\": %.6f,\n"
-                 "  \"work_stealing_cells_per_second\": %.3f,\n"
-                 "  \"speedup_vs_static\": %.4f,\n"
-                 "  \"cold_cache_seconds\": %.6f,\n"
-                 "  \"warm_cache_seconds\": %.6f,\n"
-                 "  \"warm_hit_rate\": %.4f\n"
-                 "}\n",
-                 threads, cells, static_seconds, cells / static_seconds, ws_seconds,
-                 cells / ws_seconds, speedup, cold_seconds, warm_seconds, warm_hit_rate);
-    std::fclose(out);
-    std::printf("wrote %s\n", json_path.c_str());
-    return 0;
+    return h.run();
   });
 }

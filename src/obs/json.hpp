@@ -1,0 +1,103 @@
+// Minimal JSON reader for the artifact-analysis layer.
+//
+// The observability tools emit JSON (manifests, metrics snapshots, Chrome
+// traces, bench history lines) and — starting with the report/regression
+// layer — also *consume* it. This is the one parser they share: a strict
+// recursive-descent reader into a small Value tree. Malformed input comes
+// back as a kParse diagnostic carrying the 1-based line number, matching
+// the RateTrace::try_load contract, so `lrdq_report broken.json` points at
+// the offending line instead of aborting.
+//
+// Scope is deliberately narrow: UTF-8 pass-through (no surrogate-pair
+// decoding beyond \uXXXX -> UTF-8), doubles only (the artifacts never need
+// 64-bit-exact integers above 2^53), objects preserve insertion order and
+// keep duplicate keys (find() returns the first).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/status.hpp"
+
+namespace lrd::obs::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  static Value null() { return Value(); }
+  static Value boolean(bool b);
+  static Value number(double v);
+  static Value string(std::string s);
+  static Value array();
+  static Value object();
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  /// Typed access with a fallback — the idiom the analyzers use for
+  /// optional keys ("seconds" may be null for a degraded cell).
+  bool as_bool(bool fallback = false) const noexcept {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_number(double fallback = 0.0) const noexcept {
+    return is_number() ? number_ : fallback;
+  }
+  const std::string& as_string() const noexcept { return string_; }
+
+  const std::vector<Value>& items() const noexcept { return items_; }
+  const std::vector<std::pair<std::string, Value>>& members() const noexcept {
+    return members_;
+  }
+  std::size_t size() const noexcept {
+    return is_object() ? members_.size() : items_.size();
+  }
+
+  /// First member named `key`, or nullptr (also nullptr on non-objects).
+  const Value* find(std::string_view key) const noexcept;
+  /// find() that treats an explicit JSON null the same as an absent key.
+  const Value* find_non_null(std::string_view key) const noexcept;
+  /// Shorthand: number at `key`, or `fallback` when absent/null/non-number.
+  double number_at(std::string_view key, double fallback = 0.0) const noexcept;
+  /// Shorthand: string at `key`, or `fallback` when absent or non-string.
+  std::string string_at(std::string_view key, std::string fallback = {}) const;
+
+  // Mutation (used by tests building fixtures; parsing uses these too).
+  void push_back(Value v);
+  void set(std::string key, Value v);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// anything else after the value is an error).
+lrd::Expected<Value> parse(std::string_view text);
+
+/// Reads and parses a whole file; kIo when unreadable, kParse when
+/// malformed (diagnostic carries `path` and the line number).
+lrd::Expected<Value> parse_file(const std::string& path);
+
+/// Escapes `s` into a JSON string literal including the quotes — the
+/// serialization counterpart shared by the emitters in this layer.
+std::string escape(std::string_view s);
+
+/// Formats a double as a JSON number; NaN/Inf become null (JSON has no
+/// literals for them — same convention as the manifest writer).
+std::string number_text(double v);
+
+}  // namespace lrd::obs::json

@@ -1,0 +1,624 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace lrd::obs {
+
+namespace {
+
+lrd::Diagnostics shape_error(std::string message) {
+  return lrd::make_diagnostics(lrd::ErrorCategory::kParse, "obs.report",
+                               "artifact has the expected shape", std::move(message));
+}
+
+std::string format_us(double us) {
+  char buf[48];
+  if (std::abs(us) >= 1e6)
+    std::snprintf(buf, sizeof buf, "%.3f s", us / 1e6);
+  else if (std::abs(us) >= 1e3)
+    std::snprintf(buf, sizeof buf, "%.3f ms", us / 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%.1f us", us);
+  return buf;
+}
+
+std::string format_seconds(double s) { return format_us(s * 1e6); }
+
+/// Sign-aware marker for lower-is-better quantities: increases are
+/// called out as regressions, decreases as improvements.
+std::string worse_if_up(double delta, double tolerance = 0.0) {
+  if (delta > tolerance) return "^ worse";
+  if (delta < -tolerance) return "v better";
+  return "= same";
+}
+
+struct SpanRec {
+  std::string name;
+  std::string category;
+  long long tid = 0;
+  double ts = 0.0;
+  double dur = 0.0;
+  double child = 0.0;  ///< Duration covered by direct children.
+  bool top_level = false;
+};
+
+}  // namespace
+
+lrd::Expected<TraceProfile> profile_trace(const json::Value& trace, std::size_t top_n,
+                                          std::size_t timeline_width) {
+  const json::Value* events = trace.is_object() ? trace.find("traceEvents") : nullptr;
+  if (events == nullptr || !events->is_array())
+    return shape_error("document has no traceEvents array (not a Chrome trace)");
+
+  TraceProfile profile;
+  profile.dropped = static_cast<std::size_t>(trace.number_at("droppedEvents"));
+  profile.events = events->size();
+
+  std::vector<SpanRec> spans;
+  spans.reserve(events->size());
+  std::map<std::string, std::size_t> instants;
+  std::map<long long, std::string> thread_names;
+  for (const json::Value& ev : events->items()) {
+    if (!ev.is_object()) continue;
+    const std::string ph = ev.string_at("ph");
+    const long long tid = static_cast<long long>(ev.number_at("tid"));
+    if (ph == "X") {
+      SpanRec s;
+      s.name = ev.string_at("name");
+      s.category = ev.string_at("cat");
+      s.tid = tid;
+      s.ts = ev.number_at("ts");
+      s.dur = ev.number_at("dur");
+      spans.push_back(std::move(s));
+    } else if (ph == "i") {
+      ++instants[ev.string_at("name")];
+    } else if (ph == "M" && ev.string_at("name") == "thread_name") {
+      if (const json::Value* args = ev.find("args"))
+        thread_names[tid] = args->string_at("name");
+    }
+  }
+  profile.spans = spans.size();
+  for (const auto& [name, count] : instants) {
+    profile.instants += count;
+    profile.instant_counts.emplace_back(name, count);
+  }
+
+  // Self-time: per thread, nest spans with a containment stack. A span
+  // is a direct child of the deepest still-open span that contains it;
+  // its duration is charged to that parent's child time exactly once.
+  std::map<long long, std::vector<std::size_t>> by_tid;
+  for (std::size_t i = 0; i < spans.size(); ++i) by_tid[spans[i].tid].push_back(i);
+  constexpr double kEps = 1e-3;  // microseconds; timestamps carry 3 decimals
+  double min_ts = 0.0, max_end = 0.0;
+  bool have_span = false;
+  for (auto& [tid, indices] : by_tid) {
+    std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+      if (spans[a].ts != spans[b].ts) return spans[a].ts < spans[b].ts;
+      return spans[a].dur > spans[b].dur;  // parent before same-start child
+    });
+    std::vector<std::size_t> stack;
+    for (std::size_t i : indices) {
+      SpanRec& s = spans[i];
+      const double end = s.ts + s.dur;
+      if (!have_span || s.ts < min_ts) min_ts = s.ts;
+      if (!have_span || end > max_end) max_end = end;
+      have_span = true;
+      while (!stack.empty() &&
+             spans[stack.back()].ts + spans[stack.back()].dur <= s.ts + kEps)
+        stack.pop_back();
+      if (!stack.empty() && end <= spans[stack.back()].ts + spans[stack.back()].dur + kEps) {
+        spans[stack.back()].child += s.dur;
+      } else {
+        stack.clear();  // overlapping-but-not-nested never happens on one thread
+        s.top_level = true;
+      }
+      stack.push_back(i);
+    }
+  }
+  profile.start_us = have_span ? min_ts : 0.0;
+  profile.span_us = have_span ? max_end - min_ts : 0.0;
+
+  // Aggregates.
+  std::map<std::string, ProfileEntry> names;
+  std::map<std::string, ProfileEntry> categories;
+  for (const SpanRec& s : spans) {
+    const double self = std::max(0.0, s.dur - s.child);
+    ProfileEntry& n = names[s.name];
+    if (n.count == 0) {
+      n.name = s.name;
+      n.category = s.category;
+    }
+    ++n.count;
+    n.total_us += s.dur;
+    n.self_us += self;
+    ProfileEntry& c = categories[s.category.empty() ? "(none)" : s.category];
+    if (c.count == 0) c.name = s.category.empty() ? "(none)" : s.category;
+    ++c.count;
+    c.total_us += s.dur;
+    c.self_us += self;
+  }
+  for (auto& [_, entry] : names) profile.by_name.push_back(std::move(entry));
+  for (auto& [_, entry] : categories) profile.by_category.push_back(std::move(entry));
+  std::sort(profile.by_name.begin(), profile.by_name.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) { return a.self_us > b.self_us; });
+  std::sort(profile.by_category.begin(), profile.by_category.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) { return a.total_us > b.total_us; });
+
+  // Top spans by duration.
+  std::vector<std::size_t> order(spans.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const std::size_t keep = std::min(top_n, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(keep),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return spans[a].dur > spans[b].dur;
+                    });
+  for (std::size_t i = 0; i < keep; ++i) {
+    const SpanRec& s = spans[order[i]];
+    profile.top_spans.push_back({s.name, s.category, s.tid, s.ts, s.dur});
+  }
+
+  // Worker utilization: busy = union of top-level spans (children are
+  // covered by their parents), bucketed into a text timeline.
+  for (const auto& [tid, indices] : by_tid) {
+    WorkerProfile w;
+    w.tid = tid;
+    if (auto it = thread_names.find(tid); it != thread_names.end()) w.name = it->second;
+    std::vector<double> buckets(std::max<std::size_t>(timeline_width, 1), 0.0);
+    const double width = profile.span_us / static_cast<double>(buckets.size());
+    for (std::size_t i : indices) {
+      const SpanRec& s = spans[i];
+      if (!s.top_level) continue;
+      w.busy_us += s.dur;
+      if (width <= 0.0) continue;
+      const double lo = s.ts - profile.start_us;
+      const double hi = lo + s.dur;
+      const auto first = static_cast<std::size_t>(
+          std::clamp(lo / width, 0.0, static_cast<double>(buckets.size() - 1)));
+      const auto last = static_cast<std::size_t>(
+          std::clamp(hi / width, 0.0, static_cast<double>(buckets.size() - 1)));
+      for (std::size_t bkt = first; bkt <= last; ++bkt) {
+        const double b0 = static_cast<double>(bkt) * width;
+        const double overlap = std::min(hi, b0 + width) - std::max(lo, b0);
+        if (overlap > 0.0) buckets[bkt] += overlap;
+      }
+    }
+    w.utilization = profile.span_us > 0.0 ? w.busy_us / profile.span_us : 0.0;
+    static constexpr const char kGlyphs[] = " .:=#";
+    for (double busy : buckets) {
+      const double frac = width > 0.0 ? std::clamp(busy / width, 0.0, 1.0) : 0.0;
+      const auto level = static_cast<std::size_t>(std::ceil(frac * 4.0 - 1e-9));
+      w.timeline += kGlyphs[std::min<std::size_t>(level, 4)];
+    }
+    profile.workers.push_back(std::move(w));
+  }
+  return profile;
+}
+
+std::string TraceProfile::to_text() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "trace profile: %zu events (%zu spans, %zu instants, %zu dropped), "
+                "%zu threads, %s profiled\n",
+                events, spans, instants, dropped, workers.size(),
+                format_us(span_us).c_str());
+  out += buf;
+
+  out += "\nby category:\n";
+  std::snprintf(buf, sizeof buf, "  %-24s %8s %12s %12s\n", "category", "count", "total",
+                "self");
+  out += buf;
+  for (const ProfileEntry& e : by_category) {
+    std::snprintf(buf, sizeof buf, "  %-24s %8zu %12s %12s\n", e.name.c_str(), e.count,
+                  format_us(e.total_us).c_str(), format_us(e.self_us).c_str());
+    out += buf;
+  }
+
+  out += "\nby span name (self time, top 20):\n";
+  std::snprintf(buf, sizeof buf, "  %-24s %8s %12s %12s  %s\n", "name", "count", "total",
+                "self", "category");
+  out += buf;
+  std::size_t shown = 0;
+  for (const ProfileEntry& e : by_name) {
+    if (++shown > 20) break;
+    std::snprintf(buf, sizeof buf, "  %-24s %8zu %12s %12s  %s\n", e.name.c_str(), e.count,
+                  format_us(e.total_us).c_str(), format_us(e.self_us).c_str(),
+                  e.category.c_str());
+    out += buf;
+  }
+
+  if (!top_spans.empty()) {
+    out += "\nlongest spans:\n";
+    for (const SpanInfo& s : top_spans) {
+      std::snprintf(buf, sizeof buf, "  %-24s %12s  tid %-6lld @ %s\n", s.name.c_str(),
+                    format_us(s.dur_us).c_str(), s.tid, format_us(s.ts_us - start_us).c_str());
+      out += buf;
+    }
+  }
+
+  if (!instant_counts.empty()) {
+    out += "\ninstants:";
+    for (const auto& [name, count] : instant_counts) {
+      std::snprintf(buf, sizeof buf, " %s x %zu,", name.c_str(), count);
+      out += buf;
+    }
+    out.back() = '\n';
+  }
+
+  out += "\nworker utilization (one row per thread, '#' = busy):\n";
+  for (const WorkerProfile& w : workers) {
+    std::snprintf(buf, sizeof buf, "  tid %-8lld %-12s %10s busy, %5.1f%%  |%s|\n", w.tid,
+                  w.name.c_str(), format_us(w.busy_us).c_str(), 100.0 * w.utilization,
+                  w.timeline.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string TraceProfile::to_json() const {
+  std::string out = "{\n  \"kind\": \"profile\",\n";
+  out += "  \"events\": " + std::to_string(events) + ",\n";
+  out += "  \"spans\": " + std::to_string(spans) + ",\n";
+  out += "  \"instants\": " + std::to_string(instants) + ",\n";
+  out += "  \"dropped\": " + std::to_string(dropped) + ",\n";
+  out += "  \"threads\": " + std::to_string(workers.size()) + ",\n";
+  out += "  \"span_us\": " + json::number_text(span_us) + ",\n";
+  const auto entries = [&](const std::vector<ProfileEntry>& list) {
+    std::string text = "[";
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      text += i == 0 ? "\n    " : ",\n    ";
+      text += "{ \"name\": " + json::escape(list[i].name);
+      if (!list[i].category.empty())
+        text += ", \"category\": " + json::escape(list[i].category);
+      text += ", \"count\": " + std::to_string(list[i].count);
+      text += ", \"total_us\": " + json::number_text(list[i].total_us);
+      text += ", \"self_us\": " + json::number_text(list[i].self_us) + " }";
+    }
+    text += list.empty() ? "]" : "\n  ]";
+    return text;
+  };
+  out += "  \"by_category\": " + entries(by_category) + ",\n";
+  out += "  \"by_name\": " + entries(by_name) + ",\n";
+  out += "  \"top_spans\": [";
+  for (std::size_t i = 0; i < top_spans.size(); ++i) {
+    const SpanInfo& s = top_spans[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += "{ \"name\": " + json::escape(s.name);
+    out += ", \"category\": " + json::escape(s.category);
+    out += ", \"tid\": " + std::to_string(s.tid);
+    out += ", \"ts_us\": " + json::number_text(s.ts_us);
+    out += ", \"dur_us\": " + json::number_text(s.dur_us) + " }";
+  }
+  out += top_spans.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"instant_counts\": {";
+  for (std::size_t i = 0; i < instant_counts.size(); ++i) {
+    out += i == 0 ? " " : ", ";
+    out += json::escape(instant_counts[i].first) + ": " +
+           std::to_string(instant_counts[i].second);
+  }
+  out += " },\n  \"workers\": [";
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const WorkerProfile& w = workers[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += "{ \"tid\": " + std::to_string(w.tid);
+    out += ", \"name\": " + json::escape(w.name);
+    out += ", \"busy_us\": " + json::number_text(w.busy_us);
+    out += ", \"utilization\": " + json::number_text(w.utilization);
+    out += ", \"timeline\": " + json::escape(w.timeline) + " }";
+  }
+  out += workers.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+/// Everything diff_manifests needs from one side.
+struct ManifestSide {
+  std::string tool, title;
+  double wall = 0.0;
+  double hits = 0.0, misses = 0.0;
+  double computed = 0.0;
+  double issues = 0.0;
+  std::map<std::pair<std::size_t, std::size_t>, double> cells;  ///< NaN = no timing.
+  bool any_telemetry = false;
+  double iterations = 0.0, levels = 0.0;
+  double max_drift = 0.0, max_gap = 0.0;
+
+  double hit_rate() const noexcept {
+    const double lookups = hits + misses;
+    return lookups > 0.0 ? hits / lookups : 0.0;
+  }
+};
+
+lrd::Expected<ManifestSide> read_manifest(const json::Value& doc, const char* which) {
+  if (!doc.is_object() || doc.find("cell_times") == nullptr)
+    return shape_error(std::string("document ") + which +
+                       " has no cell_times array (not a run manifest)");
+  ManifestSide side;
+  side.tool = doc.string_at("tool");
+  side.title = doc.string_at("title");
+  side.wall = doc.number_at("wall_seconds");
+  if (const json::Value* cache = doc.find("cache")) {
+    side.hits = cache->number_at("hits");
+    side.misses = cache->number_at("misses");
+  }
+  if (const json::Value* cells = doc.find("cells"))
+    side.computed = cells->number_at("computed");
+  if (const json::Value* issues = doc.find("issues"); issues && issues->is_array())
+    side.issues = static_cast<double>(issues->size());
+  const json::Value* cell_times = doc.find("cell_times");
+  for (const json::Value& cell : cell_times->items()) {
+    if (!cell.is_object()) continue;
+    const auto row = static_cast<std::size_t>(cell.number_at("row"));
+    const auto col = static_cast<std::size_t>(cell.number_at("col"));
+    const json::Value* seconds = cell.find_non_null("seconds");
+    side.cells[{row, col}] =
+        seconds != nullptr && seconds->is_number() ? seconds->as_number() : std::nan("");
+    const json::Value* telemetry = cell.find_non_null("telemetry");
+    if (telemetry == nullptr) continue;
+    const json::Value* levels = telemetry->find_non_null("levels");
+    if (levels == nullptr || !levels->is_array()) continue;
+    side.any_telemetry = true;
+    side.levels += static_cast<double>(levels->size());
+    for (const json::Value& level : levels->items()) {
+      side.iterations += level.number_at("iterations");
+      side.max_drift = std::max(side.max_drift, level.number_at("mass_drift"));
+      side.max_gap = std::max(side.max_gap, level.number_at("occupancy_gap"));
+    }
+  }
+  return side;
+}
+
+DiffScalar scalar(double a, double b, bool present = true) {
+  DiffScalar d;
+  d.a = a;
+  d.b = b;
+  d.present = present;
+  return d;
+}
+
+}  // namespace
+
+lrd::Expected<ManifestDiff> diff_manifests(const json::Value& a, const json::Value& b) {
+  auto side_a = read_manifest(a, "A");
+  if (!side_a) return side_a.status();
+  auto side_b = read_manifest(b, "B");
+  if (!side_b) return side_b.status();
+  const ManifestSide& ma = side_a.value();
+  const ManifestSide& mb = side_b.value();
+
+  ManifestDiff diff;
+  diff.tool_a = ma.tool;
+  diff.tool_b = mb.tool;
+  diff.title_a = ma.title;
+  diff.title_b = mb.title;
+  diff.wall_seconds = scalar(ma.wall, mb.wall);
+  diff.cache_hit_rate = scalar(ma.hit_rate(), mb.hit_rate());
+  diff.computed_cells = scalar(ma.computed, mb.computed);
+  diff.issues = scalar(ma.issues, mb.issues);
+  diff.has_telemetry = ma.any_telemetry || mb.any_telemetry;
+  diff.iterations = scalar(ma.iterations, mb.iterations, diff.has_telemetry);
+  diff.levels = scalar(ma.levels, mb.levels, diff.has_telemetry);
+  diff.max_mass_drift = scalar(ma.max_drift, mb.max_drift, diff.has_telemetry);
+  diff.max_occupancy_gap = scalar(ma.max_gap, mb.max_gap, diff.has_telemetry);
+
+  for (const auto& [coord, seconds_a] : ma.cells) {
+    auto it = mb.cells.find(coord);
+    if (it == mb.cells.end()) {
+      ++diff.only_a;
+      continue;
+    }
+    ++diff.common_cells;
+    const double seconds_b = it->second;
+    if (std::isnan(seconds_a) || std::isnan(seconds_b)) continue;
+    diff.cell_deltas.push_back({coord.first, coord.second, seconds_a, seconds_b});
+  }
+  for (const auto& [coord, _] : mb.cells)
+    if (ma.cells.find(coord) == ma.cells.end()) ++diff.only_b;
+  std::sort(diff.cell_deltas.begin(), diff.cell_deltas.end(),
+            [](const CellDelta& x, const CellDelta& y) {
+              return std::abs(x.delta()) > std::abs(y.delta());
+            });
+  return diff;
+}
+
+std::string ManifestDiff::to_text(std::size_t top_n) const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "manifest diff: %s \"%s\"  ->  %s \"%s\"\n", tool_a.c_str(),
+                title_a.c_str(), tool_b.c_str(), title_b.c_str());
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  wall time        %10s -> %-10s (%+.1f%%, %s)\n",
+                format_seconds(wall_seconds.a).c_str(), format_seconds(wall_seconds.b).c_str(),
+                100.0 * wall_seconds.relative(), worse_if_up(wall_seconds.delta()).c_str());
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  cache hit rate   %9.1f%% -> %.1f%% (%+.1f pp)\n",
+                100.0 * cache_hit_rate.a, 100.0 * cache_hit_rate.b,
+                100.0 * cache_hit_rate.delta());
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  computed cells   %10.0f -> %-10.0f\n", computed_cells.a,
+                computed_cells.b);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  cells            %zu common, %zu only in A, %zu only in B\n",
+                common_cells, only_a, only_b);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  issues           %10.0f -> %-10.0f (%s)\n", issues.a,
+                issues.b, worse_if_up(issues.delta()).c_str());
+  out += buf;
+  if (has_telemetry) {
+    out += "  solver telemetry (summed/worst over telemetry-carrying cells):\n";
+    std::snprintf(buf, sizeof buf, "    iterations     %10.0f -> %-10.0f (%+.1f%%, %s)\n",
+                  iterations.a, iterations.b, 100.0 * iterations.relative(),
+                  worse_if_up(iterations.delta()).c_str());
+    out += buf;
+    std::snprintf(buf, sizeof buf, "    levels         %10.0f -> %-10.0f (%s)\n", levels.a,
+                  levels.b, worse_if_up(levels.delta()).c_str());
+    out += buf;
+    std::snprintf(buf, sizeof buf, "    max mass drift %10.3g -> %-10.3g (%s)\n",
+                  max_mass_drift.a, max_mass_drift.b,
+                  worse_if_up(max_mass_drift.delta()).c_str());
+    out += buf;
+    std::snprintf(buf, sizeof buf, "    max occ. gap   %10.3g -> %-10.3g (%s)\n",
+                  max_occupancy_gap.a, max_occupancy_gap.b,
+                  worse_if_up(max_occupancy_gap.delta()).c_str());
+    out += buf;
+  } else {
+    out += "  solver telemetry: absent on both sides\n";
+  }
+  if (!cell_deltas.empty()) {
+    out += "  largest per-cell timing deltas (B - A):\n";
+    std::size_t shown = 0;
+    for (const CellDelta& c : cell_deltas) {
+      if (++shown > top_n) break;
+      std::snprintf(buf, sizeof buf, "    (%3zu,%3zu)  %10s -> %-10s (%+.3g s, %s)\n", c.row,
+                    c.col, format_seconds(c.a_seconds).c_str(),
+                    format_seconds(c.b_seconds).c_str(), c.delta(),
+                    worse_if_up(c.delta()).c_str());
+      out += buf;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string scalar_json(const DiffScalar& s) {
+  return "{ \"a\": " + json::number_text(s.a) + ", \"b\": " + json::number_text(s.b) +
+         ", \"delta\": " + json::number_text(s.delta()) + " }";
+}
+
+}  // namespace
+
+std::string ManifestDiff::to_json() const {
+  std::string out = "{\n  \"kind\": \"diff-manifest\",\n";
+  out += "  \"tool_a\": " + json::escape(tool_a) + ",\n";
+  out += "  \"tool_b\": " + json::escape(tool_b) + ",\n";
+  out += "  \"title_a\": " + json::escape(title_a) + ",\n";
+  out += "  \"title_b\": " + json::escape(title_b) + ",\n";
+  out += "  \"wall_seconds\": " + scalar_json(wall_seconds) + ",\n";
+  out += "  \"cache_hit_rate\": " + scalar_json(cache_hit_rate) + ",\n";
+  out += "  \"computed_cells\": " + scalar_json(computed_cells) + ",\n";
+  out += "  \"issues\": " + scalar_json(issues) + ",\n";
+  out += "  \"cells\": { \"common\": " + std::to_string(common_cells) +
+         ", \"only_a\": " + std::to_string(only_a) +
+         ", \"only_b\": " + std::to_string(only_b) + " },\n";
+  out += std::string("  \"has_telemetry\": ") + (has_telemetry ? "true" : "false") + ",\n";
+  if (has_telemetry) {
+    out += "  \"telemetry\": {\n";
+    out += "    \"iterations\": " + scalar_json(iterations) + ",\n";
+    out += "    \"levels\": " + scalar_json(levels) + ",\n";
+    out += "    \"max_mass_drift\": " + scalar_json(max_mass_drift) + ",\n";
+    out += "    \"max_occupancy_gap\": " + scalar_json(max_occupancy_gap) + "\n  },\n";
+  }
+  out += "  \"cell_deltas\": [";
+  for (std::size_t i = 0; i < cell_deltas.size(); ++i) {
+    const CellDelta& c = cell_deltas[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += "{ \"row\": " + std::to_string(c.row) + ", \"col\": " + std::to_string(c.col);
+    out += ", \"a_seconds\": " + json::number_text(c.a_seconds);
+    out += ", \"b_seconds\": " + json::number_text(c.b_seconds);
+    out += ", \"delta\": " + json::number_text(c.delta()) + " }";
+  }
+  out += cell_deltas.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+lrd::Expected<MetricsDiff> diff_metrics(const json::Value& a, const json::Value& b) {
+  if (!a.is_object()) return shape_error("document A is not a metrics snapshot object");
+  if (!b.is_object()) return shape_error("document B is not a metrics snapshot object");
+
+  MetricsDiff diff;
+  auto append_series = [&diff](const std::string& name, const std::string& type,
+                               const json::Value* in_a, const json::Value* in_b) {
+    // Histograms flatten into comparable numeric series; counters and
+    // gauges contribute their single value.
+    const auto add = [&](const std::string& series, const char* key) {
+      MetricDelta d;
+      d.name = series;
+      d.type = type;
+      if (in_a != nullptr)
+        if (const json::Value* v = in_a->find_non_null(key); v && v->is_number()) {
+          d.a = v->as_number();
+          d.in_a = true;
+        }
+      if (in_b != nullptr)
+        if (const json::Value* v = in_b->find_non_null(key); v && v->is_number()) {
+          d.b = v->as_number();
+          d.in_b = true;
+        }
+      if (d.in_a || d.in_b) diff.metrics.push_back(std::move(d));
+    };
+    if (type == "histogram") {
+      add(name + ".count", "count");
+      add(name + ".sum", "sum");
+      add(name + ".p50", "p50");
+      add(name + ".p90", "p90");
+      add(name + ".p99", "p99");
+    } else {
+      add(name, "value");
+    }
+  };
+
+  for (const auto& [name, entry] : a.members()) {
+    if (!entry.is_object()) continue;
+    const json::Value* other = b.find(name);
+    if (other == nullptr) ++diff.only_a;
+    append_series(name, entry.string_at("type"), &entry,
+                  other != nullptr && other->is_object() ? other : nullptr);
+  }
+  for (const auto& [name, entry] : b.members()) {
+    if (!entry.is_object() || a.find(name) != nullptr) continue;
+    ++diff.only_b;
+    append_series(name, entry.string_at("type"), nullptr, &entry);
+  }
+  return diff;
+}
+
+std::string MetricsDiff::to_text() const {
+  std::string out = "metrics diff (B - A):\n";
+  char buf[256];
+  std::size_t unchanged = 0;
+  for (const MetricDelta& m : metrics) {
+    if (m.in_a && m.in_b && m.delta() == 0.0) {
+      ++unchanged;
+      continue;
+    }
+    const char* mark = !m.in_a ? "(new)" : !m.in_b ? "(gone)" : m.delta() > 0 ? "^" : "v";
+    std::snprintf(buf, sizeof buf, "  %-44s %12.6g -> %-12.6g %+12.6g %s\n", m.name.c_str(),
+                  m.a, m.b, m.delta(), mark);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "  %zu series unchanged; %zu metrics only in A, %zu only in B\n", unchanged,
+                only_a, only_b);
+  out += buf;
+  return out;
+}
+
+std::string MetricsDiff::to_json() const {
+  std::string out = "{\n  \"kind\": \"diff-metrics\",\n";
+  out += "  \"only_a\": " + std::to_string(only_a) + ",\n";
+  out += "  \"only_b\": " + std::to_string(only_b) + ",\n";
+  out += "  \"metrics\": [";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const MetricDelta& m = metrics[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += "{ \"name\": " + json::escape(m.name);
+    out += ", \"type\": " + json::escape(m.type);
+    out += ", \"a\": " + (m.in_a ? json::number_text(m.a) : "null");
+    out += ", \"b\": " + (m.in_b ? json::number_text(m.b) : "null");
+    out += ", \"delta\": " + (m.in_a && m.in_b ? json::number_text(m.delta()) : "null");
+    out += " }";
+  }
+  out += metrics.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace lrd::obs

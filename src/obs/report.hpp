@@ -1,0 +1,149 @@
+// Artifact analysis: the consuming side of the observability layer.
+//
+// PR 3 made the tools *emit* Chrome traces, run manifests and metrics
+// snapshots; this module turns those files back into answers without a
+// Perfetto session:
+//   * profile_trace  — per-category/per-name wall-time profile (self and
+//     total), the largest spans, and a per-worker utilization timeline
+//     rendered as text;
+//   * diff_manifests — what changed between two sweep runs: wall time,
+//     cache hit-rate, per-cell timings, aggregated solver telemetry
+//     (iteration counts, mass drift, occupancy sup-gap), issues;
+//   * diff_metrics   — metric-by-metric delta of two registry snapshots
+//     (histograms flattened to count/sum/p50/p90/p99 series).
+// Every result renders as human text (sign-aware: increases in time or
+// telemetry are marked as regressions) or as machine JSON validated by
+// schemas/obs_artifacts.schema.json ($defs reportProfile /
+// reportDiffManifest / reportDiffMetrics).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "obs/json.hpp"
+
+namespace lrd::obs {
+
+/// Aggregate over all spans sharing one name (or one category).
+struct ProfileEntry {
+  std::string name;
+  std::string category;  ///< Empty for category-level entries.
+  std::size_t count = 0;
+  double total_us = 0.0;  ///< Sum of span durations (includes children).
+  double self_us = 0.0;   ///< Sum of durations minus direct children.
+};
+
+/// One individual span, for the top-N listing.
+struct SpanInfo {
+  std::string name;
+  std::string category;
+  long long tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+/// One thread's activity: total busy time (union of its top-level
+/// spans) and a fixed-width text timeline, dense glyphs = busier.
+struct WorkerProfile {
+  long long tid = 0;
+  std::string name;  ///< Thread-name metadata when recorded, else empty.
+  double busy_us = 0.0;
+  double utilization = 0.0;  ///< busy / profiled span.
+  std::string timeline;
+};
+
+struct TraceProfile {
+  std::size_t events = 0;
+  std::size_t spans = 0;
+  std::size_t instants = 0;
+  std::size_t dropped = 0;
+  double start_us = 0.0;
+  double span_us = 0.0;  ///< Last span end minus first span start.
+  std::vector<ProfileEntry> by_category;  ///< Sorted by total_us, descending.
+  std::vector<ProfileEntry> by_name;      ///< Sorted by self_us, descending.
+  std::vector<SpanInfo> top_spans;        ///< Longest spans, descending.
+  std::vector<WorkerProfile> workers;     ///< Sorted by tid.
+  std::vector<std::pair<std::string, std::size_t>> instant_counts;
+
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+/// Aggregates a parsed Chrome trace-event document. `top_n` bounds the
+/// top-span listing, `timeline_width` the worker timeline glyph count.
+/// kParse when the document lacks a traceEvents array.
+lrd::Expected<TraceProfile> profile_trace(const json::Value& trace, std::size_t top_n = 10,
+                                          std::size_t timeline_width = 60);
+
+/// One quantity on both sides of a manifest diff.
+struct DiffScalar {
+  double a = 0.0;
+  double b = 0.0;
+  bool present = false;  ///< Both sides carried the quantity.
+
+  double delta() const noexcept { return b - a; }
+  double relative() const noexcept { return a != 0.0 ? delta() / a : 0.0; }
+};
+
+struct CellDelta {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double a_seconds = 0.0;
+  double b_seconds = 0.0;
+
+  double delta() const noexcept { return b_seconds - a_seconds; }
+};
+
+struct ManifestDiff {
+  std::string tool_a, tool_b;
+  std::string title_a, title_b;
+  DiffScalar wall_seconds;
+  DiffScalar cache_hit_rate;
+  DiffScalar computed_cells;
+  std::size_t common_cells = 0;
+  std::size_t only_a = 0;
+  std::size_t only_b = 0;
+  /// Common cells with timings on both sides, sorted by |delta| desc.
+  std::vector<CellDelta> cell_deltas;
+  bool has_telemetry = false;
+  DiffScalar iterations;         ///< Summed over telemetry-carrying cells.
+  DiffScalar levels;             ///< Ditto.
+  DiffScalar max_mass_drift;     ///< Worst level across the manifest.
+  DiffScalar max_occupancy_gap;  ///< Ditto.
+  DiffScalar issues;
+
+  /// `top_n` bounds the per-cell listing; everything else is printed.
+  std::string to_text(std::size_t top_n = 10) const;
+  std::string to_json() const;
+};
+
+/// Diffs two parsed run manifests (a = before, b = after). kParse when
+/// either document lacks the manifest shape.
+lrd::Expected<ManifestDiff> diff_manifests(const json::Value& a, const json::Value& b);
+
+struct MetricDelta {
+  std::string name;  ///< Histogram series are flattened: "x_seconds.p90".
+  std::string type;  ///< counter | gauge | histogram.
+  double a = 0.0;
+  double b = 0.0;
+  bool in_a = false;
+  bool in_b = false;
+
+  double delta() const noexcept { return b - a; }
+};
+
+struct MetricsDiff {
+  std::vector<MetricDelta> metrics;  ///< Union, a's order first, changed-or-new kept.
+  std::size_t only_a = 0;
+  std::size_t only_b = 0;
+
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+/// Diffs two parsed metrics snapshots (JSON export of obs::Registry).
+lrd::Expected<MetricsDiff> diff_metrics(const json::Value& a, const json::Value& b);
+
+}  // namespace lrd::obs

@@ -1,0 +1,466 @@
+// Tests of the artifact-analysis side of the observability layer: the
+// minimal JSON parser, robust statistics and the overhead clamp, the
+// bench-history parser, the noise-aware regression detector (golden
+// fixtures: an injected 3x slowdown must flag, within-jitter wobble must
+// stay quiet, a telemetry iteration-count regression must flag), the
+// trace profiler's self-time/nesting accounting, and the manifest and
+// metrics diffs.
+//
+// Suites are named Obs* so they also run under the ThreadSanitizer CI
+// job alongside the recording-path tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/regress.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+using namespace lrd;
+
+obs::json::Value parse_ok(const std::string& text) {
+  auto v = obs::json::parse(text);
+  EXPECT_TRUE(v.has_value()) << v.status().describe();
+  return std::move(v).take();
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  ASSERT_NE(out, nullptr) << path;
+  std::fputs(content.c_str(), out);
+  std::fclose(out);
+}
+
+/// One synthetic lrd-bench-v1 history line; values straddle the median
+/// by +-mad so the record is self-consistent.
+std::string history_line(const std::string& key, double median, double mad,
+                         const std::vector<std::pair<std::string, double>>& metrics = {},
+                         const std::string& unit = "seconds") {
+  std::string metric_text = "{";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (i) metric_text += ",";
+    metric_text += "\"" + metrics[i].first + "\":" + obs::json::number_text(metrics[i].second);
+  }
+  metric_text += "}";
+  char buf[768];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"schema\":\"lrd-bench-v1\",\"bench\":\"fixture\",\"key\":\"%s\",\"unit\":\"%s\","
+      "\"warmup\":1,\"repeats\":3,\"median\":%.9g,\"mad\":%.9g,\"min\":%.9g,\"mean\":%.9g,"
+      "\"values\":[%.9g,%.9g,%.9g],\"metrics\":%s,"
+      "\"env\":{\"git_describe\":\"test\",\"build_type\":\"Release\",\"compiler\":\"test\","
+      "\"cpu_count\":4,\"obs_enabled\":true},\"timestamp_unix\":100}",
+      key.c_str(), unit.c_str(), median, mad, median - mad, median, median - mad, median,
+      median + mad, metric_text.c_str());
+  return buf;
+}
+
+// --- JSON parser -----------------------------------------------------------
+
+TEST(ObsJsonParser, ParsesNestedDocument) {
+  const obs::json::Value v =
+      parse_ok(R"({"a":[1,2.5,-3e2],"b":"x\nA","c":null,"d":true,"e":{"f":false}})");
+  ASSERT_TRUE(v.is_object());
+  const obs::json::Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[1].as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(a->items()[2].as_number(), -300.0);
+  EXPECT_EQ(v.string_at("b"), "x\nA");
+  EXPECT_NE(v.find("c"), nullptr);
+  EXPECT_EQ(v.find_non_null("c"), nullptr);
+  EXPECT_TRUE(v.find("d")->as_bool(false));
+  EXPECT_FALSE(v.find("e")->find("f")->as_bool(true));
+}
+
+TEST(ObsJsonParser, RejectsMalformedInput) {
+  for (const char* bad : {"{", "[1,", "\"unterminated", "nul", "{\"a\":1,}", "1 2",
+                          "{\"a\" 1}", "1e999"}) {
+    auto v = obs::json::parse(bad);
+    EXPECT_FALSE(v.has_value()) << bad;
+    EXPECT_EQ(v.diagnostics().category, ErrorCategory::kParse) << bad;
+  }
+}
+
+TEST(ObsJsonParser, MissingFileIsIoError) {
+  auto v = obs::json::parse_file(temp_path("does_not_exist.json"));
+  ASSERT_FALSE(v.has_value());
+  EXPECT_EQ(v.diagnostics().category, ErrorCategory::kIo);
+}
+
+TEST(ObsJsonParser, EscapeRoundTripsThroughParse) {
+  const std::string original = "tab\t\"quote\"\nnewline\\slash";
+  const obs::json::Value v = parse_ok(obs::json::escape(original));
+  EXPECT_EQ(v.as_string(), original);
+}
+
+// --- robust statistics and the overhead clamp ------------------------------
+
+TEST(ObsRobustStats, MedianMadMinMean) {
+  const obs::RobustStats s = obs::robust_stats({5.0, 1.0, 3.0, 100.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean, 22.2);
+  // Deviations from 3: {2, 2, 0, 97, 1} -> median 2. The outlier moves
+  // the mean by 20x but the MAD barely notices it.
+  EXPECT_DOUBLE_EQ(s.mad, 2.0);
+  EXPECT_DOUBLE_EQ(obs::median_of({2.0, 1.0, 4.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(obs::robust_stats({}).median, 0.0);
+}
+
+TEST(ObsOverheadEstimate, NegativeDeltaInsideNoiseClampsToZero) {
+  const obs::RobustStats off = obs::robust_stats({1.0, 1.02, 0.98});
+  const obs::RobustStats on = obs::robust_stats({0.99, 1.0, 0.98});
+  const obs::OverheadEstimate e = obs::estimate_overhead(off, on);
+  EXPECT_LT(e.raw_percent, 0.0);  // measured "speedup"
+  EXPECT_TRUE(e.below_noise_floor);
+  EXPECT_DOUBLE_EQ(e.percent, 0.0);  // never report negative overhead
+}
+
+TEST(ObsOverheadEstimate, RealOverheadSurvivesTheClamp) {
+  const obs::RobustStats off = obs::robust_stats({1.0, 1.02, 0.98});
+  const obs::RobustStats on = obs::robust_stats({1.2, 1.21, 1.19});
+  const obs::OverheadEstimate e = obs::estimate_overhead(off, on);
+  EXPECT_NEAR(e.percent, 20.0, 1.0);
+  EXPECT_FALSE(e.below_noise_floor);
+}
+
+// --- bench history parsing -------------------------------------------------
+
+TEST(ObsBenchHistory, ParsesHarnessRecord) {
+  const obs::json::Value line = parse_ok(history_line(
+      "micro_x/case", 2.0, 0.1, {{"iterations", 120.0}, {"warm_hit_rate", 1.0}}));
+  auto rec = obs::parse_bench_record(line);
+  ASSERT_TRUE(rec.has_value()) << rec.status().describe();
+  EXPECT_EQ(rec.value().key, "micro_x/case");
+  EXPECT_EQ(rec.value().unit, "seconds");
+  EXPECT_DOUBLE_EQ(rec.value().median, 2.0);
+  EXPECT_EQ(rec.value().values.size(), 3u);
+  ASSERT_NE(rec.value().metric("iterations"), nullptr);
+  EXPECT_DOUBLE_EQ(*rec.value().metric("iterations"), 120.0);
+  EXPECT_EQ(rec.value().metric("absent"), nullptr);
+  EXPECT_EQ(rec.value().git_describe, "test");
+  EXPECT_TRUE(rec.value().obs_enabled);
+}
+
+TEST(ObsBenchHistory, RejectsWrongSchemaAndMissingMedian) {
+  auto wrong = obs::parse_bench_record(parse_ok(R"({"schema":"v0","bench":"b"})"));
+  ASSERT_FALSE(wrong.has_value());
+  EXPECT_EQ(wrong.diagnostics().category, ErrorCategory::kParse);
+  auto missing = obs::parse_bench_record(parse_ok(
+      R"({"schema":"lrd-bench-v1","bench":"b","key":"k","unit":"s"})"));
+  ASSERT_FALSE(missing.has_value());
+}
+
+TEST(ObsBenchHistory, LoadReportsBadLineNumber) {
+  const std::string path = temp_path("bad_history.jsonl");
+  write_file(path, history_line("k", 1.0, 0.1) + "\n\nnot json\n");
+  auto history = obs::load_bench_history(path);
+  ASSERT_FALSE(history.has_value());
+  EXPECT_EQ(history.diagnostics().category, ErrorCategory::kParse);
+  EXPECT_EQ(history.diagnostics().line, 3);
+}
+
+// --- regression detector: the golden fixtures ------------------------------
+
+TEST(ObsRegress, InjectedSlowdownMustFlag) {
+  // Four healthy runs, then a 3x slowdown appended as the newest record.
+  std::string text;
+  for (double m : {1.0, 1.01, 0.99, 1.0}) text += history_line("bench/slow", m, 0.02) + "\n";
+  text += history_line("bench/slow", 3.0, 0.02) + "\n";
+  const std::string path = temp_path("slowdown.jsonl");
+  write_file(path, text);
+
+  auto history = obs::load_bench_history(path);
+  ASSERT_TRUE(history.has_value()) << history.status().describe();
+  const obs::RegressionReport report =
+      obs::check_regressions(std::move(history).take(), {}, obs::RegressionConfig{});
+  EXPECT_EQ(report.keys_checked, 1u);
+  ASSERT_EQ(report.regressions, 1u);
+  ASSERT_FALSE(report.findings.empty());
+  const obs::RegressionFinding& f = report.findings.front();
+  EXPECT_TRUE(f.regression);
+  EXPECT_EQ(f.metric, "");  // wall time, not a telemetry metric
+  EXPECT_NEAR(f.relative(), 2.0, 0.1);
+  EXPECT_NE(report.to_text().find("[REGR]"), std::string::npos);
+}
+
+TEST(ObsRegress, WithinJitterWobbleStaysQuiet) {
+  // The candidate is +3% on a bench whose own repeats jitter by +-5%:
+  // inside both the relative threshold and the MAD band.
+  std::string text;
+  for (double m : {1.0, 1.04, 0.97, 1.01}) text += history_line("bench/wobble", m, 0.05) + "\n";
+  text += history_line("bench/wobble", 1.03, 0.05) + "\n";
+  const std::string path = temp_path("wobble.jsonl");
+  write_file(path, text);
+
+  auto history = obs::load_bench_history(path);
+  ASSERT_TRUE(history.has_value());
+  const obs::RegressionReport report =
+      obs::check_regressions(std::move(history).take(), {}, obs::RegressionConfig{});
+  EXPECT_EQ(report.keys_checked, 1u);
+  EXPECT_EQ(report.regressions, 0u);
+  EXPECT_FALSE(report.any_regression());
+}
+
+TEST(ObsRegress, IterationCountRegressionFlagsWithoutWallTimeChange) {
+  // Wall time identical; the solver suddenly needs twice the iterations.
+  std::string text;
+  for (double its : {100.0, 101.0, 99.0, 100.0})
+    text += history_line("bench/solve", 1.0, 0.02, {{"iterations", its}}) + "\n";
+  text += history_line("bench/solve", 1.0, 0.02, {{"iterations", 200.0}}) + "\n";
+  const std::string path = temp_path("iterations.jsonl");
+  write_file(path, text);
+
+  auto history = obs::load_bench_history(path);
+  ASSERT_TRUE(history.has_value());
+  const obs::RegressionReport report =
+      obs::check_regressions(std::move(history).take(), {}, obs::RegressionConfig{});
+  ASSERT_EQ(report.regressions, 1u);
+  bool found = false;
+  for (const obs::RegressionFinding& f : report.findings) {
+    if (f.metric == "iterations") {
+      EXPECT_TRUE(f.regression);
+      found = true;
+    } else {
+      EXPECT_FALSE(f.regression) << f.metric;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsRegress, TwoFileModeAndNewKeys) {
+  // CI workflow: --history baseline vs --candidate fresh records. A key
+  // with no baseline is reported but never gated.
+  std::vector<obs::BenchHistoryRecord> history, candidates;
+  for (double m : {1.0, 1.02, 0.98}) {
+    auto rec = obs::parse_bench_record(parse_ok(history_line("bench/known", m, 0.02)));
+    ASSERT_TRUE(rec.has_value());
+    history.push_back(std::move(rec).take());
+  }
+  auto fresh = obs::parse_bench_record(parse_ok(history_line("bench/known", 1.01, 0.02)));
+  auto novel = obs::parse_bench_record(parse_ok(history_line("bench/new", 5.0, 0.1)));
+  ASSERT_TRUE(fresh.has_value() && novel.has_value());
+  candidates.push_back(std::move(fresh).take());
+  candidates.push_back(std::move(novel).take());
+
+  const obs::RegressionReport report = obs::check_regressions(
+      std::move(history), std::move(candidates), obs::RegressionConfig{});
+  EXPECT_EQ(report.keys_checked, 1u);
+  EXPECT_EQ(report.regressions, 0u);
+  ASSERT_EQ(report.keys_without_baseline.size(), 1u);
+  EXPECT_EQ(report.keys_without_baseline.front(), "bench/new");
+  EXPECT_NE(report.to_json().find("\"kind\": \"bench-check\""), std::string::npos);
+}
+
+TEST(ObsRegress, ConfigValidation) {
+  obs::RegressionConfig cfg;
+  EXPECT_TRUE(cfg.validate().is_ok());
+  cfg.baseline_window = 0;
+  EXPECT_FALSE(cfg.validate().is_ok());
+  cfg = obs::RegressionConfig{};
+  cfg.mad_k = -1.0;
+  EXPECT_FALSE(cfg.validate().is_ok());
+}
+
+// --- trace profile ---------------------------------------------------------
+
+constexpr const char* kTrace = R"({
+  "displayTimeUnit": "ms",
+  "droppedEvents": 2,
+  "traceEvents": [
+    {"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"worker-0"}},
+    {"name":"root","cat":"sweep","ph":"X","pid":1,"tid":1,"ts":0,"dur":100},
+    {"name":"child","cat":"solver","ph":"X","pid":1,"tid":1,"ts":10,"dur":30},
+    {"name":"child","cat":"solver","ph":"X","pid":1,"tid":1,"ts":50,"dur":25},
+    {"name":"other","cat":"solver","ph":"X","pid":1,"tid":2,"ts":20,"dur":40},
+    {"name":"mark","ph":"i","pid":1,"tid":1,"ts":15,"s":"t"}
+  ]
+})";
+
+TEST(ObsTraceProfile, SelfTimeExcludesDirectChildren) {
+  auto profile = obs::profile_trace(parse_ok(kTrace), 3, 20);
+  ASSERT_TRUE(profile.has_value()) << profile.status().describe();
+  const obs::TraceProfile& p = profile.value();
+  EXPECT_EQ(p.spans, 4u);
+  EXPECT_EQ(p.instants, 1u);
+  EXPECT_EQ(p.dropped, 2u);
+  EXPECT_DOUBLE_EQ(p.span_us, 100.0);
+
+  ASSERT_FALSE(p.by_name.empty());
+  // child: 30 + 25 = 55 self; root: 100 - 55 = 45 self; other: 40.
+  EXPECT_EQ(p.by_name[0].name, "child");
+  EXPECT_DOUBLE_EQ(p.by_name[0].self_us, 55.0);
+  double root_self = -1.0;
+  for (const obs::ProfileEntry& e : p.by_name)
+    if (e.name == "root") root_self = e.self_us;
+  EXPECT_DOUBLE_EQ(root_self, 45.0);
+
+  // Categories sorted by total: sweep 100 > solver 95.
+  ASSERT_EQ(p.by_category.size(), 2u);
+  EXPECT_EQ(p.by_category[0].name, "sweep");
+  EXPECT_DOUBLE_EQ(p.by_category[0].total_us, 100.0);
+  EXPECT_DOUBLE_EQ(p.by_category[1].total_us, 95.0);
+  EXPECT_DOUBLE_EQ(p.by_category[1].self_us, 95.0);
+
+  ASSERT_EQ(p.top_spans.size(), 3u);
+  EXPECT_EQ(p.top_spans[0].name, "root");
+  EXPECT_DOUBLE_EQ(p.top_spans[0].dur_us, 100.0);
+}
+
+TEST(ObsTraceProfile, WorkerUtilizationAndNames) {
+  auto profile = obs::profile_trace(parse_ok(kTrace), 3, 20);
+  ASSERT_TRUE(profile.has_value());
+  const obs::TraceProfile& p = profile.value();
+  ASSERT_EQ(p.workers.size(), 2u);
+  EXPECT_EQ(p.workers[0].tid, 1);
+  EXPECT_EQ(p.workers[0].name, "worker-0");
+  // tid 1's only top-level span covers the whole profile; children do
+  // not double-count into busy time.
+  EXPECT_DOUBLE_EQ(p.workers[0].busy_us, 100.0);
+  EXPECT_DOUBLE_EQ(p.workers[0].utilization, 1.0);
+  EXPECT_EQ(p.workers[0].timeline.size(), 20u);
+  EXPECT_EQ(p.workers[1].tid, 2);
+  EXPECT_NEAR(p.workers[1].utilization, 0.4, 1e-9);
+
+  ASSERT_EQ(p.instant_counts.size(), 1u);
+  EXPECT_EQ(p.instant_counts[0].first, "mark");
+
+  const std::string text = p.to_text();
+  EXPECT_NE(text.find("worker-0"), std::string::npos);
+  EXPECT_NE(text.find("child"), std::string::npos);
+  EXPECT_NE(p.to_json().find("\"kind\": \"profile\""), std::string::npos);
+}
+
+TEST(ObsTraceProfile, RejectsNonTraceDocument) {
+  auto profile = obs::profile_trace(parse_ok(R"({"foo": 1})"));
+  ASSERT_FALSE(profile.has_value());
+  EXPECT_EQ(profile.diagnostics().category, ErrorCategory::kParse);
+}
+
+// --- manifest diff ---------------------------------------------------------
+
+constexpr const char* kManifestA = R"({
+  "tool":"lrdq_sweep","title":"A","wall_seconds":10.0,
+  "cells":{"total":2,"computed":2,"cache_hits":0,"resumed":0},
+  "cache":{"hits":0,"misses":4,"stores":4,"loaded":0},
+  "issues":["solver stalled"],
+  "cell_times":[
+    {"row":0,"col":0,"seconds":4.0,"source":"computed",
+     "telemetry":{"total_seconds":4.0,"levels":[
+       {"bins":128,"iterations":100,"bracket_lower":0,"bracket_upper":1,
+        "bracket_width":1,"occupancy_gap":0.1,"mass_drift":1e-9,"wall_seconds":4.0}]}},
+    {"row":0,"col":1,"seconds":6.0,"source":"computed"}
+  ]
+})";
+
+constexpr const char* kManifestB = R"({
+  "tool":"lrdq_sweep","title":"B","wall_seconds":8.0,
+  "cells":{"total":2,"computed":1,"cache_hits":1,"resumed":0},
+  "cache":{"hits":2,"misses":2,"stores":2,"loaded":2},
+  "issues":[],
+  "cell_times":[
+    {"row":0,"col":0,"seconds":3.0,"source":"computed",
+     "telemetry":{"total_seconds":3.0,"levels":[
+       {"bins":128,"iterations":120,"bracket_lower":0,"bracket_upper":1,
+        "bracket_width":1,"occupancy_gap":0.2,"mass_drift":1e-8,"wall_seconds":3.0}]}},
+    {"row":1,"col":0,"seconds":5.0,"source":"computed"}
+  ]
+})";
+
+TEST(ObsManifestDiff, CellMatchingCacheRateAndTelemetry) {
+  auto diff = obs::diff_manifests(parse_ok(kManifestA), parse_ok(kManifestB));
+  ASSERT_TRUE(diff.has_value()) << diff.status().describe();
+  const obs::ManifestDiff& d = diff.value();
+  EXPECT_DOUBLE_EQ(d.wall_seconds.a, 10.0);
+  EXPECT_DOUBLE_EQ(d.wall_seconds.delta(), -2.0);
+  EXPECT_DOUBLE_EQ(d.cache_hit_rate.a, 0.0);
+  EXPECT_DOUBLE_EQ(d.cache_hit_rate.b, 0.5);
+  EXPECT_EQ(d.common_cells, 1u);
+  EXPECT_EQ(d.only_a, 1u);
+  EXPECT_EQ(d.only_b, 1u);
+  ASSERT_EQ(d.cell_deltas.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.cell_deltas[0].delta(), -1.0);
+  EXPECT_TRUE(d.has_telemetry);
+  EXPECT_DOUBLE_EQ(d.iterations.a, 100.0);
+  EXPECT_DOUBLE_EQ(d.iterations.b, 120.0);
+  EXPECT_DOUBLE_EQ(d.max_mass_drift.b, 1e-8);
+  EXPECT_DOUBLE_EQ(d.issues.a, 1.0);
+  EXPECT_DOUBLE_EQ(d.issues.b, 0.0);
+
+  const std::string text = d.to_text();
+  EXPECT_NE(text.find("cache hit rate"), std::string::npos);
+  EXPECT_NE(d.to_json().find("\"kind\": \"diff-manifest\""), std::string::npos);
+}
+
+TEST(ObsManifestDiff, RejectsNonManifest) {
+  auto diff = obs::diff_manifests(parse_ok(R"({"foo":1})"), parse_ok(kManifestB));
+  ASSERT_FALSE(diff.has_value());
+  EXPECT_EQ(diff.diagnostics().category, ErrorCategory::kParse);
+}
+
+// --- metrics diff ----------------------------------------------------------
+
+TEST(ObsMetricsDiff, FlattensHistogramsAndTracksMissingSides) {
+  const obs::json::Value a = parse_ok(
+      R"({"c":{"help":"","type":"counter","value":5},
+          "h":{"help":"","type":"histogram","count":3,"sum":6.0,"p50":2.0,"p90":3.0,"p99":3.0}})");
+  const obs::json::Value b = parse_ok(
+      R"({"c":{"help":"","type":"counter","value":8},
+          "g":{"help":"","type":"gauge","value":1.5}})");
+  auto diff = obs::diff_metrics(a, b);
+  ASSERT_TRUE(diff.has_value());
+  const obs::MetricsDiff& d = diff.value();
+  EXPECT_EQ(d.only_a, 1u);  // the histogram vanished
+  EXPECT_EQ(d.only_b, 1u);  // the gauge appeared
+
+  double c_delta = 0.0;
+  bool saw_p90 = false, saw_gauge = false;
+  for (const obs::MetricDelta& m : d.metrics) {
+    if (m.name == "c") c_delta = m.delta();
+    if (m.name == "h.p90") {
+      saw_p90 = true;
+      EXPECT_TRUE(m.in_a);
+      EXPECT_FALSE(m.in_b);
+    }
+    if (m.name == "g") {
+      saw_gauge = true;
+      EXPECT_FALSE(m.in_a);
+      EXPECT_TRUE(m.in_b);
+    }
+  }
+  EXPECT_DOUBLE_EQ(c_delta, 3.0);
+  EXPECT_TRUE(saw_p90);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_NE(d.to_json().find("\"kind\": \"diff-metrics\""), std::string::npos);
+}
+
+TEST(ObsMetricsDiff, RegistrySnapshotDiffedAgainstItselfIsAllZero) {
+  // Integration: the real registry's JSON export parses with the real
+  // parser and self-diffs to zero.
+  obs::Registry registry;
+  registry.counter("test_counter", "help").inc(3);
+  registry.histogram("test_hist_seconds", "help").observe(0.5);
+  const obs::json::Value snapshot = parse_ok(registry.to_json());
+  auto diff = obs::diff_metrics(snapshot, snapshot);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_EQ(diff.value().only_a, 0u);
+  EXPECT_EQ(diff.value().only_b, 0u);
+  for (const obs::MetricDelta& m : diff.value().metrics) {
+    EXPECT_TRUE(m.in_a && m.in_b) << m.name;
+    EXPECT_DOUBLE_EQ(m.delta(), 0.0) << m.name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// lrdq_report — offline analyzer for the observability artifacts the
+// lrdq_* tools and sweep benches emit.
+//
+//   lrdq_report profile TRACE.json
+//       Per-category/per-name wall-time profile (self and total), the
+//       longest spans, instant-event counts, and a per-worker
+//       utilization timeline rendered as text — no Perfetto needed.
+//   lrdq_report diff-manifest A.json B.json
+//       What changed between two sweep runs: wall time, cache hit-rate,
+//       per-cell timings, aggregated solver telemetry, issues.
+//   lrdq_report diff-metrics A.json B.json
+//       Metric-by-metric delta of two registry snapshots (histograms
+//       flattened to count/sum/p50/p90/p99 series).
+//
+// Output is human text by default; --json emits machine JSON validated
+// by schemas/obs_artifacts.schema.json (tools/validate_obs.py --kind
+// report). Increases in time or telemetry are sign-aware-marked as
+// regressions in the text form.
+//
+// Exit codes: 0 ok, 2 usage, 4 malformed artifact, 5 unreadable file.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cli_common.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: lrdq_report profile TRACE.json        [--top N] [--timeline-width N]\n"
+    "                                             [--json] [--out FILE]\n"
+    "       lrdq_report diff-manifest A.json B.json [--top N] [--json] [--out FILE]\n"
+    "       lrdq_report diff-metrics A.json B.json  [--json] [--out FILE]\n"
+    "       lrdq_report --help | --version";
+
+int emit(const std::string& rendered, const lrd::cli::Args& args) {
+  const std::string out_path = args.get("out", "");
+  if (out_path.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+    return 0;
+  }
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    lrd::throw_error(lrd::make_diagnostics(lrd::ErrorCategory::kIo, "lrdq_report",
+                                           "output path is writable",
+                                           "cannot open " + out_path));
+  }
+  std::fputs(rendered.c_str(), out);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+lrd::obs::json::Value load(const std::string& path) {
+  auto doc = lrd::obs::json::parse_file(path);
+  if (!doc) lrd::throw_error(doc.diagnostics());
+  return std::move(doc).take();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lrd;
+  return cli::run_tool(kUsage, [&] {
+    // Subcommand and file paths are positional; everything after them is
+    // flag territory handed to cli::Args (which rejects positionals).
+    std::string command;
+    std::vector<std::string> files;
+    int next = 1;
+    while (next < argc && std::strncmp(argv[next], "--", 2) != 0) {
+      if (command.empty())
+        command = argv[next];
+      else
+        files.push_back(argv[next]);
+      ++next;
+    }
+    cli::Args args(argc - (next - 1), argv + (next - 1),
+                   {"top", "timeline-width", "out"}, {"json"});
+    if (args.help() || (command.empty() && argc <= 1)) {
+      std::printf("%s\n", kUsage);
+      return 0;
+    }
+    if (args.version()) return cli::print_version("lrdq_report");
+
+    const auto want = [&](std::size_t n) {
+      if (files.size() == n) return;
+      throw std::invalid_argument("'" + command + "' takes " + std::to_string(n) +
+                                  " file argument" + (n == 1 ? "" : "s") + ", got " +
+                                  std::to_string(files.size()));
+    };
+    const std::size_t top_n = args.get_size("top", 10);
+    const bool as_json = args.has("json");
+
+    if (command == "profile") {
+      want(1);
+      const std::size_t width = args.get_size("timeline-width", 60);
+      auto profile = obs::profile_trace(load(files[0]), top_n, width);
+      if (!profile) throw_error(profile.diagnostics());
+      return emit(as_json ? profile.value().to_json() : profile.value().to_text(), args);
+    }
+    if (command == "diff-manifest") {
+      want(2);
+      auto diff = obs::diff_manifests(load(files[0]), load(files[1]));
+      if (!diff) throw_error(diff.diagnostics());
+      return emit(as_json ? diff.value().to_json() : diff.value().to_text(top_n), args);
+    }
+    if (command == "diff-metrics") {
+      want(2);
+      auto diff = obs::diff_metrics(load(files[0]), load(files[1]));
+      if (!diff) throw_error(diff.diagnostics());
+      return emit(as_json ? diff.value().to_json() : diff.value().to_text(), args);
+    }
+    throw std::invalid_argument(command.empty() ? "missing subcommand"
+                                                : "unknown subcommand '" + command + "'");
+  });
+}

@@ -14,11 +14,17 @@ schema cannot express:
     --telemetry-out` file;
   * trace:    events must be sorted by timestamp, and with
     --require-events at least one complete ("X") span must be present;
-  * metrics:  every --require NAME must name a metric in the snapshot.
+  * metrics:  every --require NAME must name a metric in the snapshot;
+  * bench:    the artifact is JSONL (BENCH_history.jsonl) -- every
+    non-blank line must be a benchRecord whose median lies within the
+    span of its samples, and every --require NAME must appear as a key;
+  * report:   lrdq_report --json / lrdq_bench_check --json output,
+    dispatched on the document's "kind" (profile / diff-manifest /
+    diff-metrics / bench-check).
 
 Usage:
-  validate_obs.py --kind metrics|trace|manifest|telemetry [--schema FILE]
-                  [--require NAME]... [--require-telemetry]
+  validate_obs.py --kind metrics|trace|manifest|telemetry|bench|report
+                  [--schema FILE] [--require NAME]... [--require-telemetry]
                   [--require-events] ARTIFACT.json
 
 Exit code 0 when valid, 1 with one "path: problem" line per violation.
@@ -104,6 +110,44 @@ def check_telemetry(telemetry, path, errors):
             break
 
 
+REPORT_KINDS = {
+    "profile": "reportProfile",
+    "diff-manifest": "reportDiffManifest",
+    "diff-metrics": "reportDiffMetrics",
+    "bench-check": "benchCheck",
+}
+
+
+def validate_bench_history(path, root, args, errors):
+    """JSONL store: every non-blank line is one benchRecord."""
+    keys = set()
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                errors.append(f"line {lineno}: not valid JSON: {err}")
+                continue
+            validate(record, root["$defs"]["benchRecord"], root,
+                     f"line {lineno}", errors)
+            if isinstance(record, dict):
+                keys.add(record.get("key"))
+                values = record.get("values")
+                median = record.get("median")
+                if isinstance(values, list) and values and \
+                        all(isinstance(v, (int, float)) for v in values) and \
+                        isinstance(median, (int, float)) and \
+                        not min(values) <= median <= max(values):
+                    errors.append(f"line {lineno}: median {median:g} outside "
+                                  f"the sample span [{min(values):g}, "
+                                  f"{max(values):g}]")
+    for name in args.require:
+        if name not in keys:
+            errors.append(f"$: no record for required key {name!r}")
+
+
 def semantic_checks(kind, doc, args, errors):
     if kind == "metrics":
         for name in args.require:
@@ -140,7 +184,8 @@ def semantic_checks(kind, doc, args, errors):
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--kind", required=True,
-                        choices=["metrics", "trace", "manifest", "telemetry"])
+                        choices=["metrics", "trace", "manifest", "telemetry",
+                                 "bench", "report"])
     parser.add_argument("--schema",
                         default=os.path.join(os.path.dirname(__file__), os.pardir,
                                              "schemas", "obs_artifacts.schema.json"))
@@ -155,16 +200,27 @@ def main():
 
     with open(args.schema, encoding="utf-8") as fh:
         root = json.load(fh)
-    try:
-        with open(args.artifact, encoding="utf-8") as fh:
-            doc = json.load(fh)
-    except json.JSONDecodeError as err:
-        print(f"{args.artifact}: not valid JSON: {err}", file=sys.stderr)
-        return 1
 
     errors = []
-    validate(doc, root["$defs"][args.kind], root, "$", errors)
-    semantic_checks(args.kind, doc, args, errors)
+    if args.kind == "bench":
+        validate_bench_history(args.artifact, root, args, errors)
+    else:
+        try:
+            with open(args.artifact, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except json.JSONDecodeError as err:
+            print(f"{args.artifact}: not valid JSON: {err}", file=sys.stderr)
+            return 1
+        if args.kind == "report":
+            name = doc.get("kind") if isinstance(doc, dict) else None
+            if name not in REPORT_KINDS:
+                print(f"{args.artifact}: $.kind: {name!r} is not a report kind "
+                      f"(want one of {sorted(REPORT_KINDS)})", file=sys.stderr)
+                return 1
+            validate(doc, root["$defs"][REPORT_KINDS[name]], root, "$", errors)
+        else:
+            validate(doc, root["$defs"][args.kind], root, "$", errors)
+            semantic_checks(args.kind, doc, args, errors)
 
     if errors:
         for err in errors:
