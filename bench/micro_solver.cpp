@@ -12,6 +12,7 @@
 // Results print to stdout and append to BENCH_history.jsonl
 // (--history/--no-history to redirect/disable).
 #include <algorithm>
+#include <complex>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -21,6 +22,7 @@
 #include "dist/truncated_pareto.hpp"
 #include "harness.hpp"
 #include "numerics/convolution.hpp"
+#include "numerics/fft_plan.hpp"
 #include "numerics/random.hpp"
 #include "queueing/solver.hpp"
 #include "queueing/trace_queue_sim.hpp"
@@ -118,6 +120,70 @@ int main(int argc, char** argv) {
         numerics::CachedKernelConvolver conv(random_pmf(2 * m + 1, 2), m + 1);
         const std::size_t iters = std::max<std::size_t>(1, 16384 / m);
         c.measure_ns_per_iter(iters, [&](std::size_t) { (void)conv.convolve(q); });
+      });
+    }
+
+    h.add("plan_cache/lookup", {1, 5}, [](bench::Case& c) {
+      // Steady-state cost of the mutex-guarded table hit (the plan is
+      // built on the warmup pass).
+      (void)numerics::fft_plan(4096);
+      c.measure_ns_per_iter(4096, [](std::size_t) { (void)numerics::fft_plan(4096); });
+    });
+    h.add("plan_cache/fft/4096", {1, 5}, [](bench::Case& c) {
+      // Precomputed-table complex transform, forward + normalized inverse.
+      constexpr std::size_t n = 4096;
+      const numerics::FftPlan& plan = numerics::fft_plan(n);
+      const auto seed = random_pmf(n, 3);
+      std::vector<std::complex<double>> buf(n);
+      for (std::size_t i = 0; i < n; ++i) buf[i] = seed[i];
+      c.measure_ns_per_iter(16, [&](std::size_t) {
+        plan.forward(buf.data());
+        plan.inverse(buf.data());
+        for (auto& z : buf) z *= 1.0 / static_cast<double>(n);
+      });
+    });
+    h.add("plan_cache/rfft_roundtrip/4096", {1, 5}, [](bench::Case& c) {
+      // Real-input forward + inverse via the conjugate-symmetric half
+      // spectrum — the per-call cost inside the cached convolvers.
+      constexpr std::size_t n = 4096;
+      const numerics::RealFft rfft(n);
+      const auto x = random_pmf(n, 4);
+      std::vector<std::complex<double>> spec(rfft.spectrum_size());
+      std::vector<double> out(n);
+      c.measure_ns_per_iter(16, [&](std::size_t) {
+        rfft.forward(x.data(), x.size(), spec.data());
+        rfft.inverse(spec.data(), out.data());
+      });
+    });
+
+    for (const std::size_t m : {std::size_t{1024}, std::size_t{4096}}) {
+      h.add("fold_step/" + std::to_string(m), {1, 5}, [m](bench::Case& c) {
+        // The solver's per-epoch cost: both chains advanced by one batched
+        // dual-channel convolution plus the boundary fold. The
+        // speedup_vs_sequential metric compares against the pre-batching
+        // epoch (two independent cached convolutions, allocating path).
+        auto solver = figure_solver();
+        const auto wl = solver.increment_pmf_lower(m);
+        const auto wh = solver.increment_pmf_upper(m);
+        queueing::DualFoldEngine engine(wl, wh, m);
+        std::vector<double> q_low(m + 1, 0.0), q_high(m + 1, 0.0);
+        q_low[0] = 1.0;
+        q_high[m] = 1.0;
+        queueing::StepHealth low_health, high_health;
+        const std::size_t iters = std::max<std::size_t>(4, 16384 / m);
+        c.measure_ns_per_iter(iters, [&](std::size_t) {
+          engine.step(q_low, q_high, low_health, high_health);
+        });
+        const double dual_ns = obs::robust_stats(c.samples()).median;
+        const numerics::CachedKernelConvolver conv_low(wl, m + 1), conv_high(wh, m + 1);
+        const obs::SteadyTime t0 = obs::now();
+        for (std::size_t i = 0; i < iters; ++i) {
+          (void)conv_low.convolve(q_low);
+          (void)conv_high.convolve(q_high);
+        }
+        const double seq_ns = obs::seconds_since(t0) * 1e9 / static_cast<double>(iters);
+        c.metric("sequential_ns", seq_ns);
+        if (dual_ns > 0.0) c.metric("speedup_vs_sequential", seq_ns / dual_ns);
       });
     }
 

@@ -6,7 +6,9 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/status.hpp"
 #include "numerics/fft.hpp"
+#include "numerics/fft_plan.hpp"
 #include "numerics/special_functions.hpp"
 
 namespace lrd::analysis {
@@ -155,11 +157,19 @@ HurstEstimate hurst_periodogram(const std::vector<double>& x, std::size_t freque
   frequencies = std::min(frequencies, n / 2 - 1);
   if (frequencies < 4) throw std::invalid_argument("hurst_periodogram: too few frequencies");
 
+  if (!numerics::all_finite(x))
+    throw_error(make_diagnostics(ErrorCategory::kNumericalGuard, "analysis.hurst",
+                                 "input series is finite",
+                                 "hurst_periodogram: non-finite (NaN/Inf) entry in series"));
   const double mean = numerics::neumaier_sum(x) / static_cast<double>(n);
   std::vector<double> centered(n);
   for (std::size_t i = 0; i < n; ++i) centered[i] = x[i] - mean;
+  // Only the low half of the spectrum is regressed on, so the
+  // plan-cached real transform's half-spectrum is all we need.
   const std::size_t m = numerics::next_pow2(n);
-  auto spec = numerics::fft_real(centered, m);
+  const numerics::RealFft rfft(m);
+  std::vector<std::complex<double>> spec(rfft.spectrum_size());
+  rfft.forward(centered.data(), centered.size(), spec.data());
 
   std::vector<double> lx, ly;
   for (std::size_t k = 1; k <= frequencies; ++k) {

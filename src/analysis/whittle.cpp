@@ -5,7 +5,9 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/status.hpp"
 #include "numerics/fft.hpp"
+#include "numerics/fft_plan.hpp"
 #include "numerics/special_functions.hpp"
 
 namespace lrd::analysis {
@@ -51,10 +53,18 @@ WhittleResult hurst_whittle(const std::vector<double>& x) {
   std::size_t n = 1;
   while (n * 2 <= x.size()) n *= 2;
 
+  if (!numerics::all_finite(x))
+    throw_error(make_diagnostics(ErrorCategory::kNumericalGuard, "analysis.whittle",
+                                 "input series is finite",
+                                 "hurst_whittle: non-finite (NaN/Inf) entry in series"));
   const double mean = numerics::neumaier_sum(x) / static_cast<double>(x.size());
   std::vector<double> centered(n);
   for (std::size_t i = 0; i < n; ++i) centered[i] = x[i] - mean;
-  const auto spec = numerics::fft_real(centered, n);
+  // The periodogram only reads the interior half-spectrum bins, so the
+  // plan-cached real transform suffices.
+  const numerics::RealFft rfft(n);
+  std::vector<std::complex<double>> spec(rfft.spectrum_size());
+  rfft.forward(centered.data(), centered.size(), spec.data());
 
   // Periodogram at the interior Fourier frequencies.
   const std::size_t m = n / 2 - 1;

@@ -1,10 +1,10 @@
 #include "numerics/fft.hpp"
 
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
 
 #include "core/status.hpp"
+#include "numerics/fft_plan.hpp"
 
 namespace lrd::numerics {
 
@@ -24,28 +24,14 @@ void fft_inplace(std::vector<std::complex<double>>& data, bool inverse) {
   const std::size_t n = data.size();
   if (!is_pow2(n)) throw std::invalid_argument("fft_inplace: size must be a power of two");
   if (n == 1) return;
-
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(data[i], data[j]);
-  }
-
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = 2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
-    const std::complex<double> wlen{std::cos(ang), std::sin(ang)};
-    for (std::size_t i = 0; i < n; i += len) {
-      std::complex<double> w{1.0, 0.0};
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const std::complex<double> u = data[i + k];
-        const std::complex<double> v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
+  // Route through the shared plan cache: callers repeating a size reuse
+  // its twiddle and bit-reversal tables instead of recomputing the
+  // on-the-fly twiddle recurrence (which also loses a few digits).
+  const FftPlan& plan = fft_plan(n);
+  if (inverse) {
+    plan.inverse(data.data());
+  } else {
+    plan.forward(data.data());
   }
 }
 

@@ -1,9 +1,10 @@
 // Radix-2 complex FFT and helpers.
 //
-// Self-contained replacement for an external FFT dependency. The solver in
-// queueing/solver.cpp and the fGn generator in traffic/fgn.cpp are the two
-// hot consumers; both operate on power-of-two sizes obtained by
-// zero-padding, so an iterative radix-2 transform is all we need.
+// Self-contained replacement for an external FFT dependency. These are
+// the *cold*, validating entry points; they now execute through the
+// shared plan cache in fft_plan.hpp, which is also where hot consumers
+// (the solver's convolution engine, the fGn generator, the periodogram
+// estimators) go directly for allocation-free, real-input transforms.
 #pragma once
 
 #include <complex>
@@ -34,6 +35,8 @@ std::vector<std::complex<double>> ifft(std::vector<std::complex<double>> data);
 /// Forward FFT of a real vector zero-padded to `n` (a power of two >= x.size()).
 /// Rejects non-finite input (a NaN anywhere in the signal would otherwise
 /// silently poison the whole spectrum and every value convolved with it).
+/// Cold path: allocates and scans every call. Hot loops use RealFft from
+/// fft_plan.hpp and validate their inputs once up front instead.
 std::vector<std::complex<double>> fft_real(const std::vector<double>& x, std::size_t n);
 
 /// True iff every entry is finite (no NaN/Inf).

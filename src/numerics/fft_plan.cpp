@@ -1,0 +1,158 @@
+#include "numerics/fft_plan.hpp"
+
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <numbers>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "numerics/fft.hpp"
+
+namespace lrd::numerics {
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  if (!is_pow2(n)) throw std::invalid_argument("FftPlan: size must be a power of two");
+  if (n > (std::size_t{1} << 31)) throw std::invalid_argument("FftPlan: size too large");
+  bitrev_.resize(n);
+  bitrev_[0] = 0;
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    bitrev_[i] = static_cast<std::uint32_t>(j);
+  }
+  // Direct per-entry evaluation: a cos/sin recurrence would accumulate
+  // rounding error across the table and the table is built only once.
+  twiddle_.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+    twiddle_[k] = {std::cos(ang), std::sin(ang)};
+  }
+}
+
+void FftPlan::transform(std::complex<double>* data, bool inverse) const noexcept {
+  const std::size_t n = n_;
+  if (n < 2) return;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t stride = n / len;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        std::complex<double> w = twiddle_[k * stride];
+        if (inverse) w = std::conj(w);
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + half] * w;
+        data[i + k] = u + v;
+        data[i + k + half] = u - v;
+      }
+    }
+  }
+}
+
+void FftPlan::forward(std::complex<double>* data) const noexcept {
+  transform(data, /*inverse=*/false);
+}
+
+void FftPlan::inverse(std::complex<double>* data) const noexcept {
+  transform(data, /*inverse=*/true);
+}
+
+namespace {
+
+struct PlanCache {
+  std::mutex mutex;
+  std::unordered_map<std::size_t, std::unique_ptr<const FftPlan>> plans;
+};
+
+PlanCache& plan_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
+}  // namespace
+
+const FftPlan& fft_plan(std::size_t n) {
+  if (!is_pow2(n)) throw std::invalid_argument("fft_plan: size must be a power of two");
+  PlanCache& cache = plan_cache();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  auto& slot = cache.plans[n];
+  if (!slot) slot = std::make_unique<const FftPlan>(n);
+  return *slot;
+}
+
+std::size_t fft_plan_cache_size() noexcept {
+  PlanCache& cache = plan_cache();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  return cache.plans.size();
+}
+
+RealFft::RealFft(std::size_t n) : n_(n) {
+  if (!is_pow2(n) || n < 2) throw std::invalid_argument("RealFft: size must be a power of two >= 2");
+  half_ = &fft_plan(n / 2);
+  full_ = &fft_plan(n);
+}
+
+void RealFft::forward(const double* x, std::size_t len, std::complex<double>* spec) const noexcept {
+  const std::size_t h = n_ / 2;
+  // Pack pairs of reals into the half-length complex signal z[j] =
+  // x[2j] + i x[2j+1], zero-padding past len.
+  for (std::size_t j = 0; j < h; ++j) {
+    const double re = 2 * j < len ? x[2 * j] : 0.0;
+    const double im = 2 * j + 1 < len ? x[2 * j + 1] : 0.0;
+    spec[j] = {re, im};
+  }
+  half_->forward(spec);
+  // Split Z into the spectra of the even/odd subsequences and butterfly
+  // them into X[0..h]: X[k] = E[k] + w^k O[k] with w = e^{-2*pi*i/n},
+  // and X[h-k] = conj(E[k] - w^k O[k]).
+  const std::complex<double> z0 = spec[0];
+  spec[0] = {z0.real() + z0.imag(), 0.0};
+  spec[h] = {z0.real() - z0.imag(), 0.0};
+  const std::complex<double>* w = full_->twiddles();
+  for (std::size_t k = 1; k < h - k; ++k) {
+    const std::complex<double> zk = spec[k];
+    const std::complex<double> zm = std::conj(spec[h - k]);
+    const std::complex<double> e = 0.5 * (zk + zm);
+    const std::complex<double> o = std::complex<double>{0.0, -0.5} * (zk - zm);
+    const std::complex<double> t = w[k] * o;
+    spec[k] = e + t;
+    spec[h - k] = std::conj(e - t);
+  }
+  if (h >= 2) spec[h / 2] = std::conj(spec[h / 2]);
+}
+
+void RealFft::inverse(std::complex<double>* spec, double* out) const noexcept {
+  const std::size_t h = n_ / 2;
+  // Invert the forward butterfly to recover Z[0..h), run the half-size
+  // inverse transform, and unpack x[2j] + i x[2j+1] = z[j]. The 1/h
+  // normalization of the half transform is exactly the 1/n of the full
+  // one (the packing identity carries no extra scale).
+  const double x0 = spec[0].real();
+  const double xh = spec[h].real();
+  spec[0] = {0.5 * (x0 + xh), 0.5 * (x0 - xh)};
+  const std::complex<double>* w = full_->twiddles();
+  for (std::size_t k = 1; k < h - k; ++k) {
+    const std::complex<double> xk = spec[k];
+    const std::complex<double> xm = std::conj(spec[h - k]);
+    const std::complex<double> e = 0.5 * (xk + xm);
+    const std::complex<double> t = 0.5 * (xk - xm);  // = w^k O[k]
+    const std::complex<double> o = std::conj(w[k]) * t;
+    spec[k] = {e.real() - o.imag(), e.imag() + o.real()};          // E + iO
+    spec[h - k] = {e.real() + o.imag(), -e.imag() + o.real()};     // conj(E) + i conj(O)
+  }
+  if (h >= 2) spec[h / 2] = std::conj(spec[h / 2]);
+  half_->inverse(spec);
+  const double inv_h = 1.0 / static_cast<double>(h);
+  for (std::size_t j = 0; j < h; ++j) {
+    out[2 * j] = spec[j].real() * inv_h;
+    out[2 * j + 1] = spec[j].imag() * inv_h;
+  }
+}
+
+}  // namespace lrd::numerics

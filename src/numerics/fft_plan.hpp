@@ -1,0 +1,94 @@
+// Cached FFT plans: precomputed twiddle-factor and bit-reversal tables
+// per power-of-two size, plus a real-to-complex / complex-to-real
+// transform pair that exploits conjugate symmetry to halve the work.
+//
+// The naive transforms in fft.hpp recompute the twiddle recurrence on
+// every call and allocate fresh output vectors; fine for one-shot
+// analysis, ruinous for the solver's epoch loop, which runs millions of
+// fixed-size transforms. A plan is built once per size, cached process
+// wide, and applied in place with zero heap allocations — the layer
+// everything hot (CachedKernelConvolver, DualKernelConvolver, the
+// Davies-Harte fGn generator, the periodogram estimators) now sits on.
+//
+// Thread safety: fft_plan() lookup is mutex-guarded and the returned
+// plan is immutable, so plans may be shared freely across the
+// work-stealing executor's threads; apply-side state lives entirely in
+// caller-owned buffers. Plans are never evicted (the working set is a
+// handful of sizes), so returned references stay valid for the life of
+// the process.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lrd::numerics {
+
+/// Immutable radix-2 plan for one power-of-two size: bit-reversal
+/// permutation table plus the twiddle table w[k] = e^{-2*pi*i*k/n} for
+/// k < n/2 (stage `len` reads it with stride n/len; the inverse
+/// transform conjugates on the fly).
+class FftPlan {
+ public:
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// In-place forward DFT of n complex points. No allocation.
+  void forward(std::complex<double>* data) const noexcept;
+
+  /// In-place unnormalized inverse DFT (callers divide by n).
+  void inverse(std::complex<double>* data) const noexcept;
+
+  /// w[k] = e^{-2*pi*i*k/n}, k < n/2 — also the post-processing twiddles
+  /// of the real transform of size n built on the half-size plan.
+  const std::complex<double>* twiddles() const noexcept { return twiddle_.data(); }
+
+ private:
+  void transform(std::complex<double>* data, bool inverse) const noexcept;
+
+  std::size_t n_;
+  std::vector<std::uint32_t> bitrev_;
+  std::vector<std::complex<double>> twiddle_;
+};
+
+/// Shared plan for size n (a power of two), building and caching it on
+/// first use. Thread-safe; the reference is valid forever.
+const FftPlan& fft_plan(std::size_t n);
+
+/// Number of distinct sizes currently cached (diagnostics/tests).
+std::size_t fft_plan_cache_size() noexcept;
+
+/// Real-input transform pair of size n (a power of two >= 2), built on
+/// the half-size complex plan: a length-n real signal costs one
+/// length-n/2 complex transform plus an O(n) butterfly.
+///
+/// Spectrum layout: the non-redundant half, spec[k] = X[k] for
+/// k = 0..n/2 (n/2 + 1 entries); X[0] and X[n/2] are real. The inverse
+/// assumes (and does not check) Hermitian symmetry of the implied full
+/// spectrum, i.e. that the half-spectrum came from real data.
+class RealFft {
+ public:
+  explicit RealFft(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+  std::size_t spectrum_size() const noexcept { return n_ / 2 + 1; }
+
+  /// Forward transform of x[0..len) zero-padded to n (len <= n).
+  /// Writes spectrum_size() entries to `spec` (which must not alias x).
+  /// No allocation, no finiteness check — hot-path callers validate
+  /// inputs once up front (see CachedKernelConvolver).
+  void forward(const double* x, std::size_t len, std::complex<double>* spec) const noexcept;
+
+  /// Normalized inverse (divides by n): consumes the half-spectrum in
+  /// `spec` (clobbering it) and writes n real samples to `out`.
+  void inverse(std::complex<double>* spec, double* out) const noexcept;
+
+ private:
+  std::size_t n_;
+  const FftPlan* half_;  ///< plan of size n/2 (null when n == 2)
+  const FftPlan* full_;  ///< plan of size n, for its twiddle table
+};
+
+}  // namespace lrd::numerics

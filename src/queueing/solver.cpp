@@ -51,19 +51,6 @@ void sanitize(std::vector<double>& q) {
   }
 }
 
-/// Worst pre-sanitize health seen by a chain over one check interval.
-struct StepHealth {
-  double mass_dev = 0.0;   // worst |mass - 1|
-  double min_entry = 0.0;  // most negative pre-clamp entry
-  bool finite = true;
-
-  void merge(const numerics::MassHealth& h) {
-    if (!h.finite) finite = false;
-    mass_dev = std::max(mass_dev, std::abs(h.mass - 1.0));
-    min_entry = std::min(min_entry, h.min_entry);
-  }
-};
-
 lrd::Status guard_failure(const char* invariant, std::string message) {
   return lrd::Status::failure(lrd::make_diagnostics(lrd::ErrorCategory::kNumericalGuard,
                                                     "queueing.solver", invariant,
@@ -88,6 +75,47 @@ lrd::Status step_guard(const StepHealth& h, const SolverConfig& cfg, const char*
 }
 
 }  // namespace
+
+DualFoldEngine::DualFoldEngine(std::vector<double> lower_pmf, std::vector<double> upper_pmf,
+                               std::size_t bins)
+    : bins_(bins),
+      conv_(std::move(lower_pmf), std::move(upper_pmf), bins + 1),
+      ws_(conv_.make_workspace()),
+      u_low_(conv_.kernel_size() + bins),   // (2M+1) + (M+1) - 1 = 3M + 1
+      u_high_(conv_.kernel_size() + bins),
+      next_low_(bins + 1),
+      next_high_(bins + 1) {
+  if (bins == 0) throw std::invalid_argument("DualFoldEngine: bins must be >= 1");
+  if (conv_.kernel_size() != 2 * bins + 1)
+    throw std::invalid_argument("DualFoldEngine: increment pmfs must have 2 * bins + 1 entries");
+}
+
+void DualFoldEngine::fold(const std::vector<double>& u, std::vector<double>& next) const {
+  // Eq. 20: entry k of u corresponds to occupancy (k - M) d; everything
+  // at or below 0 folds into the empty-buffer atom, everything at or
+  // above B into the full-buffer atom.
+  numerics::CompensatedSum at_zero, at_buffer;
+  for (std::size_t k = 0; k <= bins_; ++k) at_zero.add(u[k]);              // values <= 0
+  for (std::size_t k = 2 * bins_; k < u.size(); ++k) at_buffer.add(u[k]);  // values >= B
+  for (std::size_t j = 1; j < bins_; ++j) next[j] = u[bins_ + j];
+  next[0] = at_zero.value();
+  next[bins_] = at_buffer.value();
+}
+
+void DualFoldEngine::step(std::vector<double>& q_low, std::vector<double>& q_high,
+                          StepHealth& low_health, StepHealth& high_health) {
+  if (q_low.size() != bins_ + 1 || q_high.size() != bins_ + 1)
+    throw std::invalid_argument("DualFoldEngine::step: occupancy pmfs must have bins + 1 entries");
+  conv_.convolve_into(q_low.data(), q_high.data(), bins_ + 1, ws_, u_low_.data(), u_high_.data());
+  fold(u_low_, next_low_);
+  fold(u_high_, next_high_);
+  low_health.merge(numerics::inspect_mass(next_low_));
+  high_health.merge(numerics::inspect_mass(next_high_));
+  sanitize(next_low_);
+  sanitize(next_high_);
+  q_low.swap(next_low_);
+  q_high.swap(next_high_);
+}
 
 lrd::Status SolverConfig::validate() const {
   auto bad = [](std::string invariant, std::string message) {
@@ -135,8 +163,7 @@ const char* solver_stop_name(SolverStop stop) noexcept {
 
 struct FluidQueueSolver::Level {
   numerics::Grid grid;
-  numerics::CachedKernelConvolver conv_lower;
-  numerics::CachedKernelConvolver conv_upper;
+  DualFoldEngine engine;       // batched Q_L / Q_H epoch step
   std::vector<double> kernel;  // E[W_l | Q = j d] for j = 0..M
 };
 
@@ -241,8 +268,7 @@ FluidQueueSolver::Level FluidQueueSolver::build_level_with(std::size_t bins,
   const numerics::Grid grid(buffer_, bins);
   std::vector<double> kernel(bins + 1);
   for (std::size_t j = 0; j <= bins; ++j) kernel[j] = overflow_kernel(grid.value(j));
-  return Level{grid, numerics::CachedKernelConvolver(std::move(lower_pmf), bins + 1),
-               numerics::CachedKernelConvolver(std::move(upper_pmf), bins + 1),
+  return Level{grid, DualFoldEngine(std::move(lower_pmf), std::move(upper_pmf), bins),
                std::move(kernel)};
 }
 
@@ -253,46 +279,20 @@ double FluidQueueSolver::loss_from_pmf(const std::vector<double>& q,
   return acc.value() / expected_work_per_epoch(marginal_, *epochs_);
 }
 
-namespace {
-
-/// One epoch: convolve with the increment pmf and fold the spilled mass
-/// onto the boundary atoms at 0 and B (Eq. 19-20). `u` has 3M+1 entries;
-/// entry k corresponds to occupancy value (k - M) d. The pre-sanitize
-/// mass/negativity/finiteness of the folded pmf is merged into `health`
-/// so the caller's guardrails see drift before renormalization hides it.
-void fold_step(const numerics::CachedKernelConvolver& conv, std::vector<double>& q,
-               std::size_t bins, StepHealth& health) {
-  const auto u = conv.convolve(q);
-  std::vector<double> next(bins + 1, 0.0);
-  numerics::CompensatedSum at_zero, at_buffer;
-  for (std::size_t k = 0; k <= bins; ++k) at_zero.add(u[k]);            // values <= 0
-  for (std::size_t k = 2 * bins; k < u.size(); ++k) at_buffer.add(u[k]);  // values >= B
-  for (std::size_t j = 1; j < bins; ++j) next[j] = u[bins + j];
-  next[0] = at_zero.value();
-  next[bins] = at_buffer.value();
-  health.merge(numerics::inspect_mass(next));
-  sanitize(next);
-  q = std::move(next);
-}
-
-}  // namespace
-
 FluidQueueSolver::LevelSnapshot FluidQueueSolver::iterate_fixed(std::size_t bins,
                                                                 std::size_t iterations) const {
   if (bins == 0)
     throw lrd::ConfigError(lrd::make_diagnostics(lrd::ErrorCategory::kInvalidArgument,
                                                  "queueing.solver", "bins >= 1",
                                                  "iterate_fixed: bins = 0"));
-  const Level level = build_level(bins);
+  Level level = build_level(bins);
   LevelSnapshot snap;
   snap.bins = bins;
   snap.q_lower = dirac(bins + 1, 0);
   snap.q_upper = dirac(bins + 1, bins);
-  StepHealth ignored;
-  for (std::size_t n = 0; n < iterations; ++n) {
-    fold_step(level.conv_lower, snap.q_lower, bins, ignored);
-    fold_step(level.conv_upper, snap.q_upper, bins, ignored);
-  }
+  StepHealth ignored_low, ignored_high;
+  for (std::size_t n = 0; n < iterations; ++n)
+    level.engine.step(snap.q_lower, snap.q_upper, ignored_low, ignored_high);
   snap.loss.lower = loss_from_pmf(snap.q_lower, level.kernel);
   snap.loss.upper = loss_from_pmf(snap.q_upper, level.kernel);
   return snap;
@@ -368,8 +368,7 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
   while (true) {
     StepHealth low_health, high_health;
     for (std::size_t k = 0; k < cfg.check_every; ++k) {
-      fold_step(level.conv_lower, q_low, bins, low_health);
-      fold_step(level.conv_upper, q_high, bins, high_health);
+      level.engine.step(q_low, q_high, low_health, high_health);
       ++result.iterations;
       ++level_iterations;
     }

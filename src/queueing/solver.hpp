@@ -15,17 +15,68 @@
 // convergence stalls.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
 #include "core/status.hpp"
 #include "dist/epoch.hpp"
 #include "dist/marginal.hpp"
+#include "numerics/convolution.hpp"
 #include "numerics/grid.hpp"
+#include "numerics/pmf.hpp"
 #include "obs/telemetry.hpp"
 #include "queueing/loss.hpp"
 
 namespace lrd::queueing {
+
+/// Worst pre-sanitize health seen by one occupancy chain over a check
+/// interval; the solver's guardrails read it before renormalization can
+/// hide drift.
+struct StepHealth {
+  double mass_dev = 0.0;   ///< worst |mass - 1|
+  double min_entry = 0.0;  ///< most negative pre-clamp entry
+  bool finite = true;
+
+  void merge(const numerics::MassHealth& h) noexcept {
+    if (!h.finite) finite = false;
+    mass_dev = std::max(mass_dev, std::abs(h.mass - 1.0));
+    min_entry = std::min(min_entry, h.min_entry);
+  }
+};
+
+/// The solver's per-epoch hot loop: advances the paired Q_L / Q_H
+/// occupancy chains one epoch (Eq. 19-20) with a single batched complex
+/// FFT round-trip — q_low and q_high ride as the real and imaginary
+/// parts of one transform (DualKernelConvolver) — then folds the spilled
+/// mass onto the boundary atoms and renormalizes. All scratch buffers
+/// are owned by the engine and sized at construction, so steady-state
+/// step() calls perform zero heap allocations. Not thread-safe: one
+/// engine per level per thread.
+class DualFoldEngine {
+ public:
+  /// Increment pmfs w_L / w_H for this level; each must have
+  /// 2 * bins + 1 entries (bins >= 1) and be finite.
+  DualFoldEngine(std::vector<double> lower_pmf, std::vector<double> upper_pmf, std::size_t bins);
+
+  std::size_t bins() const noexcept { return bins_; }
+
+  /// One epoch for both chains. `q_low` / `q_high` must have bins() + 1
+  /// entries; they are replaced by the folded, sanitized next-state pmfs.
+  /// Pre-sanitize mass health is merged into the two health accumulators.
+  void step(std::vector<double>& q_low, std::vector<double>& q_high, StepHealth& low_health,
+            StepHealth& high_health);
+
+ private:
+  void fold(const std::vector<double>& u, std::vector<double>& next) const;
+
+  std::size_t bins_;
+  numerics::DualKernelConvolver conv_;
+  numerics::DualKernelConvolver::Workspace ws_;
+  std::vector<double> u_low_, u_high_;      // convolution outputs, 3M + 1
+  std::vector<double> next_low_, next_high_;  // folded pmfs, M + 1
+};
 
 struct SolverConfig {
   /// Bin count M of the first discretization level.

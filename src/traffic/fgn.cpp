@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "numerics/fft.hpp"
+#include "numerics/fft_plan.hpp"
 
 namespace lrd::traffic {
 
@@ -25,19 +26,24 @@ std::vector<double> generate_fgn(std::size_t n, double hurst, numerics::Rng& rng
   const std::size_t big_n = numerics::next_pow2(n);
   const std::size_t m = 2 * big_n;
 
-  // First row of the circulant covariance matrix.
-  std::vector<std::complex<double>> row(m);
+  // First row of the circulant covariance matrix. The row is real and
+  // even, so the eigenvalue transform fits the plan-cached real FFT; the
+  // half-spectrum mirrors onto the upper eigenvalues.
+  std::vector<double> row(m, 0.0);
   for (std::size_t j = 0; j <= big_n; ++j) row[j] = fgn_autocovariance(hurst, j);
   for (std::size_t j = 1; j < big_n; ++j) row[m - j] = row[j];
 
-  numerics::fft_inplace(row, /*inverse=*/false);
+  const numerics::RealFft row_fft(m);
+  std::vector<std::complex<double>> eig(row_fft.spectrum_size());
+  row_fft.forward(row.data(), row.size(), eig.data());
 
   // Eigenvalues are real and non-negative for fGn; clamp round-off.
   std::vector<double> sqrt_eig(m);
-  for (std::size_t k = 0; k < m; ++k) {
-    const double lambda = row[k].real();
+  for (std::size_t k = 0; k <= big_n; ++k) {
+    const double lambda = eig[k].real();
     sqrt_eig[k] = lambda > 0.0 ? std::sqrt(lambda) : 0.0;
   }
+  for (std::size_t k = big_n + 1; k < m; ++k) sqrt_eig[k] = sqrt_eig[m - k];
 
   // Hermitian-symmetric Gaussian spectrum.
   std::vector<std::complex<double>> v(m);

@@ -3,9 +3,11 @@
 #include <cmath>
 #include <complex>
 #include <numbers>
+#include <thread>
 
 #include "numerics/convolution.hpp"
 #include "numerics/fft.hpp"
+#include "numerics/fft_plan.hpp"
 #include "numerics/random.hpp"
 
 namespace {
@@ -184,6 +186,219 @@ TEST(CachedKernelConvolver, RejectsOversizedSignal) {
   CachedKernelConvolver conv({1.0}, 2);
   EXPECT_THROW(conv.convolve({1.0, 2.0, 3.0}), std::invalid_argument);
   EXPECT_THROW(conv.convolve({}), std::invalid_argument);
+}
+
+TEST(FftPlanCache, ForwardInverseIsIdentityPerCachedSize) {
+  for (const std::size_t n : {2u, 4u, 8u, 32u, 256u, 1024u}) {
+    const FftPlan& plan = fft_plan(n);
+    EXPECT_EQ(plan.size(), n);
+    Rng rng(n);
+    std::vector<cd> data(n), orig(n);
+    for (std::size_t i = 0; i < n; ++i) orig[i] = data[i] = {rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)};
+    plan.forward(data.data());
+    plan.inverse(data.data());
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(std::abs(data[i] * inv_n - orig[i]), 0.0, 1e-10) << "n " << n << " index " << i;
+  }
+}
+
+TEST(FftPlanCache, ReturnsTheSameInstanceAndNeverEvicts) {
+  const FftPlan* first = &fft_plan(512);
+  const std::size_t size_after_first = fft_plan_cache_size();
+  EXPECT_GE(size_after_first, 1u);
+  const FftPlan* second = &fft_plan(512);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(fft_plan_cache_size(), size_after_first);
+  (void)fft_plan(2048);
+  EXPECT_GE(fft_plan_cache_size(), size_after_first);
+  // The reference from before the new insertion is still valid.
+  EXPECT_EQ(&fft_plan(512), first);
+}
+
+TEST(FftPlanCache, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(fft_plan(0), std::invalid_argument);
+  EXPECT_THROW(fft_plan(3), std::invalid_argument);
+  EXPECT_THROW(fft_plan(100), std::invalid_argument);
+}
+
+TEST(FftPlanCache, CrossThreadReuse) {
+  // All threads must observe the same plan instance and produce correct
+  // transforms through it concurrently (run under TSan in CI).
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t n = 128;
+  std::vector<const FftPlan*> seen(kThreads, nullptr);
+  std::vector<double> max_err(kThreads, 1.0);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &seen, &max_err] {
+      const FftPlan& plan = fft_plan(n);
+      seen[t] = &plan;
+      Rng rng(1000 + t);
+      std::vector<cd> data(n), orig(n);
+      for (std::size_t i = 0; i < n; ++i) orig[i] = data[i] = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+      plan.forward(data.data());
+      plan.inverse(data.data());
+      double err = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        err = std::max(err, std::abs(data[i] / static_cast<double>(n) - orig[i]));
+      max_err[t] = err;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  for (std::size_t t = 0; t < kThreads; ++t) EXPECT_LT(max_err[t], 1e-10) << "thread " << t;
+}
+
+class RealFftParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RealFftParity, MatchesComplexTransform) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 17);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const RealFft rfft(n);
+  std::vector<cd> half(rfft.spectrum_size());
+  rfft.forward(x.data(), x.size(), half.data());
+  const auto full = fft_real(x, n);
+  for (std::size_t k = 0; k <= n / 2; ++k)
+    EXPECT_NEAR(std::abs(half[k] - full[k]), 0.0, 1e-12 * static_cast<double>(n) + 1e-12)
+        << "n " << n << " bin " << k;
+}
+
+TEST_P(RealFftParity, RoundTripRecoversInput) {
+  const std::size_t n = GetParam();
+  Rng rng(2 * n + 1);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-2.0, 2.0);
+  const RealFft rfft(n);
+  std::vector<cd> spec(rfft.spectrum_size());
+  std::vector<double> out(n);
+  rfft.forward(x.data(), x.size(), spec.data());
+  rfft.inverse(spec.data(), out.data());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(out[i], x[i], 1e-11) << "index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RealFftParity, ::testing::Values(2, 4, 8, 64, 256, 1024));
+
+TEST(RealFft, ZeroPadsShortSignals) {
+  const std::size_t n = 32;
+  Rng rng(3);
+  std::vector<double> x(11);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const RealFft rfft(n);
+  std::vector<cd> half(rfft.spectrum_size());
+  rfft.forward(x.data(), x.size(), half.data());
+  const auto full = fft_real(x, n);  // pads internally
+  for (std::size_t k = 0; k <= n / 2; ++k) EXPECT_NEAR(std::abs(half[k] - full[k]), 0.0, 1e-12);
+}
+
+TEST(RealFft, RejectsBadSizes) {
+  EXPECT_THROW(RealFft(0), std::invalid_argument);
+  EXPECT_THROW(RealFft(1), std::invalid_argument);
+  EXPECT_THROW(RealFft(12), std::invalid_argument);
+}
+
+TEST(CachedKernelConvolver, ConvolveIntoMatchesAllocatingPath) {
+  Rng rng(23);
+  std::vector<double> kernel(65), signal(33);
+  for (auto& v : kernel) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : signal) v = rng.uniform(-1.0, 1.0);
+  const CachedKernelConvolver conv(kernel, signal.size());
+  auto ws = conv.make_workspace();
+  std::vector<double> out(signal.size() + kernel.size() - 1, -1.0);
+  conv.convolve_into(signal.data(), signal.size(), ws, out.data());
+  const auto ref = conv.convolve(signal);
+  ASSERT_EQ(out.size(), ref.size());
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_DOUBLE_EQ(out[i], ref[i]);
+}
+
+TEST(CachedKernelConvolver, WorkspaceIsReusableAcrossCallsAndLengths) {
+  const CachedKernelConvolver conv({0.5, 0.25, 0.25}, 8);
+  auto ws = conv.make_workspace();
+  std::vector<double> out(10);
+  const std::vector<double> s1{1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0};
+  conv.convolve_into(s1.data(), s1.size(), ws, out.data());
+  EXPECT_NEAR(out[0], 0.5, 1e-12);
+  EXPECT_NEAR(out[9], 0.25, 1e-12);
+  const std::vector<double> s2{0.0, 4.0};
+  conv.convolve_into(s2.data(), s2.size(), ws, out.data());
+  EXPECT_NEAR(out[1], 2.0, 1e-12);
+  EXPECT_NEAR(out[2], 1.0, 1e-12);
+  EXPECT_NEAR(out[3], 1.0, 1e-12);
+}
+
+TEST(DualKernelConvolver, MatchesTwoSequentialConvolutions) {
+  Rng rng(31);
+  const std::size_t m = 48;
+  std::vector<double> ka(2 * m + 1), kb(2 * m + 1), a(m + 1), b(m + 1);
+  for (auto& v : ka) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : kb) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  const DualKernelConvolver dual(ka, kb, a.size());
+  auto ws = dual.make_workspace();
+  std::vector<double> out_a(a.size() + ka.size() - 1), out_b(b.size() + kb.size() - 1);
+  dual.convolve_into(a.data(), b.data(), a.size(), ws, out_a.data(), out_b.data());
+  const auto ref_a = convolve_direct(a, ka);
+  const auto ref_b = convolve_direct(b, kb);
+  for (std::size_t i = 0; i < out_a.size(); ++i) EXPECT_NEAR(out_a[i], ref_a[i], 1e-10) << "a " << i;
+  for (std::size_t i = 0; i < out_b.size(); ++i) EXPECT_NEAR(out_b[i], ref_b[i], 1e-10) << "b " << i;
+}
+
+TEST(DualKernelConvolver, PackedPmfPairConservesBothMasses) {
+  Rng rng(37);
+  const std::size_t m = 64;
+  auto make_pmf = [&](std::size_t n) {
+    std::vector<double> v(n);
+    double total = 0.0;
+    for (auto& x : v) { x = rng.uniform(); total += x; }
+    for (auto& x : v) x /= total;
+    return v;
+  };
+  const auto ka = make_pmf(2 * m + 1), kb = make_pmf(2 * m + 1);
+  const auto a = make_pmf(m + 1), b = make_pmf(m + 1);
+  const DualKernelConvolver dual(ka, kb, m + 1);
+  EXPECT_NEAR(dual.kernel_mass_a(), 1.0, 1e-12);
+  EXPECT_NEAR(dual.kernel_mass_b(), 1.0, 1e-12);
+  auto ws = dual.make_workspace();
+  std::vector<double> out_a(3 * m + 1), out_b(3 * m + 1);
+  dual.convolve_into(a.data(), b.data(), a.size(), ws, out_a.data(), out_b.data());
+  double ta = 0.0, tb = 0.0;
+  for (double v : out_a) ta += v;
+  for (double v : out_b) tb += v;
+  EXPECT_NEAR(ta, 1.0, 1e-12);
+  EXPECT_NEAR(tb, 1.0, 1e-12);
+}
+
+TEST(DualKernelConvolver, RejectsBadConfigurations) {
+  EXPECT_THROW(DualKernelConvolver({}, {1.0}, 4), std::invalid_argument);
+  EXPECT_THROW(DualKernelConvolver({1.0}, {}, 4), std::invalid_argument);
+  EXPECT_THROW(DualKernelConvolver({1.0, 2.0}, {1.0}, 4), std::invalid_argument);
+  EXPECT_THROW(DualKernelConvolver({1.0}, {1.0}, 0), std::invalid_argument);
+  const DualKernelConvolver dual({1.0, 1.0}, {1.0, 1.0}, 2);
+  auto ws = dual.make_workspace();
+  std::vector<double> a{1.0, 2.0, 3.0}, out(4);
+  EXPECT_THROW(dual.convolve_into(a.data(), a.data(), 3, ws, out.data(), out.data()),
+               std::invalid_argument);
+}
+
+TEST(Convolution, SelfConvolveSpectrumMatchesIterative) {
+  // Straddles the small-output direct fallback (out_len <= 64): n = 6
+  // stays direct, n = 40 takes the spectrum-powering path.
+  Rng rng(41);
+  std::vector<double> a(12);
+  double total = 0.0;
+  for (auto& v : a) { v = rng.uniform(); total += v; }
+  for (auto& v : a) v /= total;
+  for (const std::size_t n : {2u, 6u, 8u, 40u}) {
+    std::vector<double> iterative = a;
+    for (std::size_t k = 1; k < n; ++k) iterative = convolve_direct(iterative, a);
+    const auto fast = self_convolve(a, n);
+    ASSERT_EQ(fast.size(), iterative.size()) << "n " << n;
+    for (std::size_t i = 0; i < fast.size(); ++i)
+      EXPECT_NEAR(fast[i], iterative[i], 1e-12) << "n " << n << " index " << i;
+  }
 }
 
 TEST(CachedKernelConvolver, ProbabilityMassIsConserved) {

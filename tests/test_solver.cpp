@@ -1,15 +1,54 @@
 // Tests of the bounded queue solver: exact cases, Proposition II.1
-// monotonicity, increment-pmf structure, and agreement with Monte Carlo.
+// monotonicity, increment-pmf structure, agreement with Monte Carlo, and
+// the zero-allocation guarantee of the batched epoch engine.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <numeric>
 
 #include "dist/simple_epochs.hpp"
 #include "dist/truncated_pareto.hpp"
+#include "numerics/special_functions.hpp"
 #include "queueing/fluid_queue_sim.hpp"
 #include "queueing/solver.hpp"
+
+// Counting global allocator: every operator new in this test binary
+// bumps a relaxed atomic, so a test can prove a code region performs
+// zero heap allocations. Forwarding to malloc/free keeps ASan/TSan
+// interception intact. (Replacements must live at global scope.)
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) noexcept {
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p != nullptr) g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept { return counted_alloc(size); }
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
 namespace {
 
@@ -354,6 +393,93 @@ TEST(Solver, WorksWithExponentialEpochs) {
   auto sim = queueing::simulate_fluid_queue(m, *d, 6.0, 2.0, sim_cfg);
   EXPECT_GE(sim.loss_rate, r.loss.lower - 4.0 * sim.loss_rate_stderr);
   EXPECT_LE(sim.loss_rate, r.loss.upper + 4.0 * sim.loss_rate_stderr);
+}
+
+// Reference epoch step for one chain: the pre-batching implementation
+// (independent cached convolution, then fold + clamp + renormalize),
+// kept here as the parity baseline for DualFoldEngine.
+void sequential_fold_step(const numerics::CachedKernelConvolver& conv, std::vector<double>& q,
+                          std::size_t bins) {
+  const auto u = conv.convolve(q);
+  std::vector<double> next(bins + 1, 0.0);
+  numerics::CompensatedSum at_zero, at_buffer;
+  for (std::size_t k = 0; k <= bins; ++k) at_zero.add(u[k]);
+  for (std::size_t k = 2 * bins; k < u.size(); ++k) at_buffer.add(u[k]);
+  for (std::size_t j = 1; j < bins; ++j) next[j] = u[bins + j];
+  next[0] = at_zero.value();
+  next[bins] = at_buffer.value();
+  double total = 0.0;
+  for (double& p : next) {
+    if (p < 0.0) p = 0.0;
+    total += p;
+  }
+  if (total > 0.0)
+    for (double& p : next) p /= total;
+  q = std::move(next);
+}
+
+TEST(SolverFoldEngine, MatchesSequentialPerChainBaseline) {
+  // The batched dual-chain step must reproduce the two independent
+  // per-chain steps it replaced, epoch by epoch.
+  Marginal m({2.0, 6.0, 10.0, 14.0, 18.0}, {0.1, 0.2, 0.4, 0.2, 0.1});
+  FluidQueueSolver s(m, pareto(0.015, 1.3, 10.0), 12.5, 6.25);
+  const std::size_t bins = 96;
+  const auto wl = s.increment_pmf_lower(bins);
+  const auto wh = s.increment_pmf_upper(bins);
+
+  queueing::DualFoldEngine engine(wl, wh, bins);
+  std::vector<double> q_low(bins + 1, 0.0), q_high(bins + 1, 0.0);
+  q_low[0] = 1.0;
+  q_high[bins] = 1.0;
+  std::vector<double> ref_low = q_low, ref_high = q_high;
+  const numerics::CachedKernelConvolver conv_low(wl, bins + 1), conv_high(wh, bins + 1);
+
+  queueing::StepHealth low_health, high_health;
+  for (std::size_t step = 0; step < 64; ++step) {
+    engine.step(q_low, q_high, low_health, high_health);
+    sequential_fold_step(conv_low, ref_low, bins);
+    sequential_fold_step(conv_high, ref_high, bins);
+  }
+  EXPECT_TRUE(low_health.finite);
+  EXPECT_TRUE(high_health.finite);
+  for (std::size_t j = 0; j <= bins; ++j) {
+    EXPECT_NEAR(q_low[j], ref_low[j], 1e-10) << "low bin " << j;
+    EXPECT_NEAR(q_high[j], ref_high[j], 1e-10) << "high bin " << j;
+  }
+}
+
+TEST(SolverFoldEngine, RejectsMalformedInputs) {
+  const std::vector<double> w(2 * 8 + 1, 1.0 / 17.0);
+  EXPECT_THROW(queueing::DualFoldEngine(w, w, 0), std::invalid_argument);
+  EXPECT_THROW(queueing::DualFoldEngine(w, w, 9), std::invalid_argument);
+  queueing::DualFoldEngine engine(w, w, 8);
+  std::vector<double> q_ok(9, 1.0 / 9.0), q_bad(5, 0.2);
+  queueing::StepHealth a, b;
+  EXPECT_THROW(engine.step(q_bad, q_ok, a, b), std::invalid_argument);
+  EXPECT_THROW(engine.step(q_ok, q_bad, a, b), std::invalid_argument);
+}
+
+TEST(SolverFoldEngine, SteadyStateStepIsAllocationFree) {
+  // The acceptance criterion of the zero-allocation engine: once the
+  // engine and its workspaces exist (and the FFT plans are cached), the
+  // epoch loop must not touch the heap at all.
+  Marginal m({0.0, 3.0}, {2.0 / 3.0, 1.0 / 3.0});
+  FluidQueueSolver s(m, std::make_shared<const dist::DeterministicEpoch>(1.0), 2.0, 1.0);
+  const std::size_t bins = 128;
+  queueing::DualFoldEngine engine(s.increment_pmf_lower(bins), s.increment_pmf_upper(bins), bins);
+  std::vector<double> q_low(bins + 1, 0.0), q_high(bins + 1, 0.0);
+  q_low[0] = 1.0;
+  q_high[bins] = 1.0;
+  queueing::StepHealth low_health, high_health;
+  // Warm up: first steps run with everything already sized, but make sure
+  // any lazy one-time work (plan cache inserts) has happened.
+  for (int i = 0; i < 4; ++i) engine.step(q_low, q_high, low_health, high_health);
+
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 16; ++i) engine.step(q_low, q_high, low_health, high_health);
+  const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u) << "steady-state epoch loop allocated";
 }
 
 }  // namespace
