@@ -10,6 +10,7 @@
 #include <mutex>
 #include <ostream>
 
+#include "core/failpoint.hpp"
 #include "core/model.hpp"
 #include "numerics/parallel.hpp"
 #include "numerics/random.hpp"
@@ -44,20 +45,41 @@ struct CellOutcome {
   double value = kNaN;
   bool clean = false;
   std::string telemetry_json;  // serialized SolverTelemetry, empty = none
+  bool deadline_exceeded = false;  // final attempt still hit the deadline
+  std::size_t retries = 0;         // coarser-bins re-solves taken
+  bool degraded = false;           // value is best-effort, not converged
 };
 
 /// Solves one model-driven cell, converting every failure mode into a
 /// recorded issue instead of sinking the whole surface. The value is the
-/// loss estimate, or NaN when the cell produced no usable bracket.
+/// loss estimate, or NaN when the cell produced no usable bracket. A
+/// deadline-exceeded solve is retried up to `opts.max_cell_retries`
+/// times at halved max_bins (never below initial_bins): a coarser grid
+/// converges in fewer, cheaper iterations, so the retry trades bracket
+/// tightness for meeting the deadline.
 CellOutcome solve_cell(const dist::Marginal& marginal, const ModelConfig& mc,
-                       const queueing::SolverConfig& scfg, bool collect_telemetry, SweepTable& t,
-                       std::size_t r, std::size_t c, std::mutex& mu) {
+                       const queueing::SolverConfig& scfg, const SweepRunOptions& opts,
+                       SweepTable& t, std::size_t r, std::size_t c, std::mutex& mu) {
   queueing::SolverConfig cell_cfg = scfg;
-  cell_cfg.collect_telemetry = collect_telemetry;
+  cell_cfg.collect_telemetry = opts.solver_telemetry;
+  if (opts.cell_deadline_ms > 0) cell_cfg.deadline_ms = opts.cell_deadline_ms;
+  if (opts.cancellation != nullptr) cell_cfg.cancellation = opts.cancellation;
+  CellOutcome out;
   try {
-    const auto result = FluidModel(marginal, mc).solve(cell_cfg);
-    std::string tel = collect_telemetry ? result.telemetry.to_json() : std::string();
-    if (result.status.is_ok()) return {result.loss_estimate(), true, std::move(tel)};
+    auto result = FluidModel(marginal, mc).solve(cell_cfg);
+    while (result.stop == queueing::SolverStop::kDeadlineExceeded &&
+           out.retries < opts.max_cell_retries && cell_cfg.max_bins > cell_cfg.initial_bins) {
+      ++out.retries;
+      cell_cfg.max_bins = std::max(cell_cfg.initial_bins, cell_cfg.max_bins / 2);
+      result = FluidModel(marginal, mc).solve(cell_cfg);
+    }
+    out.deadline_exceeded = result.stop == queueing::SolverStop::kDeadlineExceeded;
+    if (opts.solver_telemetry) out.telemetry_json = result.telemetry.to_json();
+    if (result.status.is_ok()) {
+      out.value = result.loss_estimate();
+      out.clean = true;
+      return out;
+    }
     {
       std::lock_guard<std::mutex> lock(mu);
       t.issues.push_back({r, c, result.status.diagnostics()});
@@ -67,7 +89,9 @@ CellOutcome solve_cell(const dist::Marginal& marginal, const ModelConfig& mc,
     const bool usable = result.has_valid_bounds() &&
                         !(result.stop == queueing::SolverStop::kGuardTripped &&
                           result.last_healthy_level == 0);
-    return {usable ? result.loss_estimate() : kNaN, false, std::move(tel)};
+    out.value = usable ? result.loss_estimate() : kNaN;
+    out.degraded = true;
+    return out;
   } catch (const std::exception& e) {
     lrd::Diagnostics d;
     if (const auto* attached = lrd::diagnostics_of(e)) {
@@ -78,7 +102,10 @@ CellOutcome solve_cell(const dist::Marginal& marginal, const ModelConfig& mc,
     }
     std::lock_guard<std::mutex> lock(mu);
     t.issues.push_back({r, c, std::move(d)});
-    return {kNaN, false, {}};
+    out.value = kNaN;
+    out.clean = false;
+    out.degraded = true;
+    return out;
   }
 }
 
@@ -102,6 +129,9 @@ void hash_marginal(runtime::Fnv1a& h, const dist::Marginal& m) {
   for (double p : m.probs()) h.f64(p);
 }
 
+// Deliberately excludes collect_telemetry, deadline_ms and cancellation:
+// none affect a *converged* trajectory (only converged, unretried results
+// are cached), so keys stay stable across observability/deadline settings.
 void hash_solver_config(runtime::Fnv1a& h, const queueing::SolverConfig& scfg) {
   h.u64(scfg.initial_bins).u64(scfg.max_bins).f64(scfg.target_relative_gap);
   h.f64(scfg.zero_loss_threshold).u64(scfg.check_every).f64(scfg.stall_improvement);
@@ -208,6 +238,11 @@ void run_sweep_cells(
     executor.parallel_for(
         todo.size(),
         [&](std::size_t k) {
+          // A cancelled sweep skips its pending cells entirely: the
+          // checkpoint keeps only completed cells, so --resume finishes
+          // the surface bit-identically to an uninterrupted run.
+          if (opts.cancellation != nullptr && opts.cancellation->cancelled()) return;
+          failpoint_hit("sweep.cell");
           const std::size_t idx = todo[k];
           const std::size_t r = idx / nc, c = idx % nc;
           const auto t0 = obs::now();
@@ -222,12 +257,16 @@ void run_sweep_cells(
           const double cell_seconds = seconds_since(t0);
           t.values[r][c] = out.value;
           if (out.clean) {
-            if (opts.cache) opts.cache->store(keys[k], out.value);
+            // A retried value converged on a coarser grid than the cache
+            // key describes; keep it for this run (checkpoint) but do not
+            // publish it to the shared cache.
+            if (opts.cache && out.retries == 0) opts.cache->store(keys[k], out.value);
             if (ckpt) ckpt->record(r, c, out.value);
           }
           if (manifest)
             manifest->add_cell(r, c, cell_seconds, runtime::RunManifest::CellSource::kComputed,
-                               std::move(out.telemetry_json));
+                               std::move(out.telemetry_json),
+                               {out.deadline_exceeded, out.retries, out.degraded});
           if constexpr (obs::kObsEnabled) {
             auto& reg = obs::Registry::global();
             static obs::Counter& cells = reg.counter("lrd_sweep_cells_total",
@@ -390,7 +429,7 @@ SweepTable loss_vs_buffer_and_cutoff(const dist::Marginal& marginal,
       t, opts, ch.digest(),
       [&](std::size_t r, std::size_t c) { return model_cell_key(marginal, mc_for(r, c), cfg.solver); },
       [&](std::size_t r, std::size_t c, std::mutex& mu) {
-        return solve_cell(marginal, mc_for(r, c), cfg.solver, opts.solver_telemetry, t, r, c, mu);
+        return solve_cell(marginal, mc_for(r, c), cfg.solver, opts, t, r, c, mu);
       });
   return t;
 }
@@ -441,7 +480,7 @@ SweepTable loss_vs_hurst_and_scaling(const dist::Marginal& marginal,
       t, opts, ch.digest(),
       [&](std::size_t r, std::size_t c) { return model_cell_key(scaled[c], mc_for(r), cfg.solver); },
       [&](std::size_t r, std::size_t c, std::mutex& mu) {
-        return solve_cell(scaled[c], mc_for(r), cfg.solver, opts.solver_telemetry, t, r, c, mu);
+        return solve_cell(scaled[c], mc_for(r), cfg.solver, opts, t, r, c, mu);
       });
   return t;
 }
@@ -491,7 +530,7 @@ SweepTable loss_vs_hurst_and_superposition(const dist::Marginal& marginal,
       t, opts, ch.digest(),
       [&](std::size_t r, std::size_t c) { return model_cell_key(mux[c], mc_for(r), cfg.solver); },
       [&](std::size_t r, std::size_t c, std::mutex& mu) {
-        return solve_cell(mux[c], mc_for(r), cfg.solver, opts.solver_telemetry, t, r, c, mu);
+        return solve_cell(mux[c], mc_for(r), cfg.solver, opts, t, r, c, mu);
       });
   return t;
 }
@@ -535,7 +574,7 @@ SweepTable loss_vs_buffer_and_scaling(const dist::Marginal& marginal,
       t, opts, ch.digest(),
       [&](std::size_t r, std::size_t c) { return model_cell_key(scaled[c], mc_for(r), cfg.solver); },
       [&](std::size_t r, std::size_t c, std::mutex& mu) {
-        return solve_cell(scaled[c], mc_for(r), cfg.solver, opts.solver_telemetry, t, r, c, mu);
+        return solve_cell(scaled[c], mc_for(r), cfg.solver, opts, t, r, c, mu);
       });
   return t;
 }
@@ -613,7 +652,10 @@ SweepTable shuffle_loss_vs_buffer_and_cutoff(const traffic::RateTrace& trace,
         const double loss = queueing::simulate_trace_queue_normalized(
                                 shuffled[c], utilization, normalized_buffers[r])
                                 .loss_rate;
-        return CellOutcome{loss, true};
+        CellOutcome out;
+        out.value = loss;
+        out.clean = true;
+        return out;
       });
   return t;
 }

@@ -96,6 +96,21 @@ struct SweepRunOptions {
   bool progress = false;
   /// Label prefixing every heartbeat line.
   std::string progress_label = "sweep";
+  /// Per-cell wall-clock budget in milliseconds (0 = unbounded). A cell
+  /// whose solve exceeds it returns a valid-but-wide bracket and is
+  /// retried at coarser bins (below) before being marked degraded; the
+  /// manifest records deadline_exceeded / retries / degraded per cell.
+  std::size_t cell_deadline_ms = 0;
+  /// Deadline-exceeded retries per cell; each retry halves the solver's
+  /// max_bins (never below initial_bins), trading bracket tightness for
+  /// meeting the deadline. Retried values are checkpointed but not
+  /// stored in the shared cache (they came from a coarser grid).
+  std::size_t max_cell_retries = 1;
+  /// Optional cooperative cancellation for the whole sweep: pending
+  /// cells are skipped and in-flight solves stop at their next check
+  /// block. The checkpoint stays well-formed, so a --resume run
+  /// completes the surface bit-identically. Non-owning.
+  const runtime::CancellationToken* cancellation = nullptr;
 };
 
 /// Content address of one model-driven sweep cell: a canonical FNV-1a

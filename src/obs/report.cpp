@@ -324,6 +324,8 @@ struct ManifestSide {
   double hits = 0.0, misses = 0.0;
   double computed = 0.0;
   double issues = 0.0;
+  bool has_robustness = false;  ///< Cells summary carried degraded/timed_out/retried.
+  double degraded = 0.0, timed_out = 0.0, retried = 0.0;
   std::map<std::pair<std::size_t, std::size_t>, double> cells;  ///< NaN = no timing.
   bool any_telemetry = false;
   double iterations = 0.0, levels = 0.0;
@@ -347,8 +349,15 @@ lrd::Expected<ManifestSide> read_manifest(const json::Value& doc, const char* wh
     side.hits = cache->number_at("hits");
     side.misses = cache->number_at("misses");
   }
-  if (const json::Value* cells = doc.find("cells"))
+  if (const json::Value* cells = doc.find("cells")) {
     side.computed = cells->number_at("computed");
+    if (cells->find_non_null("degraded") != nullptr) {
+      side.has_robustness = true;
+      side.degraded = cells->number_at("degraded");
+      side.timed_out = cells->number_at("timed_out");
+      side.retried = cells->number_at("retried");
+    }
+  }
   if (const json::Value* issues = doc.find("issues"); issues && issues->is_array())
     side.issues = static_cast<double>(issues->size());
   const json::Value* cell_times = doc.find("cell_times");
@@ -406,6 +415,10 @@ lrd::Expected<ManifestDiff> diff_manifests(const json::Value& a, const json::Val
   diff.levels = scalar(ma.levels, mb.levels, diff.has_telemetry);
   diff.max_mass_drift = scalar(ma.max_drift, mb.max_drift, diff.has_telemetry);
   diff.max_occupancy_gap = scalar(ma.max_gap, mb.max_gap, diff.has_telemetry);
+  const bool robustness = ma.has_robustness || mb.has_robustness;
+  diff.degraded_cells = scalar(ma.degraded, mb.degraded, robustness);
+  diff.timed_out_cells = scalar(ma.timed_out, mb.timed_out, robustness);
+  diff.retried_cells = scalar(ma.retried, mb.retried, robustness);
 
   for (const auto& [coord, seconds_a] : ma.cells) {
     auto it = mb.cells.find(coord);
@@ -450,6 +463,20 @@ std::string ManifestDiff::to_text(std::size_t top_n) const {
   std::snprintf(buf, sizeof buf, "  issues           %10.0f -> %-10.0f (%s)\n", issues.a,
                 issues.b, worse_if_up(issues.delta()).c_str());
   out += buf;
+  if (degraded_cells.present) {
+    std::snprintf(buf, sizeof buf, "  degraded cells   %10.0f -> %-10.0f (%s)\n",
+                  degraded_cells.a, degraded_cells.b,
+                  worse_if_up(degraded_cells.delta()).c_str());
+    out += buf;
+    std::snprintf(buf, sizeof buf, "  timed-out cells  %10.0f -> %-10.0f (%s)\n",
+                  timed_out_cells.a, timed_out_cells.b,
+                  worse_if_up(timed_out_cells.delta()).c_str());
+    out += buf;
+    std::snprintf(buf, sizeof buf, "  retried cells    %10.0f -> %-10.0f (%s)\n",
+                  retried_cells.a, retried_cells.b,
+                  worse_if_up(retried_cells.delta()).c_str());
+    out += buf;
+  }
   if (has_telemetry) {
     out += "  solver telemetry (summed/worst over telemetry-carrying cells):\n";
     std::snprintf(buf, sizeof buf, "    iterations     %10.0f -> %-10.0f (%+.1f%%, %s)\n",
@@ -504,6 +531,11 @@ std::string ManifestDiff::to_json() const {
   out += "  \"cache_hit_rate\": " + scalar_json(cache_hit_rate) + ",\n";
   out += "  \"computed_cells\": " + scalar_json(computed_cells) + ",\n";
   out += "  \"issues\": " + scalar_json(issues) + ",\n";
+  if (degraded_cells.present) {
+    out += "  \"degraded_cells\": " + scalar_json(degraded_cells) + ",\n";
+    out += "  \"timed_out_cells\": " + scalar_json(timed_out_cells) + ",\n";
+    out += "  \"retried_cells\": " + scalar_json(retried_cells) + ",\n";
+  }
   out += "  \"cells\": { \"common\": " + std::to_string(common_cells) +
          ", \"only_a\": " + std::to_string(only_a) +
          ", \"only_b\": " + std::to_string(only_b) + " },\n";

@@ -113,6 +113,11 @@ struct ManifestDiff {
   DiffScalar max_mass_drift;     ///< Worst level across the manifest.
   DiffScalar max_occupancy_gap;  ///< Ditto.
   DiffScalar issues;
+  /// Robustness counts from the cells summary (present only when a side
+  /// recorded them, i.e. some cell was degraded / timed out / retried).
+  DiffScalar degraded_cells;
+  DiffScalar timed_out_cells;
+  DiffScalar retried_cells;
 
   /// `top_n` bounds the per-cell listing; everything else is printed.
   std::string to_text(std::size_t top_n = 10) const;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/failpoint.hpp"
 #include "numerics/convolution.hpp"
 #include "numerics/pmf.hpp"
 #include "numerics/special_functions.hpp"
@@ -156,6 +157,8 @@ const char* solver_stop_name(SolverStop stop) noexcept {
     case SolverStop::kIterationBudget: return "iteration-budget-exhausted";
     case SolverStop::kBinBudget: return "bin-budget-exhausted";
     case SolverStop::kGuardTripped: return "guard-tripped";
+    case SolverStop::kDeadlineExceeded: return "deadline-exceeded";
+    case SolverStop::kCancelled: return "cancelled";
     case SolverStop::kInvalidInput: return "invalid-input";
   }
   return "unknown";
@@ -316,6 +319,7 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
   // ModelConfig::validate / ModelSweepConfig::validate instead.
 
   std::size_t bins = cfg.initial_bins;
+  core::failpoint_hit("solve.level");
   Level level = make_level(bins);
   result.levels = 1;
 
@@ -456,6 +460,29 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
       finalize_level();
       break;
     }
+    // Deadline / cancellation: polled here, at the check-block boundary,
+    // so the bounds just evaluated above are always the reported ones —
+    // a wide but valid bracket (Prop. II.1 holds at any n), never a hang.
+    if (cfg.cancellation != nullptr && cfg.cancellation->cancelled()) {
+      result.stop = SolverStop::kCancelled;
+      budget_exhausted("solve completes before cooperative cancellation",
+                       "cancelled: relative gap " + format_g(gap) + " still above target " +
+                           format_g(cfg.target_relative_gap) + " after " +
+                           std::to_string(result.iterations) + " iterations");
+      finalize_level();
+      break;
+    }
+    if (cfg.deadline_ms > 0 &&
+        obs::seconds_since(solve_start) * 1000.0 >= static_cast<double>(cfg.deadline_ms)) {
+      result.stop = SolverStop::kDeadlineExceeded;
+      budget_exhausted("bracket reaches target_relative_gap within deadline_ms",
+                       "deadline_exceeded: relative gap " + format_g(gap) +
+                           " still above target " + format_g(cfg.target_relative_gap) +
+                           " after " + std::to_string(cfg.deadline_ms) + " ms (" +
+                           std::to_string(result.iterations) + " iterations)");
+      finalize_level();
+      break;
+    }
 
     // Declare a stall only after several consecutive low-improvement
     // checks: the gap of a slowly mixing chain shrinks steadily but
@@ -483,6 +510,7 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
       // Footnote 3: double M and re-seed the fine recursion from the
       // current coarse distributions (grid point j d maps to 2j (d/2)).
       finalize_level();
+      core::failpoint_hit("solve.level");
       const std::size_t fine = bins * 2;
       std::vector<double> ql(fine + 1, 0.0), qh(fine + 1, 0.0);
       for (std::size_t j = 0; j <= bins; ++j) {
@@ -527,11 +555,15 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
         reg.counter("lrd_solver_iterations_total", "Solver iterations (epochs) across all solves");
     static obs::Counter& guard_trips = reg.counter(
         "lrd_solver_guard_trips_total", "Solves ended by a numerical-health guard trip");
+    static obs::Counter& deadline_exceeded = reg.counter(
+        "lrd_solver_deadline_exceeded_total",
+        "Solves ended by the deadline_ms wall-clock budget (valid but wide bracket)");
     static obs::Histogram& seconds =
         reg.histogram("lrd_solver_solve_seconds", "Wall time per fluid-queue solve");
     solves.inc();
     iters.inc(result.iterations);
     if (result.stop == SolverStop::kGuardTripped) guard_trips.inc();
+    if (result.stop == SolverStop::kDeadlineExceeded) deadline_exceeded.inc();
     seconds.observe(obs::seconds_since(solve_start));
     if (obs::TraceSession::enabled())
       solve_span.annotate("\"bins\": " + std::to_string(result.final_bins) +

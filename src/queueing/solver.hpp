@@ -28,6 +28,7 @@
 #include "numerics/pmf.hpp"
 #include "obs/telemetry.hpp"
 #include "queueing/loss.hpp"
+#include "runtime/executor.hpp"
 
 namespace lrd::queueing {
 
@@ -112,6 +113,22 @@ struct SolverConfig {
   /// bracket (Prop. II.1 violation).
   double bracket_tolerance = 1e-9;
 
+  /// Wall-clock budget for one solve in milliseconds; 0 = unbounded. The
+  /// clock is checked at every check-block boundary (every `check_every`
+  /// iterations), so a solve returns within one check block of the
+  /// deadline — with a *valid but wide* bracket (Prop. II.1 holds at any
+  /// iteration count), SolverStop::kDeadlineExceeded, and a
+  /// kResourceExhausted diagnostic mentioning "deadline_exceeded". Like
+  /// `collect_telemetry`, excluded from the solver-cache config hash:
+  /// only converged results are cached, and a converged trajectory is
+  /// identical with or without a deadline that it never hit.
+  std::size_t deadline_ms = 0;
+  /// Optional cooperative-cancellation token, polled at the same
+  /// boundaries; non-owning. Cancellation stops the solve with
+  /// SolverStop::kCancelled and the same valid-wide-bracket contract.
+  /// Also excluded from the cache config hash (same argument).
+  const runtime::CancellationToken* cancellation = nullptr;
+
   /// Record per-level convergence telemetry (bin count, iterations, loss
   /// bracket, sup-norm occupancy gap, worst mass drift, wall time) into
   /// SolverResult::telemetry. Off by default: collection costs one pmf
@@ -134,6 +151,8 @@ enum class SolverStop {
   kBinBudget,        ///< Stalled and max_bins prevents further refinement.
   kGuardTripped,     ///< A numerical-health guardrail fired; result rolled
                      ///< back to the last healthy state.
+  kDeadlineExceeded, ///< deadline_ms elapsed; bracket is valid but wide.
+  kCancelled,        ///< Cancellation token fired; bracket is valid but wide.
   kInvalidInput,     ///< Reserved: input rejected up front. (The finite-buffer
                      ///< recursion is stable at any utilization — overload just
                      ///< means heavy loss — so no well-formed input currently

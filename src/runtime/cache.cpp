@@ -1,18 +1,21 @@
 #include "runtime/cache.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <filesystem>
+#include <vector>
 
+#include "core/failpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/crc32.hpp"
+#include "runtime/fsync_util.hpp"
 
 namespace lrd::runtime {
 
 namespace {
 
-// %.17g round-trips every finite double exactly; "nan"/"inf" are parsed
-// back by strtod, so non-finite cached values survive the text format too.
-constexpr const char* kValueFormat = "%016" PRIx64 " %.17g\n";
+constexpr const char* kCacheHeader = "# lrd-solver-cache v2";
 
 obs::Counter& hits_counter() {
   static obs::Counter& c = obs::Registry::global().counter("lrd_cache_hits_total",
@@ -29,31 +32,138 @@ obs::Counter& stores_counter() {
                                                            "Solver-cache stores");
   return c;
 }
+obs::Counter& corrupt_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "lrd_cache_corrupt_records_total",
+      "Solver-cache records quarantined on load (CRC mismatch or torn write)");
+  return c;
+}
+obs::Counter& compactions_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "lrd_cache_compactions_total", "Atomic clean rewrites of the solver-cache file");
+  return c;
+}
+
+/// %.17g round-trips every finite double exactly; "nan"/"inf" are parsed
+/// back by strtod, so non-finite cached values survive the text format.
+/// The CRC is computed over exactly this payload text, so a v2 record is
+/// "<payload> <8-hex crc>".
+std::string record_payload(std::uint64_t key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64 " %.17g", key, value);
+  return buf;
+}
+
+enum class RecordParse { kOk, kCorrupt };
+
+/// Parses one non-comment line of the cache file. A 3-token line is a v2
+/// record whose CRC must match its payload text; a 2-token line is a
+/// legacy v1 record, accepted only in headerless (v1-era) files — in a
+/// v2 file a 2-token line is a torn append whose truncated value could
+/// still parse as a plausible double, so it must be rejected.
+RecordParse parse_record(const std::string& line, bool v2_file, std::uint64_t& key,
+                         double& value) {
+  std::uint64_t k = 0;
+  double v = 0.0;
+  std::uint32_t crc = 0;
+  char tail[8];
+  const int fields =
+      std::sscanf(line.c_str(), "%" SCNx64 " %lf %8" SCNx32 " %7s", &k, &v, &crc, tail);
+  if (fields == 3) {
+    const auto last_space = line.find_last_of(' ');
+    if (last_space == std::string::npos) return RecordParse::kCorrupt;
+    std::string_view payload(line.c_str(), last_space);
+    if (crc32(payload) != crc) return RecordParse::kCorrupt;
+    key = k;
+    value = v;
+    return RecordParse::kOk;
+  }
+  if (fields == 2 && !v2_file) {  // legacy v1 record, no checksum to verify
+    key = k;
+    value = v;
+    return RecordParse::kOk;
+  }
+  return RecordParse::kCorrupt;
+}
+
+/// Appends damaged raw lines to the quarantine file so corruption is
+/// inspectable after the fact instead of silently discarded.
+void quarantine_lines(const std::string& path, const std::vector<std::string>& lines) {
+  if (lines.empty()) return;
+  if (std::FILE* out = std::fopen(path.c_str(), "a")) {
+    for (const std::string& line : lines) {
+      std::fwrite(line.data(), 1, line.size(), out);
+      std::fputc('\n', out);
+    }
+    std::fclose(out);
+  }
+}
 
 }  // namespace
 
 SolverCache::SolverCache(const std::string& disk_dir) {
   if (disk_dir.empty()) return;
   obs::Span load_span("cache.load_disk", "cache");
+  // Touch every cache metric so a snapshot taken later carries them even
+  // at zero — CI asserts their presence, not just their growth.
+  hits_counter();
+  misses_counter();
+  stores_counter();
+  corrupt_counter();
+  compactions_counter();
   std::error_code ec;
   std::filesystem::create_directories(disk_dir, ec);  // best effort; open decides
   file_path_ = (std::filesystem::path(disk_dir) / "solver_cache.txt").string();
 
-  if (std::FILE* in = std::fopen(file_path_.c_str(), "r")) {
-    char line[128];
+  std::vector<std::string> corrupt_lines;
+  const bool load_io_error = core::failpoint_hit("cache.load").io_error();
+  std::FILE* in = load_io_error ? nullptr : std::fopen(file_path_.c_str(), "r");
+  bool file_existed = in != nullptr;
+  bool v2_file = false;
+  if (in != nullptr) {
+    char line[192];
     while (std::fgets(line, sizeof line, in)) {
+      std::string text(line);
+      while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) text.pop_back();
+      if (text.empty() || text[0] == '#') {
+        if (text == kCacheHeader) v2_file = true;
+        continue;
+      }
       std::uint64_t key = 0;
       double value = 0.0;
-      if (std::sscanf(line, "%" SCNx64 " %lf", &key, &value) == 2) {
-        map_[key] = value;
+      if (parse_record(text, v2_file, key, value) == RecordParse::kOk) {
+        if (!map_.emplace(key, value).second) {
+          map_[key] = value;  // duplicate key: last write wins
+          ++stats_.duplicates;
+        }
         ++stats_.loaded;
-      }  // else: damaged line — skip, the entry just recomputes
+      } else {
+        ++stats_.corrupt;
+        corrupt_counter().inc();
+        corrupt_lines.push_back(std::move(text));
+      }
     }
     std::fclose(in);
   }
+  quarantine_lines(quarantine_path(), corrupt_lines);
+
   file_ = std::fopen(file_path_.c_str(), "a");
+  // A fresh file gets the v2 header before any appends, so its 2-token
+  // torn appends can never be mistaken for legacy v1 records on reload.
+  if (file_ && !file_existed) {
+    std::fprintf(file_, "%s\n", kCacheHeader);
+    std::fflush(file_);
+  }
+
+  // Recovery/compaction policy: any corruption rewrites the file clean
+  // immediately (the damaged records are already quarantined); heavy
+  // duplication compacts too, bounding append-only growth across reruns.
+  if (stats_.corrupt > 0 || stats_.duplicates > kAutoCompactDuplicates) compact_locked();
+
   if (obs::TraceSession::enabled())
-    load_span.annotate("\"loaded\": " + std::to_string(stats_.loaded));
+    load_span.annotate("\"loaded\": " + std::to_string(stats_.loaded) +
+                       ", \"duplicates\": " + std::to_string(stats_.duplicates) +
+                       ", \"corrupt\": " + std::to_string(stats_.corrupt));
 }
 
 SolverCache::~SolverCache() {
@@ -81,9 +191,57 @@ void SolverCache::store(std::uint64_t key, double value) {
   ++stats_.stores;
   stores_counter().inc();
   if (fresh && file_) {
-    std::fprintf(file_, kValueFormat, key, value);
-    std::fflush(file_);  // a killed run keeps everything stored so far
+    const core::FailAction fault = core::failpoint_hit("cache.append");
+    if (fault.io_error()) return;  // as if the write failed: memory tier keeps the value
+    const std::string payload = record_payload(key, value);
+    char line[96];
+    const int n = std::snprintf(line, sizeof line, "%s %08" PRIx32 "\n", payload.c_str(),
+                                crc32(payload));
+    const std::size_t len =
+        fault.torn_write() ? fault.torn_bytes(static_cast<std::size_t>(n))
+                           : static_cast<std::size_t>(n);
+    std::fwrite(line, 1, len, file_);
+    std::fflush(file_);
+    fsync_stream(file_);  // a killed run keeps everything stored so far
   }
+}
+
+bool SolverCache::compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compact_locked();
+}
+
+bool SolverCache::compact_locked() {
+  if (file_path_.empty()) return true;
+  obs::Span compact_span("cache.compact", "cache");
+  if (core::failpoint_hit("cache.compact").io_error()) return false;
+
+  // Deterministic record order keeps compacted files diffable run-to-run.
+  std::vector<std::pair<std::uint64_t, double>> entries(map_.begin(), map_.end());
+  std::sort(entries.begin(), entries.end());
+
+  const std::string tmp = file_path_ + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "w");
+  if (out == nullptr) return false;
+  std::fprintf(out, "%s\n", kCacheHeader);
+  for (const auto& [key, value] : entries) {
+    const std::string payload = record_payload(key, value);
+    std::fprintf(out, "%s %08" PRIx32 "\n", payload.c_str(), crc32(payload));
+  }
+  const bool wrote = std::fflush(out) == 0 && fsync_stream(out);
+  std::fclose(out);
+  if (!wrote || std::rename(tmp.c_str(), file_path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  fsync_parent_dir(file_path_);
+
+  // The append stream points at the replaced inode; reopen on the new file.
+  if (file_) std::fclose(file_);
+  file_ = std::fopen(file_path_.c_str(), "a");
+  ++stats_.compactions;
+  compactions_counter().inc();
+  return true;
 }
 
 CacheStats SolverCache::stats() const {

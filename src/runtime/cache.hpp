@@ -18,11 +18,26 @@
 //     behaviour changes in a way that invalidates cached losses.
 //
 // Tiers: an in-memory map always; optionally a persistent append-only
-// text file (`<dir>/solver_cache.txt`, one `<16-hex-key> <value>` line
-// per entry) loaded at construction — the on-disk tier is what makes a
-// warm rerun of an unchanged surface complete without a single solve.
-// Only *clean* results should be stored (callers skip degraded cells), so
-// a cached value never masks a diagnosable failure.
+// text file (`<dir>/solver_cache.txt`) loaded at construction — the
+// on-disk tier is what makes a warm rerun of an unchanged surface
+// complete without a single solve. Only *clean* results should be stored
+// (callers skip degraded cells), so a cached value never masks a
+// diagnosable failure.
+//
+// On-disk format (v2, self-validating):
+//   # lrd-solver-cache v2
+//   <16-hex key> <%.17g value> <8-hex CRC32 of "<key> <value>">
+// Appends are flushed and fsynced record-by-record, so a killed run keeps
+// everything stored so far. On load every record's CRC is verified:
+// damaged records (torn appends, bit rot) are moved to
+// `solver_cache.txt.quarantine`, counted in `CacheStats::corrupt` and the
+// `lrd_cache_corrupt_records_total` metric, and never served. Legacy v1
+// files (`<key> <value>` lines, no header, no CRC) still load; the first
+// compaction rewrites them as v2. Duplicate keys resolve last-write-wins
+// (`CacheStats::duplicates`); when corruption or duplication exceeds a
+// threshold the file is compacted — atomically rewritten with one clean
+// v2 record per live entry — so long-lived caches stop growing without
+// bound across reruns. See docs/ROBUSTNESS.md for the failure model.
 #pragma once
 
 #include <cstdint>
@@ -83,18 +98,25 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;
-  std::uint64_t loaded = 0;  ///< Entries read from the disk tier at startup.
+  std::uint64_t loaded = 0;      ///< Records accepted from the disk tier at startup.
+  std::uint64_t duplicates = 0;  ///< Duplicate-key records superseded on load.
+  std::uint64_t corrupt = 0;     ///< Records quarantined on load (bad CRC / torn).
+  std::uint64_t compactions = 0; ///< Atomic clean rewrites of the disk tier.
 };
 
 /// Thread-safe key -> loss-value cache (in-memory tier, optional disk tier).
 class SolverCache {
  public:
+  /// Duplicate-or-corrupt records tolerated on load before the disk file
+  /// is auto-compacted (any corruption at all triggers a clean rewrite).
+  static constexpr std::uint64_t kAutoCompactDuplicates = 64;
+
   /// Memory-only cache.
   SolverCache() = default;
 
   /// Memory tier plus a persistent tier under `disk_dir` (created if
-  /// missing). Existing entries are loaded eagerly; malformed lines in a
-  /// damaged file are skipped, never fatal. An empty dir means memory-only.
+  /// missing). Existing entries are loaded eagerly; damaged records are
+  /// quarantined and counted, never fatal. An empty dir means memory-only.
   explicit SolverCache(const std::string& disk_dir);
 
   ~SolverCache();
@@ -107,13 +129,23 @@ class SolverCache {
   /// Inserts (last write wins) and appends to the disk tier when present.
   void store(std::uint64_t key, double value);
 
+  /// Atomically rewrites the disk tier with one clean v2 record per live
+  /// entry (no-op for a memory-only cache). Returns false on I/O failure;
+  /// the cache stays usable either way. Called automatically on load when
+  /// corruption or duplication crossed the threshold.
+  bool compact();
+
   CacheStats stats() const;
   std::size_t size() const;
 
   /// Path of the persistent file, empty for a memory-only cache.
   const std::string& disk_path() const noexcept { return file_path_; }
+  /// Path damaged records are appended to (`disk_path() + ".quarantine"`).
+  std::string quarantine_path() const { return file_path_ + ".quarantine"; }
 
  private:
+  bool compact_locked();
+
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, double> map_;
   CacheStats stats_;

@@ -1,23 +1,31 @@
 // Checkpoint/resume for sweep surfaces.
 //
 // A sweep driver records each completed cell; the checkpoint writes the
-// accumulated set atomically (temp file + rename) every `autoflush`
-// completions and once at the end, so an interrupted run loses at most
-// the last few cells. A resumed run reloads the file, applies the cells
-// to the table and only computes what is missing. The file is bound to
-// its sweep by a config hash in the header: a checkpoint written for a
-// different configuration (or grid shape) is silently ignored rather
-// than poisoning the resumed surface.
+// accumulated set atomically (temp file + fsync + rename + directory
+// fsync) every `autoflush` completions and once at the end, so an
+// interrupted run loses at most the last few cells — even across power
+// loss, not just process death. A resumed run reloads the file, applies
+// the cells to the table and only computes what is missing. The file is
+// bound to its sweep by a config hash in the header: a checkpoint
+// written for a different configuration (or grid shape) is silently
+// ignored rather than poisoning the resumed surface.
 //
 // Only clean cells are ever recorded — a degraded cell (one that pushed
 // a CellIssue) recomputes on resume so its diagnostic is regenerated and
 // the resumed table is indistinguishable from an uninterrupted run.
 //
 // File format (plain text, `%.17g` values for exact double round-trip):
-//   # lrd-sweep-checkpoint v1
+//   # lrd-sweep-checkpoint v2
 //   # config <16-hex hash> rows <R> cols <C>
-//   <row> <col> <value>
+//   <row> <col> <value> <8-hex CRC32 of "<row> <col> <value>">
 //   ...
+// Every record is CRC-validated on load; a damaged record (torn write,
+// bit rot) is skipped and counted in `corrupt_records()` and the
+// `lrd_checkpoint_corrupt_records_total` metric — the surviving cells
+// still resume, and the offending record's cell simply recomputes.
+// Legacy v1 files (3-field records, no CRC) still load. Successfully
+// recovered cells count toward `lrd_checkpoint_recovered_total`. See
+// docs/ROBUSTNESS.md for the failure model.
 #pragma once
 
 #include <cstddef>
@@ -43,7 +51,8 @@ class SweepCheckpoint {
 
   /// Loads a compatible checkpoint file into the recorded set and returns
   /// the loaded cells (empty when the file is absent, malformed, or was
-  /// written for a different config/grid). Loaded cells survive the next
+  /// written for a different config/grid). Records failing their CRC are
+  /// skipped and counted, never fatal. Loaded cells survive the next
   /// flush, so a twice-resumed run keeps its full history.
   std::vector<CheckpointCell> load();
 
@@ -52,14 +61,17 @@ class SweepCheckpoint {
   void record(std::size_t row, std::size_t col, double value);
 
   /// Atomically rewrites the checkpoint file with every recorded cell
-  /// (temp file + rename). Returns false on I/O failure — checkpointing
-  /// is best-effort and must never sink the sweep itself.
+  /// (temp file + fsync + rename + directory fsync). Returns false on
+  /// I/O failure — checkpointing is best-effort and must never sink the
+  /// sweep itself.
   bool flush();
 
   void set_autoflush(std::size_t every) noexcept { autoflush_every_ = every; }
 
   const std::string& path() const noexcept { return path_; }
   std::size_t recorded() const;
+  /// Records skipped by the last load() because their CRC did not match.
+  std::size_t corrupt_records() const;
 
  private:
   bool flush_locked();
@@ -73,6 +85,7 @@ class SweepCheckpoint {
 
   mutable std::mutex mu_;
   std::vector<CheckpointCell> cells_;
+  std::size_t corrupt_records_ = 0;
 };
 
 }  // namespace lrd::runtime

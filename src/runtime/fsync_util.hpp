@@ -1,0 +1,58 @@
+// Durability helpers for the atomic temp+rename writers.
+//
+// fflush alone only moves data into the OS page cache: a power loss (or
+// SIGKILL at the wrong moment) after rename can still surface an empty or
+// stale file, because the rename may reach the disk before the temp
+// file's data does. The crash-safe sequence is
+//
+//   write temp -> fflush -> fsync(temp) -> rename -> fsync(directory)
+//
+// where the final directory fsync persists the rename itself. Both
+// helpers are best-effort on platforms without the POSIX calls: the
+// writers stay correct, just not power-loss-durable, which matches the
+// pre-existing behaviour there.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define LRD_HAVE_FSYNC 1
+#endif
+
+namespace lrd::runtime {
+
+/// fsyncs an open stdio stream's file descriptor. The caller must have
+/// fflushed first (fsync persists kernel buffers, not stdio's). Returns
+/// false when the platform supports fsync and the call failed.
+inline bool fsync_stream(std::FILE* f) noexcept {
+#if defined(LRD_HAVE_FSYNC)
+  return f != nullptr && ::fsync(::fileno(f)) == 0;
+#else
+  (void)f;
+  return true;
+#endif
+}
+
+/// fsyncs the directory containing `path`, persisting a rename performed
+/// inside it. Best-effort: returns false only when the platform supports
+/// it and the sync failed (some filesystems reject directory fsync; that
+/// is reported, and callers treat it as non-fatal).
+inline bool fsync_parent_dir(const std::string& path) noexcept {
+#if defined(LRD_HAVE_FSYNC)
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return true;
+#endif
+}
+
+}  // namespace lrd::runtime

@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <limits>
 
+#include "core/failpoint.hpp"
+#include "runtime/fsync_util.hpp"
+
 namespace lrd::runtime {
 
 namespace {
@@ -70,9 +73,9 @@ void RunManifest::set_executor_stats(const JobStats& stats) { executor_ = stats;
 void RunManifest::set_wall_seconds(double seconds) { wall_seconds_ = seconds; }
 
 void RunManifest::add_cell(std::size_t row, std::size_t col, double seconds, CellSource source,
-                           std::string telemetry_json) {
+                           std::string telemetry_json, CellFlags flags) {
   std::lock_guard<std::mutex> lock(mu_);
-  cells_.push_back({row, col, seconds, source, std::move(telemetry_json)});
+  cells_.push_back({row, col, seconds, source, std::move(telemetry_json), flags});
 }
 
 void RunManifest::set_metrics_json(std::string metrics_json) {
@@ -110,10 +113,14 @@ std::string RunManifest::to_json() const {
   });
 
   std::size_t computed = 0, cached = 0, resumed = 0;
+  std::size_t degraded = 0, timed_out = 0, retried = 0;
   for (const Cell& cell : cells) {
     if (cell.source == CellSource::kComputed) ++computed;
     else if (cell.source == CellSource::kCache) ++cached;
     else ++resumed;
+    if (cell.flags.degraded) ++degraded;
+    if (cell.flags.deadline_exceeded) ++timed_out;
+    if (cell.flags.retries > 0) ++retried;
   }
 
   std::string out = "{\n";
@@ -137,9 +144,18 @@ std::string RunManifest::to_json() const {
   out += buf;
   std::snprintf(buf, sizeof buf,
                 "  \"cells\": { \"total\": %zu, \"computed\": %zu, \"cache_hits\": %zu, "
-                "\"resumed\": %zu },\n",
+                "\"resumed\": %zu",
                 cells.size(), computed, cached, resumed);
   out += buf;
+  // Robustness counts only appear when some cell carried a flag, so
+  // manifests from fully healthy runs stay byte-identical to before.
+  if (degraded + timed_out + retried > 0) {
+    std::snprintf(buf, sizeof buf,
+                  ", \"degraded\": %zu, \"timed_out\": %zu, \"retried\": %zu", degraded,
+                  timed_out, retried);
+    out += buf;
+  }
+  out += " },\n";
   std::snprintf(buf, sizeof buf,
                 "  \"cache\": { \"hits\": %" PRIu64 ", \"misses\": %" PRIu64
                 ", \"stores\": %" PRIu64 ", \"loaded\": %" PRIu64 " },\n",
@@ -168,6 +184,12 @@ std::string RunManifest::to_json() const {
                   cells[i].row, cells[i].col, number(cells[i].seconds).c_str());
     out += buf;
     append_escaped(out, source_name(cells[i].source));
+    if (cells[i].flags.deadline_exceeded) out += ", \"deadline_exceeded\": true";
+    if (cells[i].flags.retries > 0) {
+      std::snprintf(buf, sizeof buf, ", \"retries\": %zu", cells[i].flags.retries);
+      out += buf;
+    }
+    if (cells[i].flags.degraded) out += ", \"degraded\": true";
     if (!cells[i].telemetry.empty()) out += ", \"telemetry\": " + cells[i].telemetry;
     out += " }";
   }
@@ -185,17 +207,30 @@ std::string RunManifest::to_json() const {
 
 bool RunManifest::write_file(const std::string& path) const {
   const std::string json = to_json();
+
+  const core::FailAction write_fault = core::failpoint_hit("manifest.write");
+  if (write_fault.io_error()) return false;
+  const std::size_t len =
+      write_fault.torn_write() ? write_fault.torn_bytes(json.size()) : json.size();
+
   const std::string tmp = path + ".tmp";
   std::FILE* out = std::fopen(tmp.c_str(), "w");
   if (!out) return false;
-  const bool wrote = std::fwrite(json.data(), 1, json.size(), out) == json.size() &&
-                     std::fflush(out) == 0;
+  bool wrote = std::fwrite(json.data(), 1, len, out) == len && std::fflush(out) == 0;
+  if (wrote && !core::failpoint_hit("manifest.fsync").io_error())
+    wrote = fsync_stream(out);
   std::fclose(out);
   if (!wrote) {
     std::remove(tmp.c_str());
     return false;
   }
-  return std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (core::failpoint_hit("manifest.rename").io_error() ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  fsync_parent_dir(path);
+  return true;
 }
 
 }  // namespace lrd::runtime

@@ -14,14 +14,16 @@
 //   "config": { "<flag>": "<value>", ... },
 //   "config_hash": "<16-hex>",
 //   "grid": { "rows": R, "cols": C },
-//   "cells": { "total": N, "computed": a, "cache_hits": b, "resumed": c },
+//   "cells": { "total": N, "computed": a, "cache_hits": b, "resumed": c,
+//              "degraded": d, "timed_out": t, "retried": r },  // last 3 optional
 //   "cache": { "hits": h, "misses": m, "stores": s, "loaded": l },
 //   "executor": { "workers": p, "steals": k, "utilization": u,
 //                 "busy_seconds": [...] },
 //   "wall_seconds": w,
 //   "metrics": { ... },    // optional: obs::Registry JSON snapshot
 //   "cell_times": [ { "row": r, "col": c, "seconds": s, "source": "computed",
-//                     "telemetry": { ... } }, ... ],  // telemetry optional
+//                     "deadline_exceeded": true, "retries": n, "degraded": true,
+//                     "telemetry": { ... } }, ... ],  // flags/telemetry optional
 //   "issues": [ "<diagnostic>", ... ]
 // }
 #pragma once
@@ -37,6 +39,17 @@
 #include "runtime/executor.hpp"
 
 namespace lrd::runtime {
+
+/// Robustness annotations for one cell: whether its solve ran out of
+/// deadline, how many coarser-bin retries it took, and whether the
+/// final value is degraded (best-effort rather than converged).
+/// Namespace-scope (not nested) so it is complete where RunManifest's
+/// default arguments are parsed.
+struct CellFlags {
+  bool deadline_exceeded = false;
+  std::size_t retries = 0;
+  bool degraded = false;
+};
 
 class RunManifest {
  public:
@@ -57,7 +70,7 @@ class RunManifest {
   /// non-empty, is a serialized obs::SolverTelemetry object emitted
   /// verbatim as the cell's "telemetry" key.
   void add_cell(std::size_t row, std::size_t col, double seconds, CellSource source,
-                std::string telemetry_json = {});
+                std::string telemetry_json = {}, CellFlags flags = {});
 
   /// Attaches a metrics-registry JSON snapshot (obs::Registry::to_json),
   /// emitted verbatim under the "metrics" key; empty = omitted.
@@ -72,7 +85,8 @@ class RunManifest {
   /// output is deterministic regardless of execution order.
   std::string to_json() const;
 
-  /// Atomic write (temp + rename); false on I/O failure.
+  /// Atomic write (temp + fsync + rename + directory fsync); false on
+  /// I/O failure.
   bool write_file(const std::string& path) const;
 
  private:
@@ -81,6 +95,7 @@ class RunManifest {
     double seconds;
     CellSource source;
     std::string telemetry;  // raw JSON object, empty = none
+    CellFlags flags;
   };
 
   std::string tool_;

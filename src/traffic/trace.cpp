@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/failpoint.hpp"
 #include "numerics/special_functions.hpp"
 
 namespace lrd::traffic {
@@ -163,7 +164,7 @@ lrd::Expected<RateTrace> RateTrace::try_load(std::istream& is) {
 
 lrd::Expected<RateTrace> RateTrace::try_load_file(const std::string& path) {
   std::ifstream is(path);
-  if (!is)
+  if (!is || core::failpoint_hit("trace.read").io_error())
     return lrd::make_diagnostics(lrd::ErrorCategory::kIo, "traffic.trace", "trace file is readable",
                                  "cannot open " + path);
   auto result = try_load(is);

@@ -4,6 +4,7 @@
 // as a structured diagnostic — never a crash, a hang, or NaN bounds.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -21,6 +22,8 @@
 #include "queueing/fluid_queue_sim.hpp"
 #include "queueing/solver.hpp"
 #include "queueing/trace_queue_sim.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/manifest.hpp"
 #include "traffic/trace.hpp"
 
 namespace {
@@ -372,6 +375,81 @@ TEST(SolverGuards, SolveWithIncrementsValidatesShape) {
 }
 
 // ---------------------------------------------------------------------------
+// Deadline-bounded solves.
+
+/// A cell that cannot converge in any reasonable time: heavy-tailed
+/// epochs plus an absurdly tight gap. Same shape as the budget test
+/// above, but with the iteration budget opened wide so only the
+/// wall-clock deadline (or cancellation) can stop the solve.
+FluidQueueSolver make_pathological_solver() {
+  Marginal m({2.0, 6.0, 10.0}, {0.3, 0.4, 0.3});
+  auto d = std::make_shared<const dist::TruncatedPareto>(0.015, 1.3, 10.0);
+  return FluidQueueSolver(m, d, 7.5, 2.0);
+}
+
+SolverConfig unbounded_pathological_config() {
+  SolverConfig cfg;
+  cfg.initial_bins = 32;
+  cfg.max_bins = 1 << 20;
+  cfg.target_relative_gap = 1e-12;
+  cfg.max_total_iterations = 1000000000;
+  return cfg;
+}
+
+TEST(SolverDeadline, ExpiryReturnsWideValidBracketNeverAHang) {
+  const auto solver = make_pathological_solver();
+  auto cfg = unbounded_pathological_config();
+  cfg.deadline_ms = 20;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = solver.solve(cfg);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  EXPECT_EQ(r.stop, SolverStop::kDeadlineExceeded);
+  EXPECT_FALSE(r.converged);
+  ASSERT_FALSE(r.status.is_ok());
+  EXPECT_EQ(r.status.category(), ErrorCategory::kResourceExhausted);
+  EXPECT_NE(r.status.diagnostics().message.find("deadline_exceeded"), std::string::npos);
+  // The bracket reported is the one evaluated at the last check-block
+  // boundary: wide, but valid (Prop. II.1 holds at any n), never NaN.
+  EXPECT_TRUE(r.has_valid_bounds());
+  EXPECT_TRUE(std::isfinite(r.loss.lower));
+  EXPECT_TRUE(std::isfinite(r.loss.upper));
+  EXPECT_LE(r.loss.lower, r.loss.upper);
+  EXPECT_GT(r.final_bins, 0u);
+  // Deadline overshoot is bounded by one check block — generous slack
+  // here for loaded CI, but nowhere near the unbounded-solve regime.
+  EXPECT_LT(elapsed_s, 30.0);
+}
+
+TEST(SolverDeadline, CancellationTokenStopsAtNextCheck) {
+  const auto solver = make_pathological_solver();
+  auto cfg = unbounded_pathological_config();
+  runtime::CancellationToken token;
+  token.cancel();  // pre-cancelled: first check-block boundary must exit
+  cfg.cancellation = &token;
+  const auto r = solver.solve(cfg);
+  EXPECT_EQ(r.stop, SolverStop::kCancelled);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.status.category(), ErrorCategory::kResourceExhausted);
+  EXPECT_NE(r.status.diagnostics().message.find("cancelled"), std::string::npos);
+  EXPECT_TRUE(r.has_valid_bounds());
+  EXPECT_LE(r.loss.lower, r.loss.upper);
+}
+
+TEST(SolverDeadline, GenerousDeadlineDoesNotPerturbHealthySolves) {
+  const auto solver = make_solver();
+  const auto clean = solver.solve();
+  SolverConfig cfg;
+  cfg.deadline_ms = 600000;  // ten minutes: unreachable for this solve
+  const auto bounded = solver.solve(cfg);
+  EXPECT_TRUE(bounded.converged);
+  EXPECT_EQ(bounded.loss.lower, clean.loss.lower);
+  EXPECT_EQ(bounded.loss.upper, clean.loss.upper);
+  EXPECT_EQ(bounded.iterations, clean.iterations);
+}
+
+// ---------------------------------------------------------------------------
 // Sweep graceful degradation.
 
 TEST(SweepRobustness, InvalidSweepConfigThrowsBeforeAnyCell) {
@@ -400,6 +478,61 @@ TEST(SweepRobustness, BudgetStarvedCellsAreRecordedNotFatal) {
   std::ostringstream os;
   table.print(os);
   EXPECT_NE(os.str().find("issue"), std::string::npos);
+}
+
+TEST(SweepRobustness, CellDeadlineRetriesCoarserThenMarksDegraded) {
+  Marginal m({2.0, 6.0, 10.0}, {0.3, 0.4, 0.3});
+  core::ModelSweepConfig cfg;
+  cfg.utilization = 0.9;
+  cfg.solver.initial_bins = 16;
+  cfg.solver.max_bins = 1 << 16;
+  cfg.solver.target_relative_gap = 1e-12;  // unreachable: every cell times out
+  cfg.solver.max_total_iterations = 1000000000;
+
+  runtime::RunManifest manifest;
+  core::SweepRunOptions opts;
+  opts.cell_deadline_ms = 1;
+  opts.max_cell_retries = 2;
+  opts.manifest = &manifest;
+  const auto table = core::loss_vs_buffer_and_cutoff(m, cfg, {0.5}, {1.0}, opts);
+
+  // The cell timed out, was retried at coarser bins, and ended degraded —
+  // but still carries a usable (wide-bracket) value, and the sweep returns.
+  ASSERT_EQ(table.values.size(), 1u);
+  EXPECT_FALSE(std::isnan(table.values[0][0]));
+  EXPECT_FALSE(table.ok());
+  ASSERT_FALSE(table.issues.empty());
+  EXPECT_NE(table.issues[0].diagnostics.message.find("deadline_exceeded"), std::string::npos);
+
+  const std::string json = manifest.to_json();
+  EXPECT_NE(json.find("\"deadline_exceeded\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"retries\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"degraded\": true"), std::string::npos);
+  // Aggregate robustness counts appear in the cells summary.
+  EXPECT_NE(json.find("\"timed_out\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"retried\": 1"), std::string::npos);
+}
+
+TEST(SweepRobustness, HealthySweepManifestCarriesNoRobustnessKeys) {
+  Marginal m({2.0, 6.0, 10.0}, {0.3, 0.4, 0.3});
+  core::ModelSweepConfig cfg;
+  cfg.utilization = 0.8;
+  cfg.solver.target_relative_gap = 0.5;
+  runtime::RunManifest manifest;
+  core::SweepRunOptions opts;
+  opts.manifest = &manifest;
+  const auto table = core::loss_vs_buffer_and_cutoff(m, cfg, {0.05}, {0.1}, opts);
+  EXPECT_TRUE(table.ok());
+  // Default-configured runs must emit byte-identical manifests to before
+  // the robustness layer existed: no flag keys anywhere. (Quote-delimited
+  // searches: the embedded metrics snapshot legitimately contains the
+  // metric *name* lrd_solver_deadline_exceeded_total.)
+  const std::string json = manifest.to_json();
+  EXPECT_EQ(json.find("\"deadline_exceeded\""), std::string::npos);
+  EXPECT_EQ(json.find("\"timed_out\""), std::string::npos);
+  EXPECT_EQ(json.find("\"degraded\""), std::string::npos);
+  EXPECT_EQ(json.find("\"retried\""), std::string::npos);
+  EXPECT_EQ(json.find("\"retries\""), std::string::npos);
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 // content-addressed solver cache, and sweep checkpoint/resume.
 #include <atomic>
 #include <chrono>
+#include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -18,6 +20,7 @@
 #include "numerics/parallel.hpp"
 #include "runtime/cache.hpp"
 #include "runtime/checkpoint.hpp"
+#include "runtime/crc32.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/manifest.hpp"
 
@@ -208,6 +211,7 @@ TEST(RuntimeCache, DiskTierRoundTripsExactDoubles) {
 TEST(RuntimeCache, SkipsMalformedDiskLines) {
   const std::string dir = ::testing::TempDir() + "lrd_cache_bad";
   std::remove((dir + "/solver_cache.txt").c_str());
+  std::remove((dir + "/solver_cache.txt.quarantine").c_str());
   {
     runtime::SolverCache cache(dir);
     cache.store(1, 2.0);
@@ -219,6 +223,97 @@ TEST(RuntimeCache, SkipsMalformedDiskLines) {
   runtime::SolverCache reopened(dir);
   EXPECT_EQ(reopened.stats().loaded, 1u);
   EXPECT_TRUE(reopened.lookup(1).has_value());
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(RuntimeCache, QuarantinesCorruptRecordsAndCompacts) {
+  const std::string dir = ::testing::TempDir() + "lrd_cache_crc";
+  std::remove((dir + "/solver_cache.txt").c_str());
+  std::remove((dir + "/solver_cache.txt.quarantine").c_str());
+  {
+    runtime::SolverCache cache(dir);
+    cache.store(1, 2.0);
+    cache.store(2, 3.0);
+  }
+  {
+    std::ofstream f(dir + "/solver_cache.txt", std::ios::app);
+    // A bit-flipped record: well-formed shape, wrong CRC.
+    f << "00000000000000ff 1.5 deadbeef\n";
+    // A torn append: payload truncated before the CRC. In a v2 file this
+    // must NOT be accepted as a legacy 2-token record — its value could
+    // be a plausible-looking truncation of the real one.
+    f << "00000000000000aa 2.5\n";
+  }
+  runtime::SolverCache reopened(dir);
+  EXPECT_EQ(reopened.stats().loaded, 2u);
+  EXPECT_EQ(reopened.stats().corrupt, 2u);
+  EXPECT_FALSE(reopened.lookup(0xff).has_value());
+  EXPECT_FALSE(reopened.lookup(0xaa).has_value());
+  // Corruption triggers an immediate clean rewrite...
+  EXPECT_GE(reopened.stats().compactions, 1u);
+  // ...and the damaged raw lines land in the quarantine for inspection.
+  const std::string q = slurp(reopened.quarantine_path());
+  EXPECT_NE(q.find("deadbeef"), std::string::npos);
+  EXPECT_NE(q.find("00000000000000aa 2.5"), std::string::npos);
+  // A third open sees a healthy file: nothing corrupt, values intact.
+  runtime::SolverCache clean(dir);
+  EXPECT_EQ(clean.stats().corrupt, 0u);
+  EXPECT_EQ(clean.stats().loaded, 2u);
+  ASSERT_TRUE(clean.lookup(1).has_value());
+  EXPECT_EQ(*clean.lookup(1), 2.0);
+}
+
+TEST(RuntimeCache, LegacyHeaderlessFileLoadsWithLastWriteWinning) {
+  const std::string dir = ::testing::TempDir() + "lrd_cache_v1";
+  std::remove((dir + "/solver_cache.txt").c_str());
+  std::remove((dir + "/solver_cache.txt.quarantine").c_str());
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::ofstream f(dir + "/solver_cache.txt", std::ios::trunc);
+    // v1-era file: no header, no CRCs, a duplicated key (append-only
+    // reruns did that); the later record must win.
+    f << "0000000000000005 1\n";
+    f << "0000000000000007 0.25\n";
+    f << "0000000000000005 2\n";
+  }
+  runtime::SolverCache cache(dir);
+  EXPECT_EQ(cache.stats().loaded, 3u);
+  EXPECT_EQ(cache.stats().duplicates, 1u);
+  EXPECT_EQ(cache.stats().corrupt, 0u);
+  ASSERT_TRUE(cache.lookup(5).has_value());
+  EXPECT_EQ(*cache.lookup(5), 2.0);
+  ASSERT_TRUE(cache.lookup(7).has_value());
+  EXPECT_EQ(*cache.lookup(7), 0.25);
+}
+
+TEST(RuntimeCache, ExplicitCompactRewritesCleanV2File) {
+  const std::string dir = ::testing::TempDir() + "lrd_cache_compact";
+  std::remove((dir + "/solver_cache.txt").c_str());
+  std::remove((dir + "/solver_cache.txt.quarantine").c_str());
+  runtime::SolverCache cache(dir);
+  cache.store(9, 0.5);
+  cache.store(3, 1.0 / 3.0);
+  ASSERT_TRUE(cache.compact());
+  EXPECT_EQ(cache.stats().compactions, 1u);
+  const std::string text = slurp(dir + "/solver_cache.txt");
+  EXPECT_EQ(text.rfind("# lrd-solver-cache v2", 0), 0u) << "compacted file keeps the v2 header";
+  // The compacted file reloads bit-exactly, and appends still work on the
+  // freshly renamed inode.
+  cache.store(11, 0.125);
+  runtime::SolverCache reopened(dir);
+  EXPECT_EQ(reopened.stats().loaded, 3u);
+  EXPECT_EQ(reopened.stats().duplicates, 0u);
+  ASSERT_TRUE(reopened.lookup(3).has_value());
+  EXPECT_EQ(*reopened.lookup(3), 1.0 / 3.0);
+  ASSERT_TRUE(reopened.lookup(11).has_value());
+  EXPECT_EQ(*reopened.lookup(11), 0.125);
 }
 
 // ------------------------------------------------------------- checkpoint
@@ -258,6 +353,69 @@ TEST(RuntimeCheckpoint, IgnoresIncompatibleFiles) {
   // Matching binding still loads.
   runtime::SweepCheckpoint ok(path, 0x1111, 2, 2);
   EXPECT_EQ(ok.load().size(), 1u);
+}
+
+TEST(RuntimeCheckpoint, SkipsCorruptRecordsAndCountsThem) {
+  const std::string path = ::testing::TempDir() + "lrd_ckpt_crc.txt";
+  std::remove(path.c_str());
+  {
+    runtime::SweepCheckpoint ck(path, 0x77, 4, 4);
+    ck.record(0, 0, 0.5);
+    ck.record(1, 2, 0.25);
+    ASSERT_TRUE(ck.flush());
+  }
+  {
+    std::ofstream f(path, std::ios::app);
+    f << "2 2 0.125 00000000\n";  // bit-flipped: shape ok, CRC wrong
+    f << "3 3 0.0625\n";          // torn record: no CRC — untrusted in a v2 file
+    f << "9 9 0.5 " << std::hex << runtime::crc32("9 9 0.5") << "\n";  // out of grid
+  }
+  runtime::SweepCheckpoint ck(path, 0x77, 4, 4);
+  const auto cells = ck.load();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(ck.corrupt_records(), 3u);
+  EXPECT_EQ(cells[0].value, 0.5);
+  EXPECT_EQ(cells[1].value, 0.25);
+}
+
+TEST(RuntimeCheckpoint, LoadsLegacyV1Files) {
+  const std::string path = ::testing::TempDir() + "lrd_ckpt_v1.txt";
+  std::remove(path.c_str());
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << "# lrd-sweep-checkpoint v1\n";
+    f << "# config 0000000000000042 rows 2 cols 3\n";
+    f << "0 1 0.5\n";
+    f << "1 2 0.0078125\n";
+  }
+  runtime::SweepCheckpoint ck(path, 0x42, 2, 3);
+  const auto cells = ck.load();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(ck.corrupt_records(), 0u);
+  EXPECT_EQ(cells[0].row, 0u);
+  EXPECT_EQ(cells[0].col, 1u);
+  EXPECT_EQ(cells[0].value, 0.5);
+  EXPECT_EQ(cells[1].value, 0.0078125);
+}
+
+TEST(RuntimeCheckpoint, WritesCrcOnEveryRecord) {
+  const std::string path = ::testing::TempDir() + "lrd_ckpt_v2fmt.txt";
+  std::remove(path.c_str());
+  runtime::SweepCheckpoint ck(path, 0x1, 2, 2);
+  ck.record(1, 0, 1.0 / 3.0);
+  ASSERT_TRUE(ck.flush());
+  std::ifstream in(path);
+  std::string magic, config, record;
+  std::getline(in, magic);
+  std::getline(in, config);
+  std::getline(in, record);
+  EXPECT_EQ(magic, "# lrd-sweep-checkpoint v2");
+  const auto last_space = record.find_last_of(' ');
+  ASSERT_NE(last_space, std::string::npos);
+  char expected[16];
+  std::snprintf(expected, sizeof expected, "%08" PRIx32,
+                runtime::crc32(std::string_view(record).substr(0, last_space)));
+  EXPECT_EQ(record.substr(last_space + 1), expected);
 }
 
 // ---------------------------------------------------- sweep driver plumbing
@@ -337,6 +495,73 @@ TEST(RuntimeSweep, WarmCacheServesEveryCell) {
   EXPECT_EQ(manifest.cells_from(runtime::RunManifest::CellSource::kCache), 4u);
   EXPECT_EQ(manifest.cells_from(runtime::RunManifest::CellSource::kComputed), 0u);
   EXPECT_EQ(csv_of(warm), csv_of(cold));
+}
+
+TEST(RuntimeSweep, PreCancelledSweepSkipsEveryCellAndResumeCompletes) {
+  const dist::Marginal m({2.0, 6.0, 10.0}, {0.3, 0.4, 0.3});
+  const auto cfg = cheap_sweep_config();
+  const std::vector<double> buffers{0.05, 0.1};
+  const std::vector<double> cutoffs{0.1, 1.0};
+  const auto baseline = core::loss_vs_buffer_and_cutoff(m, cfg, buffers, cutoffs);
+
+  const std::string path = ::testing::TempDir() + "lrd_sweep_precancel.txt";
+  std::remove(path.c_str());
+  runtime::CancellationToken token;
+  token.cancel();
+  core::SweepRunOptions opts;
+  opts.checkpoint_path = path;
+  opts.checkpoint_every = 1;
+  opts.cancellation = &token;
+  (void)core::loss_vs_buffer_and_cutoff(m, cfg, buffers, cutoffs, opts);
+
+  // Every cell was skipped, so the flushed checkpoint is well-formed but
+  // holds no cells; the resumed run recomputes the full surface.
+  {
+    runtime::SweepCheckpoint probe(path, 0, 2, 2);  // wrong binding: just parse
+    EXPECT_TRUE(probe.load().empty());
+    EXPECT_EQ(probe.corrupt_records(), 0u);
+  }
+  core::SweepRunOptions resume_opts;
+  resume_opts.checkpoint_path = path;
+  resume_opts.resume = true;
+  const auto resumed = core::loss_vs_buffer_and_cutoff(m, cfg, buffers, cutoffs, resume_opts);
+  EXPECT_EQ(csv_of(resumed), csv_of(baseline));
+}
+
+TEST(RuntimeSweep, MidSweepCancellationResumesBitIdentically) {
+  const dist::Marginal m({2.0, 6.0, 10.0}, {0.3, 0.4, 0.3});
+  const auto cfg = cheap_sweep_config();
+  const std::vector<double> buffers{0.05, 0.1};
+  const std::vector<double> cutoffs{0.1, 1.0};
+  const auto baseline = core::loss_vs_buffer_and_cutoff(m, cfg, buffers, cutoffs);
+
+  const std::string path = ::testing::TempDir() + "lrd_sweep_cancel.txt";
+  std::remove(path.c_str());
+  runtime::CancellationToken token;
+  core::SweepRunOptions opts;
+  opts.checkpoint_path = path;
+  opts.checkpoint_every = 1;
+  opts.cancellation = &token;
+  opts.threads = 2;
+  // Cancel from outside while cells are in flight. However many cells the
+  // race lets through (zero to all four), the invariant is the same: the
+  // checkpoint holds only completed cells and a --resume run finishes the
+  // surface bit-identically to an uninterrupted one.
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    token.cancel();
+  });
+  (void)core::loss_vs_buffer_and_cutoff(m, cfg, buffers, cutoffs, opts);
+  canceller.join();
+
+  runtime::RunManifest manifest;
+  core::SweepRunOptions resume_opts;
+  resume_opts.checkpoint_path = path;
+  resume_opts.resume = true;
+  resume_opts.manifest = &manifest;
+  const auto resumed = core::loss_vs_buffer_and_cutoff(m, cfg, buffers, cutoffs, resume_opts);
+  EXPECT_EQ(csv_of(resumed), csv_of(baseline));
+  EXPECT_EQ(manifest.total_cells(), 4u);
 }
 
 TEST(RuntimeSweep, ManifestJsonIsWellFormedEnough) {

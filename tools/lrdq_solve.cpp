@@ -23,8 +23,12 @@ constexpr const char* kUsage =
     "usage: lrdq_solve --rates r1,r2,... --probs p1,p2,...\n"
     "                  [--hurst 0.85] [--mean-epoch 0.05] [--cutoff 10|inf]\n"
     "                  [--utilization 0.8] [--buffer 0.5] [--gap 0.2] [--max-bins 16384]\n"
+    "                  [--deadline-ms MS]\n"
     "                  [--telemetry-out FILE] [--metrics-out FILE] [--trace-out FILE]\n"
     "       lrdq_solve --help | --version\n"
+    "robustness: --deadline-ms bounds the solve's wall time; on expiry the\n"
+    "      bracket reported is valid but wide and the diagnostic says\n"
+    "      deadline_exceeded (exit 6, never a hang).\n"
     "observability: --telemetry-out writes per-level convergence telemetry\n"
     "      (JSON); --metrics-out writes a metrics snapshot (.json = JSON,\n"
     "      else Prometheus text); --trace-out (or LRDQ_TRACE) writes a\n"
@@ -52,7 +56,7 @@ int main(int argc, char** argv) {
   return cli::run_tool(kUsage, [&] {
     cli::Args args(argc, argv,
                    {"rates", "probs", "hurst", "mean-epoch", "cutoff", "utilization", "buffer",
-                    "gap", "max-bins", "telemetry-out"});
+                    "gap", "max-bins", "deadline-ms", "telemetry-out"});
     if (args.help()) {
       std::printf("%s\n", kUsage);
       return 0;
@@ -82,6 +86,7 @@ int main(int argc, char** argv) {
     queueing::SolverConfig scfg;
     scfg.target_relative_gap = args.get_double("gap", 0.2);
     scfg.max_bins = args.get_size("max-bins", 1 << 14);
+    scfg.deadline_ms = args.get_size("deadline-ms", 0);
     const std::string telemetry_path = args.get("telemetry-out", "");
     scfg.collect_telemetry = !telemetry_path.empty();
     const auto result = model.solve(scfg);

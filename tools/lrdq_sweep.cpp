@@ -26,6 +26,7 @@ constexpr const char* kUsage =
     "                  [--gap 0.2] [--seed 7]\n"
     "                  [--threads N] [--cache-dir DIR]\n"
     "                  [--checkpoint FILE [--resume]] [--manifest FILE]\n"
+    "                  [--cell-deadline-ms MS [--max-cell-retries N]]\n"
     "                  [--solver-telemetry] [--progress]\n"
     "                  [--metrics-out FILE] [--trace-out FILE]\n"
     "       lrdq_sweep --help | --version\n"
@@ -34,7 +35,11 @@ constexpr const char* kUsage =
     "      the on-disk solver result cache. --checkpoint writes progress\n"
     "      periodically; rerun with --resume to skip completed cells.\n"
     "      --manifest records per-cell timings and cache/executor stats\n"
-    "      as JSON.\n"
+    "      as JSON. --cell-deadline-ms bounds each cell's solve wall time:\n"
+    "      a cell that exceeds it keeps a valid (wide) loss bracket and is\n"
+    "      retried up to --max-cell-retries times (default 1) at coarser\n"
+    "      bins before being marked degraded; timed-out/retried/degraded\n"
+    "      cells are recorded per-cell in the manifest.\n"
     "observability: --solver-telemetry attaches per-solve convergence\n"
     "      records to the manifest's cell_times; --progress draws a\n"
     "      stderr heartbeat (cells done, ETA, cache hit-rate);\n"
@@ -53,7 +58,7 @@ int main(int argc, char** argv) {
     cli::Args args(argc, argv,
                    {"rates", "probs", "trace", "buffers", "cutoffs", "hurst", "mean-epoch",
                     "utilization", "gap", "seed", "threads", "cache-dir", "checkpoint",
-                    "manifest"},
+                    "manifest", "cell-deadline-ms", "max-cell-retries"},
                    {"resume", "solver-telemetry", "progress"});
     if (args.help()) {
       std::printf("%s\n", kUsage);
@@ -79,10 +84,13 @@ int main(int argc, char** argv) {
     opts.solver_telemetry = args.has("solver-telemetry");
     opts.progress = args.has("progress");
     opts.progress_label = "lrdq_sweep";
+    opts.cell_deadline_ms = args.get_size("cell-deadline-ms", 0);
+    opts.max_cell_retries = args.get_size("max-cell-retries", 1);
 
     manifest.set_tool("lrdq_sweep");
     for (const char* key : {"rates", "probs", "trace", "buffers", "cutoffs", "hurst",
-                            "mean-epoch", "utilization", "gap", "seed"})
+                            "mean-epoch", "utilization", "gap", "seed", "cell-deadline-ms",
+                            "max-cell-retries"})
       if (args.has(key)) manifest.add_config(key, args.get(key, ""));
 
     core::SweepTable table;
