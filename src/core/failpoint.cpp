@@ -23,6 +23,11 @@ constexpr const char* kInstrumentedSites[] = {
     "cache.load",        // SolverCache ctor: read of solver_cache.txt
     "cache.append",      // SolverCache::store: append of one record
     "cache.compact",     // SolverCache compaction: atomic rewrite
+    "cache.evict",       // SolverCache memory tier: LRU eviction of one entry
+    "serve.accept",      // lrdq_serve: accept of one client connection
+    "serve.read",        // lrdq_serve: read of one query line
+    "serve.write",       // lrdq_serve: write of one response line
+    "serve.shed",        // lrdq_serve: admission control rejecting a query
     "checkpoint.load",   // SweepCheckpoint::load: read of the cell log
     "checkpoint.write",  // SweepCheckpoint flush: temp-file write
     "checkpoint.fsync",  // SweepCheckpoint flush: fsync of the temp file

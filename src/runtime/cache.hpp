@@ -1,4 +1,4 @@
-// Content-addressed solver result cache.
+// Content-addressed solver result cache — concurrent sharded tier.
 //
 // A sweep cell is pure: its loss value is fully determined by the model
 // configuration, the solver configuration and the cell coordinates. The
@@ -17,32 +17,59 @@
 //   * the salt is hashed first; bump it whenever the solver's numerical
 //     behaviour changes in a way that invalidates cached losses.
 //
-// Tiers: an in-memory map always; optionally a persistent append-only
-// text file (`<dir>/solver_cache.txt`) loaded at construction — the
-// on-disk tier is what makes a warm rerun of an unchanged surface
-// complete without a single solve. Only *clean* results should be stored
-// (callers skip degraded cells), so a cached value never masks a
-// diagnosable failure.
+// Concurrency model (the serving tier's requirement): the memory tier is
+// split into kShards shards addressed by a mix of the key, each with its
+// own mutex, hash map and LRU list, so concurrent clients contend only
+// when their keys land on the same shard. The disk tier (and the shared
+// load/store/compaction bookkeeping) sits behind a second mutex; no code
+// path ever holds a shard lock and the disk lock at the same time, so
+// there is no lock-order cycle. All public methods are thread-safe.
+//
+// Eviction: `SolverCacheConfig::capacity_cost` bounds the memory tier.
+// Every entry carries a cost (callers pass the solve's wall seconds, or
+// the default 1.0 so capacity counts entries); when a shard exceeds its
+// share of the budget it evicts least-recently-used entries first
+// (`CacheStats::evictions`, `lrd_cache_evictions_total`). Evicted entries
+// are *not* lost on a persistent cache: the disk tier is a true second
+// level, consulted on a memory miss and promoted back on a hit
+// (`CacheStats::disk_hits`). capacity_cost = 0 keeps the historical
+// never-evicted behaviour.
+//
+// Tiers: the sharded in-memory map always; optionally a persistent
+// append-only text file (`<dir>/solver_cache.txt`) loaded at
+// construction — the on-disk tier is what makes a warm rerun of an
+// unchanged surface complete without a single solve. Only *clean* results
+// should be stored (callers skip degraded cells), so a cached value never
+// masks a diagnosable failure.
 //
 // On-disk format (v2, self-validating):
 //   # lrd-solver-cache v2
+//   # salt <version salt>
 //   <16-hex key> <%.17g value> <8-hex CRC32 of "<key> <value>">
 // Appends are flushed and fsynced record-by-record, so a killed run keeps
 // everything stored so far. On load every record's CRC is verified:
 // damaged records (torn appends, bit rot) are moved to
 // `solver_cache.txt.quarantine`, counted in `CacheStats::corrupt` and the
-// `lrd_cache_corrupt_records_total` metric, and never served. Legacy v1
-// files (`<key> <value>` lines, no header, no CRC) still load; the first
-// compaction rewrites them as v2. Duplicate keys resolve last-write-wins
-// (`CacheStats::duplicates`); when corruption or duplication exceeds a
-// threshold the file is compacted — atomically rewritten with one clean
-// v2 record per live entry — so long-lived caches stop growing without
-// bound across reruns. See docs/ROBUSTNESS.md for the failure model.
+// `lrd_cache_corrupt_records_total` metric, and never served. A salt line
+// that does not match the configured version salt marks every record in
+// the file stale (`CacheStats::stale`, `lrd_cache_stale_records_total`):
+// they are dropped wholesale and the file is compacted clean under the
+// new salt — the versioned-invalidation path a long-running daemon needs
+// when the solver numerics change underneath its cache. Files without a
+// salt line (legacy v1 files and early-v2 files) still load; the first
+// compaction rewrites them with the header, salt and CRCs. Duplicate keys
+// resolve last-write-wins (`CacheStats::duplicates`); when corruption,
+// staleness or duplication exceeds a threshold the file is compacted —
+// atomically rewritten with one clean v2 record per live entry — so
+// long-lived caches stop growing without bound across reruns. See
+// docs/ROBUSTNESS.md for the failure model and docs/SERVE.md for the
+// serving tier built on top.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -95,47 +122,90 @@ class Fnv1a {
 };
 
 struct CacheStats {
-  std::uint64_t hits = 0;
+  std::uint64_t hits = 0;        ///< Lookups served (memory or disk tier).
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;
   std::uint64_t loaded = 0;      ///< Records accepted from the disk tier at startup.
   std::uint64_t duplicates = 0;  ///< Duplicate-key records superseded on load.
   std::uint64_t corrupt = 0;     ///< Records quarantined on load (bad CRC / torn).
   std::uint64_t compactions = 0; ///< Atomic clean rewrites of the disk tier.
+  std::uint64_t disk_hits = 0;   ///< Hits served by the disk tier after a memory miss.
+  std::uint64_t evictions = 0;   ///< Memory-tier entries evicted (LRU-with-cost).
+  std::uint64_t stale = 0;       ///< Records dropped on load for a version-salt mismatch.
+  std::uint64_t invalidations = 0; ///< Explicit invalidate() calls (both tiers cleared).
 };
 
-/// Thread-safe key -> loss-value cache (in-memory tier, optional disk tier).
+/// Construction-time knobs of a SolverCache. The default-constructed
+/// value reproduces the historical behaviour exactly: memory-only,
+/// never-evicted, keyed under the library's version salt.
+struct SolverCacheConfig {
+  /// Directory of the persistent tier; empty = memory-only.
+  std::string disk_dir;
+  /// Total memory-tier cost budget across all shards (each entry
+  /// contributes its store() cost, default 1.0 per entry, so with default
+  /// costs this is a max entry count). 0 = unlimited, never evict.
+  double capacity_cost = 0.0;
+  /// Version salt recorded in (and checked against) the disk tier. A
+  /// mismatch on load drops every persisted record as stale.
+  std::string version_salt = std::string(kCacheVersionSalt);
+};
+
+/// Thread-safe key -> loss-value cache: sharded LRU memory tier,
+/// optional CRC-validated disk tier as a second level.
 class SolverCache {
  public:
+  /// Memory-tier shards; striped locking keeps concurrent clients off
+  /// each other's cache lines unless their keys collide mod kShards.
+  static constexpr std::size_t kShards = 16;
+
   /// Duplicate-or-corrupt records tolerated on load before the disk file
-  /// is auto-compacted (any corruption at all triggers a clean rewrite).
+  /// is auto-compacted (any corruption or staleness at all triggers a
+  /// clean rewrite).
   static constexpr std::uint64_t kAutoCompactDuplicates = 64;
 
-  /// Memory-only cache.
-  SolverCache() = default;
+  /// Memory-only cache, unbounded (historical behaviour).
+  SolverCache() : SolverCache(SolverCacheConfig{}) {}
 
   /// Memory tier plus a persistent tier under `disk_dir` (created if
   /// missing). Existing entries are loaded eagerly; damaged records are
   /// quarantined and counted, never fatal. An empty dir means memory-only.
-  explicit SolverCache(const std::string& disk_dir);
+  explicit SolverCache(const std::string& disk_dir)
+      : SolverCache(SolverCacheConfig{disk_dir, 0.0, std::string(kCacheVersionSalt)}) {}
+
+  explicit SolverCache(const SolverCacheConfig& cfg);
 
   ~SolverCache();
   SolverCache(const SolverCache&) = delete;
   SolverCache& operator=(const SolverCache&) = delete;
 
-  /// Value for `key`, counting a hit or a miss.
-  std::optional<double> lookup(std::uint64_t key);
+  /// Value for `key`, counting a hit or a miss. A memory miss falls
+  /// through to the disk tier; a disk hit is promoted back into the
+  /// memory tier (and still counts as a hit). When `from_disk` is
+  /// non-null it is set to whether the hit was served by the disk tier —
+  /// the provenance bit the serve daemon reports to clients.
+  std::optional<double> lookup(std::uint64_t key, bool* from_disk = nullptr);
 
   /// Inserts (last write wins) and appends to the disk tier when present.
-  void store(std::uint64_t key, double value);
+  /// `cost` is the entry's weight against `capacity_cost` (clamped to a
+  /// small positive minimum) — pass the solve's wall seconds so eviction
+  /// preferentially keeps expensive-to-recompute results resident longer.
+  void store(std::uint64_t key, double value, double cost = 1.0);
 
   /// Atomically rewrites the disk tier with one clean v2 record per live
   /// entry (no-op for a memory-only cache). Returns false on I/O failure;
   /// the cache stays usable either way. Called automatically on load when
-  /// corruption or duplication crossed the threshold.
+  /// corruption, staleness or duplication crossed the threshold.
   bool compact();
 
+  /// Drops every entry from both tiers and rewrites the disk file empty
+  /// under the current salt — the operator-facing invalidation path (the
+  /// serve daemon exposes it as the "invalidate" op). Returns false only
+  /// when the disk rewrite failed; the memory tier is cleared regardless.
+  bool invalidate();
+
   CacheStats stats() const;
+  /// Entries resident in the memory tier (the disk tier may hold more
+  /// once eviction has run).
   std::size_t size() const;
 
   /// Path of the persistent file, empty for a memory-only cache.
@@ -144,12 +214,42 @@ class SolverCache {
   std::string quarantine_path() const { return file_path_ + ".quarantine"; }
 
  private:
+  struct Entry {
+    double value = 0.0;
+    double cost = 1.0;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Entry> map;
+    std::list<std::uint64_t> lru;  // front = most recently used
+    double cost = 0.0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(std::uint64_t key) noexcept {
+    // Fibonacci mix so shard choice is independent of the low key bits
+    // callers might correlate (the keys are FNV digests, but cheap).
+    return shards_[(key * 0x9E3779B97F4A7C15ull) >> 60];
+  }
+
+  /// Inserts into one shard and evicts LRU entries past the shard's
+  /// budget. Caller must NOT hold the shard lock.
+  void insert_memory(std::uint64_t key, double value, double cost);
   bool compact_locked();
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, double> map_;
-  CacheStats stats_;
+  Shard shards_[kShards];
+  double shard_capacity_ = 0.0;  // capacity_cost / kShards; 0 = unlimited
+
+  /// Guards the disk tier and the shared (non-shard) stats. Never held
+  /// together with a shard mutex.
+  mutable std::mutex disk_mu_;
+  std::unordered_map<std::uint64_t, double> disk_map_;  // all persisted records
+  CacheStats central_;  // stores/loaded/duplicates/corrupt/compactions/disk_hits/...
   std::string file_path_;
+  std::string salt_;
   std::FILE* file_ = nullptr;  // append stream of the persistent tier
 };
 

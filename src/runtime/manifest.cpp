@@ -158,9 +158,19 @@ std::string RunManifest::to_json() const {
   out += " },\n";
   std::snprintf(buf, sizeof buf,
                 "  \"cache\": { \"hits\": %" PRIu64 ", \"misses\": %" PRIu64
-                ", \"stores\": %" PRIu64 ", \"loaded\": %" PRIu64 " },\n",
+                ", \"stores\": %" PRIu64 ", \"loaded\": %" PRIu64,
                 cache_.hits, cache_.misses, cache_.stores, cache_.loaded);
   out += buf;
+  // Sharded-tier counts only appear when non-zero, keeping manifests from
+  // unbounded single-run caches byte-identical to before.
+  if (cache_.evictions + cache_.disk_hits + cache_.stale > 0) {
+    std::snprintf(buf, sizeof buf,
+                  ", \"evictions\": %" PRIu64 ", \"disk_hits\": %" PRIu64
+                  ", \"stale\": %" PRIu64,
+                  cache_.evictions, cache_.disk_hits, cache_.stale);
+    out += buf;
+  }
+  out += " },\n";
 
   std::snprintf(buf, sizeof buf,
                 "  \"executor\": { \"workers\": %zu, \"steals\": %zu, \"utilization\": %s,\n"

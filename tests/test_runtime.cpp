@@ -316,6 +316,174 @@ TEST(RuntimeCache, ExplicitCompactRewritesCleanV2File) {
   EXPECT_EQ(*reopened.lookup(11), 0.125);
 }
 
+// ---------------------------------------------------- cache: sharded tier
+
+TEST(RuntimeCache, ShardedMultiWriterStressStaysConsistent) {
+  // Many writers and readers hammer a bounded memory-only cache with an
+  // overlapping key range. Run under TSan this is the striped-locking
+  // proof; in any build the final accounting must balance and the
+  // eviction policy must hold the capacity bound.
+  runtime::SolverCacheConfig cfg;
+  cfg.capacity_cost = 64.0;  // default 1.0-cost entries: max 4 per shard
+  runtime::SolverCache cache(cfg);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kOpsPerThread = 4000;
+  std::atomic<std::uint64_t> found{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &found, t] {
+      std::uint64_t rng = 0x9E3779B97F4A7C15ull * (t + 1);
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        const std::uint64_t key = (rng >> 33) % 512;  // heavy key overlap
+        if ((rng & 3) == 0) {
+          cache.store(key, static_cast<double>(key) * 0.5);
+        } else if (const auto hit = cache.lookup(key)) {
+          // A served value is always the one every writer stores for
+          // that key — a torn or cross-key read would fail here.
+          if (*hit == static_cast<double>(key) * 0.5) found.fetch_add(1);
+          else std::abort();
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const auto stats = cache.stats();
+  EXPECT_GT(found.load(), 0u);
+  EXPECT_GT(stats.evictions, 0u) << "512 hot keys against capacity 64 must evict";
+  EXPECT_LE(cache.size(), 64u) << "eviction holds every shard to its budget";
+}
+
+TEST(RuntimeCache, EvictsLeastRecentlyUsedFirstWithinAShard) {
+  // Collect keys that land in one shard (shard_for mixes the key, so
+  // probe), then overfill that shard and check the eviction order: the
+  // oldest untouched key goes first, and a lookup refreshes recency.
+  runtime::SolverCacheConfig cfg;
+  cfg.capacity_cost = 3.0 * runtime::SolverCache::kShards;  // 3 entries per shard
+  runtime::SolverCache cache(cfg);
+
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 1; keys.size() < 5; ++k)
+    if (((k * 0x9E3779B97F4A7C15ull) >> 60) == 0) keys.push_back(k);
+
+  cache.store(keys[0], 0.0);
+  cache.store(keys[1], 1.0);
+  cache.store(keys[2], 2.0);           // shard full: {2, 1, 0} MRU->LRU
+  ASSERT_TRUE(cache.lookup(keys[0]));  // refresh 0: {0, 2, 1}
+  cache.store(keys[3], 3.0);           // evicts 1 (LRU), not 0
+  EXPECT_TRUE(cache.lookup(keys[0]).has_value());
+  EXPECT_FALSE(cache.lookup(keys[1]).has_value()) << "LRU key evicted";
+  EXPECT_TRUE(cache.lookup(keys[2]).has_value());
+  EXPECT_TRUE(cache.lookup(keys[3]).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // Cost-weighted: one entry heavier than the whole budget evicts the
+  // rest of the shard but stays resident itself (just computed).
+  cache.store(keys[4], 4.0, 100.0);
+  EXPECT_TRUE(cache.lookup(keys[4]).has_value());
+  EXPECT_FALSE(cache.lookup(keys[0]).has_value());
+}
+
+TEST(RuntimeCache, DiskTierServesEvictedEntriesAsSecondLevel) {
+  const std::string dir = ::testing::TempDir() + "lrd_cache_l2";
+  std::filesystem::remove_all(dir);
+  runtime::SolverCacheConfig cfg;
+  cfg.disk_dir = dir;
+  cfg.capacity_cost = 16.0;  // 1 entry per shard: heavy eviction
+  runtime::SolverCache cache(cfg);
+  for (std::uint64_t k = 1; k <= 64; ++k) cache.store(k, static_cast<double>(k));
+  ASSERT_GT(cache.stats().evictions, 0u);
+  EXPECT_LE(cache.size(), 16u);
+
+  // Every stored key is still served — evicted ones from the disk tier,
+  // counted as disk_hits and promoted back into memory.
+  for (std::uint64_t k = 1; k <= 64; ++k) {
+    const auto hit = cache.lookup(k);
+    ASSERT_TRUE(hit.has_value()) << "key " << k;
+    EXPECT_EQ(*hit, static_cast<double>(k));
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 64u);
+  EXPECT_GT(stats.disk_hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(RuntimeCache, SaltMismatchDropsPersistedRecordsAsStale) {
+  const std::string dir = ::testing::TempDir() + "lrd_cache_salt";
+  std::filesystem::remove_all(dir);
+  {
+    runtime::SolverCacheConfig cfg;
+    cfg.disk_dir = dir;
+    cfg.version_salt = "solver-numerics-v0";
+    runtime::SolverCache cache(cfg);
+    cache.store(5, 0.5);
+    cache.store(6, 0.75);
+  }
+  // Same file, new salt: every persisted loss was computed by "other
+  // numerics" and must be dropped, and the file compacted clean under
+  // the new salt so the drop happens exactly once.
+  {
+    runtime::SolverCache cache(dir);
+    EXPECT_EQ(cache.stats().loaded, 0u);
+    EXPECT_EQ(cache.stats().stale, 2u);
+    EXPECT_GE(cache.stats().compactions, 1u);
+    EXPECT_FALSE(cache.lookup(5).has_value());
+    cache.store(7, 1.25);
+  }
+  runtime::SolverCache reopened(dir);
+  EXPECT_EQ(reopened.stats().stale, 0u) << "compaction rewrote the salt line";
+  EXPECT_EQ(reopened.stats().loaded, 1u);
+  EXPECT_TRUE(reopened.lookup(7).has_value());
+}
+
+TEST(RuntimeCache, MigratesV1FileToSaltedV2OnCompact) {
+  const std::string dir = ::testing::TempDir() + "lrd_cache_migrate";
+  std::filesystem::remove_all(dir);
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::ofstream f(dir + "/solver_cache.txt", std::ios::trunc);
+    f << "000000000000000a 0.5\n";   // v1: no header, no salt, no CRC
+    f << "000000000000000b 0.25\n";
+  }
+  {
+    runtime::SolverCache cache(dir);
+    EXPECT_EQ(cache.stats().loaded, 2u);
+    EXPECT_EQ(cache.stats().stale, 0u) << "a salt-less legacy file is not stale";
+    ASSERT_TRUE(cache.compact());
+  }
+  const std::string text = slurp(dir + "/solver_cache.txt");
+  EXPECT_EQ(text.rfind("# lrd-solver-cache v2", 0), 0u);
+  EXPECT_NE(text.find(std::string("# salt ") + std::string(runtime::kCacheVersionSalt)),
+            std::string::npos)
+      << "migration stamps the current salt";
+  runtime::SolverCache reopened(dir);
+  EXPECT_EQ(reopened.stats().loaded, 2u);
+  EXPECT_EQ(reopened.stats().corrupt, 0u);
+  ASSERT_TRUE(reopened.lookup(0xb).has_value());
+  EXPECT_EQ(*reopened.lookup(0xb), 0.25);
+}
+
+TEST(RuntimeCache, InvalidateClearsBothTiersAndSurvivesReload) {
+  const std::string dir = ::testing::TempDir() + "lrd_cache_inval";
+  std::filesystem::remove_all(dir);
+  runtime::SolverCache cache(dir);
+  cache.store(1, 1.0);
+  cache.store(2, 2.0);
+  ASSERT_TRUE(cache.invalidate());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  // New stores after invalidation persist normally.
+  cache.store(3, 3.0);
+  runtime::SolverCache reopened(dir);
+  EXPECT_EQ(reopened.stats().loaded, 1u);
+  EXPECT_FALSE(reopened.lookup(1).has_value());
+  EXPECT_TRUE(reopened.lookup(3).has_value());
+}
+
 // ------------------------------------------------------------- checkpoint
 
 TEST(RuntimeCheckpoint, RoundTripsCellsExactly) {

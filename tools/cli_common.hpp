@@ -198,6 +198,38 @@ inline std::size_t resolve_threads(const Args& args) {
   return static_cast<std::size_t>(std::strtoull(text.c_str(), nullptr, 10));
 }
 
+/// Resolves a wall-clock deadline flag in milliseconds: `--<flag> MS`
+/// wins, then the LRDQ_DEADLINE_MS environment variable (the shared
+/// default for every deadline-accepting tool — a fleet can bound all
+/// solves with one env var), then `fallback` (0 = unbounded). Same
+/// error-category contract as resolve_threads: a malformed value is a
+/// configuration error (exit 3), not a usage error, because it may come
+/// from the environment.
+inline std::size_t resolve_deadline_ms(const Args& args, const std::string& flag,
+                                       std::size_t fallback = 0) {
+  std::string text;
+  std::string origin;
+  if (args.has(flag)) {
+    text = args.get(flag, "");
+    origin = "--" + flag;
+  } else if (const char* env = std::getenv("LRDQ_DEADLINE_MS")) {
+    text = env;
+    origin = "LRDQ_DEADLINE_MS";
+  } else {
+    return fallback;
+  }
+  const bool digits_only =
+      !text.empty() && std::all_of(text.begin(), text.end(),
+                                   [](unsigned char ch) { return ch >= '0' && ch <= '9'; });
+  if (!digits_only || text.size() > 9) {
+    throw lrd::ConfigError(lrd::make_diagnostics(
+        lrd::ErrorCategory::kInvalidConfig, "cli",
+        "deadline is a non-negative integer millisecond count (0 = unbounded)",
+        origin + " = \"" + text + "\""));
+  }
+  return static_cast<std::size_t>(std::strtoull(text.c_str(), nullptr, 10));
+}
+
 /// Standard error handling wrapper for tool main() bodies.
 ///
 /// Exit codes follow the repo-wide taxonomy (lrd::exit_code_for):

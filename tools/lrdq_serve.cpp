@@ -1,0 +1,250 @@
+// lrdq_serve — long-running loss-rate query daemon.
+//
+//   lrdq_serve --socket /run/lrdq.sock [--threads 2] [--queue-limit 64]
+//              [--default-deadline-ms MS] [--max-deadline-ms MS]
+//              [--cache-dir DIR] [--cache-capacity N]
+//              [--metrics-out FILE] [--trace-out FILE]
+//   lrdq_serve --once      < queries.jsonl   (no socket; stdin -> stdout)
+//   lrdq_serve --connect /run/lrdq.sock < queries.jsonl   (scripted client)
+//
+// Queries are line-delimited JSON (docs/SERVE.md). The daemon answers
+// concurrent clients from a shared content-addressed sharded solver
+// cache; per-query deadlines bound every solve (status
+// deadline_exceeded, never a hang); a bounded admission queue sheds
+// excess load (status shed, code 7); SIGTERM/SIGINT drain gracefully —
+// every admitted query is answered before the daemon exits 0.
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli_common.hpp"
+#include "obs/json.hpp"
+#include "runtime/cache.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: lrdq_serve --socket PATH [--threads N] [--queue-limit N]\n"
+    "                  [--default-deadline-ms MS] [--max-deadline-ms MS]\n"
+    "                  [--cache-dir DIR] [--cache-capacity N]\n"
+    "                  [--metrics-out FILE] [--trace-out FILE]\n"
+    "       lrdq_serve --once    (read queries from stdin, answer on stdout)\n"
+    "       lrdq_serve --connect PATH [--timeout-ms MS]  (scripted client)\n"
+    "       lrdq_serve --help | --version\n"
+    "protocol: one JSON query per line, one JSON response per line\n"
+    "      (completion order; match by \"id\") — see docs/SERVE.md.\n"
+    "serving: per-query deadlines come from the query's deadline_ms, else\n"
+    "      --default-deadline-ms (LRDQ_DEADLINE_MS honoured), clamped by\n"
+    "      --max-deadline-ms; an expired solve answers with a valid-but-wide\n"
+    "      bracket and status deadline_exceeded (code 6), never a hang.\n"
+    "      --queue-limit bounds admitted-but-unstarted queries; excess load\n"
+    "      is shed with status shed (code 7). SIGTERM/SIGINT drain: every\n"
+    "      admitted query is answered, then the daemon exits 0.\n"
+    "cache: --cache-dir persists converged solves (CRC-validated, version-\n"
+    "      salted); --cache-capacity bounds resident entries (LRU).\n"
+    "exit codes: 0 ok, 1 not converged, 2 usage, 3 bad config, 4 parse,\n"
+    "            5 I/O, 6 numerical guard / deadline, 7 load shed\n"
+    "            (--once/--connect exit with the worst response code seen)";
+
+volatile std::sig_atomic_t g_signal = 0;
+void on_signal(int) { g_signal = 1; }
+
+/// stdin -> stdout execution with no socket: the scripting/testing mode.
+/// Exits with the worst response code, so `lrdq_serve --once <<< query`
+/// composes with the shell like lrdq_solve does.
+int run_once(const lrd::serve::QueryService& service) {
+  int worst = 0;
+  std::string line;
+  for (int ch; (ch = std::fgetc(stdin)) != EOF;) {
+    if (ch != '\n') {
+      line.push_back(static_cast<char>(ch));
+      continue;
+    }
+    if (!line.empty()) {
+      const lrd::serve::Response r = service.execute_line(line);
+      const std::string out = r.to_json();
+      std::fwrite(out.data(), 1, out.size(), stdout);
+      std::fputc('\n', stdout);
+      std::fflush(stdout);
+      worst = std::max(worst, r.code());
+    }
+    line.clear();
+  }
+  if (!line.empty()) {
+    const lrd::serve::Response r = service.execute_line(line);
+    std::printf("%s\n", r.to_json().c_str());
+    worst = std::max(worst, r.code());
+  }
+  return worst;
+}
+
+/// Scripted client: send every stdin line to the daemon, then read one
+/// response per sent query (the server answers every admitted OR shed
+/// query exactly once; completion order, not send order). EOF from the
+/// server (drain) or --timeout-ms ends the session early. Exits with the
+/// worst response code seen, so CI can assert shed (7) or deadline (6)
+/// outcomes from the shell.
+int run_connect(const std::string& path, std::size_t timeout_ms) {
+  std::vector<std::string> queries;
+  {
+    std::string line;
+    for (int ch; (ch = std::fgetc(stdin)) != EOF;) {
+      if (ch != '\n') {
+        line.push_back(static_cast<char>(ch));
+        continue;
+      }
+      if (!line.empty()) queries.push_back(line);
+      line.clear();
+    }
+    if (!line.empty()) queries.push_back(line);
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    throw lrd::ConfigError(lrd::make_diagnostics(lrd::ErrorCategory::kInvalidConfig,
+                                                 "lrdq_serve", "socket path fits sockaddr_un",
+                                                 "--connect path too long: " + path));
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    if (fd >= 0) ::close(fd);
+    throw lrd::DataError(lrd::make_diagnostics(lrd::ErrorCategory::kIo, "lrdq_serve",
+                                               "daemon socket accepts connections",
+                                               "cannot connect to " + path + ": " +
+                                                   std::strerror(errno)));
+  }
+
+  for (const std::string& q : queries) {
+    const std::string line = q + "\n";
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n = ::send(fd, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+      if (n <= 0 && errno != EINTR) {
+        ::close(fd);
+        throw lrd::DataError(lrd::make_diagnostics(lrd::ErrorCategory::kIo, "lrdq_serve",
+                                                   "daemon socket accepts writes",
+                                                   "send failed mid-session"));
+      }
+      if (n > 0) off += static_cast<std::size_t>(n);
+    }
+  }
+  // Keep the write side open: the server treats client EOF as "gone" and
+  // stops answering, so a scripted session closes only after reading.
+
+  int worst = 0;
+  std::size_t answered = 0;
+  std::string buf;
+  char chunk[4096];
+  while (answered < queries.size()) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (ready <= 0) break;  // timeout: daemon drained or wedged; report what we have
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) break;  // server closed (drain completed)
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      const std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (line.empty()) continue;
+      std::printf("%s\n", line.c_str());
+      std::fflush(stdout);
+      ++answered;
+      if (auto parsed = lrd::obs::json::parse(line))
+        worst = std::max(worst, static_cast<int>(parsed.value().number_at("code", 0.0)));
+    }
+  }
+  ::close(fd);
+  if (answered < queries.size())
+    std::fprintf(stderr, "lrdq_serve: session ended with %zu of %zu responses\n", answered,
+                 queries.size());
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lrd;
+  return cli::run_tool(kUsage, [&] {
+    cli::Args args(argc, argv,
+                   {"socket", "threads", "queue-limit", "default-deadline-ms",
+                    "max-deadline-ms", "cache-dir", "cache-capacity", "connect", "timeout-ms"},
+                   {"once"});
+    if (args.help()) {
+      std::printf("%s\n", kUsage);
+      return 0;
+    }
+    if (args.version()) return cli::print_version("lrdq_serve");
+    const cli::ObsSetup obs_setup = cli::setup_observability(args);
+
+    runtime::SolverCacheConfig cache_cfg;
+    cache_cfg.disk_dir = args.get("cache-dir", "");
+    cache_cfg.capacity_cost = args.get_double("cache-capacity", 0.0);
+    runtime::SolverCache cache(cache_cfg);
+
+    serve::ServiceConfig service_cfg;
+    service_cfg.default_deadline_ms = cli::resolve_deadline_ms(args, "default-deadline-ms");
+    service_cfg.max_deadline_ms = args.get_size("max-deadline-ms", 0);
+    const serve::QueryService service(&cache, service_cfg);
+
+    if (args.has("once")) {
+      const int code = run_once(service);
+      cli::finish_observability(obs_setup);
+      return code;
+    }
+    if (args.has("connect")) {
+      const int code = run_connect(args.get("connect", ""), args.get_size("timeout-ms", 120000));
+      cli::finish_observability(obs_setup);
+      return code;
+    }
+
+    if (!args.has("socket"))
+      throw std::invalid_argument("--socket PATH is required (or --once / --connect)");
+
+    serve::ServerConfig server_cfg;
+    server_cfg.socket_path = args.get("socket", "");
+    const std::size_t threads = cli::resolve_threads(args);
+    server_cfg.threads = threads == 0 ? 2 : threads;
+    server_cfg.queue_limit = args.get_size("queue-limit", 64);
+
+    serve::Server server(server_cfg, service);
+    if (const lrd::Status st = server.start(); !st.is_ok()) throw_error(st.diagnostics());
+    std::fprintf(stderr, "lrdq_serve: serving on %s (%zu workers, queue limit %zu)\n",
+                 server_cfg.socket_path.c_str(), server_cfg.threads, server_cfg.queue_limit);
+
+    // Signals set a flag; this loop turns it into a graceful drain (a
+    // handler cannot safely touch mutexes or condition variables).
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    while (g_signal == 0) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::fprintf(stderr, "lrdq_serve: draining\n");
+    server.request_drain();
+    server.wait();
+
+    const runtime::CacheStats cs = cache.stats();
+    std::fprintf(stderr,
+                 "lrdq_serve: drained cleanly; %llu queries (%llu shed), cache %llu hits / "
+                 "%llu misses / %llu evictions\n",
+                 static_cast<unsigned long long>(server.queries_seen()),
+                 static_cast<unsigned long long>(server.queries_shed()),
+                 static_cast<unsigned long long>(cs.hits),
+                 static_cast<unsigned long long>(cs.misses),
+                 static_cast<unsigned long long>(cs.evictions));
+    cli::finish_observability(obs_setup);
+    return 0;
+  });
+}

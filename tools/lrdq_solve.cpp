@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
     queueing::SolverConfig scfg;
     scfg.target_relative_gap = args.get_double("gap", 0.2);
     scfg.max_bins = args.get_size("max-bins", 1 << 14);
-    scfg.deadline_ms = args.get_size("deadline-ms", 0);
+    scfg.deadline_ms = cli::resolve_deadline_ms(args, "deadline-ms");
     const std::string telemetry_path = args.get("telemetry-out", "");
     scfg.collect_telemetry = !telemetry_path.empty();
     const auto result = model.solve(scfg);

@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
     opts.solver_telemetry = args.has("solver-telemetry");
     opts.progress = args.has("progress");
     opts.progress_label = "lrdq_sweep";
-    opts.cell_deadline_ms = args.get_size("cell-deadline-ms", 0);
+    opts.cell_deadline_ms = cli::resolve_deadline_ms(args, "cell-deadline-ms");
     opts.max_cell_retries = args.get_size("max-cell-retries", 1);
 
     manifest.set_tool("lrdq_sweep");

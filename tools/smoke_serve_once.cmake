@@ -1,0 +1,36 @@
+# Runs lrdq_serve --once on a scripted session: a ping, a solve, a repeat
+# of the same solve (memory-tier cache hit), and a stats op. Asserts the
+# exit code, that the cache-hit response says so, and that the repeated
+# cell's estimate is byte-identical between miss and hit.
+set(queries "${WORK_DIR}/serve_once_queries.jsonl")
+set(out "${WORK_DIR}/serve_once_responses.jsonl")
+file(WRITE ${queries} "{\"op\": \"ping\", \"id\": \"p\"}
+{\"id\": \"q1\", \"rates\": [2, 6, 10], \"probs\": [0.3, 0.4, 0.3], \"cutoff\": 5, \"buffer\": 0.2}
+{\"id\": \"q2\", \"rates\": [2, 6, 10], \"probs\": [0.3, 0.4, 0.3], \"cutoff\": 5, \"buffer\": 0.2}
+{\"op\": \"stats\", \"id\": \"s\"}
+")
+execute_process(COMMAND ${SERVE_TOOL} --once
+                INPUT_FILE ${queries}
+                OUTPUT_FILE ${out}
+                RESULT_VARIABLE serve_result)
+if(NOT serve_result EQUAL 0)
+  message(FATAL_ERROR "lrdq_serve --once failed: ${serve_result}")
+endif()
+file(STRINGS ${out} responses)
+list(LENGTH responses n)
+if(NOT n EQUAL 4)
+  message(FATAL_ERROR "expected 4 responses, got ${n}")
+endif()
+list(GET responses 1 first_solve)
+list(GET responses 2 second_solve)
+if(NOT first_solve MATCHES "\"hit\": false")
+  message(FATAL_ERROR "first solve should be a cache miss: ${first_solve}")
+endif()
+if(NOT second_solve MATCHES "\"hit\": true, \"tier\": \"memory\"")
+  message(FATAL_ERROR "second solve should hit the memory tier: ${second_solve}")
+endif()
+string(REGEX MATCH "\"estimate\": [^,]+" first_estimate "${first_solve}")
+string(REGEX MATCH "\"estimate\": [^,]+" second_estimate "${second_solve}")
+if(NOT first_estimate STREQUAL second_estimate)
+  message(FATAL_ERROR "cached estimate differs: ${first_estimate} vs ${second_estimate}")
+endif()
