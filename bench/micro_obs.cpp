@@ -22,6 +22,7 @@
 
 #include "core/experiment.hpp"
 #include "harness.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -98,6 +99,25 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < c.warmup(); ++i) (void)batch();
       for (std::size_t i = 0; i < c.repeats(); ++i) c.add_sample(batch());
       c.metric("threads", static_cast<double>(threads));
+    });
+
+    // Flight-recorder append: the always-on forensic path every serve
+    // query and solver level crosses. Budget: same order as a counter
+    // increment plus the 8-word event store.
+    h.add("event_append", {1, 5}, [](bench::Case& c) {
+      obs::flight::set_enabled(true);
+      c.measure_ns_per_iter(kIters, [](std::size_t i) {
+        obs::flight::record(obs::flight::EventKind::kCacheHit, "bench", i, 0, 0.0);
+      });
+    });
+
+    // And the kill switch: a disabled recorder must be one relaxed load.
+    h.add("recorder_ring_disabled", {1, 5}, [](bench::Case& c) {
+      obs::flight::set_enabled(false);
+      c.measure_ns_per_iter(kIters, [](std::size_t i) {
+        obs::flight::record(obs::flight::EventKind::kCacheHit, "bench", i, 0, 0.0);
+      });
+      obs::flight::set_enabled(true);
     });
 
     h.add("histogram_observe", {1, 5}, [](bench::Case& c) {

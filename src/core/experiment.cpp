@@ -14,7 +14,9 @@
 #include "core/model.hpp"
 #include "numerics/parallel.hpp"
 #include "numerics/random.hpp"
+#include "obs/bundle.hpp"
 #include "obs/clock.hpp"
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
@@ -276,6 +278,19 @@ void run_sweep_cells(
             cells.inc();
             cell_hist.observe(cell_seconds);
           }
+          if (obs::EventLog::global().active()) {
+            obs::AccessRecord rec;
+            rec.tool = "lrdq_sweep";
+            rec.id = std::to_string(r) + "," + std::to_string(c);
+            rec.op = "sweep.cell";
+            rec.status = out.deadline_exceeded ? "deadline_exceeded"
+                         : out.clean           ? "ok"
+                                               : "issue";
+            rec.code = out.deadline_exceeded ? 6 : out.clean ? 0 : 1;
+            rec.wall_ms = cell_seconds * 1e3;
+            obs::EventLog::global().append(rec);
+          }
+          if (out.deadline_exceeded) obs::bundle::dump_incident("deadline_exceeded");
           if (progress) progress->advance();
         },
         opts.threads);

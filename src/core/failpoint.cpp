@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "core/status.hpp"
+#include "obs/flight.hpp"
 
 namespace lrd::core {
 
@@ -166,6 +167,12 @@ FailAction failpoint_hit(std::string_view site) {
     action.mode = armed.mode;
     action.arg = armed.arg;
   }
+  // Record the fire BEFORE the mode executes: when the mode is a crash
+  // the flight-recorder tail in the dumped bundle must already show
+  // which site killed the process.
+  if (action.fired())
+    obs::flight::record(obs::flight::EventKind::kFailpoint, site,
+                        static_cast<std::uint64_t>(action.mode));
   // Centralized modes run outside the lock: a sleeping or throwing
   // failpoint must not serialize unrelated sites behind it.
   switch (action.mode) {

@@ -1,0 +1,366 @@
+#include "obs/bundle.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <mutex>
+#include <system_error>
+
+#include "obs/clock.hpp"
+#include "obs/flight.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/version.hpp"
+
+namespace lrd::obs::bundle {
+
+namespace {
+
+// Everything the crash path touches is pre-rendered into fixed static
+// storage by configure(): the handler formats paths and the manifest
+// with the flight layer's hand-rolled formatters and calls only
+// mkdir/open/write/time/signal — no allocation, no stdio, no locks.
+constexpr std::size_t kPathMax = 768;
+constexpr std::size_t kConfigMax = 8192;
+/// Flight-tail events written per ring on the crash path (the stack
+/// buffer in the handler; the normal path dumps whole rings).
+constexpr std::size_t kCrashTailPerRing = 256;
+
+char g_dir[kPathMax];
+char g_crash_dir[kPathMax];
+char g_tool[64];
+char g_build_json[768];
+char g_config_json[kConfigMax];
+std::atomic<bool> g_configured{false};
+std::atomic<bool> g_handlers_installed{false};
+std::atomic<bool> g_in_crash{false};
+std::atomic<int> g_seq{0};
+std::atomic<double> g_last_incident_ms{-1e18};
+std::size_t g_min_incident_interval_ms = 5000;
+
+std::mutex g_mu;  // configure + provider + non-crash dumps
+std::function<std::string()> g_cache_provider;
+
+const int kCrashSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+
+const char* signal_name(int sig) noexcept {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+  }
+  return "SIG?";
+}
+
+std::size_t append_raw(char* dst, std::size_t at, const char* s) noexcept {
+  const std::size_t n = std::strlen(s);
+  std::memcpy(dst + at, s, n);
+  return at + n;
+}
+
+std::size_t append_u64(char* dst, std::size_t at, std::uint64_t v) noexcept {
+  char digits[20];
+  std::size_t n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) dst[at + i] = digits[n - 1 - i];
+  return at + n;
+}
+
+bool write_all(int fd, const char* data, std::size_t n) noexcept {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool write_file_raw(const char* path, const char* data, std::size_t n) noexcept {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const bool ok = write_all(fd, data, n);
+  ::close(fd);
+  return ok;
+}
+
+/// JSON-safe copy into a fixed buffer (quotes/backslashes/control
+/// bytes become '_', overflow truncates) — shared by configure() and
+/// the manifest writers so no dumped string ever needs escaping.
+void copy_sanitized(char* dst, std::size_t cap, std::string_view src) noexcept {
+  std::size_t n = 0;
+  for (char c : src) {
+    if (n + 1 >= cap) break;
+    const auto u = static_cast<unsigned char>(c);
+    dst[n++] = (u < 0x20 || u == 0x7f || c == '"' || c == '\\') ? '_' : c;
+  }
+  dst[n] = '\0';
+}
+
+/// Writes the manifest for a bundle at `dir`. `signal` < 0 means a
+/// non-crash dump (metrics.json and maybe cache.json are present).
+bool write_manifest(const char* dir, const char* reason, int sig, bool with_cache) noexcept {
+  char path[kPathMax + 16];
+  std::size_t n = 0;
+  n = append_raw(path, n, dir);
+  n = append_raw(path, n, "/bundle.json");
+  path[n] = '\0';
+
+  char body[1024];
+  std::size_t m = 0;
+  m = append_raw(body, m, "{\"schema\": \"lrd-bundle-v1\", \"version\": 1, \"tool\": \"");
+  m = append_raw(body, m, g_tool);
+  m = append_raw(body, m, "\", \"reason\": \"");
+  m = append_raw(body, m, reason);
+  m = append_raw(body, m, "\", \"crash\": ");
+  m = append_raw(body, m, sig >= 0 ? "true" : "false");
+  if (sig >= 0) {
+    m = append_raw(body, m, ", \"signal\": ");
+    m = append_u64(body, m, static_cast<std::uint64_t>(sig));
+  }
+  m = append_raw(body, m, ", \"pid\": ");
+  m = append_u64(body, m, static_cast<std::uint64_t>(::getpid()));
+  m = append_raw(body, m, ", \"timestamp_unix\": ");
+  m = append_u64(body, m, static_cast<std::uint64_t>(::time(nullptr)));
+  m = append_raw(body, m,
+                 ", \"files\": [\"bundle.json\", \"flight.jsonl\", \"build.json\", "
+                 "\"config.json\"");
+  if (sig < 0) {
+    m = append_raw(body, m, ", \"metrics.json\"");
+    if (with_cache) m = append_raw(body, m, ", \"cache.json\"");
+  }
+  m = append_raw(body, m, "]}\n");
+  return write_file_raw(path, body, m);
+}
+
+bool write_small(const char* dir, const char* name, const char* data) noexcept {
+  char path[kPathMax + 32];
+  std::size_t n = 0;
+  n = append_raw(path, n, dir);
+  n = append_raw(path, n, "/");
+  n = append_raw(path, n, name);
+  path[n] = '\0';
+  return write_file_raw(path, data, std::strlen(data));
+}
+
+/// The crash-path flight dump: walks the rings with read_ring (atomic
+/// loads into a stack buffer) and appends a synthesized crash_signal
+/// event, so the triggering context and the cause land in one file.
+void write_crash_flight(const char* dir, int sig) noexcept {
+  char path[kPathMax + 16];
+  std::size_t n = 0;
+  n = append_raw(path, n, dir);
+  n = append_raw(path, n, "/flight.jsonl");
+  path[n] = '\0';
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+
+  flight::Event events[kCrashTailPerRing];
+  char line[352];
+  const std::size_t rings = flight::ring_count();
+  for (std::size_t i = 0; i < rings; ++i) {
+    std::uint32_t tid = 0;
+    const std::size_t count = flight::read_ring(i, events, kCrashTailPerRing, &tid);
+    for (std::size_t k = 0; k < count; ++k) {
+      std::size_t m = flight::format_event_jsonl(events[k], tid, line, sizeof line - 1);
+      if (m == 0) continue;
+      line[m++] = '\n';
+      if (!write_all(fd, line, m)) {
+        ::close(fd);
+        return;
+      }
+    }
+  }
+  flight::Event crash{};
+  crash.ts_us = process_uptime_us();
+  crash.kind = static_cast<std::uint16_t>(flight::EventKind::kCrashSignal);
+  crash.a = static_cast<std::uint64_t>(sig);
+  copy_sanitized(crash.tag, sizeof crash.tag, signal_name(sig));
+  std::size_t m = flight::format_event_jsonl(crash, 0, line, sizeof line - 1);
+  if (m != 0) {
+    line[m++] = '\n';
+    write_all(fd, line, m);
+  }
+  ::close(fd);
+}
+
+void restore_and_reraise(int sig) noexcept {
+  std::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+extern "C" void crash_handler(int sig) {
+  // One dump per process: a fault inside the handler (or a second
+  // signal on another thread) goes straight to the default action.
+  bool expected = false;
+  if (!g_in_crash.compare_exchange_strong(expected, true)) {
+    restore_and_reraise(sig);
+    return;
+  }
+  if (g_configured.load(std::memory_order_acquire)) {
+    ::mkdir(g_dir, 0755);  // EEXIST is fine
+    if (::mkdir(g_crash_dir, 0755) == 0 || errno == EEXIST) {
+      char reason[32];
+      std::size_t n = 0;
+      n = append_raw(reason, n, "signal:");
+      n = append_raw(reason, n, signal_name(sig));
+      reason[n] = '\0';
+      write_crash_flight(g_crash_dir, sig);
+      write_small(g_crash_dir, "build.json", g_build_json);
+      write_small(g_crash_dir, "config.json", g_config_json);
+      write_manifest(g_crash_dir, reason, sig, false);
+    }
+  }
+  restore_and_reraise(sig);
+}
+
+}  // namespace
+
+void configure(const Config& cfg) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_configured.store(false, std::memory_order_release);
+  if (cfg.dir.empty()) return;
+
+  // Anchor a relative dump dir now: bundle paths are handed to clients
+  // (the serve `dump` op) that run in a different cwd, and the crash
+  // handler must not depend on where the process has chdir'd to since.
+  std::string dir = cfg.dir;
+  if (dir[0] != '/') {
+    std::error_code ec;
+    if (const auto abs = std::filesystem::absolute(dir, ec); !ec) abs.string().swap(dir);
+  }
+
+  // Headroom for the "/crash-<pid>" suffix appended below.
+  copy_sanitized(g_dir, sizeof g_dir - 64, dir);
+  copy_sanitized(g_tool, sizeof g_tool, cfg.tool.empty() ? "lrdq" : cfg.tool);
+  {
+    char pid_part[64];
+    std::size_t n = 0;
+    n = append_raw(pid_part, n, "/crash-");
+    n = append_u64(pid_part, n, static_cast<std::uint64_t>(::getpid()));
+    pid_part[n] = '\0';
+    std::size_t m = 0;
+    m = append_raw(g_crash_dir, m, g_dir);
+    m = append_raw(g_crash_dir, m, pid_part);
+    g_crash_dir[m] = '\0';
+  }
+  {
+    char git[128], bt[64], cc[128];
+    copy_sanitized(git, sizeof git, git_describe());
+    copy_sanitized(bt, sizeof bt, build_type());
+    copy_sanitized(cc, sizeof cc, compiler());
+    std::size_t m = 0;
+    m = append_raw(g_build_json, m, "{\"schema\": \"lrd-build-v1\", \"tool\": \"");
+    m = append_raw(g_build_json, m, g_tool);
+    m = append_raw(g_build_json, m, "\", \"git\": \"");
+    m = append_raw(g_build_json, m, git);
+    m = append_raw(g_build_json, m, "\", \"build_type\": \"");
+    m = append_raw(g_build_json, m, bt);
+    m = append_raw(g_build_json, m, "\", \"compiler\": \"");
+    m = append_raw(g_build_json, m, cc);
+    m = append_raw(g_build_json, m, "\"}\n");
+    g_build_json[m] = '\0';
+  }
+  // The config must stay valid JSON in the crash file, so an oversized
+  // one is replaced, not truncated mid-token.
+  if (cfg.config_json.size() + 2 < kConfigMax) {
+    std::memcpy(g_config_json, cfg.config_json.data(), cfg.config_json.size());
+    g_config_json[cfg.config_json.size()] = '\n';
+    g_config_json[cfg.config_json.size() + 1] = '\0';
+  } else {
+    std::strcpy(g_config_json, "{\"truncated\": true}\n");
+  }
+  g_min_incident_interval_ms = cfg.min_incident_interval_ms;
+
+  // Pin the uptime epoch now: the handler reads the function-local
+  // static inside process_uptime_us(), which must already exist.
+  (void)process_uptime_us();
+
+  if (cfg.install_crash_handler && !g_handlers_installed.exchange(true)) {
+    struct sigaction sa{};
+    sa.sa_handler = crash_handler;
+    sigemptyset(&sa.sa_mask);
+    for (const int sig : kCrashSignals) ::sigaction(sig, &sa, nullptr);
+  }
+  g_configured.store(true, std::memory_order_release);
+}
+
+bool configured() noexcept { return g_configured.load(std::memory_order_acquire); }
+
+void set_cache_stats_provider(std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_cache_provider = std::move(provider);
+}
+
+std::string dump(std::string_view reason) {
+  if (!configured()) return "";
+  std::lock_guard<std::mutex> lock(g_mu);
+
+  // The dump request itself is part of the story the bundle tells.
+  flight::record(flight::EventKind::kDump, reason);
+
+  char sane_reason[64];
+  copy_sanitized(sane_reason, sizeof sane_reason, reason);
+
+  std::string dir(g_dir);
+  dir += "/";
+  dir += g_tool;
+  dir += "-";
+  dir += std::to_string(::getpid());
+  dir += "-";
+  dir += std::to_string(g_seq.fetch_add(1));
+  ::mkdir(g_dir, 0755);
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) return "";
+
+  const std::string flight_jsonl = flight::to_jsonl();
+  if (!write_file_raw((dir + "/flight.jsonl").c_str(), flight_jsonl.data(),
+                      flight_jsonl.size()))
+    return "";
+  write_small(dir.c_str(), "build.json", g_build_json);
+  write_small(dir.c_str(), "config.json", g_config_json);
+  const std::string metrics = Registry::global().to_json() + "\n";
+  write_file_raw((dir + "/metrics.json").c_str(), metrics.data(), metrics.size());
+  const bool with_cache = static_cast<bool>(g_cache_provider);
+  if (with_cache) {
+    const std::string cache = g_cache_provider() + "\n";
+    write_file_raw((dir + "/cache.json").c_str(), cache.data(), cache.size());
+  }
+  if (!write_manifest(dir.c_str(), sane_reason, -1, with_cache)) return "";
+  return dir;
+}
+
+std::string dump_incident(std::string_view reason) {
+  if (!configured()) return "";
+  const double now_ms = process_uptime_us() / 1e3;
+  double last = g_last_incident_ms.load(std::memory_order_relaxed);
+  do {
+    if (now_ms - last < static_cast<double>(g_min_incident_interval_ms)) return "";
+  } while (!g_last_incident_ms.compare_exchange_weak(last, now_ms, std::memory_order_relaxed));
+  return dump(reason);
+}
+
+void reset_for_tests() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_configured.store(false, std::memory_order_release);
+  g_cache_provider = nullptr;
+  g_seq.store(0, std::memory_order_relaxed);
+  g_last_incident_ms.store(-1e18, std::memory_order_relaxed);
+}
+
+}  // namespace lrd::obs::bundle

@@ -1,0 +1,40 @@
+// Post-mortem triage: turns a diagnostics bundle (obs/bundle.hpp) or a
+// structured access log (obs/eventlog.hpp) into the report an on-call
+// operator actually wants — what went wrong, what was slow, what the
+// queue and the cache were doing around the incident — without
+// spelunking JSONL by hand. The `lrdq_doctor` tool is a thin CLI over
+// these two entry points; docs/OBSERVABILITY.md shows the output.
+//
+// Reports are plain text by default; `Options::json = true` renders
+// the same analysis as one machine-readable object
+// (`"kind": "doctor"`, validated by tools/validate_obs.py).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/status.hpp"
+
+namespace lrd::obs::doctor {
+
+struct Options {
+  /// Entries shown in the slow-query table and incidents analyzed.
+  std::size_t top = 10;
+  /// Flight events of context shown before each incident.
+  std::size_t timeline = 8;
+  /// Render the machine-readable report instead of text.
+  bool json = false;
+};
+
+/// Triage of one bundle directory: incidents (crash signal, failpoint
+/// fires, deadline expiries, sheds) each with the event timeline that
+/// led up to it, top slow queries, shed/deadline incidence vs queue
+/// depth, and cache hit rate by tier. kIo/kParse diagnostics when the
+/// bundle is unreadable or its manifest malformed.
+lrd::Expected<std::string> triage_bundle(const std::string& dir, const Options& opt = {});
+
+/// Triage of a JSONL access log: outcome counts, slow/failed queries,
+/// latency spread and cache hit rate across the logged records.
+lrd::Expected<std::string> triage_access_log(const std::string& path, const Options& opt = {});
+
+}  // namespace lrd::obs::doctor

@@ -1,0 +1,65 @@
+#include "obs/eventlog.hpp"
+
+#include <ctime>
+
+#include "obs/json.hpp"
+
+namespace lrd::obs {
+
+EventLog& EventLog::global() {
+  static EventLog log;
+  return log;
+}
+
+EventLog::~EventLog() { close(); }
+
+bool EventLog::open(const std::string& path, double slow_query_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+    active_.store(false, std::memory_order_relaxed);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return false;
+  file_ = f;
+  slow_query_ms_ = slow_query_ms;
+  active_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void EventLog::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.store(false, std::memory_order_relaxed);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void EventLog::append(const AccessRecord& rec) {
+  if (!active()) return;
+  const bool slow = slow_query_ms_ > 0.0 && rec.wall_ms >= slow_query_ms_;
+  std::string line = "{\"schema\": \"lrd-access-v1\"";
+  line += ", \"ts_unix\": " + std::to_string(static_cast<long long>(std::time(nullptr)));
+  line += ", \"tool\": " + json::escape(rec.tool);
+  line += ", \"id\": " + json::escape(rec.id);
+  line += ", \"op\": " + json::escape(rec.op);
+  line += ", \"status\": " + json::escape(rec.status);
+  line += ", \"code\": " + std::to_string(rec.code);
+  line += ", \"wall_ms\": " + json::number_text(rec.wall_ms);
+  line += ", \"queue_ms\": " + json::number_text(rec.queue_ms);
+  line += std::string(", \"cache_hit\": ") + (rec.cache_hit ? "true" : "false");
+  line += ", \"cache_tier\": " + json::escape(rec.cache_tier.empty() ? "none" : rec.cache_tier);
+  line += ", \"bracket_width\": " + json::number_text(rec.bracket_width);
+  line += std::string(", \"slow\": ") + (slow ? "true" : "false");
+  if (!rec.diagnostic.empty()) line += ", \"diagnostic\": " + json::escape(rec.diagnostic);
+  line += "}\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+}  // namespace lrd::obs

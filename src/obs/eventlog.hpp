@@ -1,0 +1,72 @@
+// Structured access log: one JSONL record per query / solve / sweep
+// cell, appended to a file the operator names (--access-log or the
+// LRDQ_ACCESS_LOG env var). Off by default; when off, the hot-path
+// check is one relaxed atomic load.
+//
+// Each record is self-describing ("schema": "lrd-access-v1") and
+// carries the request identity, outcome, latency, queue wait, cache
+// provenance and bracket width — enough for `lrdq_doctor` (or plain
+// jq) to find the slow and the failed queries after the fact without
+// the daemon's cooperation. Records above the slow-query threshold
+// are flagged `"slow": true`.
+//
+// Writes are line-buffered under one mutex and flushed per record:
+// an access log that loses the final records to a crash would be
+// useless exactly when it matters. (The crash-signal path itself
+// never touches this file — fprintf is not async-signal-safe; the
+// bundle dumper covers that case from the flight recorder.)
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace lrd::obs {
+
+/// One per-query record. String fields are escaped at append time;
+/// absent values serialize as empty strings / zeros.
+struct AccessRecord {
+  std::string tool;        ///< Emitting tool ("lrdq_serve", "lrdq_solve", ...).
+  std::string id;          ///< Client query id / sweep cell id; may be empty.
+  std::string op;          ///< "solve", "stats", "sweep.cell", ...
+  std::string status;      ///< query_status_name / solver stop name.
+  int code = 0;            ///< Repo-wide exit/response code taxonomy.
+  double wall_ms = 0.0;    ///< Admission-to-response (serve) or solve wall time.
+  double queue_ms = 0.0;   ///< Time spent queued before a worker started (serve).
+  bool cache_hit = false;
+  std::string cache_tier;  ///< "memory" / "disk" / "none".
+  double bracket_width = 0.0;  ///< Relative gap of the answer's loss bracket.
+  std::string diagnostic;  ///< Empty on success.
+};
+
+/// Process-wide sink. Tools open it once at startup (cli::setup_forensics);
+/// every layer that answers a query appends through global().
+class EventLog {
+ public:
+  static EventLog& global();
+
+  /// Opens `path` for appending and arms the slow-query threshold
+  /// (0 = nothing is flagged slow). False on I/O failure.
+  bool open(const std::string& path, double slow_query_ms = 0.0);
+  void close();
+
+  /// One relaxed load — safe to call per query on the hot path.
+  bool active() const noexcept { return active_.load(std::memory_order_relaxed); }
+  double slow_query_ms() const noexcept { return slow_query_ms_; }
+
+  /// Appends one record (no-op while inactive). Thread-safe; the line
+  /// is flushed before returning.
+  void append(const AccessRecord& rec);
+
+ private:
+  EventLog() = default;
+  ~EventLog();
+
+  std::atomic<bool> active_{false};
+  double slow_query_ms_ = 0.0;
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace lrd::obs

@@ -12,6 +12,7 @@
 #include "numerics/pmf.hpp"
 #include "numerics/special_functions.hpp"
 #include "obs/clock.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -320,6 +321,7 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
 
   std::size_t bins = cfg.initial_bins;
   core::failpoint_hit("solve.level");
+  obs::flight::record(obs::flight::EventKind::kSolveLevel, "solve", 1, bins);
   Level level = make_level(bins);
   result.levels = 1;
 
@@ -511,6 +513,8 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
       // current coarse distributions (grid point j d maps to 2j (d/2)).
       finalize_level();
       core::failpoint_hit("solve.level");
+      obs::flight::record(obs::flight::EventKind::kSolveLevel, "solve", result.levels + 1,
+                          bins * 2);
       const std::size_t fine = bins * 2;
       std::vector<double> ql(fine + 1, 0.0), qh(fine + 1, 0.0);
       for (std::size_t j = 0; j <= bins; ++j) {
@@ -565,6 +569,12 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
     if (result.stop == SolverStop::kGuardTripped) guard_trips.inc();
     if (result.stop == SolverStop::kDeadlineExceeded) deadline_exceeded.inc();
     seconds.observe(obs::seconds_since(solve_start));
+    if (result.stop == SolverStop::kDeadlineExceeded)
+      obs::flight::record(obs::flight::EventKind::kDeadlineExceeded, "solve", 0, 0,
+                          cfg.deadline_ms);
+    obs::flight::record(obs::flight::EventKind::kSolveFinish, solver_stop_name(result.stop),
+                        result.iterations, result.final_bins,
+                        obs::seconds_since(solve_start) * 1e3);
     if (obs::TraceSession::enabled())
       solve_span.annotate("\"bins\": " + std::to_string(result.final_bins) +
                           ", \"iterations\": " + std::to_string(result.iterations) +

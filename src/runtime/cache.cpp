@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/failpoint.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/crc32.hpp"
@@ -239,6 +240,7 @@ void SolverCache::insert_memory(std::uint64_t key, double value, double cost) {
     ++s.evictions;
     evictions_counter().inc();
     obs::instant("cache.evict", "cache");
+    obs::flight::record(obs::flight::EventKind::kCacheEvict, "", victim);
   }
 }
 
@@ -252,6 +254,7 @@ std::optional<double> SolverCache::lookup(std::uint64_t key, bool* from_disk) {
       ++s.hits;
       hits_counter().inc();
       obs::instant("cache.hit", "cache");
+      obs::flight::record(obs::flight::EventKind::kCacheHit, "", key, 0);
       s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);
       return it->second.value;
     }
@@ -259,6 +262,7 @@ std::optional<double> SolverCache::lookup(std::uint64_t key, bool* from_disk) {
       ++s.misses;
       misses_counter().inc();
       obs::instant("cache.miss", "cache");
+      obs::flight::record(obs::flight::EventKind::kCacheMiss, "", key);
       return std::nullopt;
     }
   }
@@ -274,10 +278,12 @@ std::optional<double> SolverCache::lookup(std::uint64_t key, bool* from_disk) {
       ++central_.hits;
       hits_counter().inc();
       obs::instant("cache.hit", "cache");
+      obs::flight::record(obs::flight::EventKind::kCacheHit, "", key, 1);
     } else {
       ++central_.misses;
       misses_counter().inc();
       obs::instant("cache.miss", "cache");
+      obs::flight::record(obs::flight::EventKind::kCacheMiss, "", key);
     }
   }
   if (disk_value) insert_memory(key, *disk_value, 1.0);  // promote
@@ -289,6 +295,7 @@ void SolverCache::store(std::uint64_t key, double value, double cost) {
   std::lock_guard<std::mutex> lock(disk_mu_);
   ++central_.stores;
   stores_counter().inc();
+  obs::flight::record(obs::flight::EventKind::kCacheStore, "", key, 0, cost);
   if (file_path_.empty()) return;
   const bool fresh = disk_map_.emplace(key, value).second;
   if (!fresh) disk_map_[key] = value;  // last write wins; no re-append

@@ -74,7 +74,8 @@ lrd::Expected<Query> parse_query(std::string_view line) {
       else if (op == "ping") q.op = QueryOp::kPing;
       else if (op == "stats") q.op = QueryOp::kStats;
       else if (op == "invalidate") q.op = QueryOp::kInvalidate;
-      else return query_error("unknown op \"" + op + "\" (solve|ping|stats|invalidate)");
+      else if (op == "dump") q.op = QueryOp::kDump;
+      else return query_error("unknown op \"" + op + "\" (solve|ping|stats|invalidate|dump)");
     } else if (key == "rates") {
       if (!to_number_list(value, q.rates)) return query_error("\"rates\" must be a number array");
     } else if (key == "probs") {

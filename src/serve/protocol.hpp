@@ -14,7 +14,7 @@
 // deadline_ms) and an optional target loss probability, which turns the
 // query into the paper's operational question: what buffer B does this
 // traffic mix need to keep loss below p? Control ops (ping, stats,
-// invalidate) share the envelope.
+// invalidate, dump) share the envelope.
 //
 // Responses carry a status string AND a numeric code aligned with the
 // repo-wide CLI exit taxonomy (0 ok, 1 not converged, 6 deadline /
@@ -36,7 +36,7 @@
 
 namespace lrd::serve {
 
-enum class QueryOp { kSolve = 0, kPing, kStats, kInvalidate };
+enum class QueryOp { kSolve = 0, kPing, kStats, kInvalidate, kDump };
 
 /// One parsed client query. Defaults mirror lrdq_solve's flag defaults,
 /// so the same cell described the same way yields the same cache key.

@@ -11,7 +11,12 @@
 #include <cstring>
 #include <unordered_map>
 
+#include <cmath>
+
 #include "core/failpoint.hpp"
+#include "obs/bundle.hpp"
+#include "obs/eventlog.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -39,6 +44,11 @@ obs::Counter& shed_counter() {
 obs::Histogram& latency_histogram() {
   static obs::Histogram& h = obs::Registry::global().histogram(
       "lrd_serve_query_seconds", "Admission-to-response latency of served queries");
+  return h;
+}
+obs::Histogram& queue_wait_histogram() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "lrd_serve_queue_wait_seconds", "Admission-to-worker-pickup wait of served queries");
   return h;
 }
 obs::Gauge& queue_gauge() {
@@ -93,6 +103,7 @@ Server::Server(const ServerConfig& cfg, const QueryService& service)
   queries_counter();
   shed_counter();
   latency_histogram();
+  queue_wait_histogram();
   queue_gauge();
   connections_gauge();
 }
@@ -228,12 +239,15 @@ void Server::admit_or_shed(const std::shared_ptr<Connection>& conn, std::string 
   seen_.fetch_add(1, std::memory_order_relaxed);
   queries_counter().inc();
   bool shed = false;
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.size() >= cfg_.queue_limit) shed = true;
+    depth = queue_.size();
+    if (depth >= cfg_.queue_limit) shed = true;
     else {
-      queue_.push_back(Task{conn, std::move(line)});
-      queue_gauge().set(static_cast<double>(queue_.size()));
+      queue_.push_back(Task{conn, std::move(line), Clock::now()});
+      depth = queue_.size();
+      queue_gauge().set(static_cast<double>(depth));
     }
   }
   if (shed) {
@@ -244,9 +258,23 @@ void Server::admit_or_shed(const std::shared_ptr<Connection>& conn, std::string 
     shed_.fetch_add(1, std::memory_order_relaxed);
     shed_counter().inc();
     obs::instant("serve.shed", "serve");
-    write_response(conn, shed_response(peek_id(line)));
+    const std::string id = peek_id(line);
+    obs::flight::record(obs::flight::EventKind::kQueryShed, id, depth);
+    if (obs::EventLog::global().active()) {
+      obs::AccessRecord rec;
+      rec.tool = "lrdq_serve";
+      rec.id = id;
+      rec.op = "solve";
+      rec.status = query_status_name(QueryStatus::kShed);
+      rec.code = kShedCode;
+      rec.diagnostic = "rejected by admission control at queue depth " + std::to_string(depth);
+      obs::EventLog::global().append(rec);
+    }
+    write_response(conn, shed_response(id));
+    obs::bundle::dump_incident("shed");
     return;
   }
+  obs::flight::record(obs::flight::EventKind::kQueryAdmitted, "", depth);
   queue_cv_.notify_one();
 }
 
@@ -358,11 +386,38 @@ void Server::worker_loop() {
     }
     {
       const Clock::time_point t0 = Clock::now();
+      const double queue_s = std::chrono::duration<double>(t0 - task.admitted).count();
+      queue_wait_histogram().observe(queue_s);
+      obs::flight::record(obs::flight::EventKind::kQueryStarted, "", 0,
+                          static_cast<std::uint64_t>(queue_s * 1e6));
       obs::Span span("serve.query", "serve");
       const Response r = service_.execute_line(task.line, &cancel_);
       write_response(task.conn, r);
-      latency_histogram().observe(
-          std::chrono::duration<double>(Clock::now() - t0).count());
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - task.admitted).count();
+      latency_histogram().observe(wall_ms / 1e3);
+      obs::flight::record(obs::flight::EventKind::kQueryFinished, r.id,
+                          static_cast<std::uint64_t>(r.code()),
+                          static_cast<std::uint64_t>(queue_s * 1e6), wall_ms);
+      if (obs::EventLog::global().active()) {
+        obs::AccessRecord rec;
+        rec.tool = "lrdq_serve";
+        rec.id = r.id;
+        rec.op = r.op;
+        rec.status = query_status_name(r.status);
+        rec.code = r.code();
+        rec.wall_ms = wall_ms;
+        rec.queue_ms = queue_s * 1e3;
+        rec.cache_hit = r.cache_hit;
+        rec.cache_tier = r.cache_tier == CacheTier::kMemory ? "memory"
+                         : r.cache_tier == CacheTier::kDisk ? "disk"
+                                                            : "none";
+        rec.bracket_width = std::isnan(r.relative_gap) ? 0.0 : r.relative_gap;
+        rec.diagnostic = r.diagnostic;
+        obs::EventLog::global().append(rec);
+      }
+      if (r.status == QueryStatus::kDeadlineExceeded)
+        obs::bundle::dump_incident("deadline_exceeded");
     }
     task.conn.reset();
     {

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <memory>
@@ -89,6 +90,8 @@ class Server {
   struct Task {
     std::shared_ptr<Connection> conn;
     std::string line;
+    /// Admission instant; queue wait = worker pickup minus this.
+    std::chrono::steady_clock::time_point admitted;
   };
 
   void io_loop();

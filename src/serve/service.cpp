@@ -9,6 +9,8 @@
 #include "core/experiment.hpp"
 #include "core/model.hpp"
 #include "dist/marginal.hpp"
+#include "obs/bundle.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace lrd::serve {
@@ -32,6 +34,18 @@ struct CellAnswer {
   std::uint64_t key = 0;
   queueing::SolverResult result;  // meaningful only when !from_cache
 };
+
+/// p50/p90/p99 of a registry histogram, reported in milliseconds for the
+/// stats control op; "null" quantiles when no sample was recorded yet
+/// (JSON has no NaN).
+std::string quantiles_ms_json(const obs::Histogram& h) {
+  const auto q = [&](double p) -> std::string {
+    const double v = h.quantile(p) * 1e3;
+    return std::isnan(v) ? "null" : obs::json::number_text(v);
+  };
+  return "{ \"count\": " + std::to_string(h.count()) + ", \"p50_ms\": " + q(0.5) +
+         ", \"p90_ms\": " + q(0.9) + ", \"p99_ms\": " + q(0.99) + " }";
+}
 
 }  // namespace
 
@@ -84,6 +98,17 @@ Response QueryService::execute(const Query& q,
       } else {
         r.extra.emplace_back("cache", "null");
       }
+      if constexpr (obs::kObsEnabled) {
+        auto& reg = obs::Registry::global();
+        r.extra.emplace_back(
+            "latency", quantiles_ms_json(reg.histogram(
+                           "lrd_serve_query_seconds",
+                           "Admission-to-response latency of served queries")));
+        r.extra.emplace_back(
+            "queue_wait", quantiles_ms_json(reg.histogram(
+                              "lrd_serve_queue_wait_seconds",
+                              "Admission-to-worker-pickup wait of served queries")));
+      }
       break;
     }
     case QueryOp::kInvalidate: {
@@ -96,6 +121,21 @@ Response QueryService::execute(const Query& q,
         r.status = QueryStatus::kError;
         r.error_category = lrd::ErrorCategory::kIo;
         r.diagnostic = "memory tier cleared but the disk tier rewrite failed";
+      }
+      break;
+    }
+    case QueryOp::kDump: {
+      r.op = "dump";
+      if (!obs::bundle::configured()) {
+        r.status = QueryStatus::kError;
+        r.error_category = lrd::ErrorCategory::kInvalidConfig;
+        r.diagnostic = "diagnostics bundles are not configured (start with --dump-dir)";
+      } else if (const std::string dir = obs::bundle::dump("control_op"); dir.empty()) {
+        r.status = QueryStatus::kError;
+        r.error_category = lrd::ErrorCategory::kIo;
+        r.diagnostic = "bundle dump failed (dump directory not writable?)";
+      } else {
+        r.extra.emplace_back("bundle", obs::json::escape(dir));
       }
       break;
     }

@@ -16,7 +16,9 @@
 #include <gtest/gtest.h>
 
 #include "core/model.hpp"
+#include "obs/bundle.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/cache.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -303,6 +305,52 @@ TEST(ServeService, ControlOpsAnswerPingStatsInvalidate) {
   EXPECT_EQ(inval.status, serve::QueryStatus::kOk);
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(ServeService, StatsReportLatencyAndQueueWaitQuantiles) {
+  if constexpr (!obs::kObsEnabled) GTEST_SKIP() << "obs compiled out";
+  runtime::SolverCache cache;
+  const serve::QueryService service(&cache);
+  const serve::Response stats = service.execute_line(R"({"op": "stats"})");
+  const auto parsed = json::parse(stats.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  for (const char* section : {"latency", "queue_wait"}) {
+    const json::Value* obj = parsed.value().find(section);
+    ASSERT_NE(obj, nullptr) << section;
+    // Quantiles are present (possibly null while empty) alongside a count.
+    EXPECT_GE(obj->number_at("count", -1.0), 0.0) << section;
+    ASSERT_NE(obj->find("p50_ms"), nullptr) << section;
+    ASSERT_NE(obj->find("p99_ms"), nullptr) << section;
+  }
+}
+
+TEST(ServeService, DumpOpReportsTheBundleOrAConfigError) {
+  runtime::SolverCache cache;
+  const serve::QueryService service(&cache);
+  obs::bundle::reset_for_tests();
+  const serve::Response unconfigured = service.execute_line(R"({"op": "dump", "id": "d"})");
+  EXPECT_EQ(unconfigured.status, serve::QueryStatus::kError);
+  EXPECT_NE(unconfigured.diagnostic.find("--dump-dir"), std::string::npos);
+
+  if constexpr (obs::kObsEnabled) {
+    const auto dir =
+        std::filesystem::temp_directory_path() / ("lrd-serve-dump-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    obs::bundle::Config cfg;
+    cfg.dir = dir.string();
+    cfg.tool = "lrd_tests";
+    cfg.install_crash_handler = false;
+    obs::bundle::configure(cfg);
+    const serve::Response dumped = service.execute_line(R"({"op": "dump", "id": "d"})");
+    EXPECT_EQ(dumped.status, serve::QueryStatus::kOk);
+    const auto parsed = json::parse(dumped.to_json());
+    ASSERT_TRUE(parsed.has_value());
+    const std::string bundle = parsed.value().string_at("bundle");
+    ASSERT_FALSE(bundle.empty());
+    EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(bundle) / "bundle.json"));
+    obs::bundle::reset_for_tests();
+    std::filesystem::remove_all(dir);
+  }
 }
 
 TEST(ServeService, RequiredBufferSearchMeetsTheTarget) {

@@ -10,6 +10,12 @@
 // registry snapshot on exit; ".json" suffix selects JSON, anything else
 // Prometheus text) and `--trace-out FILE` (Chrome trace-event JSON; the
 // LRDQ_TRACE env var supplies a default path). See setup_observability.
+//
+// Forensics wiring: every tool also accepts `--access-log FILE` (JSONL
+// per-query records; LRDQ_ACCESS_LOG supplies a default), the companion
+// `--slow-query-ms MS` threshold, and `--dump-dir DIR` (LRDQ_DUMP_DIR)
+// which arms the diagnostics-bundle dumper and its crash-signal
+// handlers. All off by default. See setup_forensics.
 #pragma once
 
 #include <algorithm>
@@ -22,6 +28,8 @@
 #include <vector>
 
 #include "core/status.hpp"
+#include "obs/bundle.hpp"
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/version.hpp"
@@ -41,6 +49,9 @@ class Args {
     flags_.push_back("version");
     known_.push_back("metrics-out");
     known_.push_back("trace-out");
+    known_.push_back("access-log");
+    known_.push_back("slow-query-ms");
+    known_.push_back("dump-dir");
     for (int i = 1; i < argc; ++i) {
       if (std::string(argv[i]) == "--help") help_ = true;
       if (std::string(argv[i]) == "--version") version_ = true;
@@ -167,6 +178,36 @@ inline void finish_observability(const ObsSetup& setup) {
     std::fprintf(stderr, "warning: could not write metrics to %s\n", setup.metrics_path.c_str());
   if (!setup.trace_path.empty() && !lrd::obs::TraceSession::write_file(setup.trace_path))
     std::fprintf(stderr, "warning: could not write trace to %s\n", setup.trace_path.c_str());
+}
+
+/// Opens the structured access log and arms the diagnostics-bundle
+/// dumper from `--access-log` / `--slow-query-ms` / `--dump-dir`
+/// (env defaults LRDQ_ACCESS_LOG / LRDQ_DUMP_DIR). `config_json` is
+/// the tool's effective configuration, pre-serialized; it lands
+/// verbatim in every bundle's config.json. Both features default off.
+/// A log that cannot be opened warns on stderr but never fails the
+/// run — forensics must not take down the tool they are meant to
+/// explain.
+inline void setup_forensics(const Args& args, const char* tool,
+                            const std::string& config_json = "{}") {
+  std::string access = args.get("access-log", "");
+  if (access.empty())
+    if (const char* env = std::getenv("LRDQ_ACCESS_LOG")) access = env;
+  if (!access.empty()) {
+    const double slow_ms = args.get_double("slow-query-ms", 0.0);
+    if (!lrd::obs::EventLog::global().open(access, slow_ms))
+      std::fprintf(stderr, "warning: could not open access log %s\n", access.c_str());
+  }
+  std::string dump_dir = args.get("dump-dir", "");
+  if (dump_dir.empty())
+    if (const char* env = std::getenv("LRDQ_DUMP_DIR")) dump_dir = env;
+  if (!dump_dir.empty()) {
+    lrd::obs::bundle::Config cfg;
+    cfg.dir = dump_dir;
+    cfg.tool = tool;
+    cfg.config_json = config_json;
+    lrd::obs::bundle::configure(cfg);
+  }
 }
 
 /// Resolves the worker-thread count for a tool: `--threads N` wins, then

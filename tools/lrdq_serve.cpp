@@ -55,12 +55,24 @@ constexpr const char* kUsage =
     "      admitted query is answered, then the daemon exits 0.\n"
     "cache: --cache-dir persists converged solves (CRC-validated, version-\n"
     "      salted); --cache-capacity bounds resident entries (LRU).\n"
+    "forensics: --access-log FILE (LRDQ_ACCESS_LOG) appends one JSONL\n"
+    "      record per query; --slow-query-ms MS flags slow ones.\n"
+    "      --dump-dir DIR (LRDQ_DUMP_DIR) arms diagnostics bundles:\n"
+    "      written on fatal signals, on deadline/shed incidents, on\n"
+    "      SIGQUIT, and on the \"dump\" control op. Triage them with\n"
+    "      lrdq_doctor (docs/OBSERVABILITY.md).\n"
     "exit codes: 0 ok, 1 not converged, 2 usage, 3 bad config, 4 parse,\n"
     "            5 I/O, 6 numerical guard / deadline, 7 load shed\n"
     "            (--once/--connect exit with the worst response code seen)";
 
 volatile std::sig_atomic_t g_signal = 0;
 void on_signal(int) { g_signal = 1; }
+
+/// SIGQUIT = "dump a diagnostics bundle now, keep serving". The handler
+/// only sets a flag; the signal loop does the (not async-signal-safe)
+/// on-demand dump.
+volatile std::sig_atomic_t g_dump_requested = 0;
+void on_dump_signal(int) { g_dump_requested = 1; }
 
 /// stdin -> stdout execution with no socket: the scripting/testing mode.
 /// Exits with the worst response code, so `lrdq_serve --once <<< query`
@@ -201,6 +213,25 @@ int main(int argc, char** argv) {
     service_cfg.max_deadline_ms = args.get_size("max-deadline-ms", 0);
     const serve::QueryService service(&cache, service_cfg);
 
+    // Effective configuration as it lands in every diagnostics bundle.
+    std::string config_json = "{ \"socket\": " + obs::json::escape(args.get("socket", ""));
+    config_json += ", \"queue_limit\": " + std::to_string(args.get_size("queue-limit", 64));
+    config_json += ", \"default_deadline_ms\": " + std::to_string(service_cfg.default_deadline_ms);
+    config_json += ", \"max_deadline_ms\": " + std::to_string(service_cfg.max_deadline_ms);
+    config_json += ", \"cache_dir\": " + obs::json::escape(cache_cfg.disk_dir);
+    config_json += ", \"cache_capacity\": " + std::to_string(cache_cfg.capacity_cost) + " }";
+    cli::setup_forensics(args, "lrdq_serve", config_json);
+    obs::bundle::set_cache_stats_provider([&cache] {
+      const runtime::CacheStats s = cache.stats();
+      std::string out = "{ \"hits\": " + std::to_string(s.hits);
+      out += ", \"misses\": " + std::to_string(s.misses);
+      out += ", \"stores\": " + std::to_string(s.stores);
+      out += ", \"evictions\": " + std::to_string(s.evictions);
+      out += ", \"disk_hits\": " + std::to_string(s.disk_hits);
+      out += ", \"stale\": " + std::to_string(s.stale) + " }";
+      return out;
+    });
+
     if (args.has("once")) {
       const int code = run_once(service);
       cli::finish_observability(obs_setup);
@@ -230,7 +261,16 @@ int main(int argc, char** argv) {
     // handler cannot safely touch mutexes or condition variables).
     std::signal(SIGTERM, on_signal);
     std::signal(SIGINT, on_signal);
-    while (g_signal == 0) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::signal(SIGQUIT, on_dump_signal);
+    while (g_signal == 0) {
+      if (g_dump_requested != 0) {
+        g_dump_requested = 0;
+        const std::string dir = obs::bundle::dump("sigquit");
+        if (!dir.empty())
+          std::fprintf(stderr, "lrdq_serve: wrote diagnostics bundle %s\n", dir.c_str());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
     std::fprintf(stderr, "lrdq_serve: draining\n");
     server.request_drain();
     server.wait();

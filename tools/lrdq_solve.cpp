@@ -7,6 +7,7 @@
 // Prints the calibrated model parameters, the loss-rate bracket, and
 // occupancy/delay quantiles. `--cutoff inf` selects the fully
 // self-similar model.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <limits>
@@ -33,6 +34,9 @@ constexpr const char* kUsage =
     "      (JSON); --metrics-out writes a metrics snapshot (.json = JSON,\n"
     "      else Prometheus text); --trace-out (or LRDQ_TRACE) writes a\n"
     "      Chrome trace-event JSON loadable in Perfetto.\n"
+    "forensics: --access-log FILE (LRDQ_ACCESS_LOG) appends one JSONL record\n"
+    "      per solve; --slow-query-ms MS flags slow ones; --dump-dir DIR\n"
+    "      (LRDQ_DUMP_DIR) arms crash-time diagnostics bundles.\n"
     "exit codes: 0 ok, 1 not converged, 2 usage, 3 bad config,\n"
     "            4 parse, 5 I/O, 6 numerical guard / budget";
 
@@ -89,7 +93,24 @@ int main(int argc, char** argv) {
     scfg.deadline_ms = cli::resolve_deadline_ms(args, "deadline-ms");
     const std::string telemetry_path = args.get("telemetry-out", "");
     scfg.collect_telemetry = !telemetry_path.empty();
+    cli::setup_forensics(args, "lrdq_solve");
+    const auto t0 = std::chrono::steady_clock::now();
     const auto result = model.solve(scfg);
+    if (obs::EventLog::global().active()) {
+      obs::AccessRecord rec;
+      rec.tool = "lrdq_solve";
+      rec.op = "solve";
+      rec.status = queueing::solver_stop_name(result.stop);
+      rec.code = result.converged ? 0
+                 : result.status.is_ok() ? 1
+                                         : lrd::exit_code_for(result.status.category());
+      rec.wall_ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count();
+      rec.bracket_width = result.loss.relative_gap();
+      if (!result.status.is_ok()) rec.diagnostic = result.status.describe();
+      obs::EventLog::global().append(rec);
+    }
 
     std::printf("\nloss rate: %.6e  (bracket [%.6e, %.6e], rel. gap %.3f)\n",
                 result.loss_estimate(), result.loss.lower, result.loss.upper,

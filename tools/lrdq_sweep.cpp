@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
     }
     if (args.version()) return cli::print_version("lrdq_sweep");
     const cli::ObsSetup obs_setup = cli::setup_observability(args);
+    cli::setup_forensics(args, "lrdq_sweep");
     const auto buffers = args.get_list("buffers", {0.05, 0.2, 1.0});
     const auto cutoffs = args.get_list("cutoffs", {0.1, 1.0, 10.0});
     const double utilization = args.get_double("utilization", 0.8);

@@ -18,14 +18,24 @@ schema cannot express:
   * bench:    the artifact is JSONL (BENCH_history.jsonl) -- every
     non-blank line must be a benchRecord whose median lies within the
     span of its samples, and every --require NAME must appear as a key;
-  * report:   lrdq_report --json / lrdq_bench_check --json output,
-    dispatched on the document's "kind" (profile / diff-manifest /
-    diff-metrics / bench-check).
+  * report:   lrdq_report --json / lrdq_bench_check --json /
+    lrdq_doctor --json output, dispatched on the document's "kind"
+    (profile / diff-manifest / diff-metrics / bench-check / doctor);
+  * bundle:   the artifact is a diagnostics-bundle DIRECTORY (--dump-dir
+    output) -- bundle.json must be a valid manifest, every file it lists
+    must exist, every flight.jsonl line must be a flightEvent, build.json
+    and metrics.json must match their shapes, a crash manifest must carry
+    its signal, and every --require NAME must appear among the flight
+    event kinds or tags (e.g. --require crash_signal);
+  * accesslog: the artifact is --access-log JSONL -- every non-blank
+    line must be an accessRecord, and every --require NAME must appear
+    among the recorded ops.
 
 Usage:
   validate_obs.py --kind metrics|trace|manifest|telemetry|bench|report
+                  |bundle|accesslog
                   [--schema FILE] [--require NAME]... [--require-telemetry]
-                  [--require-events] ARTIFACT.json
+                  [--require-events] ARTIFACT
 
 Exit code 0 when valid, 1 with one "path: problem" line per violation.
 """
@@ -115,6 +125,7 @@ REPORT_KINDS = {
     "diff-manifest": "reportDiffManifest",
     "diff-metrics": "reportDiffMetrics",
     "bench-check": "benchCheck",
+    "doctor": "doctorReport",
 }
 
 
@@ -146,6 +157,89 @@ def validate_bench_history(path, root, args, errors):
     for name in args.require:
         if name not in keys:
             errors.append(f"$: no record for required key {name!r}")
+
+
+def validate_jsonl(path, defname, root, errors, per_record=None):
+    """JSONL store: every non-blank line must match $defs/<defname>."""
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                errors.append(f"{os.path.basename(path)} line {lineno}: "
+                              f"not valid JSON: {err}")
+                continue
+            validate(record, root["$defs"][defname], root,
+                     f"{os.path.basename(path)} line {lineno}", errors)
+            if per_record is not None and isinstance(record, dict):
+                per_record(record)
+
+
+def validate_access_log(path, root, args, errors):
+    ops = set()
+    validate_jsonl(path, "accessRecord", root, errors,
+                   per_record=lambda r: ops.add(r.get("op")))
+    for name in args.require:
+        if name not in ops:
+            errors.append(f"$: no access record with op {name!r}")
+
+
+def validate_bundle(dirpath, root, args, errors):
+    """A diagnostics bundle is a directory; bundle.json names its contents."""
+    manifest_path = os.path.join(dirpath, "bundle.json")
+    try:
+        with open(manifest_path, encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except OSError as err:
+        errors.append(f"bundle.json: cannot read: {err}")
+        return
+    except json.JSONDecodeError as err:
+        errors.append(f"bundle.json: not valid JSON: {err}")
+        return
+    validate(manifest, root["$defs"]["bundleManifest"], root, "bundle.json",
+             errors)
+    if not isinstance(manifest, dict):
+        return
+
+    for name in manifest.get("files", []):
+        if isinstance(name, str) and not os.path.exists(
+                os.path.join(dirpath, name)):
+            errors.append(f"bundle.json: listed file {name!r} is missing "
+                          f"from the bundle")
+    if manifest.get("crash") is True and "signal" not in manifest:
+        errors.append("bundle.json: crash manifest carries no signal")
+
+    build_path = os.path.join(dirpath, "build.json")
+    if os.path.exists(build_path):
+        try:
+            with open(build_path, encoding="utf-8") as fh:
+                validate(json.load(fh), root["$defs"]["buildInfo"], root,
+                         "build.json", errors)
+        except json.JSONDecodeError as err:
+            errors.append(f"build.json: not valid JSON: {err}")
+
+    metrics_path = os.path.join(dirpath, "metrics.json")
+    if os.path.exists(metrics_path):
+        try:
+            with open(metrics_path, encoding="utf-8") as fh:
+                validate(json.load(fh), root["$defs"]["metrics"], root,
+                         "metrics.json", errors)
+        except json.JSONDecodeError as err:
+            errors.append(f"metrics.json: not valid JSON: {err}")
+
+    flight_path = os.path.join(dirpath, "flight.jsonl")
+    seen = set()
+    if os.path.exists(flight_path):
+        validate_jsonl(
+            flight_path, "flightEvent", root, errors,
+            per_record=lambda r: seen.update((r.get("kind"), r.get("tag"))))
+    else:
+        errors.append("flight.jsonl: missing from the bundle")
+    for name in args.require:
+        if name not in seen:
+            errors.append(f"flight.jsonl: no event with kind or tag {name!r}")
 
 
 def semantic_checks(kind, doc, args, errors):
@@ -185,7 +279,7 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--kind", required=True,
                         choices=["metrics", "trace", "manifest", "telemetry",
-                                 "bench", "report"])
+                                 "bench", "report", "bundle", "accesslog"])
     parser.add_argument("--schema",
                         default=os.path.join(os.path.dirname(__file__), os.pardir,
                                              "schemas", "obs_artifacts.schema.json"))
@@ -204,6 +298,10 @@ def main():
     errors = []
     if args.kind == "bench":
         validate_bench_history(args.artifact, root, args, errors)
+    elif args.kind == "bundle":
+        validate_bundle(args.artifact, root, args, errors)
+    elif args.kind == "accesslog":
+        validate_access_log(args.artifact, root, args, errors)
     else:
         try:
             with open(args.artifact, encoding="utf-8") as fh:
