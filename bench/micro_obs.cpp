@@ -24,6 +24,7 @@
 #include "harness.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -118,6 +119,25 @@ int main(int argc, char** argv) {
         obs::flight::record(obs::flight::EventKind::kCacheHit, "bench", i, 0, 0.0);
       });
       obs::flight::set_enabled(true);
+    });
+
+    // Profiler marker left in hot paths while no profile is requested:
+    // must stay one relaxed load (the solver drops one per refinement
+    // level unconditionally). Budget gated in CI perf-smoke: ~2 ns.
+    h.add("profiler_disabled", {1, 5}, [](bench::Case& c) {
+      obs::profiler::stop();
+      c.measure_ns_per_iter(kIters, [](std::size_t) { obs::profiler::sample_now(); });
+    });
+
+    // Manual-mode capture: the frame-pointer walk + ring publish that
+    // each sample_now() marker costs while a profile is being taken.
+    h.add("profiler_sample", {1, 5}, [](bench::Case& c) {
+      obs::profiler::Options popt;
+      popt.interval_us = 0;  // markers only; no SIGPROF during timing
+      obs::profiler::start(popt);
+      c.measure_ns_per_iter(1u << 14, [](std::size_t) { obs::profiler::sample_now(); });
+      obs::profiler::stop();
+      obs::profiler::reset();
     });
 
     h.add("histogram_observe", {1, 5}, [](bench::Case& c) {

@@ -18,6 +18,7 @@
 #include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/version.hpp"
 
 namespace lrd::obs::bundle {
@@ -139,8 +140,8 @@ bool write_manifest(const char* dir, const char* reason, int sig, bool with_cach
   m = append_raw(body, m, ", \"timestamp_unix\": ");
   m = append_u64(body, m, static_cast<std::uint64_t>(::time(nullptr)));
   m = append_raw(body, m,
-                 ", \"files\": [\"bundle.json\", \"flight.jsonl\", \"build.json\", "
-                 "\"config.json\"");
+                 ", \"files\": [\"bundle.json\", \"flight.jsonl\", "
+                 "\"profile.jsonl\", \"build.json\", \"config.json\"");
   if (sig < 0) {
     m = append_raw(body, m, ", \"metrics.json\"");
     if (with_cache) m = append_raw(body, m, ", \"cache.json\"");
@@ -200,6 +201,42 @@ void write_crash_flight(const char* dir, int sig) noexcept {
   ::close(fd);
 }
 
+/// Profile-tail samples written per ring on the crash path.
+constexpr std::size_t kCrashProfileTailPerRing = 128;
+
+/// The crash-path profile dump: raw per-sample lines (hex frames,
+/// count 1), each carrying the query id that was active when the
+/// sample fired — so a crash bundle shows what the process was
+/// executing, attributed to the query that drove it there.
+void write_crash_profile(const char* dir) noexcept {
+  char path[kPathMax + 16];
+  std::size_t n = 0;
+  n = append_raw(path, n, dir);
+  n = append_raw(path, n, "/profile.jsonl");
+  path[n] = '\0';
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+
+  static profiler::Sample samples[kCrashProfileTailPerRing];  // too big for the signal stack
+  char line[512];
+  const std::size_t rings = profiler::ring_count();
+  for (std::size_t i = 0; i < rings; ++i) {
+    std::uint32_t tid = 0;
+    const std::size_t count =
+        profiler::read_ring(i, samples, kCrashProfileTailPerRing, &tid);
+    for (std::size_t k = 0; k < count; ++k) {
+      std::size_t m = profiler::format_sample_jsonl(samples[k], tid, line, sizeof line - 1);
+      if (m == 0) continue;
+      line[m++] = '\n';
+      if (!write_all(fd, line, m)) {
+        ::close(fd);
+        return;
+      }
+    }
+  }
+  ::close(fd);
+}
+
 void restore_and_reraise(int sig) noexcept {
   std::signal(sig, SIG_DFL);
   ::raise(sig);
@@ -222,6 +259,7 @@ extern "C" void crash_handler(int sig) {
       n = append_raw(reason, n, signal_name(sig));
       reason[n] = '\0';
       write_crash_flight(g_crash_dir, sig);
+      write_crash_profile(g_crash_dir);
       write_small(g_crash_dir, "build.json", g_build_json);
       write_small(g_crash_dir, "config.json", g_config_json);
       write_manifest(g_crash_dir, reason, sig, false);
@@ -332,6 +370,12 @@ std::string dump(std::string_view reason) {
   if (!write_file_raw((dir + "/flight.jsonl").c_str(), flight_jsonl.data(),
                       flight_jsonl.size()))
     return "";
+  // Folded profile of whatever the sampler has seen; empty when the
+  // profiler never ran — the file is still written so the manifest's
+  // file list holds.
+  const std::string profile_jsonl = profiler::to_jsonl();
+  write_file_raw((dir + "/profile.jsonl").c_str(), profile_jsonl.data(),
+                 profile_jsonl.size());
   write_small(dir.c_str(), "build.json", g_build_json);
   write_small(dir.c_str(), "config.json", g_config_json);
   const std::string metrics = Registry::global().to_json() + "\n";

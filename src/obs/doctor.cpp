@@ -1,10 +1,16 @@
 #include "obs/doctor.hpp"
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <vector>
 
@@ -33,7 +39,7 @@ lrd::Diagnostics io_error(const std::string& path, const std::string& why) {
 struct FE {
   double ts_us = 0.0;
   std::string kind, tag;
-  std::uint64_t a = 0, b = 0, tid = 0;
+  std::uint64_t qid = 0, a = 0, b = 0, tid = 0;
   double x = 0.0;
 };
 
@@ -63,6 +69,7 @@ lrd::Expected<std::vector<FE>> load_flight(const std::string& path, std::size_t*
     const json::Value& v = parsed.value();
     FE e;
     e.ts_us = v.number_at("ts_us");
+    e.qid = static_cast<std::uint64_t>(v.number_at("qid"));
     e.kind = v.string_at("kind", "unknown");
     e.tag = v.string_at("tag");
     e.a = static_cast<std::uint64_t>(v.number_at("a"));
@@ -253,6 +260,7 @@ std::string render_bundle_text(const BundleSummary& s, const Options& opt) {
 
 void append_event_json(std::string& out, const FE& e) {
   out += "{ \"ts_us\": " + json::number_text(e.ts_us);
+  out += ", \"qid\": " + std::to_string(e.qid);
   out += ", \"kind\": " + json::escape(e.kind);
   out += ", \"tag\": " + json::escape(e.tag);
   out += ", \"a\": " + std::to_string(e.a);
@@ -333,11 +341,81 @@ std::string render_bundle_json(const BundleSummary& s, const Options& opt) {
 
 /// One parsed access-log record (the fields triage needs).
 struct AR {
-  std::string id, op, status, tier;
+  std::string id, op, status, tier, tool, diagnostic;
+  std::uint64_t query_id = 0;
   int code = 0;
   double wall_ms = 0.0, queue_ms = 0.0;
   bool cache_hit = false, slow = false;
 };
+
+/// Reads a JSONL access log leniently (non-lrd-access-v1 lines counted
+/// as malformed, never fatal while at least one record parses).
+lrd::Expected<std::vector<AR>> load_access_log(const std::string& path,
+                                               std::size_t* malformed) {
+  std::ifstream in(path);
+  if (!in.is_open()) return io_error(path, "cannot open access log");
+  std::vector<AR> recs;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = json::parse(line);
+    if (!parsed || !parsed.value().is_object() ||
+        parsed.value().string_at("schema") != "lrd-access-v1") {
+      if (malformed != nullptr) ++*malformed;
+      continue;
+    }
+    const json::Value& v = parsed.value();
+    AR r;
+    r.id = v.string_at("id");
+    r.query_id = static_cast<std::uint64_t>(v.number_at("query_id"));
+    r.tool = v.string_at("tool");
+    r.op = v.string_at("op");
+    r.status = v.string_at("status");
+    r.tier = v.string_at("cache_tier", "none");
+    r.code = static_cast<int>(v.number_at("code"));
+    r.wall_ms = v.number_at("wall_ms");
+    r.queue_ms = v.number_at("queue_ms");
+    r.cache_hit = v.find("cache_hit") != nullptr && v.find("cache_hit")->as_bool();
+    r.slow = v.find("slow") != nullptr && v.find("slow")->as_bool();
+    r.diagnostic = v.string_at("diagnostic");
+    recs.push_back(std::move(r));
+  }
+  return recs;
+}
+
+/// One profile record (folded lrd-profile-v1 line, or a raw crash-tail
+/// sample — the tail carries count 1 and a hex-address stack).
+struct PR {
+  std::uint64_t query_id = 0, tid = 0;
+  std::string stack;
+  unsigned long long count = 1;
+  double ts_us = 0.0;
+};
+
+lrd::Expected<std::vector<PR>> load_profile(const std::string& path, std::size_t* malformed) {
+  std::ifstream in(path);
+  if (!in.is_open()) return io_error(path, "cannot open profile");
+  std::vector<PR> recs;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = json::parse(line);
+    if (!parsed || !parsed.value().is_object() ||
+        parsed.value().string_at("schema") != "lrd-profile-v1") {
+      if (malformed != nullptr) ++*malformed;
+      continue;
+    }
+    const json::Value& v = parsed.value();
+    PR r;
+    r.query_id = static_cast<std::uint64_t>(v.number_at("query_id"));
+    r.tid = static_cast<std::uint64_t>(v.number_at("tid"));
+    r.stack = v.string_at("stack");
+    r.count = static_cast<unsigned long long>(v.number_at("count", 1.0));
+    r.ts_us = v.number_at("ts_us");
+    recs.push_back(std::move(r));
+  }
+  return recs;
+}
 
 }  // namespace
 
@@ -380,33 +458,10 @@ lrd::Expected<std::string> triage_bundle(const std::string& dir, const Options& 
 }
 
 lrd::Expected<std::string> triage_access_log(const std::string& path, const Options& opt) {
-  std::ifstream in(path);
-  if (!in.is_open()) return io_error(path, "cannot open access log");
-
-  std::vector<AR> recs;
   std::size_t malformed = 0;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    auto parsed = json::parse(line);
-    if (!parsed || !parsed.value().is_object() ||
-        parsed.value().string_at("schema") != "lrd-access-v1") {
-      ++malformed;
-      continue;
-    }
-    const json::Value& v = parsed.value();
-    AR r;
-    r.id = v.string_at("id");
-    r.op = v.string_at("op");
-    r.status = v.string_at("status");
-    r.tier = v.string_at("cache_tier", "none");
-    r.code = static_cast<int>(v.number_at("code"));
-    r.wall_ms = v.number_at("wall_ms");
-    r.queue_ms = v.number_at("queue_ms");
-    r.cache_hit = v.find("cache_hit") != nullptr && v.find("cache_hit")->as_bool();
-    r.slow = v.find("slow") != nullptr && v.find("slow")->as_bool();
-    recs.push_back(std::move(r));
-  }
+  auto loaded = load_access_log(path, &malformed);
+  if (!loaded) return loaded.diagnostics();
+  const std::vector<AR>& recs = loaded.value();
   if (recs.empty() && malformed != 0)
     return lrd::make_diagnostics(lrd::ErrorCategory::kParse, "obs.doctor",
                                  "access log lines carry schema lrd-access-v1",
@@ -471,6 +526,266 @@ lrd::Expected<std::string> triage_access_log(const std::string& path, const Opti
     out += fmt("  %10.3f %10.3f  %4d  %-18s  %-6s  %s\n", r.wall_ms, r.queue_ms, r.code,
                r.status.c_str(), r.tier.c_str(), r.id.empty() ? "-" : r.id.c_str());
   }
+  return out;
+}
+
+lrd::Expected<std::string> triage_socket(const std::string& socket_path, const Options& opt) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof addr.sun_path)
+    return lrd::make_diagnostics(lrd::ErrorCategory::kInvalidConfig, "obs.doctor",
+                                 "socket path fits sockaddr_un",
+                                 "socket path invalid: " + socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    if (fd >= 0) ::close(fd);
+    return io_error(socket_path,
+                    std::string("cannot connect to daemon: ") + std::strerror(errno));
+  }
+  const std::string query = "{\"op\": \"dump\", \"id\": \"doctor\"}\n";
+  std::size_t off = 0;
+  while (off < query.size()) {
+    const ssize_t n = ::send(fd, query.data() + off, query.size() - off, MSG_NOSIGNAL);
+    if (n <= 0 && errno != EINTR) break;
+    if (n > 0) off += static_cast<std::size_t>(n);
+  }
+  std::string buf;
+  char chunk[4096];
+  while (buf.find('\n') == std::string::npos) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto nl = buf.find('\n');
+  if (nl == std::string::npos)
+    return io_error(socket_path, "no response line from daemon");
+  auto parsed = json::parse(buf.substr(0, nl));
+  if (!parsed || !parsed.value().is_object())
+    return lrd::make_diagnostics(lrd::ErrorCategory::kParse, "obs.doctor",
+                                 "dump response is a JSON object",
+                                 "malformed response from " + socket_path);
+  const json::Value* b = parsed.value().find("bundle");
+  if (b == nullptr || !b->is_string()) {
+    std::string why = "daemon did not report a bundle path";
+    if (const json::Value* d = parsed.value().find("diagnostic");
+        d != nullptr && d->is_string())
+      why += ": " + d->as_string();
+    return lrd::make_diagnostics(lrd::ErrorCategory::kIo, "obs.doctor",
+                                 "daemon was started with --dump-dir", why);
+  }
+  return triage_bundle(b->as_string(), opt);
+}
+
+namespace {
+
+/// One trace span (or instant) carrying the query id in its args.
+struct TS {
+  std::string name, phase;
+  double ts_us = 0.0, dur_us = 0.0;
+  std::uint64_t tid = 0;
+};
+
+std::string qid_text(std::uint64_t qid) {
+  return fmt("%llu (0x%llx)", (unsigned long long)qid, (unsigned long long)qid);
+}
+
+}  // namespace
+
+lrd::Expected<std::string> triage_query(std::uint64_t query_id, const QuerySources& sources,
+                                        const Options& opt) {
+  if (sources.access_log.empty() && sources.bundle_dir.empty() && sources.profile.empty() &&
+      sources.trace.empty())
+    return lrd::make_diagnostics(lrd::ErrorCategory::kInvalidConfig, "obs.doctor",
+                                 "at least one artifact source is given",
+                                 "triage_query needs an access log, bundle, profile or trace");
+
+  std::vector<AR> access;
+  std::size_t access_total = 0;
+  if (!sources.access_log.empty()) {
+    auto loaded = load_access_log(sources.access_log, nullptr);
+    if (!loaded) return loaded.diagnostics();
+    access_total = loaded.value().size();
+    for (AR& r : loaded.value())
+      if (r.query_id == query_id) access.push_back(std::move(r));
+  }
+
+  std::vector<FE> flight;
+  std::size_t flight_total = 0;
+  if (!sources.bundle_dir.empty()) {
+    std::size_t malformed = 0;
+    auto loaded = load_flight(sources.bundle_dir + "/flight.jsonl", &malformed);
+    if (!loaded) return loaded.diagnostics();
+    flight_total = loaded.value().size();
+    for (FE& e : loaded.value())
+      if (e.qid == query_id) flight.push_back(std::move(e));
+  }
+
+  std::vector<PR> profile;
+  std::size_t profile_total = 0;
+  unsigned long long samples = 0;
+  for (const std::string& path :
+       {sources.profile,
+        sources.bundle_dir.empty() ? std::string() : sources.bundle_dir + "/profile.jsonl"}) {
+    if (path.empty()) continue;
+    auto loaded = load_profile(path, nullptr);
+    if (!loaded) {
+      // The bundle's profile.jsonl is best-effort (absent when the
+      // crashed process had no profiler armed); an explicit --profile
+      // that cannot be read is the operator's mistake and stays fatal.
+      if (path == sources.profile) return loaded.diagnostics();
+      continue;
+    }
+    profile_total += loaded.value().size();
+    for (PR& r : loaded.value())
+      if (r.query_id == query_id) {
+        samples += r.count;
+        profile.push_back(std::move(r));
+      }
+  }
+  std::stable_sort(profile.begin(), profile.end(),
+                   [](const PR& a, const PR& b) { return a.count > b.count; });
+
+  std::vector<TS> spans;
+  std::size_t span_total = 0;
+  if (!sources.trace.empty()) {
+    auto parsed = json::parse_file(sources.trace);
+    if (!parsed) return parsed.diagnostics();
+    const json::Value* events = parsed.value().find("traceEvents");
+    if (events == nullptr || !events->is_array())
+      return lrd::make_diagnostics(lrd::ErrorCategory::kParse, "obs.doctor",
+                                   "trace file carries a traceEvents array",
+                                   "not a Chrome trace: " + sources.trace);
+    for (const json::Value& e : events->items()) {
+      if (!e.is_object()) continue;
+      const std::string ph = e.string_at("ph");
+      if (ph != "X" && ph != "i") continue;
+      ++span_total;
+      const json::Value* a = e.find("args");
+      if (a == nullptr || !a->is_object()) continue;
+      if (static_cast<std::uint64_t>(a->number_at("qid")) != query_id) continue;
+      TS s;
+      s.name = e.string_at("name", "?");
+      s.phase = ph;
+      s.ts_us = e.number_at("ts");
+      s.dur_us = e.number_at("dur");
+      s.tid = static_cast<std::uint64_t>(e.number_at("tid"));
+      spans.push_back(std::move(s));
+    }
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const TS& a, const TS& b) { return a.ts_us < b.ts_us; });
+  }
+
+  if (opt.json) {
+    std::string out = "{\n  \"kind\": \"doctor\", \"version\": 1, \"source\": \"query\"";
+    out += ",\n  \"query_id\": " + std::to_string(query_id);
+    out += ",\n  \"access_records\": [";
+    for (std::size_t i = 0; i < access.size(); ++i) {
+      const AR& r = access[i];
+      out += i == 0 ? "\n    " : ",\n    ";
+      out += "{ \"id\": " + json::escape(r.id);
+      out += ", \"tool\": " + json::escape(r.tool);
+      out += ", \"op\": " + json::escape(r.op);
+      out += ", \"status\": " + json::escape(r.status);
+      out += ", \"code\": " + std::to_string(r.code);
+      out += ", \"wall_ms\": " + json::number_text(r.wall_ms);
+      out += ", \"queue_ms\": " + json::number_text(r.queue_ms);
+      out += ", \"cache_tier\": " + json::escape(r.tier);
+      if (!r.diagnostic.empty()) out += ", \"diagnostic\": " + json::escape(r.diagnostic);
+      out += " }";
+    }
+    out += " ]";
+    out += ",\n  \"flight\": [";
+    for (std::size_t i = 0; i < flight.size(); ++i) {
+      out += i == 0 ? "\n    " : ",\n    ";
+      append_event_json(out, flight[i]);
+    }
+    out += " ]";
+    out += ",\n  \"spans\": [";
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      const TS& s = spans[i];
+      out += i == 0 ? "\n    " : ",\n    ";
+      out += "{ \"name\": " + json::escape(s.name);
+      out += ", \"ph\": " + json::escape(s.phase);
+      out += ", \"ts_us\": " + json::number_text(s.ts_us);
+      out += ", \"dur_us\": " + json::number_text(s.dur_us);
+      out += ", \"tid\": " + std::to_string(s.tid) + " }";
+    }
+    out += " ]";
+    out += ",\n  \"profile\": { \"samples\": " + std::to_string(samples);
+    out += ", \"stacks\": [";
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+      const PR& r = profile[i];
+      out += i == 0 ? "\n    " : ",\n    ";
+      out += "{ \"stack\": " + json::escape(r.stack);
+      out += ", \"count\": " + std::to_string(r.count) + " }";
+    }
+    out += " ] }";
+    out += ",\n  \"totals\": { \"access_records\": " + std::to_string(access_total);
+    out += ", \"flight_events\": " + std::to_string(flight_total);
+    out += ", \"trace_events\": " + std::to_string(span_total);
+    out += ", \"profile_records\": " + std::to_string(profile_total) + " }\n}\n";
+    return out;
+  }
+
+  std::string out;
+  out += "lrdq_doctor triage — query " + qid_text(query_id) + "\n";
+  if (!sources.access_log.empty()) out += "  access log: " + sources.access_log + "\n";
+  if (!sources.bundle_dir.empty()) out += "  bundle:     " + sources.bundle_dir + "\n";
+  if (!sources.profile.empty()) out += "  profile:    " + sources.profile + "\n";
+  if (!sources.trace.empty()) out += "  trace:      " + sources.trace + "\n";
+
+  if (!sources.access_log.empty()) {
+    out += fmt("\n== access records (%zu of %zu) ==\n", access.size(), access_total);
+    if (access.empty()) out += "  none carry this query_id\n";
+    for (const AR& r : access) {
+      out += fmt("  tool=%s op=%s status=%s code=%d wall=%.3fms queue=%.3fms tier=%s id=%s\n",
+                 r.tool.empty() ? "-" : r.tool.c_str(), r.op.c_str(), r.status.c_str(), r.code,
+                 r.wall_ms, r.queue_ms, r.tier.c_str(), r.id.empty() ? "-" : r.id.c_str());
+      if (!r.diagnostic.empty()) out += fmt("      diagnostic: %s\n", r.diagnostic.c_str());
+    }
+  }
+
+  if (!sources.bundle_dir.empty()) {
+    out += fmt("\n== flight timeline (%zu of %zu events) ==\n", flight.size(), flight_total);
+    if (flight.empty()) out += "  none carry this query_id\n";
+    const std::size_t shown = std::min(flight.size(), opt.top * 4);
+    for (std::size_t i = 0; i < shown; ++i) {
+      const FE& e = flight[i];
+      out += fmt("  t=%10.3f ms  %-18s %s  (tid %llu)\n", e.ts_us / 1e3, e.kind.c_str(),
+                 event_detail(e).c_str(), (unsigned long long)e.tid);
+    }
+    if (flight.size() > shown)
+      out += fmt("  ... and %zu more events\n", flight.size() - shown);
+  }
+
+  if (!sources.trace.empty()) {
+    out += fmt("\n== spans (%zu of %zu trace events) ==\n", spans.size(), span_total);
+    if (spans.empty()) out += "  none carry this query_id\n";
+    for (const TS& s : spans) {
+      if (s.phase == "X")
+        out += fmt("  t=%10.3f ms  %-24s %.3f ms  (tid %llu)\n", s.ts_us / 1e3, s.name.c_str(),
+                   s.dur_us / 1e3, (unsigned long long)s.tid);
+      else
+        out += fmt("  t=%10.3f ms  %-24s instant  (tid %llu)\n", s.ts_us / 1e3, s.name.c_str(),
+                   (unsigned long long)s.tid);
+    }
+  }
+
+  out += fmt("\n== profile (%zu stacks, %llu samples", profile.size(), samples);
+  if (profile_total != 0) out += fmt(" — %zu records scanned", profile_total);
+  out += ") ==\n";
+  if (profile.empty()) out += "  no samples carry this query_id\n";
+  const std::size_t pshown = std::min(profile.size(), opt.top);
+  for (std::size_t i = 0; i < pshown; ++i) {
+    // Folded stacks routinely exceed fmt()'s buffer: append them raw.
+    out += fmt("  %6llu  ", profile[i].count);
+    out += profile[i].stack;
+    out += '\n';
+  }
+  if (profile.size() > pshown)
+    out += fmt("  ... and %zu more stacks\n", profile.size() - pshown);
   return out;
 }
 

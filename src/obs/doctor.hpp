@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "core/status.hpp"
@@ -36,5 +37,32 @@ lrd::Expected<std::string> triage_bundle(const std::string& dir, const Options& 
 /// Triage of a JSONL access log: outcome counts, slow/failed queries,
 /// latency spread and cache hit rate across the logged records.
 lrd::Expected<std::string> triage_access_log(const std::string& path, const Options& opt = {});
+
+/// Asks a live lrdq_serve daemon for a fresh diagnostics bundle (the
+/// "dump" control op over its unix socket) and triages the bundle it
+/// reports. kIo when the daemon is unreachable or was started without
+/// --dump-dir; kParse when its response is malformed.
+lrd::Expected<std::string> triage_socket(const std::string& socket_path,
+                                         const Options& opt = {});
+
+/// Where triage_query looks for artifacts carrying a correlation id.
+/// Empty members are skipped; at least one must be set. The bundle
+/// directory contributes both its flight.jsonl and its profile.jsonl;
+/// an explicit `profile` adds a standalone folded profile on top.
+struct QuerySources {
+  std::string access_log;  ///< JSONL access log (lrd-access-v1)
+  std::string bundle_dir;  ///< diagnostics bundle directory
+  std::string profile;     ///< folded profile (lrd-profile-v1)
+  std::string trace;       ///< Chrome trace-event JSON (spans carry args.qid)
+};
+
+/// Cross-artifact join on one query id: the access record(s), the
+/// flight-recorder timeline, the trace spans and the profile samples
+/// that carry `query_id`, rendered as one report (text, or JSON with
+/// `"source": "query"`). Artifacts that exist but contain no match
+/// still render (with zero counts) so an operator can see *where* the
+/// id went missing; an unreadable source is a kIo diagnostic.
+lrd::Expected<std::string> triage_query(std::uint64_t query_id, const QuerySources& sources,
+                                        const Options& opt = {});
 
 }  // namespace lrd::obs::doctor

@@ -2,6 +2,7 @@
 
 #include <ctime>
 
+#include "obs/context.hpp"
 #include "obs/json.hpp"
 
 namespace lrd::obs {
@@ -44,6 +45,10 @@ void EventLog::append(const AccessRecord& rec) {
   line += ", \"ts_unix\": " + std::to_string(static_cast<long long>(std::time(nullptr)));
   line += ", \"tool\": " + json::escape(rec.tool);
   line += ", \"id\": " + json::escape(rec.id);
+  // Records emitted inside a QueryScope correlate automatically; an
+  // explicit rec.query_id (serve workers stamping for their task) wins.
+  const std::uint64_t qid = rec.query_id != 0 ? rec.query_id : current_query_id();
+  line += ", \"query_id\": " + std::to_string(qid);
   line += ", \"op\": " + json::escape(rec.op);
   line += ", \"status\": " + json::escape(rec.status);
   line += ", \"code\": " + std::to_string(rec.code);

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <mutex>
 #include <string>
@@ -29,6 +30,7 @@ namespace lrd::obs {
 struct AccessRecord {
   std::string tool;        ///< Emitting tool ("lrdq_serve", "lrdq_solve", ...).
   std::string id;          ///< Client query id / sweep cell id; may be empty.
+  std::uint64_t query_id = 0;  ///< obs::QueryId correlation key (0 = none).
   std::string op;          ///< "solve", "stats", "sweep.cell", ...
   std::string status;      ///< query_status_name / solver stop name.
   int code = 0;            ///< Repo-wide exit/response code taxonomy.

@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "obs/clock.hpp"
+#include "obs/context.hpp"
 
 namespace lrd::obs::flight {
 
@@ -229,6 +230,7 @@ void record(EventKind kind, std::string_view tag, std::uint64_t a, std::uint64_t
   }
   Event e;
   e.ts_us = process_uptime_us();
+  e.qid = current_query_id();
   e.a = a;
   e.b = b;
   e.x = x;
@@ -310,12 +312,14 @@ std::size_t read_ring(std::size_t i, Event* out, std::size_t max_events,
 
 std::size_t format_event_jsonl(const Event& e, std::uint32_t tid, char* buf,
                                std::size_t cap) noexcept {
-  // Worst case: literals (~60) + three doubles (~27 each) + three u64s
-  // (20 each) + kind name (~18) + tag (27) — comfortably under 320.
+  // Worst case: literals (~70) + three doubles (~27 each) + four u64s
+  // (20 each) + kind name (~18) + tag (19) — comfortably under 320.
   char tmp[320];
   std::size_t n = 0;
   n += fmt_literal(tmp + n, "{\"ts_us\": ");
   n += fmt_double(tmp + n, e.ts_us, 3);
+  n += fmt_literal(tmp + n, ", \"qid\": ");
+  n += fmt_u64(tmp + n, e.qid);
   n += fmt_literal(tmp + n, ", \"kind\": \"");
   n += fmt_literal(tmp + n, event_kind_name(static_cast<EventKind>(e.kind)));
   n += fmt_literal(tmp + n, "\", \"tag\": \"");

@@ -6,8 +6,8 @@
 // happened, when tracing was on). The flight recorder answers the
 // post-mortem question: what were the last few thousand things this
 // process did, per thread, right up to the instant it died? Every
-// event is a fixed 64-byte POD (timestamp, kind, a short tag, two
-// integer payloads, one double), recorded with a handful of relaxed
+// event is a fixed 64-byte POD (timestamp, query id, kind, a short
+// tag, two integer payloads, one double), recorded with a handful of relaxed
 // atomic stores into the recording thread's own ring — no locks, no
 // allocation, no formatting on the hot path — so it stays enabled in
 // production within the same <2% budget the span layer honors
@@ -73,12 +73,13 @@ const char* event_kind_name(EventKind k) noexcept;
 /// ring stores exactly these bytes as eight atomic words.
 struct Event {
   double ts_us = 0.0;       ///< clock::process_uptime_us at record time.
+  std::uint64_t qid = 0;    ///< obs::QueryId active at record time (0 = none).
   std::uint64_t a = 0;      ///< Kind-specific (see EventKind comments).
   std::uint64_t b = 0;
   double x = 0.0;           ///< Kind-specific measure (ms, seconds, ...).
   std::uint16_t kind = 0;   ///< EventKind as its wire number.
   std::uint16_t reserved = 0;
-  char tag[28] = {};        ///< NUL-padded, JSON-safe (sanitized on record).
+  char tag[20] = {};        ///< NUL-padded, JSON-safe (sanitized on record).
 };
 static_assert(sizeof(Event) == 64, "Event is the ring's 64-byte slot");
 static_assert(std::is_trivially_copyable_v<Event>);
@@ -92,9 +93,10 @@ inline constexpr std::size_t kMaxTagBytes = sizeof(Event{}.tag) - 1;
 bool enabled() noexcept;
 void set_enabled(bool on) noexcept;
 
-/// Records one event on the calling thread's ring. Never throws, never
-/// blocks (first call per thread takes a registration mutex once; if
-/// every ring slot is taken the event is counted dropped instead).
+/// Records one event on the calling thread's ring, stamped with the
+/// thread's active query id (obs::current_query_id). Never throws,
+/// never blocks (first call per thread takes a registration mutex once;
+/// if every ring slot is taken the event is counted dropped instead).
 void record(EventKind kind, std::string_view tag, std::uint64_t a = 0,
             std::uint64_t b = 0, double x = 0.0) noexcept;
 

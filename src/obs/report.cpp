@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <utility>
@@ -649,6 +650,128 @@ std::string MetricsDiff::to_json() const {
     out += " }";
   }
   out += metrics.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+lrd::Expected<SelfTimeTable> profile_selftime(const std::string& jsonl) {
+  SelfTimeTable table;
+  std::map<std::string, SelfTimeEntry> frames;
+  std::vector<std::uint64_t> queries;
+  std::size_t parsed_records = 0;
+
+  std::size_t pos = 0;
+  while (pos < jsonl.size()) {
+    std::size_t nl = jsonl.find('\n', pos);
+    if (nl == std::string::npos) nl = jsonl.size();
+    const std::string_view line(jsonl.data() + pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    auto doc = json::parse(line);
+    if (!doc || !doc.value().is_object() ||
+        doc.value().string_at("schema") != "lrd-profile-v1") {
+      ++table.malformed;
+      continue;
+    }
+    const json::Value& v = doc.value();
+    ++parsed_records;
+    const auto count = static_cast<unsigned long long>(v.number_at("count", 1.0));
+    table.samples += count;
+    if (table.interval_us == 0.0) table.interval_us = v.number_at("interval_us");
+    const auto qid = static_cast<std::uint64_t>(v.number_at("query_id"));
+    if (qid != 0 && std::find(queries.begin(), queries.end(), qid) == queries.end())
+      queries.push_back(qid);
+
+    // Split the folded stack (root;...;leaf): the leaf frame gets the
+    // self time; every distinct frame on the stack gets the total once,
+    // so recursion does not double-count a stack's samples.
+    const std::string stack = v.string_at("stack");
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= stack.size()) {
+      std::size_t semi = stack.find(';', start);
+      if (semi == std::string::npos) semi = stack.size();
+      if (semi > start) parts.push_back(stack.substr(start, semi - start));
+      start = semi + 1;
+    }
+    if (parts.empty()) continue;
+    ++table.stacks;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (std::find(parts.begin(), parts.begin() + static_cast<std::ptrdiff_t>(i), parts[i]) !=
+          parts.begin() + static_cast<std::ptrdiff_t>(i))
+        continue;  // frame recursing within this stack: already counted
+      SelfTimeEntry& e = frames[parts[i]];
+      e.frame = parts[i];
+      e.total += count;
+    }
+    frames[parts.back()].self += count;
+  }
+  if (parsed_records == 0)
+    return lrd::make_diagnostics(lrd::ErrorCategory::kParse, "obs.report",
+                                 "input lines carry schema lrd-profile-v1",
+                                 "no parsable profile records");
+  table.queries = queries.size();
+  table.entries.reserve(frames.size());
+  for (auto& [frame, entry] : frames) table.entries.push_back(std::move(entry));
+  std::stable_sort(table.entries.begin(), table.entries.end(),
+                   [](const SelfTimeEntry& a, const SelfTimeEntry& b) {
+                     return a.self != b.self ? a.self > b.self : a.total > b.total;
+                   });
+  return table;
+}
+
+std::string SelfTimeTable::to_text(std::size_t top_n) const {
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "cpu self-time: %llu samples over %zu stacks (%zu frames, %zu queries)",
+                samples, stacks, entries.size(), queries);
+  out += buf;
+  if (interval_us > 0.0) {
+    std::snprintf(buf, sizeof buf, ", %.0f us interval", interval_us);
+    out += buf;
+  }
+  if (malformed != 0) {
+    std::snprintf(buf, sizeof buf, ", %zu malformed lines skipped", malformed);
+    out += buf;
+  }
+  out += "\n\n";
+  std::snprintf(buf, sizeof buf, "  %8s %6s  %8s %6s  %s\n", "self", "", "total", "", "frame");
+  out += buf;
+  const double n = samples == 0 ? 1.0 : static_cast<double>(samples);
+  const std::size_t shown =
+      top_n == 0 ? entries.size() : std::min(top_n, entries.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const SelfTimeEntry& e = entries[i];
+    std::snprintf(buf, sizeof buf, "  %8llu %5.1f%%  %8llu %5.1f%%  %s\n", e.self,
+                  100.0 * static_cast<double>(e.self) / n, e.total,
+                  100.0 * static_cast<double>(e.total) / n, e.frame.c_str());
+    out += buf;
+  }
+  if (entries.size() > shown) {
+    std::snprintf(buf, sizeof buf, "  ... and %zu more frames\n", entries.size() - shown);
+    out += buf;
+  }
+  return out;
+}
+
+std::string SelfTimeTable::to_json(std::size_t top_n) const {
+  std::string out = "{\n  \"kind\": \"selftime\",\n";
+  out += "  \"samples\": " + std::to_string(samples) + ",\n";
+  out += "  \"stacks\": " + std::to_string(stacks) + ",\n";
+  out += "  \"queries\": " + std::to_string(queries) + ",\n";
+  out += "  \"interval_us\": " + json::number_text(interval_us) + ",\n";
+  out += "  \"frames\": [";
+  const std::size_t shown =
+      top_n == 0 ? entries.size() : std::min(top_n, entries.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const SelfTimeEntry& e = entries[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += "{ \"frame\": " + json::escape(e.frame);
+    out += ", \"self\": " + std::to_string(e.self);
+    out += ", \"total\": " + std::to_string(e.total) + " }";
+  }
+  out += shown == 0 ? "]\n" : "\n  ]\n";
   out += "}\n";
   return out;
 }

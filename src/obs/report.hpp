@@ -151,4 +151,30 @@ struct MetricsDiff {
 /// Diffs two parsed metrics snapshots (JSON export of obs::Registry).
 lrd::Expected<MetricsDiff> diff_metrics(const json::Value& a, const json::Value& b);
 
+/// Aggregate over one frame of a folded CPU profile (lrd-profile-v1).
+struct SelfTimeEntry {
+  std::string frame;
+  unsigned long long self = 0;   ///< Samples where this frame is the leaf.
+  unsigned long long total = 0;  ///< Samples with the frame anywhere on-stack.
+};
+
+struct SelfTimeTable {
+  unsigned long long samples = 0;   ///< Sum of record counts.
+  std::size_t stacks = 0;           ///< Distinct folded stacks.
+  std::size_t queries = 0;          ///< Distinct nonzero query ids.
+  std::size_t malformed = 0;        ///< Skipped non-lrd-profile-v1 lines.
+  double interval_us = 0.0;         ///< Sampling interval (0 = manual samples).
+  std::vector<SelfTimeEntry> entries;  ///< Sorted by self desc, then total.
+
+  /// `top_n` bounds the rows rendered; 0 means all.
+  std::string to_text(std::size_t top_n = 10) const;
+  std::string to_json(std::size_t top_n = 10) const;
+};
+
+/// Folds a profiler JSONL dump (obs/profiler.hpp, one lrd-profile-v1
+/// record per line) into a per-frame self/total-time table. A frame
+/// recursing within one stack counts once toward that stack's total.
+/// kParse when no line parses as a profile record.
+lrd::Expected<SelfTimeTable> profile_selftime(const std::string& jsonl);
+
 }  // namespace lrd::obs

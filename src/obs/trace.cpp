@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/clock.hpp"
+#include "obs/context.hpp"
 
 namespace lrd::obs {
 
@@ -89,6 +90,16 @@ void append_escaped(std::string& out, std::string_view s) {
     }
   }
   out += '"';
+}
+
+/// Stamps the thread's active query id into an event's args so spans
+/// join the flight/access/profile artifacts on "qid" without every
+/// call site threading the id through.
+void stamp_query_id(std::string& args_json) {
+  const QueryId qid = current_query_id();
+  if (qid == 0) return;
+  if (!args_json.empty()) args_json += ", ";
+  args_json += "\"qid\": " + std::to_string(qid);
 }
 
 }  // namespace
@@ -247,6 +258,7 @@ void instant(const char* name, const char* category, std::string args_json) {
   e.name = name;
   e.category = category;
   e.args_json = std::move(args_json);
+  stamp_query_id(e.args_json);
   thread_buffer().push(std::move(e));
 }
 
@@ -259,6 +271,7 @@ void Span::record_end() noexcept {
   e.name = name_;
   e.category = category_;
   e.args_json = std::move(args_json_);
+  stamp_query_id(e.args_json);
   thread_buffer().push(std::move(e));
 }
 

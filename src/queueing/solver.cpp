@@ -12,8 +12,10 @@
 #include "numerics/pmf.hpp"
 #include "numerics/special_functions.hpp"
 #include "obs/clock.hpp"
+#include "obs/context.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace lrd::queueing {
@@ -307,6 +309,13 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
                                           const MakeLevel& make_level) const {
   if (auto st = cfg.validate(); !st.is_ok()) throw lrd::ConfigError(st.diagnostics());
 
+  // Every solve runs under a correlation scope: a serve worker or CLI
+  // run already installed one, and a standalone solve (tests, figure
+  // scripts) mints its own so its level events still join up in
+  // `lrdq_doctor --query`.
+  const obs::QueryId ambient_qid = obs::current_query_id();
+  obs::QueryScope query_scope(ambient_qid != 0 ? ambient_qid : obs::mint_query_id());
+
   obs::Span solve_span("solver.solve", "solver");
   const obs::SteadyTime solve_start = obs::now();
 
@@ -322,6 +331,11 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
   std::size_t bins = cfg.initial_bins;
   core::failpoint_hit("solve.level");
   obs::flight::record(obs::flight::EventKind::kSolveLevel, "solve", 1, bins);
+  // Level-boundary profile markers: a sub-interval solve would be
+  // invisible to the statistical sampler, so each level stamps at
+  // least one sample carrying this query's id (no-op when the
+  // profiler is off — one relaxed load).
+  obs::profiler::sample_now();
   Level level = make_level(bins);
   result.levels = 1;
 
@@ -515,6 +529,7 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
       core::failpoint_hit("solve.level");
       obs::flight::record(obs::flight::EventKind::kSolveLevel, "solve", result.levels + 1,
                           bins * 2);
+      obs::profiler::sample_now();
       const std::size_t fine = bins * 2;
       std::vector<double> ql(fine + 1, 0.0), qh(fine + 1, 0.0);
       for (std::size_t j = 0; j <= bins; ++j) {
@@ -575,6 +590,7 @@ SolverResult FluidQueueSolver::solve_impl(const SolverConfig& cfg,
     obs::flight::record(obs::flight::EventKind::kSolveFinish, solver_stop_name(result.stop),
                         result.iterations, result.final_bins,
                         obs::seconds_since(solve_start) * 1e3);
+    obs::profiler::sample_now();
     if (obs::TraceSession::enabled())
       solve_span.annotate("\"bins\": " + std::to_string(result.final_bins) +
                           ", \"iterations\": " + std::to_string(result.iterations) +

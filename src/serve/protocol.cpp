@@ -158,6 +158,7 @@ std::string Response::to_json() const {
   out += ", \"op\": " + json::escape(op);
   out += ", \"status\": " + json::escape(query_status_name(status));
   out += ", \"code\": " + std::to_string(code());
+  if (query_id != 0) out += ", \"query_id\": " + std::to_string(query_id);
 
   if (has_solve) {
     out += ", \"loss\": { \"estimate\": " + num17(loss_estimate);

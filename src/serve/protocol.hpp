@@ -99,6 +99,11 @@ struct Response {
   std::string op = "solve";
   std::string diagnostic;  ///< Empty when status == kOk.
 
+  /// Server-minted obs::QueryId, echoed to clients so a scripted
+  /// session can triage its own requests (`lrdq_doctor --query`).
+  /// 0 (field omitted on the wire) when the obs layer is compiled out.
+  std::uint64_t query_id = 0;
+
   // Solve payload (meaningful for op == solve with a non-shed status).
   bool has_solve = false;
   double loss_estimate = 0.0;

@@ -15,6 +15,7 @@
 
 #include "core/failpoint.hpp"
 #include "obs/bundle.hpp"
+#include "obs/context.hpp"
 #include "obs/eventlog.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
@@ -238,6 +239,12 @@ void Server::write_response(const std::shared_ptr<Connection>& conn, const Respo
 void Server::admit_or_shed(const std::shared_ptr<Connection>& conn, std::string line) {
   seen_.fetch_add(1, std::memory_order_relaxed);
   queries_counter().inc();
+  // Minted at admission: the id every artifact this query touches —
+  // flight events, access record, spans, profile samples, the response
+  // itself — joins on. The scope covers the admission-path records
+  // below; the worker re-enters it from Task::query_id.
+  const obs::QueryId qid = obs::mint_query_id();
+  obs::QueryScope qscope(qid);
   bool shed = false;
   std::size_t depth = 0;
   {
@@ -245,7 +252,7 @@ void Server::admit_or_shed(const std::shared_ptr<Connection>& conn, std::string 
     depth = queue_.size();
     if (depth >= cfg_.queue_limit) shed = true;
     else {
-      queue_.push_back(Task{conn, std::move(line), Clock::now()});
+      queue_.push_back(Task{conn, std::move(line), Clock::now(), qid});
       depth = queue_.size();
       queue_gauge().set(static_cast<double>(depth));
     }
@@ -270,7 +277,9 @@ void Server::admit_or_shed(const std::shared_ptr<Connection>& conn, std::string 
       rec.diagnostic = "rejected by admission control at queue depth " + std::to_string(depth);
       obs::EventLog::global().append(rec);
     }
-    write_response(conn, shed_response(id));
+    Response r = shed_response(id);
+    r.query_id = qid;
+    write_response(conn, r);
     obs::bundle::dump_incident("shed");
     return;
   }
@@ -385,6 +394,10 @@ void Server::worker_loop() {
       ++in_flight_;
     }
     {
+      // Re-enter the correlation scope minted at admission: the solve,
+      // its cache lookups, the span tree and any profiler samples taken
+      // on this thread all stamp this query's id.
+      obs::QueryScope qscope(task.query_id);
       const Clock::time_point t0 = Clock::now();
       const double queue_s = std::chrono::duration<double>(t0 - task.admitted).count();
       queue_wait_histogram().observe(queue_s);

@@ -92,6 +92,9 @@ class Server {
     std::string line;
     /// Admission instant; queue wait = worker pickup minus this.
     std::chrono::steady_clock::time_point admitted;
+    /// Correlation id minted at admission (obs::QueryId); the worker
+    /// re-enters this scope so every artifact the query touches joins.
+    std::uint64_t query_id = 0;
   };
 
   void io_loop();

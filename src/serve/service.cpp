@@ -10,6 +10,7 @@
 #include "core/model.hpp"
 #include "dist/marginal.hpp"
 #include "obs/bundle.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -65,7 +66,9 @@ Response QueryService::execute_line(std::string_view line,
         else if (v->is_number()) id = obs::json::number_text(v->as_number());
       }
     }
-    return error_response(std::move(id), parsed.diagnostics());
+    Response r = error_response(std::move(id), parsed.diagnostics());
+    r.query_id = obs::current_query_id();
+    return r;
   }
   return execute(parsed.value(), cancellation);
 }
@@ -144,6 +147,9 @@ Response QueryService::execute(const Query& q,
       break;
   }
   r.wall_ms = elapsed_ms(start);
+  // Echo the correlation id minted at admission (or by --once's
+  // per-line scope) so clients can triage their own requests.
+  r.query_id = obs::current_query_id();
   return r;
 }
 

@@ -24,10 +24,12 @@
 #include <vector>
 
 #include "obs/bundle.hpp"
+#include "obs/context.hpp"
 #include "obs/doctor.hpp"
 #include "obs/eventlog.hpp"
 #include "obs/flight.hpp"
 #include "obs/json.hpp"
+#include "obs/profiler.hpp"
 
 namespace {
 
@@ -120,7 +122,11 @@ TEST(FlightRecorder, TagsAreSanitizedAndTruncatedAtRecordTime) {
 TEST(FlightRecorder, FormattedEventsRoundTripThroughTheJsonParser) {
   SKIP_IF_OBS_DISABLED();
   obs::flight::reset();
-  obs::flight::record(obs::flight::EventKind::kQueryFinished, "q-17", 6, 1500, 12.5);
+  const obs::QueryId qid = obs::mint_query_id();
+  {
+    obs::QueryScope scope(qid);
+    obs::flight::record(obs::flight::EventKind::kQueryFinished, "q-17", 6, 1500, 12.5);
+  }
   const std::string jsonl = obs::flight::to_jsonl();
   ASSERT_FALSE(jsonl.empty());
   std::istringstream lines(jsonl);
@@ -136,6 +142,9 @@ TEST(FlightRecorder, FormattedEventsRoundTripThroughTheJsonParser) {
   EXPECT_NEAR(v.number_at("x"), 12.5, 1e-9);
   EXPECT_GT(v.number_at("ts_us"), 0.0);
   EXPECT_GT(v.number_at("tid"), 0.0);
+  // The ambient correlation id is stamped into the event and survives
+  // the JSONL round trip exactly (48-bit ids are double-exact).
+  EXPECT_EQ(static_cast<obs::QueryId>(v.number_at("qid")), qid);
   obs::flight::reset();
 }
 
@@ -390,6 +399,56 @@ TEST(BundleCrash, CrashHandlerWritesAParseableBundleFromTheSignal) {
   EXPECT_TRUE(static_cast<bool>(obs::json::parse_file((bundle / "config.json").string())));
 }
 
+// Crash-path correlation: the child arms the profiler in manual mode,
+// takes a sample inside a QueryScope, then dies. The bundle's
+// profile.jsonl (raw crash tail, written by the signal handler) must
+// carry a sample stamped with the crashing query's id. Like the other
+// fork test, deliberately not in the TSan CI filter.
+TEST(BundleCrash, CrashBundleCarriesProfileTailWithTheCrashingQueryId) {
+  SKIP_IF_OBS_DISABLED();
+  TempDir tmp("lrd-crash-prof");
+  const obs::QueryId qid = obs::mint_query_id();  // minted pre-fork so the parent knows it
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    obs::flight::reset();
+    obs::profiler::reset();
+    obs::profiler::Options popt;
+    popt.interval_us = 0;  // manual samples only: deterministic tail
+    if (!obs::profiler::start(popt)) ::_exit(10);
+    obs::bundle::Config cfg;
+    cfg.dir = tmp.path.string();
+    cfg.tool = "lrd_tests";
+    cfg.install_crash_handler = true;
+    obs::bundle::configure(cfg);
+    {
+      obs::QueryScope scope(qid);
+      obs::profiler::sample_now();
+      ::raise(SIGABRT);
+    }
+    ::_exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  const fs::path bundle = tmp.path / ("crash-" + std::to_string(pid));
+  const fs::path profile = bundle / "profile.jsonl";
+  ASSERT_TRUE(fs::exists(profile)) << bundle;
+  bool found = false;
+  std::istringstream lines(slurp(profile));
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    auto parsed = obs::json::parse(line);
+    ASSERT_TRUE(static_cast<bool>(parsed)) << line;
+    EXPECT_EQ(parsed.value().string_at("schema"), "lrd-profile-v1");
+    if (static_cast<obs::QueryId>(parsed.value().number_at("query_id")) == qid) found = true;
+  }
+  EXPECT_TRUE(found) << "no profile sample carries the crashing query's id";
+}
+
 TEST(Doctor, TriagesABundleIntoIncidentsSlowQueriesAndCacheSections) {
   SKIP_IF_OBS_DISABLED();
   TempDir tmp("lrd-doctor");
@@ -476,6 +535,83 @@ TEST(Doctor, TriagesAnAccessLogAndRejectsGarbage) {
   }
   EXPECT_FALSE(static_cast<bool>(obs::doctor::triage_access_log(garbage)));
   EXPECT_FALSE(static_cast<bool>(obs::doctor::triage_bundle((tmp.path / "missing").string())));
+}
+
+TEST(Doctor, QueryJoinRendersMatchingArtifactsAcrossSources) {
+  SKIP_IF_OBS_DISABLED();
+  TempDir tmp("lrd-doctor-query");
+  const obs::QueryId qid = obs::mint_query_id();
+  const obs::QueryId other = obs::mint_query_id();
+
+  // Access log: one record for our query, one for another.
+  const std::string log_path = (tmp.path / "access.jsonl").string();
+  ASSERT_TRUE(obs::EventLog::global().open(log_path, 0.0));
+  obs::AccessRecord rec;
+  rec.tool = "lrd_tests";
+  rec.id = "join-me";
+  rec.op = "solve";
+  rec.status = "ok";
+  rec.query_id = qid;
+  obs::EventLog::global().append(rec);
+  rec.id = "not-me";
+  rec.query_id = other;
+  obs::EventLog::global().append(rec);
+  obs::EventLog::global().close();
+
+  // Bundle: flight events recorded under the query's scope plus noise.
+  obs::flight::reset();
+  {
+    obs::QueryScope scope(qid);
+    obs::flight::record(obs::flight::EventKind::kSolveFinish, "converged", 12, 256, 2.5);
+  }
+  obs::flight::record(obs::flight::EventKind::kCacheMiss, "", 1);
+  obs::bundle::Config cfg;
+  cfg.dir = tmp.path.string();
+  cfg.tool = "lrd_tests";
+  cfg.install_crash_handler = false;
+  obs::bundle::configure(cfg);
+  const std::string bundle_dir = obs::bundle::dump("query_join_test");
+  ASSERT_FALSE(bundle_dir.empty());
+
+  // Profile: one matching folded record, one foreign.
+  const std::string prof_path = (tmp.path / "prof.jsonl").string();
+  {
+    std::ofstream out(prof_path);
+    out << "{\"schema\": \"lrd-profile-v1\", \"query_id\": " << qid
+        << ", \"stack\": \"main;solve;level\", \"count\": 3, \"interval_us\": 0}\n";
+    out << "{\"schema\": \"lrd-profile-v1\", \"query_id\": " << other
+        << ", \"stack\": \"main;other\", \"count\": 1, \"interval_us\": 0}\n";
+  }
+
+  obs::doctor::QuerySources src;
+  src.access_log = log_path;
+  src.bundle_dir = bundle_dir;
+  src.profile = prof_path;
+  auto text = obs::doctor::triage_query(qid, src);
+  ASSERT_TRUE(static_cast<bool>(text)) << text.diagnostics().describe();
+  EXPECT_NE(text.value().find("join-me"), std::string::npos) << text.value();
+  EXPECT_EQ(text.value().find("not-me"), std::string::npos);
+  EXPECT_NE(text.value().find("solve_finish"), std::string::npos);
+  EXPECT_NE(text.value().find("main;solve;level"), std::string::npos);
+  EXPECT_EQ(text.value().find("main;other"), std::string::npos);
+
+  obs::doctor::Options jopt;
+  jopt.json = true;
+  auto json = obs::doctor::triage_query(qid, src, jopt);
+  ASSERT_TRUE(static_cast<bool>(json));
+  auto parsed = obs::json::parse(json.value());
+  ASSERT_TRUE(static_cast<bool>(parsed)) << json.value();
+  EXPECT_EQ(parsed.value().string_at("source"), "query");
+  EXPECT_EQ(static_cast<obs::QueryId>(parsed.value().number_at("query_id")), qid);
+  const obs::json::Value* prof = parsed.value().find("profile");
+  ASSERT_NE(prof, nullptr);
+  EXPECT_EQ(prof->number_at("samples"), 3.0);
+
+  // No sources at all is a config error, not an empty report.
+  EXPECT_FALSE(static_cast<bool>(obs::doctor::triage_query(qid, obs::doctor::QuerySources{})));
+
+  obs::bundle::reset_for_tests();
+  obs::flight::reset();
 }
 
 }  // namespace

@@ -1,0 +1,233 @@
+// Tests for the sampling profiler: manual markers attributed to the
+// active query, timer-mode capture, disabled-path no-ops, the crash
+// handler's raw-sample formatter, and — deliberately — the profiler
+// and flight recorder running concurrently on the same threads (the
+// TSan job runs `Profiler*` to probe that interleaving).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/context.hpp"
+#include "obs/flight.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+
+namespace {
+
+using namespace lrd;
+
+#define SKIP_IF_OBS_DISABLED()                             \
+  if constexpr (!obs::kObsEnabled) {                       \
+    GTEST_SKIP() << "obs layer compiled out";              \
+  }
+
+/// Splits folded JSONL into parsed records, failing the test on any
+/// unparsable line.
+std::vector<obs::json::Value> parse_profile(const std::string& jsonl) {
+  std::vector<obs::json::Value> out;
+  std::size_t pos = 0;
+  while (pos < jsonl.size()) {
+    std::size_t nl = jsonl.find('\n', pos);
+    if (nl == std::string::npos) nl = jsonl.size();
+    const std::string line = jsonl.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    auto parsed = obs::json::parse(line);
+    EXPECT_TRUE(parsed.has_value()) << line;
+    if (parsed.has_value()) out.push_back(std::move(parsed).take());
+  }
+  return out;
+}
+
+TEST(Profiler, ManualSamplesFoldUnderTheActiveQueryId) {
+  SKIP_IF_OBS_DISABLED();
+  obs::profiler::reset();
+  obs::profiler::Options opt;
+  opt.interval_us = 0;  // manual-only: the test controls every sample
+  ASSERT_TRUE(obs::profiler::start(opt));
+  EXPECT_TRUE(obs::profiler::running());
+
+  const obs::QueryId qid = obs::mint_query_id();
+  {
+    obs::QueryScope scope(qid);
+    for (int i = 0; i < 5; ++i) obs::profiler::sample_now();
+  }
+  obs::profiler::sample_now();  // unattributed: outside any scope
+  obs::profiler::stop();
+  EXPECT_FALSE(obs::profiler::running());
+  EXPECT_GE(obs::profiler::total_samples(), 6u);
+
+  const auto records = parse_profile(obs::profiler::to_jsonl());
+  ASSERT_FALSE(records.empty());
+  std::uint64_t attributed = 0, unattributed = 0;
+  for (const auto& r : records) {
+    EXPECT_EQ(r.string_at("schema"), "lrd-profile-v1");
+    EXPECT_GE(r.number_at("count"), 1.0);
+    EXPECT_FALSE(r.string_at("stack").empty());
+    const auto rec_qid = static_cast<std::uint64_t>(r.number_at("query_id"));
+    if (rec_qid == qid)
+      attributed += static_cast<std::uint64_t>(r.number_at("count"));
+    else if (rec_qid == 0)
+      unattributed += static_cast<std::uint64_t>(r.number_at("count"));
+  }
+  // Identical stacks fold, so counts (not record counts) carry the story.
+  EXPECT_EQ(attributed, 5u) << "every in-scope sample carries the query id";
+  EXPECT_GE(unattributed, 1u);
+
+  obs::profiler::reset();
+}
+
+TEST(Profiler, TimerModeCapturesABusyLoop) {
+  SKIP_IF_OBS_DISABLED();
+  obs::profiler::reset();
+  obs::profiler::Options opt;
+  opt.interval_us = 997;
+  ASSERT_TRUE(obs::profiler::start(opt));
+
+  // Burn CPU until SIGPROF has had many chances to fire. ITIMER_PROF
+  // counts CPU time, so a sleep would never sample; spin instead.
+  volatile double sink = 1.0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (obs::profiler::total_samples() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 100000; ++i) sink = sink * 1.0000001 + 0.5;
+  }
+  obs::profiler::stop();
+  EXPECT_GT(obs::profiler::total_samples(), 0u)
+      << "a ~1ms CPU timer must sample a multi-second busy loop";
+  EXPECT_FALSE(parse_profile(obs::profiler::to_jsonl()).empty());
+  obs::profiler::reset();
+}
+
+TEST(Profiler, StoppedProfilerIsANoOp) {
+  SKIP_IF_OBS_DISABLED();
+  obs::profiler::reset();
+  ASSERT_FALSE(obs::profiler::running());
+  obs::profiler::sample_now();  // the disabled hot-path marker
+  EXPECT_EQ(obs::profiler::total_samples(), 0u);
+  EXPECT_TRUE(obs::profiler::to_jsonl().empty());
+}
+
+TEST(Profiler, WriteFileIsAtomicAndParseable) {
+  SKIP_IF_OBS_DISABLED();
+  obs::profiler::reset();
+  obs::profiler::Options opt;
+  opt.interval_us = 0;
+  ASSERT_TRUE(obs::profiler::start(opt));
+  obs::profiler::sample_now();
+  obs::profiler::stop();
+
+  const std::string path =
+      ::testing::TempDir() + "lrd_prof_" + std::to_string(::getpid()) + ".jsonl";
+  ASSERT_TRUE(obs::profiler::write_file(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text(1 << 16, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_FALSE(parse_profile(text).empty());
+
+  EXPECT_FALSE(obs::profiler::write_file("/nonexistent-dir/prof.jsonl"));
+  obs::profiler::reset();
+}
+
+TEST(Profiler, FormatSampleJsonlIsValidAndBounded) {
+  SKIP_IF_OBS_DISABLED();
+  obs::profiler::Sample s;
+  s.ts_us = 12.5;
+  s.qid = 0xabcdef;
+  s.depth = 2;
+  s.pcs[0] = 0x1000;  // leaf
+  s.pcs[1] = 0x2000;  // root
+  char buf[1024];
+  const std::size_t n = obs::profiler::format_sample_jsonl(s, 7, buf, sizeof buf);
+  ASSERT_GT(n, 0u);
+  const auto parsed = obs::json::parse(std::string(buf, n));
+  ASSERT_TRUE(parsed.has_value()) << std::string(buf, n);
+  EXPECT_EQ(parsed.value().string_at("schema"), "lrd-profile-v1");
+  EXPECT_EQ(static_cast<std::uint64_t>(parsed.value().number_at("query_id")), 0xabcdefull);
+  EXPECT_EQ(parsed.value().number_at("count"), 1.0);
+  // Root-first folded hex frames.
+  EXPECT_NE(parsed.value().string_at("stack").find("0x2000;0x1000"), std::string::npos);
+
+  char tiny[8];
+  EXPECT_EQ(obs::profiler::format_sample_jsonl(s, 7, tiny, sizeof tiny), 0u)
+      << "a too-small buffer reports 0, never truncated JSON";
+}
+
+// The interleaving the TSan job exists to probe: SIGPROF sampling the
+// same threads that are writing flight events and swapping query
+// scopes, while another thread flushes to_jsonl() concurrently.
+TEST(ProfilerFlight, ConcurrentSamplingAndFlightRecordingStayCoherent) {
+  SKIP_IF_OBS_DISABLED();
+  obs::profiler::reset();
+  obs::flight::reset();
+  obs::profiler::Options opt;
+  opt.interval_us = 499;  // aggressive timer to maximize overlap
+  ASSERT_TRUE(obs::profiler::start(opt));
+
+  std::atomic<bool> go{false}, done{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&go, &done] {
+      while (!go.load()) std::this_thread::yield();
+      while (!done.load()) {
+        const obs::QueryId qid = obs::mint_query_id();
+        obs::QueryScope scope(qid);
+        obs::flight::record(obs::flight::EventKind::kSolveLevel, "probe", 1);
+        obs::profiler::sample_now();
+        obs::flight::record(obs::flight::EventKind::kSolveFinish, "probe", 1);
+      }
+    });
+  }
+  std::thread flusher([&go, &done] {
+    while (!go.load()) std::this_thread::yield();
+    while (!done.load()) {
+      (void)obs::profiler::to_jsonl();  // symbolizing reader vs live writers
+      (void)obs::flight::to_jsonl();
+    }
+  });
+  go.store(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  done.store(true);
+  for (auto& w : workers) w.join();
+  flusher.join();
+  obs::profiler::stop();
+
+  EXPECT_GT(obs::profiler::total_samples(), 0u);
+  // Every record that made it out still parses after the storm.
+  for (const auto& r : parse_profile(obs::profiler::to_jsonl()))
+    EXPECT_EQ(r.string_at("schema"), "lrd-profile-v1");
+
+  obs::profiler::reset();
+  obs::flight::reset();
+}
+
+TEST(Profiler, ResetDropsSamplesAndAllowsRestart) {
+  SKIP_IF_OBS_DISABLED();
+  obs::profiler::reset();
+  obs::profiler::Options opt;
+  opt.interval_us = 0;
+  ASSERT_TRUE(obs::profiler::start(opt));
+  obs::profiler::sample_now();
+  obs::profiler::stop();
+  EXPECT_GT(obs::profiler::total_samples(), 0u);
+  obs::profiler::reset();
+  EXPECT_EQ(obs::profiler::total_samples(), 0u);
+  EXPECT_TRUE(obs::profiler::to_jsonl().empty());
+
+  ASSERT_TRUE(obs::profiler::start(opt)) << "start is re-armable after reset";
+  obs::profiler::sample_now();
+  obs::profiler::stop();
+  EXPECT_EQ(obs::profiler::total_samples(), 1u);
+  obs::profiler::reset();
+}
+
+}  // namespace

@@ -17,6 +17,8 @@
 
 #include "core/model.hpp"
 #include "obs/bundle.hpp"
+#include "obs/context.hpp"
+#include "obs/doctor.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/cache.hpp"
@@ -119,6 +121,22 @@ TEST(ServeProtocol, ResponseJsonParsesBackAndEscapes) {
   ASSERT_NE(v.find("loss"), nullptr);
   // %.17g round-trips the estimate bit-exactly through the JSON layer.
   EXPECT_EQ(v.find("loss")->number_at("estimate"), 1.0 / 3.0);
+}
+
+TEST(ServeProtocol, ResponseEchoesTheCorrelationIdWhenMinted) {
+  serve::Response r;
+  r.id = "q";
+  r.status = serve::QueryStatus::kOk;
+  // No id minted (obs disabled, or a control op outside any query scope):
+  // the field stays off the wire rather than echoing a meaningless 0.
+  ASSERT_TRUE(json::parse(r.to_json()).has_value());
+  EXPECT_EQ(json::parse(r.to_json()).value().find("query_id"), nullptr);
+
+  r.query_id = 0x1d2c3b4a5ull;  // 48-bit ids are exact in JSON doubles
+  const auto parsed = json::parse(r.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(static_cast<std::uint64_t>(parsed.value().number_at("query_id")),
+            0x1d2c3b4a5ull);
 }
 
 // ----------------------------------------------------------------- service
@@ -465,6 +483,13 @@ TEST(ServeServer, AnswersConcurrentClientsAndSharesTheCache) {
   EXPECT_TRUE(second[0].find("cache")->find("hit")->as_bool());
   EXPECT_EQ(second[0].find("loss")->number_at("estimate"),
             first[0].find("loss")->number_at("estimate"));
+  if constexpr (obs::kObsEnabled) {
+    // Every admitted query gets its own correlation id, echoed back so
+    // the client can hand it to `lrdq_doctor --query`.
+    EXPECT_GT(first[0].number_at("query_id", 0), 0.0);
+    EXPECT_GT(second[0].number_at("query_id", 0), 0.0);
+    EXPECT_NE(first[0].number_at("query_id", 0), second[0].number_at("query_id", 0));
+  }
 
   server.request_drain();
   server.wait();
@@ -544,6 +569,58 @@ TEST(ServeServer, DrainAnswersAdmittedQueriesThenExits) {
     EXPECT_TRUE(code == 0.0 || code == 6.0) << "ok or cancelled-by-drain, never dropped";
   }
   EXPECT_FALSE(std::filesystem::exists(sock)) << "socket file removed on shutdown";
+}
+
+TEST(ServeServer, DoctorTriagesALiveDaemonOverItsSocket) {
+  if constexpr (!obs::kObsEnabled) GTEST_SKIP() << "obs compiled out";
+  const std::string sock = test_socket_path("doc");
+  const auto dump_dir =
+      std::filesystem::temp_directory_path() / ("lrd-doc-sock-" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dump_dir);
+  obs::bundle::Config bcfg;
+  bcfg.dir = dump_dir.string();
+  bcfg.tool = "lrd_tests";
+  bcfg.install_crash_handler = false;
+  obs::bundle::configure(bcfg);
+
+  runtime::SolverCache cache;
+  const serve::QueryService service(&cache);
+  serve::ServerConfig cfg;
+  cfg.socket_path = sock;
+  cfg.threads = 1;
+  serve::Server server(cfg, service);
+  ASSERT_TRUE(server.start().is_ok());
+
+  // Answer one query so the bundle's flight recorder has a story to tell.
+  {
+    ScriptedClient client(sock);
+    ASSERT_TRUE(client.connected());
+    client.send_line(std::string("{\"id\": \"doc\", ") + kCellFields + "}");
+    ASSERT_EQ(client.read_responses(1).size(), 1u);
+  }
+
+  // The doctor's live-socket path: dump op over the wire, then triage of
+  // the bundle the daemon reported.
+  const auto report = obs::doctor::triage_socket(sock);
+  ASSERT_TRUE(static_cast<bool>(report)) << report.diagnostics().describe();
+  EXPECT_NE(report.value().find("bundle"), std::string::npos) << report.value();
+
+  obs::doctor::Options jopt;
+  jopt.json = true;
+  const auto json_report = obs::doctor::triage_socket(sock, jopt);
+  ASSERT_TRUE(static_cast<bool>(json_report));
+  const auto parsed = json::parse(json_report.value());
+  ASSERT_TRUE(parsed.has_value()) << json_report.value();
+  EXPECT_EQ(parsed.value().string_at("kind"), "doctor");
+
+  server.request_drain();
+  server.wait();
+
+  // Unreachable socket: a diagnostic, not a hang or a throw.
+  EXPECT_FALSE(static_cast<bool>(obs::doctor::triage_socket(sock)));
+
+  obs::bundle::reset_for_tests();
+  std::filesystem::remove_all(dump_dir);
 }
 
 }  // namespace

@@ -13,9 +13,13 @@
 //
 // Forensics wiring: every tool also accepts `--access-log FILE` (JSONL
 // per-query records; LRDQ_ACCESS_LOG supplies a default), the companion
-// `--slow-query-ms MS` threshold, and `--dump-dir DIR` (LRDQ_DUMP_DIR)
+// `--slow-query-ms MS` threshold, `--dump-dir DIR` (LRDQ_DUMP_DIR)
 // which arms the diagnostics-bundle dumper and its crash-signal
-// handlers. All off by default. See setup_forensics.
+// handlers, and `--profile-out FILE` (LRDQ_PROFILE) which starts the
+// SIGPROF sampling profiler and writes folded lrd-profile-v1 JSONL at
+// exit. All off by default; an explicit flag always beats its env
+// fallback (an empty flag value disables the feature outright). See
+// setup_forensics / finish_forensics.
 #pragma once
 
 #include <algorithm>
@@ -29,8 +33,10 @@
 
 #include "core/status.hpp"
 #include "obs/bundle.hpp"
+#include "obs/context.hpp"
 #include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "obs/version.hpp"
 
@@ -52,6 +58,7 @@ class Args {
     known_.push_back("access-log");
     known_.push_back("slow-query-ms");
     known_.push_back("dump-dir");
+    known_.push_back("profile-out");
     for (int i = 1; i < argc; ++i) {
       if (std::string(argv[i]) == "--help") help_ = true;
       if (std::string(argv[i]) == "--version") version_ = true;
@@ -180,34 +187,80 @@ inline void finish_observability(const ObsSetup& setup) {
     std::fprintf(stderr, "warning: could not write trace to %s\n", setup.trace_path.c_str());
 }
 
-/// Opens the structured access log and arms the diagnostics-bundle
-/// dumper from `--access-log` / `--slow-query-ms` / `--dump-dir`
-/// (env defaults LRDQ_ACCESS_LOG / LRDQ_DUMP_DIR). `config_json` is
+/// What setup_forensics armed, captured so finish_forensics can flush
+/// at exit (currently only the profile needs an exit write).
+struct ForensicsSetup {
+  std::string access_log;    // empty = access log off
+  std::string dump_dir;      // empty = bundle dumper off
+  std::string profile_path;  // empty = profiler off
+};
+
+/// Opens the structured access log, arms the diagnostics-bundle dumper
+/// and starts the sampling profiler from `--access-log` /
+/// `--slow-query-ms` / `--dump-dir` / `--profile-out` (env defaults
+/// LRDQ_ACCESS_LOG / LRDQ_DUMP_DIR / LRDQ_PROFILE). `config_json` is
 /// the tool's effective configuration, pre-serialized; it lands
-/// verbatim in every bundle's config.json. Both features default off.
-/// A log that cannot be opened warns on stderr but never fails the
+/// verbatim in every bundle's config.json. All features default off.
+///
+/// Precedence: an explicit flag always beats its env fallback — the env
+/// var is only consulted when the flag is absent, so `--access-log=`
+/// (explicitly empty) disables the feature even with LRDQ_ACCESS_LOG
+/// set. The resolved paths are logged once to stderr so a run's
+/// artifacts are findable from its log.
+///
+/// A sink that cannot be opened warns on stderr but never fails the
 /// run — forensics must not take down the tool they are meant to
 /// explain.
-inline void setup_forensics(const Args& args, const char* tool,
-                            const std::string& config_json = "{}") {
-  std::string access = args.get("access-log", "");
-  if (access.empty())
-    if (const char* env = std::getenv("LRDQ_ACCESS_LOG")) access = env;
-  if (!access.empty()) {
+inline ForensicsSetup setup_forensics(const Args& args, const char* tool,
+                                      const std::string& config_json = "{}") {
+  const auto resolve = [&args](const char* flag, const char* env_var) {
+    if (args.has(flag)) return args.get(flag, "");
+    if (const char* env = std::getenv(env_var)) return std::string(env);
+    return std::string();
+  };
+
+  ForensicsSetup setup;
+  setup.access_log = resolve("access-log", "LRDQ_ACCESS_LOG");
+  if (!setup.access_log.empty()) {
     const double slow_ms = args.get_double("slow-query-ms", 0.0);
-    if (!lrd::obs::EventLog::global().open(access, slow_ms))
-      std::fprintf(stderr, "warning: could not open access log %s\n", access.c_str());
+    if (!lrd::obs::EventLog::global().open(setup.access_log, slow_ms)) {
+      std::fprintf(stderr, "warning: could not open access log %s\n",
+                   setup.access_log.c_str());
+      setup.access_log.clear();
+    }
   }
-  std::string dump_dir = args.get("dump-dir", "");
-  if (dump_dir.empty())
-    if (const char* env = std::getenv("LRDQ_DUMP_DIR")) dump_dir = env;
-  if (!dump_dir.empty()) {
+  setup.dump_dir = resolve("dump-dir", "LRDQ_DUMP_DIR");
+  if (!setup.dump_dir.empty()) {
     lrd::obs::bundle::Config cfg;
-    cfg.dir = dump_dir;
+    cfg.dir = setup.dump_dir;
     cfg.tool = tool;
     cfg.config_json = config_json;
     lrd::obs::bundle::configure(cfg);
   }
+  setup.profile_path = resolve("profile-out", "LRDQ_PROFILE");
+  if (!setup.profile_path.empty() && !lrd::obs::profiler::start()) {
+    std::fprintf(stderr, "warning: profiler unavailable (obs compiled out)\n");
+    setup.profile_path.clear();
+  }
+  if (!setup.access_log.empty() || !setup.dump_dir.empty() ||
+      !setup.profile_path.empty()) {
+    std::fprintf(stderr, "[%s] forensics: access-log=%s dump-dir=%s profile=%s\n",
+                 tool, setup.access_log.empty() ? "-" : setup.access_log.c_str(),
+                 setup.dump_dir.empty() ? "-" : setup.dump_dir.c_str(),
+                 setup.profile_path.empty() ? "-" : setup.profile_path.c_str());
+  }
+  return setup;
+}
+
+/// Stops the profiler and writes the folded profile configured by
+/// setup_forensics. Same contract as finish_observability: failures
+/// warn, never change the exit code.
+inline void finish_forensics(const ForensicsSetup& setup) {
+  if (setup.profile_path.empty()) return;
+  lrd::obs::profiler::stop();
+  if (!lrd::obs::profiler::write_file(setup.profile_path))
+    std::fprintf(stderr, "warning: could not write profile to %s\n",
+                 setup.profile_path.c_str());
 }
 
 /// Resolves the worker-thread count for a tool: `--threads N` wins, then

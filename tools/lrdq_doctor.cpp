@@ -5,24 +5,22 @@
 //   lrdq_doctor --socket PATH           ask a live lrdq_serve for a fresh
 //                                       bundle (the "dump" control op),
 //                                       then triage it
+//   lrdq_doctor --query ID [sources]    join every artifact on one
+//                                       correlation id
 //
 // The report leads with the incidents (crash signal, failpoint fires,
 // deadline expiries, sheds) and the flight-recorder timeline that led
 // up to each, then the slow-query table, queue-pressure summary, and
-// cache hit rate by tier. `--json` renders the same analysis as one
-// machine-readable object ("kind": "doctor"), validated by
-// tools/validate_obs.py. See docs/OBSERVABILITY.md.
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
+// cache hit rate by tier. `--query ID` instead renders the cross-artifact
+// join: the access record(s), flight events, trace spans and profile
+// samples stamped with that query_id, in one report. `--json` renders
+// the same analysis as one machine-readable object ("kind": "doctor"),
+// validated by tools/validate_obs.py. See docs/OBSERVABILITY.md.
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "cli_common.hpp"
 #include "obs/doctor.hpp"
-#include "obs/json.hpp"
 
 namespace {
 
@@ -30,66 +28,32 @@ constexpr const char* kUsage =
     "usage: lrdq_doctor --bundle DIR      (triage a diagnostics bundle)\n"
     "       lrdq_doctor --access-log FILE (triage a JSONL access log)\n"
     "       lrdq_doctor --socket PATH     (dump + triage a live lrdq_serve)\n"
+    "       lrdq_doctor --query ID [--access-log FILE] [--bundle DIR]\n"
+    "                   [--profile FILE] [--trace FILE]\n"
+    "                                     (cross-artifact join on one query_id)\n"
     "       lrdq_doctor [--top N] [--timeline N] [--json] [--out FILE]\n"
     "       lrdq_doctor --help | --version\n"
     "report: incidents (crash / failpoint / deadline / shed) with the\n"
     "      flight-recorder timeline before each, top slow queries, queue\n"
     "      pressure, cache hit rate by tier. --json emits one object\n"
     "      (\"kind\": \"doctor\") instead of text.\n"
+    "query: every artifact stamps the same 64-bit query_id (decimal or\n"
+    "      0x-hex accepted); --query joins the access record, the flight\n"
+    "      timeline, the trace spans and the profile samples carrying it\n"
+    "      across whichever sources are given (at least one).\n"
     "exit codes: 0 ok, 2 usage, 3 bad config, 4 parse, 5 I/O";
 
-/// Asks a live daemon for a fresh bundle via the "dump" control op and
-/// returns the bundle directory it reports.
-std::string request_live_bundle(const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.empty() || path.size() >= sizeof addr.sun_path)
-    throw lrd::ConfigError(lrd::make_diagnostics(lrd::ErrorCategory::kInvalidConfig,
-                                                 "lrdq_doctor", "socket path fits sockaddr_un",
-                                                 "--socket path invalid: " + path));
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    if (fd >= 0) ::close(fd);
-    throw lrd::DataError(lrd::make_diagnostics(lrd::ErrorCategory::kIo, "lrdq_doctor",
-                                               "daemon socket accepts connections",
-                                               "cannot connect to " + path + ": " +
-                                                   std::strerror(errno)));
+std::uint64_t parse_query_id(const std::string& text) {
+  try {
+    std::size_t used = 0;
+    // base 0: accepts the decimal form the access log carries and the
+    // 0x-hex form an operator may copy from a crash report.
+    const unsigned long long v = std::stoull(text, &used, 0);
+    if (used != text.size() || v == 0) throw std::invalid_argument(text);
+    return static_cast<std::uint64_t>(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--query expects a nonzero integer id, got '" + text + "'");
   }
-  const std::string query = "{\"op\": \"dump\", \"id\": \"doctor\"}\n";
-  std::size_t off = 0;
-  while (off < query.size()) {
-    const ssize_t n = ::send(fd, query.data() + off, query.size() - off, MSG_NOSIGNAL);
-    if (n <= 0 && errno != EINTR) break;
-    if (n > 0) off += static_cast<std::size_t>(n);
-  }
-  std::string buf;
-  char chunk[4096];
-  while (buf.find('\n') == std::string::npos) {
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n <= 0) break;
-    buf.append(chunk, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
-  const auto nl = buf.find('\n');
-  if (nl == std::string::npos)
-    throw lrd::DataError(lrd::make_diagnostics(lrd::ErrorCategory::kIo, "lrdq_doctor",
-                                               "daemon answers the dump op",
-                                               "no response line from " + path));
-  auto parsed = lrd::obs::json::parse(buf.substr(0, nl));
-  if (!parsed || !parsed.value().is_object())
-    throw lrd::DataError(lrd::make_diagnostics(lrd::ErrorCategory::kParse, "lrdq_doctor",
-                                               "dump response is a JSON object",
-                                               "malformed response from " + path));
-  if (const lrd::obs::json::Value* b = parsed.value().find("bundle");
-      b != nullptr && b->is_string())
-    return b->as_string();
-  std::string why = "daemon did not report a bundle path";
-  if (const lrd::obs::json::Value* d = parsed.value().find("diagnostic");
-      d != nullptr && d->is_string())
-    why += ": " + d->as_string();
-  throw lrd::DataError(lrd::make_diagnostics(lrd::ErrorCategory::kIo, "lrdq_doctor",
-                                             "daemon was started with --dump-dir", why));
 }
 
 }  // namespace
@@ -98,18 +62,14 @@ int main(int argc, char** argv) {
   using namespace lrd;
   return cli::run_tool(kUsage, [&] {
     // --access-log / --top etc. ride on the flags cli::Args always knows.
-    cli::Args args(argc, argv, {"bundle", "socket", "top", "timeline", "out"}, {"json"});
+    cli::Args args(argc, argv,
+                   {"bundle", "socket", "query", "profile", "trace", "top", "timeline", "out"},
+                   {"json"});
     if (args.help()) {
       std::printf("%s\n", kUsage);
       return 0;
     }
     if (args.version()) return cli::print_version("lrdq_doctor");
-
-    const int sources = (args.has("bundle") ? 1 : 0) + (args.has("access-log") ? 1 : 0) +
-                        (args.has("socket") ? 1 : 0);
-    if (sources != 1)
-      throw std::invalid_argument(
-          "exactly one of --bundle DIR, --access-log FILE or --socket PATH is required");
 
     obs::doctor::Options opt;
     opt.top = args.get_size("top", 10);
@@ -117,11 +77,24 @@ int main(int argc, char** argv) {
     opt.json = args.has("json");
 
     lrd::Expected<std::string> report = [&] {
+      if (args.has("query")) {
+        obs::doctor::QuerySources src;
+        src.access_log = args.get("access-log", "");
+        src.bundle_dir = args.get("bundle", "");
+        src.profile = args.get("profile", "");
+        src.trace = args.get("trace", "");
+        return obs::doctor::triage_query(parse_query_id(args.get("query", "")), src, opt);
+      }
+      const int sources = (args.has("bundle") ? 1 : 0) + (args.has("access-log") ? 1 : 0) +
+                          (args.has("socket") ? 1 : 0);
+      if (sources != 1)
+        throw std::invalid_argument(
+            "exactly one of --bundle DIR, --access-log FILE or --socket PATH is required "
+            "(or --query ID with any of them)");
       if (args.has("access-log"))
         return obs::doctor::triage_access_log(args.get("access-log", ""), opt);
-      std::string dir = args.get("bundle", "");
-      if (args.has("socket")) dir = request_live_bundle(args.get("socket", ""));
-      return obs::doctor::triage_bundle(dir, opt);
+      if (args.has("socket")) return obs::doctor::triage_socket(args.get("socket", ""), opt);
+      return obs::doctor::triage_bundle(args.get("bundle", ""), opt);
     }();
     if (!report) throw_error(report.diagnostics());
 

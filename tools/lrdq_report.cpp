@@ -32,9 +32,12 @@ namespace {
 constexpr const char* kUsage =
     "usage: lrdq_report profile TRACE.json        [--top N] [--timeline-width N]\n"
     "                                             [--json] [--out FILE]\n"
+    "       lrdq_report selftime PROFILE.jsonl      [--top N] [--json] [--out FILE]\n"
     "       lrdq_report diff-manifest A.json B.json [--top N] [--json] [--out FILE]\n"
     "       lrdq_report diff-metrics A.json B.json  [--json] [--out FILE]\n"
-    "       lrdq_report --help | --version";
+    "       lrdq_report --help | --version\n"
+    "selftime folds a CPU profile (lrd-profile-v1 JSONL, --profile-out /\n"
+    "      LRDQ_PROFILE) into a per-frame self/total sample table.";
 
 int emit(const std::string& rendered, const lrd::cli::Args& args) {
   const std::string out_path = args.get("out", "");
@@ -100,6 +103,23 @@ int main(int argc, char** argv) {
       auto profile = obs::profile_trace(load(files[0]), top_n, width);
       if (!profile) throw_error(profile.diagnostics());
       return emit(as_json ? profile.value().to_json() : profile.value().to_text(), args);
+    }
+    if (command == "selftime") {
+      want(1);
+      // The input is JSONL, not one JSON document: read it raw and let
+      // the folder parse line by line (lenient on torn tails).
+      std::FILE* in = std::fopen(files[0].c_str(), "rb");
+      if (in == nullptr)
+        throw_error(make_diagnostics(ErrorCategory::kIo, "lrdq_report",
+                                     "profile path is readable", "cannot open " + files[0]));
+      std::string text;
+      char chunk[4096];
+      for (std::size_t n; (n = std::fread(chunk, 1, sizeof chunk, in)) > 0;)
+        text.append(chunk, n);
+      std::fclose(in);
+      auto table = obs::profile_selftime(text);
+      if (!table) throw_error(table.diagnostics());
+      return emit(as_json ? table.value().to_json(top_n) : table.value().to_text(top_n), args);
     }
     if (command == "diff-manifest") {
       want(2);

@@ -59,8 +59,11 @@ constexpr const char* kUsage =
     "      record per query; --slow-query-ms MS flags slow ones.\n"
     "      --dump-dir DIR (LRDQ_DUMP_DIR) arms diagnostics bundles:\n"
     "      written on fatal signals, on deadline/shed incidents, on\n"
-    "      SIGQUIT, and on the \"dump\" control op. Triage them with\n"
-    "      lrdq_doctor (docs/OBSERVABILITY.md).\n"
+    "      SIGQUIT, and on the \"dump\" control op. --profile-out FILE\n"
+    "      (LRDQ_PROFILE) samples CPU stacks and writes a folded\n"
+    "      lrd-profile-v1 profile keyed by query_id at exit. Every\n"
+    "      response echoes its query_id; triage one end-to-end with\n"
+    "      lrdq_doctor --query (docs/OBSERVABILITY.md).\n"
     "exit codes: 0 ok, 1 not converged, 2 usage, 3 bad config, 4 parse,\n"
     "            5 I/O, 6 numerical guard / deadline, 7 load shed\n"
     "            (--once/--connect exit with the worst response code seen)";
@@ -86,6 +89,9 @@ int run_once(const lrd::serve::QueryService& service) {
       continue;
     }
     if (!line.empty()) {
+      // One correlation id per query line, same as the daemon's
+      // admission path, so --once responses carry query_id too.
+      lrd::obs::QueryScope qscope(lrd::obs::mint_query_id());
       const lrd::serve::Response r = service.execute_line(line);
       const std::string out = r.to_json();
       std::fwrite(out.data(), 1, out.size(), stdout);
@@ -96,6 +102,7 @@ int run_once(const lrd::serve::QueryService& service) {
     line.clear();
   }
   if (!line.empty()) {
+    lrd::obs::QueryScope qscope(lrd::obs::mint_query_id());
     const lrd::serve::Response r = service.execute_line(line);
     std::printf("%s\n", r.to_json().c_str());
     worst = std::max(worst, r.code());
@@ -220,7 +227,7 @@ int main(int argc, char** argv) {
     config_json += ", \"max_deadline_ms\": " + std::to_string(service_cfg.max_deadline_ms);
     config_json += ", \"cache_dir\": " + obs::json::escape(cache_cfg.disk_dir);
     config_json += ", \"cache_capacity\": " + std::to_string(cache_cfg.capacity_cost) + " }";
-    cli::setup_forensics(args, "lrdq_serve", config_json);
+    const cli::ForensicsSetup forensics = cli::setup_forensics(args, "lrdq_serve", config_json);
     obs::bundle::set_cache_stats_provider([&cache] {
       const runtime::CacheStats s = cache.stats();
       std::string out = "{ \"hits\": " + std::to_string(s.hits);
@@ -234,11 +241,13 @@ int main(int argc, char** argv) {
 
     if (args.has("once")) {
       const int code = run_once(service);
+      cli::finish_forensics(forensics);
       cli::finish_observability(obs_setup);
       return code;
     }
     if (args.has("connect")) {
       const int code = run_connect(args.get("connect", ""), args.get_size("timeout-ms", 120000));
+      cli::finish_forensics(forensics);
       cli::finish_observability(obs_setup);
       return code;
     }
@@ -284,6 +293,7 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(cs.hits),
                  static_cast<unsigned long long>(cs.misses),
                  static_cast<unsigned long long>(cs.evictions));
+    cli::finish_forensics(forensics);
     cli::finish_observability(obs_setup);
     return 0;
   });

@@ -36,7 +36,9 @@ constexpr const char* kUsage =
     "      Chrome trace-event JSON loadable in Perfetto.\n"
     "forensics: --access-log FILE (LRDQ_ACCESS_LOG) appends one JSONL record\n"
     "      per solve; --slow-query-ms MS flags slow ones; --dump-dir DIR\n"
-    "      (LRDQ_DUMP_DIR) arms crash-time diagnostics bundles.\n"
+    "      (LRDQ_DUMP_DIR) arms crash-time diagnostics bundles;\n"
+    "      --profile-out FILE (LRDQ_PROFILE) samples CPU stacks and writes\n"
+    "      a folded lrd-profile-v1 profile keyed by query_id at exit.\n"
     "exit codes: 0 ok, 1 not converged, 2 usage, 3 bad config,\n"
     "            4 parse, 5 I/O, 6 numerical guard / budget";
 
@@ -93,7 +95,10 @@ int main(int argc, char** argv) {
     scfg.deadline_ms = cli::resolve_deadline_ms(args, "deadline-ms");
     const std::string telemetry_path = args.get("telemetry-out", "");
     scfg.collect_telemetry = !telemetry_path.empty();
-    cli::setup_forensics(args, "lrdq_solve");
+    const cli::ForensicsSetup forensics = cli::setup_forensics(args, "lrdq_solve");
+    // One correlation id for the whole run: the solve's flight events,
+    // access record, spans and profile samples all join on it.
+    obs::QueryScope qscope(obs::mint_query_id());
     const auto t0 = std::chrono::steady_clock::now();
     const auto result = model.solve(scfg);
     if (obs::EventLog::global().active()) {
@@ -137,6 +142,7 @@ int main(int argc, char** argv) {
                   core::correlation_horizon(marginal, *model.epochs(), model.buffer()));
     }
     if (!telemetry_path.empty()) write_telemetry(telemetry_path, result.telemetry);
+    cli::finish_forensics(forensics);
     cli::finish_observability(obs_setup);
     if (result.converged) return 0;
     return result.status.is_ok() ? 1 : lrd::exit_code_for(result.status.category());

@@ -46,6 +46,11 @@ constexpr const char* kUsage =
     "      --metrics-out writes a metrics snapshot (.json = JSON, else\n"
     "      Prometheus text); --trace-out (or LRDQ_TRACE) writes a Chrome\n"
     "      trace-event JSON loadable in Perfetto.\n"
+    "forensics: --access-log FILE (LRDQ_ACCESS_LOG) appends one JSONL record\n"
+    "      per run; --dump-dir DIR (LRDQ_DUMP_DIR) arms crash-time\n"
+    "      diagnostics bundles; --profile-out FILE (LRDQ_PROFILE) samples\n"
+    "      CPU stacks and writes a folded lrd-profile-v1 profile keyed by\n"
+    "      query_id at exit.\n"
     "note: list entries for --cutoffs may not include 'inf'; pass a large\n"
     "      number for the model, or use --trace mode where the largest\n"
     "      cutoff >= trace duration behaves as unshuffled.";
@@ -66,7 +71,12 @@ int main(int argc, char** argv) {
     }
     if (args.version()) return cli::print_version("lrdq_sweep");
     const cli::ObsSetup obs_setup = cli::setup_observability(args);
-    cli::setup_forensics(args, "lrdq_sweep");
+    const cli::ForensicsSetup forensics = cli::setup_forensics(args, "lrdq_sweep");
+    // Run-level correlation id. Cells solved on executor workers mint
+    // their own per-cell ids (the worker threads never see this TLS
+    // scope), so the profile distinguishes the cells; this scope covers
+    // the driver thread's own work.
+    obs::QueryScope qscope(obs::mint_query_id());
     const auto buffers = args.get_list("buffers", {0.05, 0.2, 1.0});
     const auto cutoffs = args.get_list("cutoffs", {0.1, 1.0, 10.0});
     const double utilization = args.get_double("utilization", 0.8);
@@ -118,6 +128,7 @@ int main(int argc, char** argv) {
       if (!manifest.write_file(manifest_path))
         std::fprintf(stderr, "warning: could not write manifest %s\n", manifest_path.c_str());
     }
+    cli::finish_forensics(forensics);
     cli::finish_observability(obs_setup);
     return table.ok() ? 0 : 1;
   });

@@ -29,11 +29,16 @@ schema cannot express:
     event kinds or tags (e.g. --require crash_signal);
   * accesslog: the artifact is --access-log JSONL -- every non-blank
     line must be an accessRecord, and every --require NAME must appear
-    among the recorded ops.
+    among the recorded ops;
+  * profile:  the artifact is --profile-out / LRDQ_PROFILE JSONL (also
+    profile.jsonl inside a bundle) -- every non-blank line must be a
+    profileRecord, and every --require NAME must appear as a substring
+    of some folded stack OR equal some record's query_id (so CI can
+    assert "this query was profiled": --require 123456789).
 
 Usage:
   validate_obs.py --kind metrics|trace|manifest|telemetry|bench|report
-                  |bundle|accesslog
+                  |bundle|accesslog|profile
                   [--schema FILE] [--require NAME]... [--require-telemetry]
                   [--require-events] ARTIFACT
 
@@ -122,6 +127,7 @@ def check_telemetry(telemetry, path, errors):
 
 REPORT_KINDS = {
     "profile": "reportProfile",
+    "selftime": "reportSelftime",
     "diff-manifest": "reportDiffManifest",
     "diff-metrics": "reportDiffMetrics",
     "bench-check": "benchCheck",
@@ -186,6 +192,26 @@ def validate_access_log(path, root, args, errors):
             errors.append(f"$: no access record with op {name!r}")
 
 
+def validate_profile(path, root, args, errors):
+    """CPU profile JSONL: every line a profileRecord; --require NAME must
+    be a substring of some stack or equal some record's query_id."""
+    stacks = []
+    query_ids = set()
+
+    def collect(record):
+        stacks.append(record.get("stack", ""))
+        query_ids.add(str(record.get("query_id")))
+
+    validate_jsonl(path, "profileRecord", root, errors, per_record=collect)
+    for name in args.require:
+        if name in query_ids:
+            continue
+        if any(isinstance(s, str) and name in s for s in stacks):
+            continue
+        errors.append(f"$: no sample with query_id {name!r} or a stack "
+                      f"containing {name!r}")
+
+
 def validate_bundle(dirpath, root, args, errors):
     """A diagnostics bundle is a directory; bundle.json names its contents."""
     manifest_path = os.path.join(dirpath, "bundle.json")
@@ -241,6 +267,12 @@ def validate_bundle(dirpath, root, args, errors):
         if name not in seen:
             errors.append(f"flight.jsonl: no event with kind or tag {name!r}")
 
+    # Present when the crashed/dumping process had a profiler armed; an
+    # empty file is fine, every non-blank line must still be a record.
+    profile_path = os.path.join(dirpath, "profile.jsonl")
+    if os.path.exists(profile_path):
+        validate_jsonl(profile_path, "profileRecord", root, errors)
+
 
 def semantic_checks(kind, doc, args, errors):
     if kind == "metrics":
@@ -279,7 +311,8 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--kind", required=True,
                         choices=["metrics", "trace", "manifest", "telemetry",
-                                 "bench", "report", "bundle", "accesslog"])
+                                 "bench", "report", "bundle", "accesslog",
+                                 "profile"])
     parser.add_argument("--schema",
                         default=os.path.join(os.path.dirname(__file__), os.pardir,
                                              "schemas", "obs_artifacts.schema.json"))
@@ -302,6 +335,8 @@ def main():
         validate_bundle(args.artifact, root, args, errors)
     elif args.kind == "accesslog":
         validate_access_log(args.artifact, root, args, errors)
+    elif args.kind == "profile":
+        validate_profile(args.artifact, root, args, errors)
     else:
         try:
             with open(args.artifact, encoding="utf-8") as fh:
