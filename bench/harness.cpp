@@ -4,6 +4,11 @@
 #include <ctime>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "numerics/simd.hpp"
 #include "obs/json.hpp"
 #include "obs/version.hpp"
 
@@ -14,7 +19,15 @@ EnvFingerprint environment_fingerprint() {
   env.git_describe = obs::git_describe();
   env.build_type = obs::build_type();
   env.compiler = obs::compiler();
-  env.cpu_count = std::thread::hardware_concurrency();
+  env.cpu_count = [] {
+#if defined(_SC_NPROCESSORS_ONLN)
+    const long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+    if (n > 0) return static_cast<std::size_t>(n);
+#endif
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? std::size_t{1} : static_cast<std::size_t>(hw);
+  }();
+  env.simd = numerics::simd::active_isa_name();
   env.obs_enabled = obs::kObsEnabled;
   return env;
 }
@@ -47,6 +60,7 @@ std::string bench_record_json(const std::string& bench, const BenchRecord& rec,
   out += ",\"build_type\":" + escape(env.build_type);
   out += ",\"compiler\":" + escape(env.compiler);
   out += ",\"cpu_count\":" + std::to_string(env.cpu_count);
+  out += ",\"simd\":" + escape(env.simd);
   out += std::string(",\"obs_enabled\":") + (env.obs_enabled ? "true" : "false");
   out += "},\"timestamp_unix\":" + std::to_string(timestamp_unix) + "}";
   return out;
@@ -88,9 +102,9 @@ int Harness::run() {
     return 0;
   }
   const EnvFingerprint env = environment_fingerprint();
-  std::printf("%s: %s, %s, %s, %zu cpus, obs %s\n", bench_.c_str(), env.git_describe.c_str(),
-              env.build_type.c_str(), env.compiler.c_str(), env.cpu_count,
-              env.obs_enabled ? "on" : "off");
+  std::printf("%s: %s, %s, %s, %zu cpus, simd %s, obs %s\n", bench_.c_str(),
+              env.git_describe.c_str(), env.build_type.c_str(), env.compiler.c_str(),
+              env.cpu_count, env.simd.c_str(), env.obs_enabled ? "on" : "off");
 
   for (std::size_t i = 0; i < case_headers_.size(); ++i) {
     const auto& [key, policy] = case_headers_[i];

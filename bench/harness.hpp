@@ -37,7 +37,15 @@ struct EnvFingerprint {
   std::string git_describe;
   std::string build_type;
   std::string compiler;
+  /// Online CPUs as the OS reports them (sysconf), not
+  /// std::thread::hardware_concurrency() — the latter returns 0 on some
+  /// platforms and silently tracks affinity masks, which made cross-
+  /// machine records incomparable.
   std::size_t cpu_count = 0;
+  /// Kernel table the LRD_SIMD dispatcher selected ("scalar", "avx2",
+  /// "neon") — without it a regression between machines is
+  /// unattributable to code vs ISA.
+  std::string simd;
   bool obs_enabled = true;
 };
 

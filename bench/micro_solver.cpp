@@ -24,6 +24,7 @@
 #include "numerics/convolution.hpp"
 #include "numerics/fft_plan.hpp"
 #include "numerics/random.hpp"
+#include "numerics/simd.hpp"
 #include "queueing/solver.hpp"
 #include "queueing/trace_queue_sim.hpp"
 #include "traffic/fgn.hpp"
@@ -155,17 +156,66 @@ int main(int argc, char** argv) {
         rfft.inverse(spec.data(), out.data());
       });
     });
+    h.add("plan_cache/fft_simd", {1, 5}, [](bench::Case& c) {
+      // The complex transform on the runtime-dispatched kernel table,
+      // with the scalar table timed inline for the speedup_vs_scalar
+      // metric (1.0 when the dispatcher already selected scalar).
+      constexpr std::size_t n = 4096;
+      const numerics::FftPlan& plan = numerics::fft_plan(n);
+      const auto seed = random_pmf(n, 5);
+      std::vector<std::complex<double>> buf(n);
+      for (std::size_t i = 0; i < n; ++i) buf[i] = seed[i];
+      const auto roundtrip = [&] {
+        plan.forward(buf.data());
+        plan.inverse(buf.data());
+        for (auto& z : buf) z *= 1.0 / static_cast<double>(n);
+      };
+      c.measure_ns_per_iter(16, [&](std::size_t) { roundtrip(); });
+      const double simd_ns = obs::robust_stats(c.samples()).median;
+      numerics::simd::set_active_kernels_for_testing(numerics::simd::Isa::kScalar);
+      constexpr std::size_t iters = 16;
+      const obs::SteadyTime t0 = obs::now();
+      for (std::size_t i = 0; i < iters; ++i) roundtrip();
+      const double scalar_ns = obs::seconds_since(t0) * 1e9 / static_cast<double>(iters);
+      numerics::simd::reset_active_kernels_for_testing();
+      c.metric("scalar_ns", scalar_ns);
+      if (simd_ns > 0.0) c.metric("speedup_vs_scalar", scalar_ns / simd_ns);
+    });
+    h.add("plan_cache/rfft_roundtrip_simd", {1, 5}, [](bench::Case& c) {
+      // Real round-trip on the dispatched kernels vs the scalar table —
+      // the transform cost the solver's convolvers actually pay.
+      constexpr std::size_t n = 4096;
+      const numerics::RealFft rfft(n);
+      const auto x = random_pmf(n, 6);
+      std::vector<std::complex<double>> spec(rfft.spectrum_size());
+      std::vector<double> out(n);
+      const auto roundtrip = [&] {
+        rfft.forward(x.data(), x.size(), spec.data());
+        rfft.inverse(spec.data(), out.data());
+      };
+      c.measure_ns_per_iter(16, [&](std::size_t) { roundtrip(); });
+      const double simd_ns = obs::robust_stats(c.samples()).median;
+      numerics::simd::set_active_kernels_for_testing(numerics::simd::Isa::kScalar);
+      constexpr std::size_t iters = 16;
+      const obs::SteadyTime t0 = obs::now();
+      for (std::size_t i = 0; i < iters; ++i) roundtrip();
+      const double scalar_ns = obs::seconds_since(t0) * 1e9 / static_cast<double>(iters);
+      numerics::simd::reset_active_kernels_for_testing();
+      c.metric("scalar_ns", scalar_ns);
+      if (simd_ns > 0.0) c.metric("speedup_vs_scalar", scalar_ns / simd_ns);
+    });
 
     for (const std::size_t m : {std::size_t{1024}, std::size_t{4096}}) {
       h.add("fold_step/" + std::to_string(m), {1, 5}, [m](bench::Case& c) {
-        // The solver's per-epoch cost: both chains advanced by one batched
-        // dual-channel convolution plus the boundary fold. The
-        // speedup_vs_sequential metric compares against the pre-batching
-        // epoch (two independent cached convolutions, allocating path).
+        // The solver's per-epoch cost with the engine pinned to one
+        // thread — the machine-independent single-core baseline the _mt
+        // variant is judged against. The speedup_vs_sequential metric
+        // compares against the pre-batching epoch (two independent
+        // cached convolutions, allocating path).
         auto solver = figure_solver();
         const auto wl = solver.increment_pmf_lower(m);
         const auto wh = solver.increment_pmf_upper(m);
-        queueing::DualFoldEngine engine(wl, wh, m);
+        queueing::DualFoldEngine engine(wl, wh, m, queueing::FoldConcurrency{1, 1024});
         std::vector<double> q_low(m + 1, 0.0), q_high(m + 1, 0.0);
         q_low[0] = 1.0;
         q_high[m] = 1.0;
@@ -184,6 +234,37 @@ int main(int argc, char** argv) {
         const double seq_ns = obs::seconds_since(t0) * 1e9 / static_cast<double>(iters);
         c.metric("sequential_ns", seq_ns);
         if (dual_ns > 0.0) c.metric("speedup_vs_sequential", seq_ns / dual_ns);
+      });
+      h.add("fold_step/" + std::to_string(m) + "_mt", {1, 5}, [m](bench::Case& c) {
+        // Same per-epoch step with the engine's default concurrency
+        // (LRDQ_THREADS or hardware_concurrency): the two chains advance
+        // on worker threads. speedup_vs_single_thread compares against a
+        // thread-pinned engine running the identical split-mode
+        // arithmetic, so the metric isolates the parallel win.
+        auto solver = figure_solver();
+        const auto wl = solver.increment_pmf_lower(m);
+        const auto wh = solver.increment_pmf_upper(m);
+        queueing::DualFoldEngine engine(wl, wh, m);
+        std::vector<double> q_low(m + 1, 0.0), q_high(m + 1, 0.0);
+        q_low[0] = 1.0;
+        q_high[m] = 1.0;
+        queueing::StepHealth low_health, high_health;
+        const std::size_t iters = std::max<std::size_t>(4, 16384 / m);
+        c.measure_ns_per_iter(iters, [&](std::size_t) {
+          engine.step(q_low, q_high, low_health, high_health);
+        });
+        const double mt_ns = obs::robust_stats(c.samples()).median;
+        queueing::DualFoldEngine pinned(wl, wh, m, queueing::FoldConcurrency{1, 1024});
+        std::vector<double> p_low(m + 1, 0.0), p_high(m + 1, 0.0);
+        p_low[0] = 1.0;
+        p_high[m] = 1.0;
+        const obs::SteadyTime t0 = obs::now();
+        for (std::size_t i = 0; i < iters; ++i)
+          pinned.step(p_low, p_high, low_health, high_health);
+        const double st_ns = obs::seconds_since(t0) * 1e9 / static_cast<double>(iters);
+        c.metric("threads", static_cast<double>(engine.threads()));
+        c.metric("single_thread_ns", st_ns);
+        if (mt_ns > 0.0) c.metric("speedup_vs_single_thread", st_ns / mt_ns);
       });
     }
 

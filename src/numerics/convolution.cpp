@@ -5,6 +5,8 @@
 
 #include "core/status.hpp"
 #include "numerics/fft.hpp"
+#include "numerics/parallel.hpp"
+#include "numerics/simd.hpp"
 #include "numerics/special_functions.hpp"
 
 namespace lrd::numerics {
@@ -70,14 +72,14 @@ std::vector<double> convolve_fft(const std::vector<double>& a, const std::vector
 }
 
 std::vector<double> convolve(const std::vector<double>& a, const std::vector<double>& b) {
-  // Crossover re-tuned for the plan-cached real-FFT engine from
-  // BENCH_history.jsonl: the direct path costs ~0.3 ns per a*b product
+  // Crossover re-tuned for the LRD_SIMD butterfly kernels from
+  // BENCH_history.jsonl: the direct path costs ~0.7 ns per a*b product
   // (micro_solver/convolve_direct/{64,256,1024}), the transform path
-  // ~4.5 us at a 256-point grid and ~89 us at 2048
-  // (micro_solver/convolve_fft/{64,1024}). Equal cost lands near
-  // |a|*|b| ~ 1e4; below it the direct path's tiny constant wins even
-  // against a warm plan cache.
-  if (a.size() * b.size() <= 96 * 96) return convolve_direct(a, b);
+  // ~2.8 us at a 256-point grid (micro_solver/convolve_fft/64) — the
+  // vector butterflies moved the break-even down from the scalar-era
+  // 96x96 to |a|*|b| ~ 4e3. Below it the direct path's tiny constant
+  // wins even against a warm plan cache and AVX2 spectra.
+  if (a.size() * b.size() <= 64 * 64) return convolve_direct(a, b);
   return convolve_fft(a, b);
 }
 
@@ -124,12 +126,35 @@ CachedKernelConvolver::CachedKernelConvolver(std::vector<double> kernel,
   rfft_.forward(kernel.data(), kernel.size(), kernel_spectrum_.data());
 }
 
+namespace {
+
+/// Spectrum sizes at or above this are bin-chunked across the executor;
+/// below it one dispatched cmul sweep is cheaper than any scheduling.
+/// At 32k bins the multiply costs tens of microseconds — about the
+/// executor's round-trip — so smaller spectra stay single-threaded.
+/// Nested calls (a convolver running inside a worker task, as in the
+/// fold engine's split mode) execute inline either way.
+constexpr std::size_t kMtSpectrumBins = std::size_t{1} << 15;
+constexpr std::size_t kMtSpectrumGrain = std::size_t{1} << 13;
+
+}  // namespace
+
 void CachedKernelConvolver::convolve_into(const double* signal, std::size_t len, Workspace& ws,
                                           double* out) const {
   if (signal == nullptr || len == 0 || len > max_signal_len_)
     throw std::invalid_argument("CachedKernelConvolver::convolve_into: bad signal length");
   rfft_.forward(signal, len, ws.freq.data());
-  for (std::size_t k = 0; k < kernel_spectrum_.size(); ++k) ws.freq[k] *= kernel_spectrum_[k];
+  const simd::FftKernels& kernels = simd::active_fft_kernels();
+  const std::size_t bins = kernel_spectrum_.size();
+  if (bins >= kMtSpectrumBins) {
+    std::complex<double>* freq = ws.freq.data();
+    const std::complex<double>* spec = kernel_spectrum_.data();
+    parallel_for_ranges(bins, kMtSpectrumGrain, [&](std::size_t begin, std::size_t end) {
+      kernels.cmul(freq + begin, spec + begin, end - begin);
+    });
+  } else {
+    kernels.cmul(ws.freq.data(), kernel_spectrum_.data(), bins);
+  }
   rfft_.inverse(ws.freq.data(), ws.time.data());
   const std::size_t out_len = len + kernel_len_ - 1;
   std::copy(ws.time.begin(), ws.time.begin() + static_cast<std::ptrdiff_t>(out_len), out);

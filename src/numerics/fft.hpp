@@ -19,7 +19,10 @@ std::size_t next_pow2(std::size_t n);
 /// Returns true iff n is a power of two (n >= 1).
 bool is_pow2(std::size_t n) noexcept;
 
-/// In-place iterative radix-2 decimation-in-time FFT.
+/// In-place DFT via the cached plan for `data.size()` — the process has
+/// exactly one transform implementation (FftPlan's fused radix-2^2
+/// stages with LRD_SIMD butterfly kernels); this wrapper only adds the
+/// size check and the cache lookup.
 ///
 /// `data.size()` must be a power of two. `inverse == true` computes the
 /// unnormalized inverse transform; callers divide by N themselves (or use

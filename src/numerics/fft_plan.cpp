@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "numerics/fft.hpp"
+#include "numerics/simd.hpp"
 
 namespace lrd::numerics {
 
@@ -30,6 +31,31 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
     const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
     twiddle_[k] = {std::cos(ang), std::sin(ang)};
   }
+  // Pair consecutive radix-2 stages into fused radix-2^2 passes. With an
+  // odd stage count the leftover is taken as the twiddle-free len == 2
+  // pass (w_0 = 1), leaving the remaining stages even in number.
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;
+  leading_len2_ = (log2n % 2) == 1;
+  std::size_t len = leading_len2_ ? 4 : 2;
+  for (; len * 2 <= n; len *= 4) {
+    // Contiguous per-stage twiddles so the vector kernels load the k and
+    // k + 1 lanes with one unit-stride read; values are copied from the
+    // strided base table, so fused and unfused stages see identical
+    // doubles. wc = -i * wb folds the (k + len/2)-th twiddle of the
+    // 2*len stage into a precomputed constant.
+    Stage s{len, stage_twiddle_.size(), 0, 0};
+    const std::size_t q = len / 2;
+    for (std::size_t k = 0; k < q; ++k) stage_twiddle_.push_back(twiddle_[k * (n_ / len)]);
+    s.wb = stage_twiddle_.size();
+    for (std::size_t k = 0; k < q; ++k) stage_twiddle_.push_back(twiddle_[k * (n_ / (2 * len))]);
+    s.wc = stage_twiddle_.size();
+    for (std::size_t k = 0; k < q; ++k) {
+      const std::complex<double> wb = stage_twiddle_[s.wb + k];
+      stage_twiddle_.push_back({wb.imag(), -wb.real()});
+    }
+    stages_.push_back(s);
+  }
 }
 
 void FftPlan::transform(std::complex<double>* data, bool inverse) const noexcept {
@@ -39,20 +65,19 @@ void FftPlan::transform(std::complex<double>* data, bool inverse) const noexcept
     const std::size_t j = bitrev_[i];
     if (i < j) std::swap(data[i], data[j]);
   }
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t half = len >> 1;
-    const std::size_t stride = n / len;
-    for (std::size_t i = 0; i < n; i += len) {
-      for (std::size_t k = 0; k < half; ++k) {
-        std::complex<double> w = twiddle_[k * stride];
-        if (inverse) w = std::conj(w);
-        const std::complex<double> u = data[i + k];
-        const std::complex<double> v = data[i + k + half] * w;
-        data[i + k] = u + v;
-        data[i + k + half] = u - v;
-      }
+  if (leading_len2_) {
+    // Unpaired first stage: w_0 = 1, so forward and inverse coincide.
+    for (std::size_t i = 0; i < n; i += 2) {
+      const std::complex<double> u = data[i];
+      const std::complex<double> v = data[i + 1];
+      data[i] = u + v;
+      data[i + 1] = u - v;
     }
   }
+  const simd::FftKernels& kernels = simd::active_fft_kernels();
+  const std::complex<double>* tw = stage_twiddle_.data();
+  for (const Stage& s : stages_)
+    kernels.radix4_pass(data, n, s.len, tw + s.wa, tw + s.wb, tw + s.wc, inverse);
 }
 
 void FftPlan::forward(std::complex<double>* data) const noexcept {

@@ -25,10 +25,19 @@
 
 namespace lrd::numerics {
 
-/// Immutable radix-2 plan for one power-of-two size: bit-reversal
-/// permutation table plus the twiddle table w[k] = e^{-2*pi*i*k/n} for
-/// k < n/2 (stage `len` reads it with stride n/len; the inverse
-/// transform conjugates on the fly).
+/// Immutable DIT plan for one power-of-two size: bit-reversal
+/// permutation table, the base twiddle table w[k] = e^{-2*pi*i*k/n} for
+/// k < n/2 (the real transform's post-processing twiddles), and the
+/// per-stage tables of the fused radix-2^2 decomposition.
+///
+/// The transform runs consecutive radix-2 stages (len, 2*len) as one
+/// fused four-point butterfly pass — half the passes over the data, and
+/// an inner loop that is a contiguous sweep over the twiddle index, the
+/// shape the LRD_SIMD kernels (simd.hpp) vectorize. Each fused stage
+/// carries contiguous copies of its three twiddle sequences
+/// (wa = e^{-2*pi*i*k/len}, wb = e^{-2*pi*i*k/(2*len)}, wc = -i*wb) so
+/// the kernels load them with unit stride. When log2(n) is odd the one
+/// unpaired stage is the twiddle-free len == 2 pass, run first.
 class FftPlan {
  public:
   explicit FftPlan(std::size_t n);
@@ -46,11 +55,21 @@ class FftPlan {
   const std::complex<double>* twiddles() const noexcept { return twiddle_.data(); }
 
  private:
+  /// One fused pass covering the radix-2 stages (len, 2 * len); the
+  /// offsets index stage_twiddle_ (len / 2 entries per sequence).
+  struct Stage {
+    std::size_t len;
+    std::size_t wa, wb, wc;
+  };
+
   void transform(std::complex<double>* data, bool inverse) const noexcept;
 
   std::size_t n_;
+  bool leading_len2_ = false;  ///< run the unpaired len == 2 pass first
   std::vector<std::uint32_t> bitrev_;
   std::vector<std::complex<double>> twiddle_;
+  std::vector<Stage> stages_;
+  std::vector<std::complex<double>> stage_twiddle_;
 };
 
 /// Shared plan for size n (a power of two), building and caching it on

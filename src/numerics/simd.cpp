@@ -1,0 +1,136 @@
+#include "numerics/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace lrd::numerics::simd {
+
+namespace {
+
+/// Plain-formula complex multiply. std::complex's operator* routes
+/// through __muldc3 for NaN recovery — a function call per butterfly;
+/// the butterflies validate finiteness upstream, so the four-multiply
+/// form is both faster and exactly what the vector kernels compute.
+inline std::complex<double> cmul1(std::complex<double> a, std::complex<double> b) noexcept {
+  return {a.real() * b.real() - a.imag() * b.imag(),
+          a.real() * b.imag() + a.imag() * b.real()};
+}
+
+template <bool Inverse>
+void radix4_scalar_impl(std::complex<double>* d, std::size_t n, std::size_t len,
+                        const std::complex<double>* wa, const std::complex<double>* wb,
+                        const std::complex<double>* wc) noexcept {
+  const std::size_t q = len / 2;
+  const std::size_t block = 2 * len;
+  for (std::size_t j = 0; j < n; j += block) {
+    std::complex<double>* p0 = d + j;
+    std::complex<double>* p1 = p0 + q;
+    std::complex<double>* p2 = p0 + len;
+    std::complex<double>* p3 = p2 + q;
+    for (std::size_t k = 0; k < q; ++k) {
+      const std::complex<double> wak = Inverse ? std::conj(wa[k]) : wa[k];
+      const std::complex<double> wbk = Inverse ? std::conj(wb[k]) : wb[k];
+      const std::complex<double> wck = Inverse ? std::conj(wc[k]) : wc[k];
+      const std::complex<double> x0 = p0[k];
+      const std::complex<double> x1 = p1[k];
+      const std::complex<double> x2 = p2[k];
+      const std::complex<double> x3 = p3[k];
+      const std::complex<double> t1 = cmul1(x1, wak);
+      const std::complex<double> a0 = x0 + t1;
+      const std::complex<double> a1 = x0 - t1;
+      const std::complex<double> t3 = cmul1(x3, wak);
+      const std::complex<double> a2 = x2 + t3;
+      const std::complex<double> a3 = x2 - t3;
+      const std::complex<double> u2 = cmul1(a2, wbk);
+      const std::complex<double> u3 = cmul1(a3, wck);
+      p0[k] = a0 + u2;
+      p2[k] = a0 - u2;
+      p1[k] = a1 + u3;
+      p3[k] = a1 - u3;
+    }
+  }
+}
+
+const FftKernels kScalarKernels{Isa::kScalar, "scalar", &detail::radix4_pass_scalar,
+                                &detail::cmul_scalar};
+
+/// Best table this CPU supports, honoring the LRDQ_SIMD override.
+const FftKernels* detect() noexcept {
+  const FftKernels* avx2 = nullptr;
+  const FftKernels* neon = detail::neon_fft_kernels();
+#if LRD_SIMD && (defined(__x86_64__) || defined(_M_X64))
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    avx2 = detail::avx2_fft_kernels();
+#endif
+  if (const char* env = std::getenv("LRDQ_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) return &kScalarKernels;
+    if (std::strcmp(env, "avx2") == 0 && avx2 != nullptr) return avx2;
+    if (std::strcmp(env, "neon") == 0 && neon != nullptr) return neon;
+    // Unknown or unavailable request: fall through to auto-detection.
+  }
+  if (avx2 != nullptr) return avx2;
+  if (neon != nullptr) return neon;
+  return &kScalarKernels;
+}
+
+std::atomic<const FftKernels*> g_active{nullptr};
+
+}  // namespace
+
+namespace detail {
+
+void radix4_pass_scalar(std::complex<double>* data, std::size_t n, std::size_t len,
+                        const std::complex<double>* wa, const std::complex<double>* wb,
+                        const std::complex<double>* wc, bool inverse) {
+  if (inverse)
+    radix4_scalar_impl<true>(data, n, len, wa, wb, wc);
+  else
+    radix4_scalar_impl<false>(data, n, len, wa, wb, wc);
+}
+
+void cmul_scalar(std::complex<double>* a, const std::complex<double>* b, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) a[i] = cmul1(a[i], b[i]);
+}
+
+}  // namespace detail
+
+const FftKernels& active_fft_kernels() noexcept {
+  const FftKernels* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    k = detect();
+    // Another thread may have published concurrently; detection is
+    // deterministic, so whichever write wins names the same table.
+    g_active.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+const char* active_isa_name() noexcept { return active_fft_kernels().name; }
+
+bool set_active_kernels_for_testing(Isa isa) noexcept {
+  const FftKernels* k = nullptr;
+  switch (isa) {
+    case Isa::kScalar:
+      k = &kScalarKernels;
+      break;
+    case Isa::kAvx2:
+#if LRD_SIMD && (defined(__x86_64__) || defined(_M_X64))
+      if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+        k = detail::avx2_fft_kernels();
+#endif
+      break;
+    case Isa::kNeon:
+      k = detail::neon_fft_kernels();
+      break;
+  }
+  if (k == nullptr) return false;
+  g_active.store(k, std::memory_order_release);
+  return true;
+}
+
+void reset_active_kernels_for_testing() noexcept {
+  g_active.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace lrd::numerics::simd

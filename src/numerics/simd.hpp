@@ -1,0 +1,105 @@
+// LRD_SIMD dispatch layer: runtime-selected vector kernels for the FFT
+// butterfly passes and the convolver's spectrum multiply.
+//
+// The transform core (fft_plan.cpp) is organized as fused radix-2^2
+// stage pairs whose inner butterfly is a pure data-parallel sweep over
+// the twiddle index; this header exposes that sweep as a function-table
+// entry so one binary carries a scalar implementation plus whatever the
+// target ISA offers (AVX2+FMA on x86-64, NEON on aarch64) and picks at
+// runtime. Selection happens once, on first use, via an atomic pointer:
+//   1. `LRDQ_SIMD=scalar|avx2|neon` forces a path (ignored when the
+//      requested ISA is not compiled in or not supported by the CPU);
+//   2. otherwise the best supported ISA wins (AVX2 requires both the
+//      avx2 and fma CPUID bits; NEON is baseline on aarch64);
+//   3. `-DLRD_DISABLE_SIMD=ON` compiles the vector TUs out entirely,
+//      leaving only the scalar table (LRD_SIMD == 0).
+// The vector kernels live in separate translation units compiled with
+// the matching -m flags; nothing outside those TUs executes vector
+// instructions, so the binary stays safe on older CPUs.
+//
+// Parity contract: every table computes the same butterflies in the
+// same order — implementations differ only in FMA contraction, so
+// scalar and vector spectra agree to ~1e-15 relative (the test suite
+// pins 1e-12 across sizes 8..16384). Thread count never changes which
+// table runs; results are reproducible across LRDQ_THREADS settings.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+#if defined(LRD_DISABLE_SIMD)
+#define LRD_SIMD 0
+#else
+#define LRD_SIMD 1
+#endif
+
+namespace lrd::numerics::simd {
+
+enum class Isa { kScalar = 0, kAvx2, kNeon };
+
+/// One fused radix-2^2 butterfly pass over the whole array: for every
+/// block of `2 * len` points and every k < len / 2 it applies the
+/// four-point butterfly
+///   a0 = x0 + wa[k] x1    a1 = x0 - wa[k] x1
+///   a2 = x2 + wa[k] x3    a3 = x2 - wa[k] x3
+///   y0 = a0 + wb[k] a2    y2 = a0 - wb[k] a2
+///   y1 = a1 + wc[k] a3    y3 = a1 - wc[k] a3
+/// where x0..x3 sit at offsets {k, k + len/2, k + len, k + 3len/2} and
+/// wc[k] = -i wb[k] (precomputed). `inverse` conjugates every twiddle.
+using Radix4PassFn = void (*)(std::complex<double>* data, std::size_t n, std::size_t len,
+                              const std::complex<double>* wa, const std::complex<double>* wb,
+                              const std::complex<double>* wc, bool inverse);
+
+/// Pointwise complex multiply a[i] *= b[i] for i < count (the cached
+/// convolver's spectrum product).
+using CmulFn = void (*)(std::complex<double>* a, const std::complex<double>* b,
+                        std::size_t count);
+
+/// Immutable kernel table for one ISA. Tables have static storage
+/// duration; pointers to them stay valid for the life of the process.
+struct FftKernels {
+  Isa isa;
+  const char* name;  ///< "scalar", "avx2" or "neon" — recorded in bench env
+  Radix4PassFn radix4_pass;
+  CmulFn cmul;
+};
+
+/// The kernel table in use (detected on first call; see file comment).
+/// Lock-free after the first call — safe on any hot path.
+const FftKernels& active_fft_kernels() noexcept;
+
+/// Name of the active table ("scalar", "avx2", "neon") — what the bench
+/// env fingerprint records so regressions across machines are
+/// attributable to the ISA actually exercised.
+const char* active_isa_name() noexcept;
+
+/// Test seam: force a specific table. Returns false (and leaves the
+/// active table unchanged) when the requested ISA is not compiled in or
+/// not supported by this CPU. Not for use while transforms are running
+/// on other threads.
+bool set_active_kernels_for_testing(Isa isa) noexcept;
+
+/// Test seam: drop any forced table and re-detect on next use.
+void reset_active_kernels_for_testing() noexcept;
+
+namespace detail {
+
+/// Scalar reference implementation (also the vector kernels' tail for
+/// the len == 2 pass). Non-inline on purpose: the AVX2 TU calls it, and
+/// an inline definition compiled there could be the copy the linker
+/// keeps — with AVX2 encodings — breaking the scalar fallback on older
+/// CPUs.
+void radix4_pass_scalar(std::complex<double>* data, std::size_t n, std::size_t len,
+                        const std::complex<double>* wa, const std::complex<double>* wb,
+                        const std::complex<double>* wc, bool inverse);
+void cmul_scalar(std::complex<double>* a, const std::complex<double>* b, std::size_t count);
+
+/// Table getters for the vector TUs; null when the ISA is compiled out
+/// (wrong architecture or -DLRD_DISABLE_SIMD). CPU support is checked
+/// separately by the detector before the table goes live.
+const FftKernels* avx2_fft_kernels() noexcept;
+const FftKernels* neon_fft_kernels() noexcept;
+
+}  // namespace detail
+
+}  // namespace lrd::numerics::simd

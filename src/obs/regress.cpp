@@ -97,6 +97,7 @@ lrd::Expected<BenchHistoryRecord> parse_bench_record(const json::Value& line) {
     rec.build_type = env->string_at("build_type");
     rec.compiler = env->string_at("compiler");
     rec.cpu_count = static_cast<std::size_t>(env->number_at("cpu_count"));
+    rec.simd = env->string_at("simd");  // empty on pre-field records
     if (const json::Value* obs = env->find("obs_enabled")) rec.obs_enabled = obs->as_bool(true);
   }
   return rec;

@@ -76,6 +76,9 @@ struct BenchHistoryRecord {
   std::string build_type;
   std::string compiler;
   std::size_t cpu_count = 0;
+  /// Selected SIMD ISA ("scalar", "avx2", "neon"); empty on records
+  /// predating the field.
+  std::string simd;
   bool obs_enabled = true;
   long long timestamp_unix = 0;
 
